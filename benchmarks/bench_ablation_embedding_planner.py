@@ -1,0 +1,68 @@
+"""Ablation: phase-2 planner — greedy vs DP vs bushy (§5, §6).
+
+The prototype "presently use[s] a greedy approach to generate a tree
+plan based on the available statistics from the answer graph phase"
+(§5); §6 names bushy plans as the richer space to explore. All three
+planners are implemented; this bench compares their phase-2
+(defactorization) times on the Table-1 workload. For acyclic queries
+over an ideal AG the paper predicts order is immaterial (§3) — times
+should be close; diamonds over non-ideal AGs are where plans can
+differ.
+"""
+
+import pytest
+
+from repro.core.bushy_exec import materialize_embeddings_bushy
+from repro.core.defactorize import materialize_embeddings
+from repro.core.engine import WireframeEngine
+from repro.datasets.paper_queries import paper_diamond_queries, paper_snowflake_queries
+from repro.planner.bushy import bushy_embedding_plan
+from repro.planner.embedding_planner import dp_embedding_plan, greedy_embedding_plan
+
+QUERIES = {
+    q.name: q for q in paper_snowflake_queries()[:3] + paper_diamond_queries()[:3]
+}
+PLANNERS = ("greedy", "dp", "bushy")
+
+
+def _prepared(store, catalog, query):
+    engine = WireframeEngine(store, catalog)
+    detail = engine.evaluate_detailed(query, materialize=False)
+    ag = detail.answer_graph
+    sizes, node_counts = ag.relation_statistics()
+    return ag, sizes, node_counts, detail.count
+
+
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+@pytest.mark.parametrize("planner", PLANNERS)
+def test_ablation_embedding_planner(benchmark, store, catalog, planner, query_name):
+    query = QUERIES[query_name]
+    ag, sizes, node_counts, expected = _prepared(store, catalog, query)
+    bound = ag.bound
+
+    if planner == "bushy":
+        plan = bushy_embedding_plan(bound, sizes, node_counts)
+
+        def run():
+            return materialize_embeddings_bushy(ag, plan)
+
+    else:
+        make = greedy_embedding_plan if planner == "greedy" else dp_embedding_plan
+        plan = make(bound, sizes, node_counts)
+
+        def run():
+            return materialize_embeddings(ag, plan.order)
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(rows) == expected
+    benchmark.extra_info["planner"] = planner
+    benchmark.extra_info["embeddings"] = len(rows)
+
+
+def test_all_planners_agree(store, catalog):
+    for query in QUERIES.values():
+        counts = set()
+        for planner in PLANNERS:
+            engine = WireframeEngine(store, catalog, embedding_planner=planner)
+            counts.add(engine.evaluate(query, materialize=False).count)
+        assert len(counts) == 1, query.name

@@ -1,0 +1,72 @@
+"""Figure 1: the chain CQ and the factorization ratio.
+
+Fig. 1's worked example shows a chain query whose 12 embeddings factor
+into an 8-pair answer graph. This bench scales that exact structure
+(A-edges fanning in, C-edges fanning out of shared hubs) and measures
+how evaluation time diverges between Wireframe and the standard
+evaluators as the multiplicity grows — "such differences are greatly
+magnified when on a larger scale" (§2).
+"""
+
+import pytest
+
+from repro.baselines import HashJoinEngine, NavigationalEngine
+from repro.core.engine import WireframeEngine
+from repro.core.ideal import ideal_answer_graph
+from repro.datasets.motifs import fan_chain_graph, figure1_query
+
+FANS = (8, 24, 48)
+
+
+def _setup(fan):
+    store = fan_chain_graph(fan_in=fan, fan_out=fan, hub_pairs=4)
+    return store, figure1_query()
+
+
+@pytest.mark.parametrize("fan", FANS)
+def test_fig1_wireframe(benchmark, fan):
+    store, query = _setup(fan)
+    engine = WireframeEngine(store)
+    result = benchmark.pedantic(
+        lambda: engine.evaluate(query), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert result.count == 4 * fan * fan
+    benchmark.extra_info["embeddings"] = result.count
+    benchmark.extra_info["ag_size"] = result.stats["ag_size"]
+    benchmark.extra_info["factorization_ratio"] = (
+        result.count / result.stats["ag_size"]
+    )
+
+
+@pytest.mark.parametrize("fan", FANS)
+def test_fig1_hash_join(benchmark, fan):
+    store, query = _setup(fan)
+    engine = HashJoinEngine(store)
+    result = benchmark.pedantic(
+        lambda: engine.evaluate(query), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert result.count == 4 * fan * fan
+    benchmark.extra_info["peak_intermediate"] = result.stats["peak_intermediate"]
+
+
+@pytest.mark.parametrize("fan", FANS)
+def test_fig1_navigational(benchmark, fan):
+    store, query = _setup(fan)
+    engine = NavigationalEngine(store)
+    result = benchmark.pedantic(
+        lambda: engine.evaluate(query), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert result.count == 4 * fan * fan
+
+
+def test_fig1_exact_paper_counts():
+    """The figure's stated numbers: 12 embeddings, 8 AG pairs."""
+    from repro.datasets.motifs import figure1_graph
+
+    store = figure1_graph()
+    engine = WireframeEngine(store)
+    detail = engine.evaluate_detailed(figure1_query())
+    assert detail.count == 12
+    assert detail.ag_size == 8
+    ideal = ideal_answer_graph(store, figure1_query())
+    assert detail.ag_size == sum(len(p) for p in ideal.values())

@@ -1,0 +1,52 @@
+"""Scaling: Wireframe vs standard evaluation as the dataset grows.
+
+Complements Table 1 with the trend the paper argues from: as scale
+increases, standard evaluation's cost follows the embedding count while
+Wireframe's follows the (much smaller) answer graph, so the gap widens.
+"""
+
+import pytest
+
+from repro.baselines import HashJoinEngine
+from repro.core.engine import WireframeEngine
+from repro.datasets.paper_queries import paper_snowflake_queries
+from repro.datasets.yago_like import generate_yago_like
+from repro.stats.catalog import build_catalog
+
+SCALES = (0.25, 0.5, 1.0)
+_CACHE: dict = {}
+
+
+def _setup(scale):
+    if scale not in _CACHE:
+        store = generate_yago_like(scale=scale, seed=0)
+        _CACHE[scale] = (store, build_catalog(store))
+    return _CACHE[scale]
+
+
+QUERY = paper_snowflake_queries()[2]  # Table 1 row 3 (largest counts)
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_scaling_wireframe(benchmark, scale):
+    store, catalog = _setup(scale)
+    engine = WireframeEngine(store, catalog)
+    result = benchmark.pedantic(
+        lambda: engine.evaluate(QUERY),
+        rounds=2, iterations=1, warmup_rounds=1,
+    )
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["count"] = result.count
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_scaling_hash_join(benchmark, scale):
+    store, catalog = _setup(scale)
+    engine = HashJoinEngine(store, catalog)
+    result = benchmark.pedantic(
+        lambda: engine.evaluate(QUERY),
+        rounds=2, iterations=1, warmup_rounds=1,
+    )
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["count"] = result.count
+    benchmark.extra_info["peak_intermediate"] = result.stats["peak_intermediate"]

@@ -1,0 +1,79 @@
+"""Shared fixtures for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Environment knobs (see repro.bench.workloads): REPRO_BENCH_SCALE,
+REPRO_BENCH_RUNS, REPRO_BENCH_TIMEOUT. The dataset and catalog are
+generated once per session (the paper's offline preprocessing step).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import (
+    bench_runs,
+    bench_timeout,
+    benchmark_catalog,
+    make_benchmark_store,
+)
+from repro.baselines import (
+    ColumnarEngine,
+    HashJoinEngine,
+    IndexNestedLoopEngine,
+    NavigationalEngine,
+)
+from repro.core.engine import WireframeEngine
+from repro.errors import EvaluationTimeout
+from repro.utils.deadline import Deadline
+
+
+@pytest.fixture(scope="session")
+def store():
+    return make_benchmark_store()
+
+
+@pytest.fixture(scope="session")
+def catalog(store):
+    return benchmark_catalog()
+
+
+@pytest.fixture(scope="session")
+def engines(store, catalog):
+    return {
+        "PG": HashJoinEngine(store, catalog),
+        "WF": WireframeEngine(store, catalog),
+        "VT": IndexNestedLoopEngine(store, catalog),
+        "MD": ColumnarEngine(store, catalog),
+        "NJ": NavigationalEngine(store, catalog),
+    }
+
+
+def time_engine(benchmark, engine, query, materialize=True):
+    """Benchmark one (engine, query) pair under the paper's protocol.
+
+    The first (cold-cache) round is the warmup; measured rounds are the
+    warm ones, matching "average of the last N runs". A timeout marks
+    the benchmark as skipped with the paper's ``*`` semantics.
+    """
+    rounds = max(bench_runs() - 1, 1)
+
+    def run():
+        deadline = Deadline(bench_timeout())
+        return engine.evaluate(query, deadline=deadline, materialize=materialize)
+
+    try:
+        result = benchmark.pedantic(run, rounds=rounds, iterations=1,
+                                    warmup_rounds=1)
+    except EvaluationTimeout:
+        pytest.skip(f"{engine.name} timed out (> {bench_timeout()}s) — "
+                    "the paper's '*' entry")
+    benchmark.extra_info["engine"] = engine.name
+    benchmark.extra_info["query"] = query.name
+    benchmark.extra_info["count"] = result.count
+    for key in ("ag_size", "edge_walks", "peak_intermediate"):
+        if key in result.stats:
+            benchmark.extra_info[key] = result.stats[key]
+    return result

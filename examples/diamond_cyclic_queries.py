@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Cyclic (diamond) queries: triangulation, spurious edges, edge burnback.
+
+Run:  python examples/diamond_cyclic_queries.py
+
+Part 1 replays the paper's Fig. 4 worked example exactly: a diamond CQ
+whose answer graph — after node burnback alone — retains two edges that
+participate in no embedding; the Triangulator's chord plus edge
+burnback removes them.
+
+Part 2 quantifies the same effect on the Table-1 diamond workload over
+the YAGO-like graph: how far from ideal the node-burnback AG is, what
+edge burnback costs, and what it buys.
+"""
+
+import time
+
+from repro import WireframeEngine, build_catalog, generate_yago_like
+from repro.datasets.motifs import figure4_graph, figure4_query
+from repro.datasets.paper_queries import paper_diamond_queries
+
+# ----------------------------------------------------------------------
+# Part 1 — the Fig. 4 example.
+# ----------------------------------------------------------------------
+print("== Part 1: the paper's Fig. 4 example ==")
+store = figure4_graph()
+query = figure4_query()
+print(query.to_sparql())
+
+plain = WireframeEngine(store)
+bound, plan, chordification = plain.plan(query)
+chord = chordification.chords[0]
+print(f"\nthe Triangulator adds 1 chord "
+      f"(?{bound.var_names[chord.u]}, ?{bound.var_names[chord.v]}) "
+      f"splitting the 4-cycle into {len(chordification.triangles)} triangles")
+
+result = plain.evaluate_detailed(query)
+decode = store.dictionary.decode
+print(f"\nnode burnback only: |AG| = {result.ag_size}, "
+      f"embeddings = {result.count}")
+b_pairs = result.answer_graph.edge_pairs(1)
+print("  B-edge AG pairs:",
+      sorted((decode(s), decode(o)) for s, o in b_pairs))
+print("  (3,6) and (7,2) are spurious — no embedding uses them)")
+
+burned = WireframeEngine(store, edge_burnback=True).evaluate_detailed(query)
+print(f"\nwith edge burnback: |AG| = {burned.ag_size} "
+      f"({burned.generation_stats.spurious_pairs_removed} spurious pairs "
+      f"removed) — the ideal answer graph")
+
+# ----------------------------------------------------------------------
+# Part 2 — the Table-1 diamond workload.
+# ----------------------------------------------------------------------
+print("\n== Part 2: Table-1 diamonds on the YAGO-like graph ==")
+yago = generate_yago_like(scale=1.0, seed=0)
+catalog = build_catalog(yago)
+plain_engine = WireframeEngine(yago, catalog)
+ideal_engine = WireframeEngine(yago, catalog, edge_burnback=True)
+
+header = f"{'query':8} {'|AG|':>8} {'|iAG|':>8} {'spurious':>9} " \
+         f"{'t(node-bb)':>11} {'t(edge-bb)':>11} {'embeddings':>11}"
+print(header)
+for query in paper_diamond_queries():
+    t0 = time.perf_counter()
+    p = plain_engine.evaluate_detailed(query, materialize=False)
+    t_plain = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    i = ideal_engine.evaluate_detailed(query, materialize=False)
+    t_ideal = time.perf_counter() - t0
+    print(f"{query.name:8} {p.ag_size:>8} {i.ag_size:>8} "
+          f"{p.ag_size - i.ag_size:>9} "
+          f"{t_plain * 1000:>9.1f}ms {t_ideal * 1000:>9.1f}ms "
+          f"{p.count:>11,}")
+
+print(
+    "\nThe paper (§5): with node burnback only, diamond AGs 'can be "
+    "significantly larger than the ideal'; edge burnback (§4.I, "
+    "implemented here) restores ideality at extra phase-1 cost."
+)

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""The query miner: generating valid, non-empty template queries.
+
+Run:  python examples/query_mining.py
+
+The paper's micro-benchmark does not hand-write queries: "we
+implemented a query miner that generates queries over a dataset using
+query templates (with placeholders for edge labels). The query miner
+then generates valid, non-empty queries." (§5 — it mined 218,014
+snowflakes and 18,743 diamonds from YAGO2s.)
+
+This example mines snowflake and diamond queries from the YAGO-like
+graph and evaluates each with Wireframe, printing the factorization
+ratio the answer graph achieves.
+"""
+
+from repro import QueryMiner, WireframeEngine, build_catalog, generate_yago_like
+from repro.query.templates import diamond_template, snowflake_template
+
+store = generate_yago_like(scale=0.5, seed=0)
+catalog = build_catalog(store)
+print(f"dataset: {store.num_triples} triples, "
+      f"{len(store.predicates())} predicates")
+
+miner = QueryMiner(store, seed=2024, forbidden_labels=["rdf:type"])
+engine = WireframeEngine(store, catalog)
+
+for template, count in ((snowflake_template(), 5), (diamond_template(), 5)):
+    print(f"\nmining {count} {template.name} queries "
+          f"({template.num_slots} label slots each):")
+    for query in miner.mine(template, count=count):
+        result = engine.evaluate_detailed(query, materialize=False)
+        labels = "/".join(e.predicate for e in query.edges)
+        ratio = result.count / max(result.ag_size, 1)
+        print(f"  {labels}")
+        print(f"    -> {result.count:,} embeddings, |AG| {result.ag_size}, "
+              f"factorization {ratio:,.1f}x")

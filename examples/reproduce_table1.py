@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Table 1 end to end.
+
+Run:  python examples/reproduce_table1.py [scale]
+
+Builds the YAGO-like dataset, runs the ten Table-1 queries (5 snowflake
++ 5 diamond) on all five systems — PG / WF / VT / MD / NJ — under the
+paper's warm-cache protocol, and prints the table in the paper's
+layout: per-engine execution time (``*`` = timeout), |iAG| (snowflakes)
+or the non-ideal |AG| (diamonds, node burnback only, as in the paper's
+configuration), and |Embeddings|.
+
+Environment: REPRO_BENCH_RUNS / REPRO_BENCH_TIMEOUT adjust the
+protocol; the positional argument overrides REPRO_BENCH_SCALE.
+"""
+
+import sys
+import time
+
+from repro.bench.table1 import format_table1, reproduce_table1
+from repro.bench.workloads import bench_protocol, bench_scale
+from repro.datasets.yago_like import generate_yago_like
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else bench_scale()
+
+print(f"generating YAGO-like dataset at scale {scale} "
+      f"(paper: YAGO2s, 242M triples — see DESIGN.md substitutions) ...")
+start = time.time()
+store = generate_yago_like(scale=scale, seed=0)
+print(f"  {store.num_triples:,} triples, {len(store.predicates())} "
+      f"predicates in {time.time() - start:.1f}s")
+
+protocol = bench_protocol()
+print(f"protocol: {protocol.runs} runs, discard {protocol.discard} "
+      f"(warm cache), timeout {protocol.timeout:.0f}s\n")
+
+start = time.time()
+rows = reproduce_table1(store=store, protocol=protocol)
+print(format_table1(rows))
+print(f"\ntotal wall time: {time.time() - start:.1f}s")
+
+wf_wins = sum(
+    1
+    for row in rows
+    if row.times.get("WF") is not None
+    and all(
+        row.times.get(e) is None or row.times[e] >= row.times["WF"]
+        for e in ("PG", "VT", "MD", "NJ")
+    )
+)
+print(f"Wireframe is fastest (or tied) on {wf_wins}/10 queries.")

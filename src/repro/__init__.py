@@ -1,0 +1,188 @@
+"""Wireframe: answer-graph (factorized) evaluation of SPARQL CQs.
+
+Reproduction of *Answer Graph: Factorization Matters in Large Graphs*
+(Abul-Basher, Yakovets, Godfrey, Clark, Chignell — EDBT 2021).
+
+Quickstart::
+
+    from repro import GraphBuilder, WireframeEngine, parse_sparql
+
+    store = (
+        GraphBuilder()
+        .edge("alice", "knows", "bob")
+        .edge("bob", "knows", "carol")
+        .build(freeze=True)
+    )
+    query = parse_sparql("select ?a, ?b, ?c where { ?a knows ?b . ?b knows ?c }")
+    result = WireframeEngine(store).evaluate(query)
+    print(result.count, "embeddings")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.errors import (
+    DatasetError,
+    DictionaryError,
+    EvaluationError,
+    EvaluationTimeout,
+    ParseError,
+    PlanError,
+    QueryError,
+    ReproError,
+    StoreError,
+)
+from repro.graph import (
+    Dictionary,
+    GraphBuilder,
+    Triple,
+    TriplePattern,
+    TripleStore,
+    parse_ntriples,
+    serialize_ntriples,
+)
+from repro.query import (
+    BoundQuery,
+    ConjunctiveQuery,
+    Const,
+    QueryEdge,
+    QueryMiner,
+    QueryShape,
+    Var,
+    bind_query,
+    chain_template,
+    classify_shape,
+    cycle_template,
+    diamond_template,
+    find_cycles,
+    is_acyclic,
+    parse_sparql,
+    snowflake_template,
+    star_template,
+)
+from repro.stats import Catalog, CardinalityEstimator, build_catalog
+from repro.planner import (
+    AGPlan,
+    BushyPlan,
+    Chordification,
+    Edgifier,
+    EmbeddingPlan,
+    Triangulator,
+    bushy_embedding_plan,
+    dp_embedding_plan,
+    greedy_embedding_plan,
+)
+from repro.core import (
+    AnswerGraph,
+    WireframeEngine,
+    WireframeResult,
+    count_embeddings,
+    count_embeddings_factorized,
+    sample_embedding,
+    variable_marginals,
+    enumerate_embeddings_bruteforce,
+    generate_answer_graph,
+    has_any_embedding,
+    ideal_answer_graph,
+    iter_embeddings,
+    materialize_embeddings,
+)
+from repro.engine_api import Engine, EngineResult
+from repro.baselines import (
+    ColumnarEngine,
+    HashJoinEngine,
+    IndexNestedLoopEngine,
+    NavigationalEngine,
+)
+from repro.datasets import (
+    YagoLikeConfig,
+    generate_yago_like,
+    paper_diamond_queries,
+    paper_queries,
+    paper_snowflake_queries,
+)
+from repro.utils import Deadline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "DictionaryError",
+    "StoreError",
+    "ParseError",
+    "QueryError",
+    "PlanError",
+    "EvaluationError",
+    "EvaluationTimeout",
+    "DatasetError",
+    # graph substrate
+    "Dictionary",
+    "Triple",
+    "TriplePattern",
+    "TripleStore",
+    "GraphBuilder",
+    "parse_ntriples",
+    "serialize_ntriples",
+    # query front end
+    "Var",
+    "Const",
+    "QueryEdge",
+    "ConjunctiveQuery",
+    "BoundQuery",
+    "bind_query",
+    "parse_sparql",
+    "QueryShape",
+    "classify_shape",
+    "find_cycles",
+    "is_acyclic",
+    "chain_template",
+    "star_template",
+    "snowflake_template",
+    "diamond_template",
+    "cycle_template",
+    "QueryMiner",
+    # statistics
+    "Catalog",
+    "build_catalog",
+    "CardinalityEstimator",
+    # planners
+    "AGPlan",
+    "EmbeddingPlan",
+    "Chordification",
+    "Edgifier",
+    "Triangulator",
+    "greedy_embedding_plan",
+    "dp_embedding_plan",
+    "BushyPlan",
+    "bushy_embedding_plan",
+    # core
+    "AnswerGraph",
+    "generate_answer_graph",
+    "iter_embeddings",
+    "materialize_embeddings",
+    "count_embeddings",
+    "count_embeddings_factorized",
+    "variable_marginals",
+    "sample_embedding",
+    "enumerate_embeddings_bruteforce",
+    "has_any_embedding",
+    "ideal_answer_graph",
+    "WireframeEngine",
+    "WireframeResult",
+    # engines
+    "Engine",
+    "EngineResult",
+    "HashJoinEngine",
+    "IndexNestedLoopEngine",
+    "ColumnarEngine",
+    "NavigationalEngine",
+    # datasets
+    "YagoLikeConfig",
+    "generate_yago_like",
+    "paper_queries",
+    "paper_snowflake_queries",
+    "paper_diamond_queries",
+    # utils
+    "Deadline",
+]

@@ -1,0 +1,37 @@
+"""Baseline engines: in-repo stand-ins for the paper's comparison systems.
+
+The paper races Wireframe against PostgreSQL, Virtuoso, MonetDB, and
+Neo4J (Table 1). None of those can be bundled here, so each is replaced
+by an engine that reproduces its *architectural essence* — what the
+paper's comparison actually isolates: all four perform "standard
+evaluation", materializing or enumerating embeddings directly from the
+data graph, paying the many-many join blow-up that the answer-graph
+approach factors away.
+
+==========  ==============================  ==================================
+stand-in    paper system                    execution model
+==========  ==============================  ==================================
+``PG``      PostgreSQL v11 (triple store)   left-deep binary hash joins over
+                                            fully materialized intermediates
+``VT``      Virtuoso v6                     block index-nested-loop joins,
+                                            probing SPO-permutation indexes
+``MD``      MonetDB v11                     column-at-a-time joins on numpy
+                                            arrays, full materialization
+``NJ``      Neo4J v3.5                      navigational one-embedding-at-a-
+                                            time backtracking (DFS)
+==========  ==============================  ==================================
+"""
+
+from repro.baselines.base import BaselineEngine
+from repro.baselines.hash_join import HashJoinEngine
+from repro.baselines.index_nested_loop import IndexNestedLoopEngine
+from repro.baselines.columnar import ColumnarEngine
+from repro.baselines.navigational import NavigationalEngine
+
+__all__ = [
+    "BaselineEngine",
+    "HashJoinEngine",
+    "IndexNestedLoopEngine",
+    "ColumnarEngine",
+    "NavigationalEngine",
+]

@@ -1,0 +1,176 @@
+"""``MD`` — the MonetDB stand-in: column-at-a-time joins on numpy arrays.
+
+MonetDB executes queries as sequences of whole-column (BAT) operators
+with full materialization of every intermediate. The stand-in stores
+each intermediate as a dense 2-D array (one column per bound variable)
+and performs joins with vectorized sort/searchsorted expansion — the
+column-engine analogue of a hash join. Intermediates blow up with
+many-many fans just as rows do; only the constant factors differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineEngine
+from repro.query.algebra import BoundEdge, BoundQuery
+from repro.utils.deadline import Deadline
+
+
+class ColumnarEngine(BaselineEngine):
+    """Fully-materialized columnar evaluation."""
+
+    name = "MD"
+
+    def _execute(
+        self, bound: BoundQuery, deadline: Deadline, materialize: bool
+    ) -> tuple[list[tuple] | None, int, dict]:
+        order = self.join_order(bound)
+        var_cols: dict[int, int] = {}  # var -> column index
+        data = np.empty((0, 0), dtype=np.int64)
+        peak = 0
+
+        for step, eid in enumerate(order):
+            edge = bound.edges[eid]
+            s_col, o_col = self._edge_columns(edge, deadline)
+            deadline.check_now()
+            if step == 0:
+                data = self._seed(edge, s_col, o_col, var_cols)
+            else:
+                data = self._join(data, var_cols, edge, s_col, o_col, deadline)
+            peak = max(peak, data.shape[0])
+            if data.shape[0] == 0:
+                break
+
+        full_rows = self._to_rows(data, var_cols, bound.num_vars)
+        out_rows, count = self.finalize(bound, full_rows, materialize)
+        return out_rows, count, {"peak_intermediate": peak, "order": tuple(order)}
+
+    # ------------------------------------------------------------------
+
+    def _edge_columns(
+        self, edge: BoundEdge, deadline: Deadline
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The (subjects, objects) columns of one edge's matching triples."""
+        p = edge.p
+        assert p is not None
+        subjects: list[int] = []
+        objects: list[int] = []
+        for s, o in self.store.edges(p):
+            deadline.check()
+            subjects.append(s)
+            objects.append(o)
+        s_col = np.asarray(subjects, dtype=np.int64)
+        o_col = np.asarray(objects, dtype=np.int64)
+        mask = None
+        if edge.s_const is not None:
+            mask = s_col == edge.s_const
+        if edge.o_const is not None:
+            const_mask = o_col == edge.o_const
+            mask = const_mask if mask is None else (mask & const_mask)
+        if edge.s_var is not None and edge.s_var == edge.o_var:
+            self_mask = s_col == o_col
+            mask = self_mask if mask is None else (mask & self_mask)
+        if mask is not None:
+            s_col, o_col = s_col[mask], o_col[mask]
+        return s_col, o_col
+
+    def _seed(
+        self,
+        edge: BoundEdge,
+        s_col: np.ndarray,
+        o_col: np.ndarray,
+        var_cols: dict[int, int],
+    ) -> np.ndarray:
+        columns = []
+        if edge.s_var is not None:
+            var_cols[edge.s_var] = len(columns)
+            columns.append(s_col)
+        if edge.o_var is not None and edge.o_var != edge.s_var:
+            var_cols[edge.o_var] = len(columns)
+            columns.append(o_col)
+        if not columns:
+            # Fully ground edge: zero columns, one row per match.
+            return np.empty((len(s_col), 0), dtype=np.int64)
+        return np.column_stack(columns)
+
+    def _join(
+        self,
+        data: np.ndarray,
+        var_cols: dict[int, int],
+        edge: BoundEdge,
+        s_col: np.ndarray,
+        o_col: np.ndarray,
+        deadline: Deadline,
+    ) -> np.ndarray:
+        s_var, o_var = edge.s_var, edge.o_var
+        self_join = s_var is not None and s_var == o_var
+        s_shared = s_var is not None and s_var in var_cols
+        o_shared = o_var is not None and o_var in var_cols
+
+        # Build integer join keys for the edge side and the
+        # intermediate side.
+        if s_shared and (o_shared or self_join):
+            if self_join:
+                edge_keys = s_col
+                left_keys = data[:, var_cols[s_var]]
+            else:
+                # Pair key: combine the two columns injectively.
+                base = np.int64(max(len(self.store.dictionary), 1))
+                edge_keys = s_col * base + o_col
+                left_keys = (
+                    data[:, var_cols[s_var]] * base + data[:, var_cols[o_var]]
+                )
+        elif s_shared:
+            edge_keys = s_col
+            left_keys = data[:, var_cols[s_var]]
+        elif o_shared:
+            edge_keys = o_col
+            left_keys = data[:, var_cols[o_var]]
+        else:
+            # Joined only through a constant: the edge columns are
+            # already constant-filtered, so this is a (small) cartesian
+            # expansion with a degenerate all-equal key.
+            edge_keys = np.zeros(len(s_col), dtype=np.int64)
+            left_keys = np.zeros(data.shape[0], dtype=np.int64)
+
+        # Sort the edge side, then expand matches per intermediate row.
+        sort_idx = np.argsort(edge_keys, kind="stable")
+        sorted_keys = edge_keys[sort_idx]
+        starts = np.searchsorted(sorted_keys, left_keys, side="left")
+        ends = np.searchsorted(sorted_keys, left_keys, side="right")
+        counts = ends - starts
+        total = int(counts.sum())
+        deadline.check_now()
+
+        left_expand = np.repeat(np.arange(data.shape[0], dtype=np.int64), counts)
+        # Positions inside each matched run: global arange minus each
+        # run's cumulative offset, plus the run's start.
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+        edge_expand = sort_idx[np.repeat(starts, counts) + within]
+
+        new_data = data[left_expand]
+        appended: list[np.ndarray] = []
+        new_vars: list[int] = []
+        if s_var is not None and not s_shared:
+            appended.append(s_col[edge_expand])
+            new_vars.append(s_var)
+        if o_var is not None and not o_shared and not self_join:
+            appended.append(o_col[edge_expand])
+            new_vars.append(o_var)
+        if appended:
+            new_data = np.column_stack([new_data] + appended)
+            for var in new_vars:
+                var_cols[var] = new_data.shape[1] - len(new_vars) + new_vars.index(var)
+        return new_data
+
+    @staticmethod
+    def _to_rows(
+        data: np.ndarray, var_cols: dict[int, int], num_vars: int
+    ) -> list[tuple]:
+        if data.shape[0] == 0:
+            return []
+        perm = [var_cols[v] for v in range(num_vars)]
+        reordered = data[:, perm]
+        return [tuple(int(x) for x in row) for row in reordered]

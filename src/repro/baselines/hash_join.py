@@ -1,0 +1,179 @@
+"""``PG`` — the PostgreSQL stand-in: left-deep binary hash joins.
+
+Row-oriented "standard evaluation" (§3): each query edge is scanned
+from the triple store into a relation of bindings, and intermediates
+are *fully materialized* lists of tuples, joined pairwise with hash
+tables. Many-many joins multiply intermediate sizes exactly as they do
+in a relational engine evaluating a triple self-join — the cost the
+answer-graph approach is designed to avoid.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineEngine
+from repro.query.algebra import BoundEdge, BoundQuery
+from repro.utils.deadline import Deadline
+
+
+class HashJoinEngine(BaselineEngine):
+    """Left-deep binary hash-join evaluation over materialized rows."""
+
+    name = "PG"
+
+    def _execute(
+        self, bound: BoundQuery, deadline: Deadline, materialize: bool
+    ) -> tuple[list[tuple] | None, int, dict]:
+        order = self.join_order(bound)
+        var_slots: dict[int, int] = {}
+        rows: list[tuple] = []
+        peak = 0
+
+        for step, eid in enumerate(order):
+            edge = bound.edges[eid]
+            if step == 0:
+                rows = self._scan_edge(edge, var_slots, deadline)
+            else:
+                rows = self._hash_join(rows, var_slots, edge, deadline)
+            peak = max(peak, len(rows))
+            if not rows:
+                break
+
+        full_rows = _reorder_full(rows, var_slots, bound.num_vars)
+        out_rows, count = self.finalize(bound, full_rows, materialize)
+        return out_rows, count, {"peak_intermediate": peak, "order": tuple(order)}
+
+    # ------------------------------------------------------------------
+
+    def _scan_edge(
+        self,
+        edge: BoundEdge,
+        var_slots: dict[int, int],
+        deadline: Deadline,
+    ) -> list[tuple]:
+        """Materialize one edge's bindings as base relation rows."""
+        store = self.store
+        p = edge.p
+        assert p is not None
+        self_join = edge.s_var is not None and edge.s_var == edge.o_var
+        out: list[tuple] = []
+        if edge.s_const is not None and edge.o_const is not None:
+            if edge.o_const in store.successors(p, edge.s_const):
+                out.append(())
+            return out
+        if edge.s_const is not None:
+            var_slots[edge.o_var] = len(var_slots)  # type: ignore[index]
+            for o in store.successors(p, edge.s_const):
+                deadline.check()
+                out.append((o,))
+            return out
+        if edge.o_const is not None:
+            var_slots[edge.s_var] = len(var_slots)  # type: ignore[index]
+            for s in store.predecessors(p, edge.o_const):
+                deadline.check()
+                out.append((s,))
+            return out
+        if self_join:
+            var_slots[edge.s_var] = len(var_slots)  # type: ignore[index]
+            for s, o in store.edges(p):
+                deadline.check()
+                if s == o:
+                    out.append((s,))
+            return out
+        var_slots[edge.s_var] = len(var_slots)  # type: ignore[index]
+        var_slots[edge.o_var] = len(var_slots)  # type: ignore[index]
+        for s, o in store.edges(p):
+            deadline.check()
+            out.append((s, o))
+        return out
+
+    def _hash_join(
+        self,
+        rows: list[tuple],
+        var_slots: dict[int, int],
+        edge: BoundEdge,
+        deadline: Deadline,
+    ) -> list[tuple]:
+        """Join the intermediate with one edge relation on shared vars."""
+        # Edge-side bindings: list of (s value or None, o value or None)
+        # keyed by its variables' values; constants are pre-filtered.
+        s_var, o_var = edge.s_var, edge.o_var
+        s_shared = s_var is not None and s_var in var_slots
+        o_shared = o_var is not None and o_var in var_slots
+        self_join = s_var is not None and s_var == o_var
+
+        # Build a hash table over the edge relation keyed by the shared
+        # variable values.
+        table: dict = {}
+        p = edge.p
+        assert p is not None
+        store = self.store
+        if self_join:
+            edge_rows = [(s, s) for s, o in store.edges(p) if s == o]
+        else:
+            edge_rows = list(store.edges(p))
+        if edge.s_const is not None:
+            edge_rows = [(s, o) for s, o in edge_rows if s == edge.s_const]
+        if edge.o_const is not None:
+            edge_rows = [(s, o) for s, o in edge_rows if o == edge.o_const]
+
+        def key_of_edge_row(s: int, o: int):
+            if s_shared and o_shared:
+                return (s, o) if not self_join else s
+            if s_shared:
+                return s
+            if o_shared:
+                return o
+            return None
+
+        for s, o in edge_rows:
+            deadline.check()
+            table.setdefault(key_of_edge_row(s, o), []).append((s, o))
+
+        # New variables appended to the row layout.
+        appended: list[int] = []
+        if s_var is not None and not s_shared:
+            appended.append(s_var)
+        if o_var is not None and not o_shared and not self_join:
+            if o_var not in appended:
+                appended.append(o_var)
+
+        s_slot = var_slots.get(s_var) if s_var is not None else None
+        o_slot = var_slots.get(o_var) if o_var is not None else None
+
+        out: list[tuple] = []
+        for row in rows:
+            deadline.check()
+            if s_shared and o_shared:
+                key = (
+                    row[s_slot]
+                    if self_join
+                    else (row[s_slot], row[o_slot])  # type: ignore[index]
+                )
+            elif s_shared:
+                key = row[s_slot]  # type: ignore[index]
+            elif o_shared:
+                key = row[o_slot]  # type: ignore[index]
+            else:
+                key = None  # cross product (disconnected; planner avoids)
+            matches = table.get(key) if key is not None else edge_rows
+            if not matches:
+                continue
+            for s, o in matches:
+                extra = []
+                for var in appended:
+                    extra.append(s if var == s_var else o)
+                out.append(row + tuple(extra))
+
+        for var in appended:
+            var_slots[var] = len(var_slots)
+        return out
+
+
+def _reorder_full(
+    rows: list[tuple], var_slots: dict[int, int], num_vars: int
+) -> list[tuple]:
+    """Rows in slot layout -> rows indexed by variable number."""
+    if not rows:
+        return []
+    perm = [var_slots[v] for v in range(num_vars)]
+    return [tuple(row[i] for i in perm) for row in rows]

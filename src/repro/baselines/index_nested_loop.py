@@ -1,0 +1,124 @@
+"""``VT`` — the Virtuoso stand-in: block index-nested-loop joins.
+
+Virtuoso evaluates SPARQL joins predominantly with index lookups
+pipelined over batches of bindings. The stand-in keeps a materialized
+block of partial bindings and, for each next query edge, probes the
+store's predicate-first indexes once per binding — no edge-relation
+scan, but intermediate blocks still grow with the many-many fan, which
+is the "standard evaluation" cost the paper contrasts against.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineEngine
+from repro.query.algebra import BoundQuery
+from repro.utils.deadline import Deadline
+
+
+class IndexNestedLoopEngine(BaselineEngine):
+    """Batch-at-a-time index nested loops over the SPO indexes."""
+
+    name = "VT"
+
+    def _execute(
+        self, bound: BoundQuery, deadline: Deadline, materialize: bool
+    ) -> tuple[list[tuple] | None, int, dict]:
+        order = self.join_order(bound)
+        store = self.store
+        num_vars = bound.num_vars
+        # Bindings are full-width rows with -1 for unbound variables;
+        # avoids slot bookkeeping at a small memory cost per row.
+        rows: list[list[int]] = []
+        assigned: set[int] = set()
+        peak = 0
+        probes = 0
+
+        for step, eid in enumerate(order):
+            edge = bound.edges[eid]
+            p = edge.p
+            assert p is not None
+            s_var, o_var = edge.s_var, edge.o_var
+            self_join = s_var is not None and s_var == o_var
+            s_known = s_var is None or s_var in assigned
+            o_known = o_var is None or o_var in assigned
+
+            if step == 0:
+                rows = []
+                if edge.s_const is not None and edge.o_const is not None:
+                    if edge.o_const in store.successors(p, edge.s_const):
+                        rows.append([-1] * num_vars)
+                elif edge.s_const is not None:
+                    for o in store.successors(p, edge.s_const):
+                        deadline.check()
+                        row = [-1] * num_vars
+                        row[o_var] = o  # type: ignore[index]
+                        rows.append(row)
+                elif edge.o_const is not None:
+                    for s in store.predecessors(p, edge.o_const):
+                        deadline.check()
+                        row = [-1] * num_vars
+                        row[s_var] = s  # type: ignore[index]
+                        rows.append(row)
+                else:
+                    for s, o in store.edges(p):
+                        deadline.check()
+                        if self_join and s != o:
+                            continue
+                        row = [-1] * num_vars
+                        row[s_var] = s  # type: ignore[index]
+                        if not self_join:
+                            row[o_var] = o  # type: ignore[index]
+                        rows.append(row)
+                probes += 1
+            else:
+                new_rows: list[list[int]] = []
+                for row in rows:
+                    deadline.check()
+                    s_val = (
+                        row[s_var]
+                        if (s_var is not None and s_var in assigned)
+                        else edge.s_const
+                    )
+                    o_val = (
+                        row[o_var]
+                        if (o_var is not None and o_var in assigned)
+                        else edge.o_const
+                    )
+                    probes += 1
+                    if self_join:
+                        node = s_val
+                        assert node is not None
+                        if node in store.successors(p, node):
+                            new_rows.append(row)
+                        continue
+                    if s_val is not None and o_val is not None:
+                        if o_val in store.successors(p, s_val):
+                            new_rows.append(row)
+                    elif s_val is not None:
+                        for o in store.successors(p, s_val):
+                            extended = row.copy()
+                            extended[o_var] = o  # type: ignore[index]
+                            new_rows.append(extended)
+                    else:
+                        assert o_val is not None
+                        for s in store.predecessors(p, o_val):
+                            extended = row.copy()
+                            extended[s_var] = s  # type: ignore[index]
+                            new_rows.append(extended)
+                rows = new_rows
+
+            if s_var is not None:
+                assigned.add(s_var)
+            if o_var is not None:
+                assigned.add(o_var)
+            peak = max(peak, len(rows))
+            if not rows:
+                break
+
+        full_rows = [tuple(row) for row in rows]
+        out_rows, count = self.finalize(bound, full_rows, materialize)
+        return out_rows, count, {
+            "peak_intermediate": peak,
+            "index_probes": probes,
+            "order": tuple(order),
+        }

@@ -1,0 +1,34 @@
+"""Benchmark harness (substrate #15 in DESIGN.md).
+
+Reproduces the paper's measurement protocol: each query is executed
+``runs`` times, the first (cold) run is discarded, and the mean of the
+remaining warm runs is reported; queries exceeding the timeout are
+reported as ``*`` (paper: 5 runs, average of last 4, 300 s timeout).
+"""
+
+from repro.bench.harness import BenchmarkProtocol, QueryTiming, run_query, run_suite
+from repro.bench.workloads import (
+    bench_scale,
+    bench_runs,
+    bench_timeout,
+    default_engines,
+    make_benchmark_store,
+)
+from repro.bench.table1 import Table1Row, reproduce_table1, format_table1
+from repro.bench.reporting import comparison_table
+
+__all__ = [
+    "BenchmarkProtocol",
+    "QueryTiming",
+    "run_query",
+    "run_suite",
+    "bench_scale",
+    "bench_runs",
+    "bench_timeout",
+    "default_engines",
+    "make_benchmark_store",
+    "Table1Row",
+    "reproduce_table1",
+    "format_table1",
+    "comparison_table",
+]

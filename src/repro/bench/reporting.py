@@ -1,0 +1,58 @@
+"""Report formatting helpers for benchmark output."""
+
+from __future__ import annotations
+
+from repro.bench.harness import QueryTiming
+from repro.utils.tables import TextTable
+
+
+def comparison_table(
+    results: dict[tuple[str, str], QueryTiming],
+    engines: list[str],
+    queries: list[str],
+    metric: str = "seconds",
+) -> str:
+    """Render a query × engine grid of a timing metric.
+
+    ``metric`` is ``"seconds"`` (``*`` for timeouts) or ``"count"``.
+    """
+    table = TextTable(["query", *engines], float_format="{:.3f}")
+    for query in queries:
+        cells: list[object] = [query]
+        for engine in engines:
+            timing = results.get((engine, query))
+            if timing is None:
+                cells.append("-")
+            elif metric == "seconds":
+                cells.append(timing.seconds)
+            elif metric == "count":
+                cells.append(timing.count)
+            else:
+                cells.append(timing.stats.get(metric, "-"))
+        table.add_row(cells)
+    return table.render()
+
+
+def speedup_summary(
+    results: dict[tuple[str, str], QueryTiming],
+    baseline: str,
+    target: str,
+    queries: list[str],
+) -> dict[str, float | None]:
+    """Per-query speedup of ``target`` over ``baseline`` (None when
+    either side timed out)."""
+    out: dict[str, float | None] = {}
+    for query in queries:
+        base = results.get((baseline, query))
+        tgt = results.get((target, query))
+        if (
+            base is None
+            or tgt is None
+            or base.seconds is None
+            or tgt.seconds is None
+            or tgt.seconds == 0
+        ):
+            out[query] = None
+        else:
+            out[query] = base.seconds / tgt.seconds
+    return out

@@ -1,0 +1,125 @@
+"""Reproduction of the paper's Table 1.
+
+For each of the ten mined queries (5 snowflake, 5 diamond), runs all
+five systems under the warm-cache protocol and reports, per row:
+execution time per engine (``*`` on timeout), the answer-graph size
+(|iAG| for the acyclic snowflakes; |AG| — non-ideal, node burnback
+only — for the diamonds, exactly as the paper's Wireframe
+configuration), and the embedding count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.harness import BenchmarkProtocol, run_query
+from repro.bench.workloads import (
+    ENGINE_ORDER,
+    bench_protocol,
+    benchmark_catalog,
+    default_engines,
+    make_benchmark_store,
+)
+from repro.core.engine import WireframeEngine
+from repro.datasets.paper_queries import paper_diamond_queries, paper_snowflake_queries
+from repro.graph.store import TripleStore
+from repro.query.model import ConjunctiveQuery
+from repro.utils.tables import TextTable
+
+
+@dataclass
+class Table1Row:
+    """One row of the reproduced Table 1."""
+
+    index: int
+    query: str
+    labels: str
+    shape: str  # "snowflake" | "diamond"
+    times: dict[str, float | None] = field(default_factory=dict)
+    ag_size: int | None = None
+    embeddings: int | None = None
+
+
+def _ag_metrics(
+    store: TripleStore, query: ConjunctiveQuery, catalog
+) -> tuple[int, int]:
+    """(|AG|, |embeddings|) measured with the paper's WF configuration
+    (no edge burnback, so diamond AGs are the non-ideal ones)."""
+    engine = WireframeEngine(store, catalog)
+    result = engine.evaluate_detailed(query, materialize=False)
+    return result.ag_size, result.count
+
+
+def reproduce_table1(
+    store: TripleStore | None = None,
+    engines: tuple[str, ...] = ENGINE_ORDER,
+    protocol: BenchmarkProtocol | None = None,
+    shapes: tuple[str, ...] = ("snowflake", "diamond"),
+    query_indexes: tuple[int, ...] | None = None,
+) -> list[Table1Row]:
+    """Run (a subset of) the Table-1 grid; returns one row per query.
+
+    ``query_indexes`` filters by the 1-based Table-1 row number.
+    """
+    catalog = None
+    if store is None:
+        store = make_benchmark_store()
+        catalog = benchmark_catalog()
+    if protocol is None:
+        protocol = bench_protocol()
+    engine_objects = default_engines(store, catalog, names=engines)
+    if catalog is None:
+        catalog = engine_objects[0].catalog  # type: ignore[attr-defined]
+
+    queries: list[tuple[int, str, ConjunctiveQuery]] = []
+    if "snowflake" in shapes:
+        for i, q in enumerate(paper_snowflake_queries(), start=1):
+            queries.append((i, "snowflake", q))
+    if "diamond" in shapes:
+        for i, q in enumerate(paper_diamond_queries(), start=6):
+            queries.append((i, "diamond", q))
+    if query_indexes is not None:
+        queries = [entry for entry in queries if entry[0] in query_indexes]
+
+    rows: list[Table1Row] = []
+    for index, shape, query in queries:
+        row = Table1Row(
+            index=index,
+            query=query.name or f"Q{index}",
+            labels="/".join(e.predicate for e in query.edges),
+            shape=shape,
+        )
+        for engine in engine_objects:
+            timing = run_query(engine, query, protocol)
+            row.times[engine.name] = timing.seconds
+            if timing.count is not None:
+                row.embeddings = timing.count
+        row.ag_size, ag_count = _ag_metrics(store, query, catalog)
+        if row.embeddings is None:
+            row.embeddings = ag_count
+        rows.append(row)
+    return rows
+
+
+def format_table1(rows: list[Table1Row], engines: tuple[str, ...] = ENGINE_ORDER) -> str:
+    """Render rows in the paper's Table-1 layout."""
+    sections = []
+    for shape, ag_header in (("snowflake", "|iAG|"), ("diamond", "|AG|")):
+        shape_rows = [r for r in rows if r.shape == shape]
+        if not shape_rows:
+            continue
+        table = TextTable(
+            ["#", f"{shape} query", *engines, ag_header, "|Embeddings|"]
+        )
+        for row in shape_rows:
+            table.add_row(
+                [
+                    row.index,
+                    row.labels,
+                    *[row.times.get(e) for e in engines],
+                    row.ag_size,
+                    row.embeddings,
+                ]
+            )
+        sections.append(table.render())
+    return "\n\n".join(sections)

@@ -1,0 +1,95 @@
+"""Shared benchmark configuration: dataset, engines, environment knobs.
+
+The in-repo benchmarks run on the YAGO-like stand-in at a laptop
+feasible scale. Three environment variables adjust the protocol
+without code changes::
+
+    REPRO_BENCH_SCALE    dataset scale factor   (default 2.0)
+    REPRO_BENCH_RUNS     runs per query         (default 3, 1 discarded)
+    REPRO_BENCH_TIMEOUT  per-run timeout (s)    (default 60)
+
+The dataset and catalog are built once per process and cached — the
+paper likewise imports/preprocesses the dataset offline before timing
+anything.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.baselines import (
+    ColumnarEngine,
+    HashJoinEngine,
+    IndexNestedLoopEngine,
+    NavigationalEngine,
+)
+from repro.bench.harness import BenchmarkProtocol
+from repro.core.engine import WireframeEngine
+from repro.datasets.yago_like import generate_yago_like
+from repro.engine_api import Engine
+from repro.graph.store import TripleStore
+from repro.stats.catalog import Catalog, build_catalog
+
+#: Table-1 column order for engine reports.
+ENGINE_ORDER = ("PG", "WF", "VT", "MD", "NJ")
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "2.0"))
+
+
+def bench_runs() -> int:
+    return int(os.environ.get("REPRO_BENCH_RUNS", "3"))
+
+
+def bench_timeout() -> float:
+    return float(os.environ.get("REPRO_BENCH_TIMEOUT", "60"))
+
+
+def bench_protocol() -> BenchmarkProtocol:
+    runs = bench_runs()
+    return BenchmarkProtocol(
+        runs=runs,
+        discard=1 if runs > 1 else 0,
+        timeout=bench_timeout(),
+    )
+
+
+@lru_cache(maxsize=4)
+def make_benchmark_store(scale: float | None = None, seed: int = 0) -> TripleStore:
+    """The shared YAGO-like benchmark graph (built once per process)."""
+    if scale is None:
+        scale = bench_scale()
+    return generate_yago_like(scale=scale, seed=seed)
+
+
+@lru_cache(maxsize=4)
+def benchmark_catalog(scale: float | None = None, seed: int = 0) -> Catalog:
+    if scale is None:
+        scale = bench_scale()
+    return build_catalog(make_benchmark_store(scale, seed))
+
+
+def default_engines(
+    store: TripleStore | None = None,
+    catalog: Catalog | None = None,
+    names: tuple[str, ...] = ENGINE_ORDER,
+) -> list[Engine]:
+    """The paper's five systems (stand-ins), in Table-1 column order."""
+    if store is None:
+        store = make_benchmark_store()
+        catalog = benchmark_catalog()
+    if catalog is None:
+        catalog = build_catalog(store)
+    factories = {
+        "PG": lambda: HashJoinEngine(store, catalog),
+        "WF": lambda: WireframeEngine(store, catalog),
+        "VT": lambda: IndexNestedLoopEngine(store, catalog),
+        "MD": lambda: ColumnarEngine(store, catalog),
+        "NJ": lambda: NavigationalEngine(store, catalog),
+    }
+    unknown = [n for n in names if n not in factories]
+    if unknown:
+        raise ValueError(f"unknown engine names: {unknown}")
+    return [factories[name]() for name in names]

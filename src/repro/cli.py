@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``   build the YAGO-like dataset and save it (offline prep)
+``stats``      summarize a dataset and its catalog
+``query``      evaluate a SPARQL CQ with any of the five engines
+``mine``       mine non-empty template queries from a dataset
+``table1``     regenerate the paper's Table 1
+
+Every command accepts either ``--dataset DIR`` (a directory written by
+``generate``) or ``--scale``/``--seed`` to build the graph in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.harness import BenchmarkProtocol
+from repro.bench.table1 import format_table1, reproduce_table1
+from repro.bench.workloads import ENGINE_ORDER, default_engines
+from repro.datasets.loader import load_dataset, save_dataset
+from repro.datasets.yago_like import generate_yago_like
+from repro.errors import EvaluationTimeout, ReproError
+from repro.graph.store import TripleStore
+from repro.query.miner import QueryMiner
+from repro.query.parser import parse_sparql
+from repro.query.templates import (
+    chain_template,
+    cycle_template,
+    diamond_template,
+    snowflake_template,
+    star_template,
+)
+from repro.stats.catalog import Catalog, build_catalog
+from repro.utils.deadline import Deadline
+
+_TEMPLATES = {
+    "snowflake": snowflake_template,
+    "diamond": diamond_template,
+    "chain": lambda: chain_template(3),
+    "star": lambda: star_template(3),
+    "cycle": lambda: cycle_template(4),
+}
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", help="directory written by `generate`")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="in-process YAGO-like scale (ignored with --dataset)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _load(args) -> tuple[TripleStore, Catalog]:
+    if args.dataset:
+        return load_dataset(args.dataset)
+    store = generate_yago_like(scale=args.scale, seed=args.seed)
+    return store, build_catalog(store)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wireframe answer-graph CQ evaluation "
+        "(EDBT 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="build & save the YAGO-like dataset")
+    p_gen.add_argument("out", help="output directory")
+    p_gen.add_argument("--scale", type=float, default=1.0)
+    p_gen.add_argument("--seed", type=int, default=0)
+
+    p_stats = sub.add_parser("stats", help="summarize a dataset")
+    _add_dataset_args(p_stats)
+    p_stats.add_argument("--top", type=int, default=10,
+                         help="show the N most frequent predicates")
+
+    p_query = sub.add_parser("query", help="evaluate a SPARQL CQ")
+    _add_dataset_args(p_query)
+    group = p_query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--sparql", help="query text")
+    group.add_argument("--file", help="file containing the query")
+    p_query.add_argument(
+        "--engine", choices=ENGINE_ORDER, default="WF",
+        help="which system evaluates the query (default WF)",
+    )
+    p_query.add_argument("--timeout", type=float, default=300.0)
+    p_query.add_argument("--limit", type=int, default=20,
+                         help="print at most N rows (0 = count only)")
+    p_query.add_argument("--edge-burnback", action="store_true",
+                         help="enable edge burnback (WF only)")
+    p_query.add_argument("--explain", action="store_true",
+                         help="print the Wireframe plans")
+
+    p_mine = sub.add_parser("mine", help="mine non-empty template queries")
+    _add_dataset_args(p_mine)
+    p_mine.add_argument("--template", choices=sorted(_TEMPLATES),
+                        default="snowflake")
+    p_mine.add_argument("--count", type=int, default=5)
+    p_mine.add_argument("--miner-seed", type=int, default=0)
+
+    p_t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    _add_dataset_args(p_t1)
+    p_t1.add_argument("--runs", type=int, default=3)
+    p_t1.add_argument("--timeout", type=float, default=60.0)
+    p_t1.add_argument(
+        "--engines", default=",".join(ENGINE_ORDER),
+        help="comma-separated engine subset (default all five)",
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+
+
+def _cmd_generate(args) -> int:
+    start = time.time()
+    store = generate_yago_like(scale=args.scale, seed=args.seed)
+    catalog = build_catalog(store)
+    save_dataset(store, args.out, catalog)
+    print(
+        f"wrote {store.num_triples} triples, {len(store.predicates())} "
+        f"predicates to {args.out} in {time.time() - start:.1f}s"
+    )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    store, catalog = _load(args)
+    print(f"triples:    {store.num_triples}")
+    print(f"nodes:      {store.num_nodes}")
+    print(f"predicates: {len(store.predicates())}")
+    decode = store.dictionary.decode
+    by_count = sorted(
+        ((catalog.unigram(p).count, p) for p in store.predicates()),
+        reverse=True,
+    )
+    print(f"top {args.top} predicates:")
+    for count, p in by_count[: args.top]:
+        stat = catalog.unigram(p)
+        print(
+            f"  {decode(p):32} {count:>8} edges  "
+            f"avg-out {stat.avg_out:5.2f}  avg-in {stat.avg_in:5.2f}"
+        )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    store, catalog = _load(args)
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = args.sparql
+    query = parse_sparql(text)
+
+    engine = default_engines(store, catalog, names=(args.engine,))[0]
+    if args.edge_burnback:
+        if args.engine != "WF":
+            print("--edge-burnback applies to the WF engine only",
+                  file=sys.stderr)
+            return 2
+        from repro.core.engine import WireframeEngine
+
+        engine = WireframeEngine(store, catalog, edge_burnback=True)
+
+    if args.explain and args.engine == "WF":
+        bound, ag_plan, chordification = engine.plan(query)
+        print("answer-graph plan:")
+        print(ag_plan.describe(query))
+        if not chordification.is_trivial:
+            print(f"chords: {len(chordification.chords)}, "
+                  f"triangles: {len(chordification.triangles)}")
+
+    deadline = Deadline(args.timeout)
+    start = time.perf_counter()
+    try:
+        result = engine.evaluate(
+            query, deadline=deadline, materialize=args.limit > 0
+        )
+    except EvaluationTimeout:
+        print(f"* (timed out after {args.timeout:.0f}s)")
+        return 1
+    elapsed = time.perf_counter() - start
+
+    print(f"{result.count} rows in {elapsed:.3f}s [{engine.name}]")
+    if result.stats.get("ag_size") is not None:
+        print(f"|AG| = {result.stats['ag_size']}, "
+              f"edge walks = {result.stats.get('edge_walks')}")
+    if result.rows:
+        decode = store.dictionary.decode
+        header = "\t".join(f"?{v.name}" for v in query.projection)
+        print(header)
+        for row in result.rows[: args.limit]:
+            print("\t".join(decode(v) for v in row))
+        if result.count > args.limit:
+            print(f"... ({result.count - args.limit} more)")
+    return 0
+
+
+def _cmd_mine(args) -> int:
+    store, _ = _load(args)
+    miner = QueryMiner(store, seed=args.miner_seed,
+                       forbidden_labels=["rdf:type"])
+    template = _TEMPLATES[args.template]()
+    queries = miner.mine(template, count=args.count)
+    for query in queries:
+        print(query.to_sparql())
+        print()
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    store, _ = _load(args)
+    engines = tuple(name.strip() for name in args.engines.split(",") if name)
+    protocol = BenchmarkProtocol(
+        runs=args.runs,
+        discard=1 if args.runs > 1 else 0,
+        timeout=args.timeout,
+    )
+    rows = reproduce_table1(store=store, engines=engines, protocol=protocol)
+    print(format_table1(rows, engines=engines))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "query": _cmd_query,
+    "mine": _cmd_mine,
+    "table1": _cmd_table1,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

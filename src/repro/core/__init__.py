@@ -1,0 +1,49 @@
+"""The paper's contribution: answer-graph (factorized) CQ evaluation.
+
+* :mod:`repro.core.answer_graph` — the AG data structure.
+* :mod:`repro.core.extension` — edge-extension steps (phase 1).
+* :mod:`repro.core.burnback` — cascading node burnback and the optional
+  edge burnback for cyclic queries.
+* :mod:`repro.core.triangles` — chord materialization and triangle
+  consistency.
+* :mod:`repro.core.generation` — phase-1 orchestration (with tracing).
+* :mod:`repro.core.defactorize` — phase 2: embedding generation.
+* :mod:`repro.core.ideal` — oracle reference implementations.
+* :mod:`repro.core.engine` — the end-to-end Wireframe engine.
+"""
+
+from repro.core.answer_graph import AnswerGraph, RelKey
+from repro.core.generation import GenerationStats, GenerationTrace, generate_answer_graph
+from repro.core.defactorize import count_embeddings, iter_embeddings, materialize_embeddings
+from repro.core.bushy_exec import materialize_embeddings_bushy
+from repro.core.factorized import (
+    count_embeddings_factorized,
+    sample_embedding,
+    variable_marginals,
+)
+from repro.core.ideal import (
+    enumerate_embeddings_bruteforce,
+    has_any_embedding,
+    ideal_answer_graph,
+)
+from repro.core.engine import WireframeEngine, WireframeResult
+
+__all__ = [
+    "AnswerGraph",
+    "RelKey",
+    "GenerationStats",
+    "GenerationTrace",
+    "generate_answer_graph",
+    "iter_embeddings",
+    "materialize_embeddings",
+    "count_embeddings",
+    "materialize_embeddings_bushy",
+    "count_embeddings_factorized",
+    "variable_marginals",
+    "sample_embedding",
+    "enumerate_embeddings_bruteforce",
+    "has_any_embedding",
+    "ideal_answer_graph",
+    "WireframeEngine",
+    "WireframeResult",
+]

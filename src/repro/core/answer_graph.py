@@ -1,0 +1,205 @@
+"""The answer-graph data structure.
+
+An answer graph (AG) for a CQ is "a subset of the data graph G that
+suffices to compute the embeddings for the CQ" (§2), factorized per
+query edge: for every query edge the AG holds the set of data-graph
+(subject, object) pairs that may participate in an embedding, plus the
+per-variable candidate node sets.
+
+Representation
+--------------
+Each materialized *relation* — a real query edge or a chord added by
+the Triangulator — is stored twice, as forward and backward adjacency::
+
+    src[rel][s] = {o, ...}      dst[rel][o] = {s, ...}
+
+which gives O(1) access from either endpoint during extension,
+defactorization, and burnback. Per-variable node sets are maintained as
+the invariant
+
+    node_sets[v] = { n | n appears at v's position in EVERY
+                         materialized relation incident to v }
+
+which is exactly the state node burnback restores after each step.
+
+``RelKey`` distinguishes real edges ``("e", edge_index)`` from chords
+``("c", chord_index)``; only real edges count toward :attr:`size` (the
+|AG| / |iAG| columns of Table 1 count labeled node pairs of the data
+graph).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import EvaluationError
+from repro.query.algebra import BoundQuery
+
+RelKey = tuple[str, int]  # ("e", edge index) | ("c", chord index)
+
+
+class AnswerGraph:
+    """Mutable answer-graph state for one bound query."""
+
+    __slots__ = (
+        "bound",
+        "src",
+        "dst",
+        "node_sets",
+        "var_positions",
+        "rel_vars",
+        "materialized_order",
+        "empty",
+    )
+
+    def __init__(self, bound: BoundQuery):
+        self.bound = bound
+        self.src: dict[RelKey, dict[int, set[int]]] = {}
+        self.dst: dict[RelKey, dict[int, set[int]]] = {}
+        #: var -> set of candidate nodes (absent = unconstrained so far)
+        self.node_sets: dict[int, set[int]] = {}
+        #: var -> [(rel, "s"|"o"), ...] over materialized relations
+        self.var_positions: dict[int, list[tuple[RelKey, str]]] = {}
+        #: rel -> (s_var | None, o_var | None)
+        self.rel_vars: dict[RelKey, tuple[int | None, int | None]] = {}
+        self.materialized_order: list[RelKey] = []
+        #: set as soon as any relation materializes empty — the query
+        #: provably has no embeddings and evaluation short-circuits.
+        self.empty = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register_relation(
+        self,
+        rel: RelKey,
+        s_var: int | None,
+        o_var: int | None,
+        pairs: Iterator[tuple[int, int]] | set[tuple[int, int]],
+    ) -> None:
+        """Materialize ``rel`` with ``pairs`` and index both directions.
+
+        Does *not* run burnback — callers (the generation driver)
+        intersect node sets and cascade afterwards, because removal
+        bookkeeping depends on which endpoints were already constrained.
+        """
+        if rel in self.src:
+            raise EvaluationError(f"relation {rel} is already materialized")
+        fwd: dict[int, set[int]] = {}
+        bwd: dict[int, set[int]] = {}
+        for s, o in pairs:
+            fwd.setdefault(s, set()).add(o)
+            bwd.setdefault(o, set()).add(s)
+        self.src[rel] = fwd
+        self.dst[rel] = bwd
+        self.rel_vars[rel] = (s_var, o_var)
+        self.materialized_order.append(rel)
+        if s_var is not None:
+            self.var_positions.setdefault(s_var, []).append((rel, "s"))
+        if o_var is not None and not (s_var == o_var):
+            self.var_positions.setdefault(o_var, []).append((rel, "o"))
+        elif o_var is not None and s_var == o_var:
+            # Self-loop relation: one traversal of the positions list
+            # must see both roles.
+            self.var_positions.setdefault(o_var, []).append((rel, "o"))
+        if not fwd:
+            self.empty = True
+
+    def drop_relation(self, rel: RelKey) -> None:
+        """Remove a materialized relation (used to discard chords after
+        generation so phase 2 sees only real query edges)."""
+        if rel not in self.src:
+            return
+        del self.src[rel]
+        del self.dst[rel]
+        s_var, o_var = self.rel_vars.pop(rel)
+        for var in {v for v in (s_var, o_var) if v is not None}:
+            self.var_positions[var] = [
+                entry for entry in self.var_positions[var] if entry[0] != rel
+            ]
+        self.materialized_order.remove(rel)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def pairs(self, rel: RelKey) -> Iterator[tuple[int, int]]:
+        """Iterate the (s, o) pairs of a materialized relation."""
+        for s, objs in self.src.get(rel, {}).items():
+            for o in objs:
+                yield (s, o)
+
+    def pair_set(self, rel: RelKey) -> set[tuple[int, int]]:
+        """The (s, o) pairs of ``rel`` as a fresh set."""
+        return set(self.pairs(rel))
+
+    def relation_size(self, rel: RelKey) -> int:
+        """Number of pairs currently in ``rel`` (0 if unmaterialized)."""
+        return sum(len(objs) for objs in self.src.get(rel, {}).values())
+
+    def edge_pairs(self, edge_index: int) -> set[tuple[int, int]]:
+        """The AG pairs of real query edge ``edge_index``."""
+        return self.pair_set(("e", edge_index))
+
+    @property
+    def size(self) -> int:
+        """|AG|: total labeled node pairs over *real* query edges.
+
+        This is the quantity the paper reports in Table 1's |iAG| /
+        |AG| columns.
+        """
+        return sum(
+            self.relation_size(rel)
+            for rel in self.src
+            if rel[0] == "e"
+        )
+
+    def node_set(self, var: int) -> set[int]:
+        """Candidate nodes for variable ``var`` (empty if burned out;
+        raises if the variable was never constrained)."""
+        try:
+            return self.node_sets[var]
+        except KeyError:
+            raise EvaluationError(
+                f"variable {var} has not been constrained by any "
+                "materialized relation yet"
+            ) from None
+
+    def is_materialized(self, rel: RelKey) -> bool:
+        """Whether ``rel`` has been registered in this AG."""
+        return rel in self.src
+
+    def relation_statistics(self) -> tuple[dict[int, int], dict[tuple[int, str], int]]:
+        """(sizes, per-side distinct node counts) over real edges.
+
+        This is "the available statistics from the answer graph phase"
+        (§5) that the greedy embedding planner consumes.
+        """
+        sizes: dict[int, int] = {}
+        node_counts: dict[tuple[int, str], int] = {}
+        for rel in self.src:
+            kind, idx = rel
+            if kind != "e":
+                continue
+            sizes[idx] = self.relation_size(rel)
+            node_counts[(idx, "s")] = len(self.src[rel])
+            node_counts[(idx, "o")] = len(self.dst[rel])
+        return sizes, node_counts
+
+    def snapshot(self) -> dict:
+        """Deep-ish copy of the visible state (for tracing/tests)."""
+        return {
+            "pairs": {
+                rel: self.pair_set(rel) for rel in self.materialized_order
+            },
+            "node_sets": {v: set(ns) for v, ns in self.node_sets.items()},
+            "empty": self.empty,
+        }
+
+    def __repr__(self) -> str:
+        rels = ", ".join(
+            f"{rel[0]}{rel[1]}:{self.relation_size(rel)}"
+            for rel in self.materialized_order
+        )
+        return f"AnswerGraph(size={self.size}, rels=[{rels}])"

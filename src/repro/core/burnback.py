@@ -1,0 +1,210 @@
+"""Node burnback and edge burnback.
+
+**Node burnback** (§3): after an edge-extension step, "nodes in the AG
+that failed to extend are removed. This 'node burnback' cascades."
+Implemented as a worklist fixpoint over (variable, node) removals:
+deleting node ``n`` from variable ``v`` deletes every AG pair incident
+to ``n`` at ``v``'s position in every materialized relation touching
+``v``; any partner node left without pairs in that relation loses its
+membership in the opposite variable's node set, which enqueues further
+removals.
+
+**Edge burnback** (§4.I, the paper's work-in-progress extension,
+implemented here): with the query triangulated, every triangle's sides
+must be pairwise *triple-consistent* — a pair (x, y) of one side
+survives only if some node z completes it to a materialized triangle
+through the other two sides. Enforcing this to fixpoint removes the
+spurious edges that node burnback alone cannot see in cyclic queries
+(Fig. 4); for treewidth-2 queries (e.g. the paper's diamonds) the
+result is the ideal answer graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.core.answer_graph import AnswerGraph, RelKey
+from repro.planner.plan import Triangle, TriangleSide
+from repro.utils.deadline import Deadline
+
+
+def node_burnback(
+    ag: AnswerGraph,
+    removals: Iterable[tuple[int, int]],
+    deadline: Deadline,
+) -> int:
+    """Cascade (variable, node) removals to fixpoint.
+
+    ``removals`` seeds the worklist: nodes already deleted from their
+    variable's node set whose incident AG pairs must now be chased.
+    Returns the total number of (variable, node) removals processed.
+    """
+    queue: deque[tuple[int, int]] = deque(removals)
+    burned = 0
+    node_sets = ag.node_sets
+    while queue:
+        deadline.check()
+        var, node = queue.popleft()
+        burned += 1
+        for rel, pos in ag.var_positions.get(var, ()):
+            if pos == "s":
+                index, other_index = ag.src[rel], ag.dst[rel]
+            else:
+                index, other_index = ag.dst[rel], ag.src[rel]
+            partners = index.pop(node, None)
+            if partners is None:
+                continue
+            s_var, o_var = ag.rel_vars[rel]
+            other_var = o_var if pos == "s" else s_var
+            for partner in partners:
+                opposite = other_index.get(partner)
+                if opposite is None:
+                    continue
+                opposite.discard(node)
+                if opposite:
+                    continue
+                del other_index[partner]
+                if other_var is None:
+                    continue
+                candidates = node_sets.get(other_var)
+                if candidates is not None and partner in candidates:
+                    candidates.discard(partner)
+                    queue.append((other_var, partner))
+            if not ag.src[rel]:
+                ag.empty = True
+    return burned
+
+
+def intersect_node_set(
+    ag: AnswerGraph, var: int, new_nodes: set[int]
+) -> list[tuple[int, int]]:
+    """Constrain ``var``'s node set to ``new_nodes``; return removals.
+
+    The first relation to touch a variable installs its node set
+    outright (no cascade possible — nothing else references those
+    nodes yet). Later relations intersect, and every node that drops
+    out must be cascaded by :func:`node_burnback`.
+    """
+    current = ag.node_sets.get(var)
+    if current is None:
+        ag.node_sets[var] = set(new_nodes)
+        return []
+    removed = [(var, node) for node in current - new_nodes]
+    if removed:
+        current &= new_nodes
+    return removed
+
+
+# ----------------------------------------------------------------------
+# Edge burnback
+# ----------------------------------------------------------------------
+
+
+def _rel_of(side: TriangleSide) -> RelKey:
+    return (side.ref.kind[0], side.ref.index)  # "edge"->"e", "chord"->"c"
+
+
+def _adj_from(ag: AnswerGraph, side: TriangleSide, var: int) -> dict[int, set[int]]:
+    """Adjacency of ``side`` keyed by its endpoint variable ``var``."""
+    rel = _rel_of(side)
+    if side.a == var:
+        return ag.src[rel]
+    if side.b == var:
+        return ag.dst[rel]
+    raise ValueError(f"variable {var} is not an endpoint of side {side}")
+
+
+def _prune_side(
+    ag: AnswerGraph, triangle: Triangle, side: TriangleSide, deadline: Deadline
+) -> tuple[int, list[tuple[int, int]]]:
+    """Remove pairs of ``side`` that no node z completes to a triangle.
+
+    ``side`` spans variables (x, y); the triangle's other two sides
+    connect x—z and y—z. A pair (s, o) of ``side`` survives iff the
+    z-partners of s (through the x—z side) intersect the z-partners of
+    o (through the y—z side).
+
+    Returns (pairs removed, node removals to cascade).
+    """
+    other1, other2 = triangle.sides_excluding(side.ref)
+    x, y = side.a, side.b
+    side_x = other1 if x in (other1.a, other1.b) else other2
+    side_y = other2 if side_x is other1 else other1
+    from_x = _adj_from(ag, side_x, x)
+    from_y = _adj_from(ag, side_y, y)
+
+    rel = _rel_of(side)
+    fwd, bwd = ag.src[rel], ag.dst[rel]
+    doomed: list[tuple[int, int]] = []
+    for s, objs in fwd.items():
+        mids_s = from_x.get(s)
+        if not mids_s:
+            doomed.extend((s, o) for o in objs)
+            continue
+        for o in objs:
+            deadline.check()
+            mids_o = from_y.get(o)
+            if not mids_o or mids_s.isdisjoint(mids_o):
+                doomed.append((s, o))
+
+    if not doomed:
+        return 0, []
+    removals: list[tuple[int, int]] = []
+    s_var, o_var = ag.rel_vars[rel]
+    node_sets = ag.node_sets
+    for s, o in doomed:
+        objs = fwd.get(s)
+        if objs is not None:
+            objs.discard(o)
+            if not objs:
+                del fwd[s]
+                if s_var is not None and s in node_sets.get(s_var, ()):
+                    node_sets[s_var].discard(s)
+                    removals.append((s_var, s))
+        subs = bwd.get(o)
+        if subs is not None:
+            subs.discard(s)
+            if not subs:
+                del bwd[o]
+                if o_var is not None and o in node_sets.get(o_var, ()):
+                    node_sets[o_var].discard(o)
+                    removals.append((o_var, o))
+    if not fwd:
+        ag.empty = True
+    return len(doomed), removals
+
+
+def edge_burnback(
+    ag: AnswerGraph,
+    triangles: Iterable[Triangle],
+    deadline: Deadline,
+) -> tuple[int, int]:
+    """Enforce triangle consistency on every side, to fixpoint.
+
+    Interleaves with node burnback: nodes stripped of their last pair
+    cascade as usual ("checking the chords' materializations to chase
+    what needs to be removed on cascade", §4.I). All relations shrink
+    monotonically, so the fixpoint terminates.
+
+    Returns (rounds executed, total pairs removed).
+    """
+    triangle_list = list(triangles)
+    rounds = 0
+    total_removed = 0
+    changed = True
+    while changed:
+        deadline.check_now()
+        changed = False
+        rounds += 1
+        for triangle in triangle_list:
+            for side in triangle.sides:
+                if _rel_of(side) not in ag.src:
+                    continue
+                removed, removals = _prune_side(ag, triangle, side, deadline)
+                if removed:
+                    total_removed += removed
+                    changed = True
+                if removals:
+                    node_burnback(ag, removals, deadline)
+    return rounds, total_removed

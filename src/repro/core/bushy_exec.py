@@ -1,0 +1,186 @@
+"""Bushy-plan execution for defactorization (§6 extension).
+
+Executes a :class:`~repro.planner.bushy.BushyPlan` over an answer
+graph: every leaf materializes its AG edge relation, every inner node
+hash-joins its children on their shared variables. Unlike the
+tuple-at-a-time left-deep enumerator in
+:mod:`repro.core.defactorize`, sub-trees are materialized — that is the
+point of bushy plans: independent branches are reduced *before* being
+combined, so a selective branch can shrink the other side's work.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.core.answer_graph import AnswerGraph
+from repro.errors import PlanError
+from repro.planner.bushy import BushyJoin, BushyLeaf, BushyNode, BushyPlan
+from repro.utils.deadline import Deadline
+
+
+class _Relation(NamedTuple):
+    """A materialized intermediate: rows + the variable each slot holds."""
+
+    vars: tuple[int, ...]
+    rows: list[tuple[int, ...]]
+
+
+def _leaf_relation(ag: AnswerGraph, eid: int, deadline: Deadline) -> _Relation:
+    bound = ag.bound
+    edge = bound.edges[eid]
+    rel = ("e", eid)
+    if rel not in ag.src:
+        raise PlanError(f"edge {eid} was never materialized in the AG")
+    fwd = ag.src[rel]
+    s_var, o_var = edge.s_var, edge.o_var
+    rows: list[tuple[int, ...]] = []
+    if s_var is not None and s_var == o_var:
+        for s in fwd:  # self-loop pairs are (n, n)
+            deadline.check()
+            rows.append((s,))
+        return _Relation((s_var,), rows)
+    if s_var is not None and o_var is not None:
+        for s, objs in fwd.items():
+            for o in objs:
+                deadline.check()
+                rows.append((s, o))
+        return _Relation((s_var, o_var), rows)
+    if s_var is not None:
+        for s, objs in fwd.items():
+            deadline.check()
+            if objs:
+                rows.append((s,))
+        return _Relation((s_var,), rows)
+    if o_var is not None:
+        seen = set()
+        for objs in fwd.values():
+            for o in objs:
+                deadline.check()
+                seen.add(o)
+        return _Relation((o_var,), [(o,) for o in seen])
+    # Fully ground edge: zero columns, one row if non-empty.
+    return _Relation((), [()] if fwd else [])
+
+
+def _hash_join(
+    left: _Relation,
+    right: _Relation,
+    deadline: Deadline,
+    allow_cross: bool = False,
+) -> _Relation:
+    shared = [v for v in left.vars if v in right.vars]
+    if not shared and left.vars and right.vars and not allow_cross:
+        raise PlanError(
+            "bushy join of relations with no shared variables "
+            f"({left.vars} vs {right.vars}); the planner must not emit "
+            "cross products"
+        )
+    left_idx = [left.vars.index(v) for v in shared]
+    right_idx = [right.vars.index(v) for v in shared]
+    right_extra = [i for i, v in enumerate(right.vars) if v not in shared]
+
+    # Build on the smaller side.
+    if len(left.rows) > len(right.rows):
+        swapped = _hash_join(right, left, deadline, allow_cross)
+        # Column order differs after the swap; normalize back.
+        want = left.vars + tuple(v for v in right.vars if v not in shared)
+        perm = [swapped.vars.index(v) for v in want]
+        return _Relation(
+            want, [tuple(row[i] for i in perm) for row in swapped.rows]
+        )
+
+    table: dict = {}
+    for row in left.rows:
+        deadline.check()
+        key = tuple(row[i] for i in left_idx)
+        table.setdefault(key, []).append(row)
+
+    out_vars = left.vars + tuple(right.vars[i] for i in right_extra)
+    out_rows: list[tuple[int, ...]] = []
+    for row in right.rows:
+        deadline.check()
+        key = tuple(row[i] for i in right_idx)
+        matches = table.get(key)
+        if not matches:
+            continue
+        extra = tuple(row[i] for i in right_extra)
+        for lrow in matches:
+            out_rows.append(lrow + extra)
+    return _Relation(out_vars, out_rows)
+
+
+def _tokens_of(ag: AnswerGraph, node: BushyNode) -> frozenset:
+    out: frozenset = frozenset()
+    for eid in node.edges():
+        out |= ag.bound.edges[eid].term_tokens()
+    return out
+
+
+def _execute(ag: AnswerGraph, node: BushyNode, deadline: Deadline) -> _Relation:
+    if isinstance(node, BushyLeaf):
+        return _leaf_relation(ag, node.edge, deadline)
+    assert isinstance(node, BushyJoin)
+    left = _execute(ag, node.left, deadline)
+    right = _execute(ag, node.right, deadline)
+    # Sides joined only through a shared *constant* carry no common
+    # variable; their (constant-filtered) combination is legitimate.
+    tokens_shared = bool(_tokens_of(ag, node.left) & _tokens_of(ag, node.right))
+    if not tokens_shared:
+        raise PlanError(
+            "bushy join of unconnected sub-trees "
+            f"({node.left.describe()} vs {node.right.describe()})"
+        )
+    return _hash_join(left, right, deadline, allow_cross=True)
+
+
+def materialize_embeddings_bushy(
+    ag: AnswerGraph,
+    plan: BushyPlan,
+    deadline: Deadline | None = None,
+) -> list[tuple[int, ...]]:
+    """All projected result rows via the bushy join tree.
+
+    Covers the same semantics as
+    :func:`repro.core.defactorize.materialize_embeddings` (projection +
+    DISTINCT) and must return the identical multiset — property-tested
+    against the left-deep enumerator.
+    """
+    bound = ag.bound
+    if deadline is None:
+        deadline = Deadline.unlimited()
+    if ag.empty:
+        return []
+    covered = set(plan.root.edges())
+    if covered != set(range(len(bound.edges))):
+        raise PlanError(
+            f"bushy plan covers edges {sorted(covered)}, query has "
+            f"{len(bound.edges)}"
+        )
+
+    relation = _execute(ag, plan.root, deadline)
+
+    # Edges whose variables are all constants contribute no columns; a
+    # query whose every variable appears somewhere is guaranteed to
+    # surface each variable in the final relation because joins keep all
+    # columns.
+    slot_of = {v: i for i, v in enumerate(relation.vars)}
+    missing = [v for v in range(bound.num_vars) if v not in slot_of]
+    if missing:
+        raise PlanError(
+            f"bushy execution lost variables {missing}; plan is invalid"
+        )
+
+    projection = bound.projection
+    full = projection == tuple(range(bound.num_vars))
+    perm = [slot_of[v] for v in (range(bound.num_vars) if full else projection)]
+    rows = [tuple(row[i] for i in perm) for row in relation.rows]
+    if bound.distinct and not full:
+        seen: set[tuple[int, ...]] = set()
+        deduped = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                deduped.append(row)
+        rows = deduped
+    return rows

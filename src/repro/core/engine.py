@@ -1,0 +1,240 @@
+"""The Wireframe engine: two-phase, cost-based CQ evaluation.
+
+Wires together the whole pipeline of the paper's Fig. 3:
+
+1. **Plan** — the Edgifier picks the left-deep edge order from catalog
+   statistics; for cyclic queries the Triangulator chordifies the
+   cycles.
+2. **Answer-graph generation** — interleaved edge extension and node
+   burnback (plus chord materialization and, optionally, edge
+   burnback).
+3. **Embedding plan** — greedy (the prototype's default, §5) or DP join
+   order from the *actual* AG statistics.
+4. **Defactorization** — embeddings are joined from the AG.
+
+The engine implements the common :class:`~repro.engine_api.Engine`
+interface so the benchmark harness can race it against the baseline
+stand-ins, and additionally exposes :meth:`evaluate_detailed` returning
+the full :class:`WireframeResult` (plans, AG, phase timings, walks).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.answer_graph import AnswerGraph
+from repro.core.bushy_exec import materialize_embeddings_bushy
+from repro.core.defactorize import count_embeddings, materialize_embeddings
+from repro.core.generation import (
+    GenerationStats,
+    GenerationTrace,
+    generate_answer_graph,
+)
+from repro.engine_api import Engine, EngineResult
+from repro.errors import QueryError
+from repro.graph.store import TripleStore
+from repro.planner.bushy import BushyPlan, bushy_embedding_plan
+from repro.planner.edgifier import Edgifier
+from repro.planner.embedding_planner import dp_embedding_plan, greedy_embedding_plan
+from repro.planner.plan import AGPlan, Chordification, EmbeddingPlan
+from repro.planner.triangulator import Triangulator
+from repro.query.algebra import BoundQuery, bind_query
+from repro.query.model import ConjunctiveQuery
+from repro.query.shapes import is_acyclic
+from repro.stats.catalog import Catalog, build_catalog
+from repro.stats.estimator import CardinalityEstimator
+from repro.utils.deadline import Deadline
+
+
+@dataclass
+class WireframeResult:
+    """Everything one Wireframe evaluation produced."""
+
+    rows: list[tuple] | None
+    count: int
+    ag_size: int  # |AG| over real edges after phase 1 (Table 1's column)
+    answer_graph: AnswerGraph
+    ag_plan: AGPlan
+    chordification: Chordification
+    embedding_plan: EmbeddingPlan
+    bushy_plan: "BushyPlan | None"
+    generation_stats: GenerationStats
+    phase1_seconds: float
+    phase2_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.phase1_seconds + self.phase2_seconds
+
+
+class WireframeEngine(Engine):
+    """Answer-graph evaluation of conjunctive queries over one store.
+
+    Parameters
+    ----------
+    store:
+        The (ideally frozen) data graph.
+    catalog:
+        Offline statistics; computed from the store when omitted.
+    edge_burnback:
+        Enable triangle-consistency edge burnback for cyclic queries.
+        Off by default, matching the paper's experimental setup ("our
+        evaluation over cyclic CQs is without edge burnback", §4).
+    use_chords:
+        Materialize Triangulator chords for cyclic queries (keeps node
+        sets minimal, §4.I). Required for edge burnback.
+    embedding_planner:
+        ``"greedy"`` (the prototype's phase-2 default), ``"dp"``
+        (optimal left-deep), or ``"bushy"`` (the §6 extension: DP over
+        the full bushy join-tree space, executed with materialized
+        sub-trees).
+    """
+
+    name = "WF"
+
+    def __init__(
+        self,
+        store: TripleStore,
+        catalog: Catalog | None = None,
+        edge_burnback: bool = False,
+        use_chords: bool = True,
+        embedding_planner: str = "greedy",
+        exhaustive_limit: int = 16,
+    ):
+        if embedding_planner not in ("greedy", "dp", "bushy"):
+            raise QueryError(
+                f"unknown embedding planner {embedding_planner!r}; "
+                "expected 'greedy', 'dp', or 'bushy'"
+            )
+        if edge_burnback and not use_chords:
+            raise QueryError("edge burnback requires chord materialization")
+        self.store = store
+        self.catalog = catalog if catalog is not None else build_catalog(store)
+        self.estimator = CardinalityEstimator(self.catalog)
+        self.edgifier = Edgifier(self.estimator, exhaustive_limit=exhaustive_limit)
+        self.triangulator = Triangulator(self.estimator)
+        self.edge_burnback = edge_burnback
+        self.use_chords = use_chords
+        self.embedding_planner = embedding_planner
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def plan(
+        self, query: ConjunctiveQuery
+    ) -> tuple[BoundQuery, AGPlan, Chordification]:
+        """Bind and plan ``query`` without evaluating it."""
+        query.validate()
+        bound = bind_query(query, self.store)
+        ag_plan = self.edgifier.plan(bound)
+        if self.use_chords and not is_acyclic(query):
+            chordification = self.triangulator.plan(bound)
+        else:
+            chordification = Chordification((), (), (), 0.0)
+        return bound, ag_plan, chordification
+
+    def _embedding_plan(
+        self, bound: BoundQuery, ag: AnswerGraph
+    ) -> EmbeddingPlan:
+        sizes, node_counts = ag.relation_statistics()
+        if self.embedding_planner == "dp":
+            return dp_embedding_plan(bound, sizes, node_counts)
+        return greedy_embedding_plan(bound, sizes, node_counts)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate_detailed(
+        self,
+        query: ConjunctiveQuery,
+        deadline: Deadline | None = None,
+        materialize: bool = True,
+        trace: GenerationTrace | None = None,
+    ) -> WireframeResult:
+        """Full two-phase evaluation with all artifacts exposed."""
+        if deadline is None:
+            deadline = Deadline.unlimited()
+        bound, ag_plan, chordification = self.plan(query)
+
+        t0 = time.perf_counter()
+        ag, gen_stats = generate_answer_graph(
+            bound,
+            ag_plan,
+            chordification=chordification,
+            deadline=deadline,
+            edge_burnback_enabled=self.edge_burnback,
+            trace=trace,
+        )
+        t1 = time.perf_counter()
+
+        bushy_plan: BushyPlan | None = None
+        if ag.empty:
+            embedding_plan = EmbeddingPlan(tuple(range(len(bound.edges))), 0.0)
+            rows: list[tuple] | None = [] if materialize else None
+            count = 0
+        elif self.embedding_planner == "bushy":
+            sizes, node_counts = ag.relation_statistics()
+            bushy_plan = bushy_embedding_plan(bound, sizes, node_counts)
+            # Informational left-deep rendering of the tree's leaves.
+            embedding_plan = EmbeddingPlan(
+                bushy_plan.root.edges(), bushy_plan.estimated_cost
+            )
+            all_rows = materialize_embeddings_bushy(
+                ag, bushy_plan, deadline=deadline
+            )
+            count = len(all_rows)
+            rows = all_rows if materialize else None
+        else:
+            embedding_plan = self._embedding_plan(bound, ag)
+            if materialize:
+                rows = materialize_embeddings(
+                    ag, embedding_plan.order, deadline=deadline
+                )
+                count = len(rows)
+            else:
+                rows = None
+                count = count_embeddings(ag, embedding_plan.order, deadline=deadline)
+        t2 = time.perf_counter()
+
+        return WireframeResult(
+            rows=rows,
+            count=count,
+            ag_size=ag.size,
+            answer_graph=ag,
+            ag_plan=ag_plan,
+            chordification=chordification,
+            embedding_plan=embedding_plan,
+            bushy_plan=bushy_plan,
+            generation_stats=gen_stats,
+            phase1_seconds=t1 - t0,
+            phase2_seconds=t2 - t1,
+        )
+
+    def evaluate(
+        self,
+        query: ConjunctiveQuery,
+        deadline: Deadline | None = None,
+        materialize: bool = True,
+    ) -> EngineResult:
+        """Uniform-interface evaluation (see :class:`Engine`)."""
+        result = self.evaluate_detailed(query, deadline, materialize)
+        return EngineResult(
+            engine=self.name,
+            count=result.count,
+            rows=result.rows,
+            stats={
+                "ag_size": result.ag_size,
+                "edge_walks": result.generation_stats.edge_walks,
+                "phase1_seconds": result.phase1_seconds,
+                "phase2_seconds": result.phase2_seconds,
+                "ag_plan": result.ag_plan.order,
+                "embedding_plan": result.embedding_plan.order,
+                "chords": len(result.chordification.chords),
+                "spurious_pairs_removed": (
+                    result.generation_stats.spurious_pairs_removed
+                ),
+            },
+        )

@@ -1,0 +1,120 @@
+"""The edge-extension step of answer-graph generation.
+
+"For each query edge of the plan, in turn, our answer graph (AG) is
+populated with the matching labeled edges from G that meet the join
+constraints with the current state of the AG." — §3
+
+Each extension retrieves candidate data edges through the store's
+predicate-first indexes, restricted to the current AG node sets of any
+already-constrained endpoint. The number of data edges *retrieved*
+(before any far-endpoint filtering) is the step's **edge-walk** count —
+the unit the cost model estimates.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.core.answer_graph import AnswerGraph
+from repro.graph.store import TripleStore
+from repro.query.algebra import BoundEdge
+from repro.utils.deadline import Deadline
+
+
+class ExtensionResult(NamedTuple):
+    """Outcome of one edge-extension step."""
+
+    pairs: set[tuple[int, int]]
+    edge_walks: int
+
+
+def extend_edge(
+    ag: AnswerGraph,
+    store: TripleStore,
+    edge: BoundEdge,
+    deadline: Deadline,
+) -> ExtensionResult:
+    """Matching data-edge pairs for ``edge`` under the current AG state.
+
+    Does not mutate ``ag``; the generation driver registers the pairs
+    and runs burnback. An unsatisfiable edge (unknown predicate or
+    constant) yields no pairs.
+    """
+    if not edge.satisfiable:
+        return ExtensionResult(set(), 0)
+    p = edge.p
+    assert p is not None
+
+    s_candidates = _endpoint_candidates(ag, edge.s_var, edge.s_const)
+    o_candidates = _endpoint_candidates(ag, edge.o_var, edge.o_const)
+    self_join = edge.s_var is not None and edge.s_var == edge.o_var
+
+    pairs: set[tuple[int, int]] = set()
+    walks = 0
+
+    if s_candidates is None and o_candidates is None:
+        for s, o in store.edges(p):
+            deadline.check()
+            walks += 1
+            if self_join and s != o:
+                continue
+            pairs.add((s, o))
+        return ExtensionResult(pairs, walks)
+
+    if s_candidates is not None and o_candidates is None:
+        for s in s_candidates:
+            for o in store.successors(p, s):
+                deadline.check()
+                walks += 1
+                if self_join and s != o:
+                    continue
+                pairs.add((s, o))
+        return ExtensionResult(pairs, walks)
+
+    if o_candidates is not None and s_candidates is None:
+        for o in o_candidates:
+            for s in store.predecessors(p, o):
+                deadline.check()
+                walks += 1
+                if self_join and s != o:
+                    continue
+                pairs.add((s, o))
+        return ExtensionResult(pairs, walks)
+
+    # Both endpoints constrained: walk from the smaller candidate set
+    # and filter on the other.
+    assert s_candidates is not None and o_candidates is not None
+    o_lookup = o_candidates if isinstance(o_candidates, set) else set(o_candidates)
+    s_lookup = s_candidates if isinstance(s_candidates, set) else set(s_candidates)
+    if len(s_lookup) <= len(o_lookup):
+        for s in s_lookup:
+            for o in store.successors(p, s):
+                deadline.check()
+                walks += 1
+                if o not in o_lookup:
+                    continue
+                if self_join and s != o:
+                    continue
+                pairs.add((s, o))
+    else:
+        for o in o_lookup:
+            for s in store.predecessors(p, o):
+                deadline.check()
+                walks += 1
+                if s not in s_lookup:
+                    continue
+                if self_join and s != o:
+                    continue
+                pairs.add((s, o))
+    return ExtensionResult(pairs, walks)
+
+
+def _endpoint_candidates(
+    ag: AnswerGraph, var: int | None, const: int | None
+) -> set[int] | None:
+    """The node set constraining this endpoint, or ``None`` if free."""
+    if const is not None:
+        return {const}
+    if var is not None:
+        return ag.node_sets.get(var)
+    return None

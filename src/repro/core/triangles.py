@@ -1,0 +1,120 @@
+"""Chord materialization for triangulated cyclic queries.
+
+"During evaluation, a chord is maintained as the intersection of the
+materialized joins of the opposite two edges for each triangle in which
+it participates." — §4.I
+
+Chords are materialized in the Triangulator's bottom-up order
+(innermost triangles first), so when a chord is built, the other two
+sides of at least one of its triangles — real query edges or
+previously-built chords — are already materialized. If the chord
+participates in further triangles whose sides are also ready, the
+materialization is intersected with those joins as well; any remaining
+triangles are enforced later by edge burnback.
+"""
+
+from __future__ import annotations
+
+from repro.core.answer_graph import AnswerGraph, RelKey
+from repro.core.burnback import intersect_node_set, node_burnback
+from repro.errors import EvaluationError
+from repro.planner.plan import Chordification, Triangle, TriangleSide
+from repro.utils.deadline import Deadline
+
+
+def _rel_of(side: TriangleSide) -> RelKey:
+    return (side.ref.kind[0], side.ref.index)
+
+
+def _adjacency_from(ag: AnswerGraph, side: TriangleSide, var: int):
+    rel = _rel_of(side)
+    if side.a == var:
+        return ag.src[rel]
+    if side.b == var:
+        return ag.dst[rel]
+    raise EvaluationError(f"variable {var} is not an endpoint of {side}")
+
+
+def join_triangle_sides(
+    ag: AnswerGraph,
+    triangle: Triangle,
+    u: int,
+    v: int,
+    deadline: Deadline,
+) -> set[tuple[int, int]]:
+    """Join the two triangle sides opposite the (u, v) chord.
+
+    Returns the composed pairs u→v: all (x, y) such that some node z
+    of the triangle's third variable links x—z and z—y through the two
+    materialized sides.
+    """
+    z = next(var for var in triangle.vars if var not in (u, v))
+    sides = [s for s in triangle.sides if {s.a, s.b} != {u, v}]
+    if len(sides) != 2:
+        raise EvaluationError(f"triangle {triangle} lacks sides opposite ({u},{v})")
+    side_u = sides[0] if u in (sides[0].a, sides[0].b) else sides[1]
+    side_v = sides[1] if side_u is sides[0] else sides[0]
+    from_u = _adjacency_from(ag, side_u, u)  # u -> {z}
+    from_z = _adjacency_from(ag, side_v, z)  # z -> {v}
+    pairs: set[tuple[int, int]] = set()
+    for x, zs in from_u.items():
+        for mid in zs:
+            targets = from_z.get(mid)
+            if not targets:
+                continue
+            for y in targets:
+                deadline.check()
+                pairs.add((x, y))
+    return pairs
+
+
+def materialize_chords(
+    ag: AnswerGraph,
+    chordification: Chordification,
+    deadline: Deadline,
+) -> int:
+    """Materialize every chord in plan order; returns total chord pairs.
+
+    Each chord's relation is the intersection of the joins of all its
+    triangles whose other two sides are already materialized. The
+    chord's endpoints then constrain the AG node sets, cascading
+    through node burnback.
+    """
+    total = 0
+    for chord_index in chordification.order:
+        if ag.empty:
+            break
+        chord = chordification.chords[chord_index]
+        rel: RelKey = ("c", chord.index)
+        pairs: set[tuple[int, int]] | None = None
+        for triangle in chordification.triangles:
+            refs = [s.ref for s in triangle.sides]
+            if ("chord", chord.index) not in [tuple(r) for r in refs]:
+                continue
+            others = [
+                s
+                for s in triangle.sides
+                if not (s.ref.kind == "chord" and s.ref.index == chord.index)
+            ]
+            if any(_rel_of(s) not in ag.src for s in others):
+                continue  # sides not ready yet; edge burnback covers it
+            joined = join_triangle_sides(ag, triangle, chord.u, chord.v, deadline)
+            pairs = joined if pairs is None else (pairs & joined)
+        if pairs is None:
+            raise EvaluationError(
+                f"chord {chord.index} has no triangle with materialized sides; "
+                "chord order is invalid"
+            )
+        ag.register_relation(rel, chord.u, chord.v, pairs)
+        total += len(pairs)
+        removals = intersect_node_set(ag, chord.u, set(ag.src[rel].keys()))
+        removals += intersect_node_set(ag, chord.v, set(ag.dst[rel].keys()))
+        if removals:
+            node_burnback(ag, removals, deadline)
+    return total
+
+
+def drop_chords(ag: AnswerGraph, chordification: Chordification) -> None:
+    """Remove chord relations (phase 2 joins only real query edges)."""
+    for chord in chordification.chords:
+        ag.drop_relation(("c", chord.index))

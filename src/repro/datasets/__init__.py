@@ -1,0 +1,45 @@
+"""Synthetic datasets (substrate #13 in DESIGN.md).
+
+* :mod:`repro.datasets.schema` — the YAGO-like type/predicate schema.
+* :mod:`repro.datasets.yago_like` — the scalable YAGO2s stand-in
+  generator.
+* :mod:`repro.datasets.paper_queries` — the ten Table-1 queries.
+* :mod:`repro.datasets.motifs` — the exact worked-example graphs of the
+  paper's Figures 1/2 and 4, plus parametric factorization motifs.
+"""
+
+from repro.datasets.schema import Channel, PredicateSpec, core_predicates, TYPE_NAMES
+from repro.datasets.yago_like import YagoLikeConfig, generate_yago_like
+from repro.datasets.paper_queries import (
+    PAPER_DIAMOND_LABELS,
+    PAPER_SNOWFLAKE_LABELS,
+    paper_diamond_queries,
+    paper_snowflake_queries,
+    paper_queries,
+)
+from repro.datasets.motifs import (
+    figure1_graph,
+    figure1_query,
+    figure4_graph,
+    figure4_query,
+    fan_chain_graph,
+)
+
+__all__ = [
+    "Channel",
+    "PredicateSpec",
+    "core_predicates",
+    "TYPE_NAMES",
+    "YagoLikeConfig",
+    "generate_yago_like",
+    "PAPER_SNOWFLAKE_LABELS",
+    "PAPER_DIAMOND_LABELS",
+    "paper_snowflake_queries",
+    "paper_diamond_queries",
+    "paper_queries",
+    "figure1_graph",
+    "figure1_query",
+    "figure4_graph",
+    "figure4_query",
+    "fan_chain_graph",
+]

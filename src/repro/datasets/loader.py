@@ -1,0 +1,68 @@
+"""Persisting datasets and catalogs to disk.
+
+The paper computes its statistics catalog *offline* and imports the
+preprocessed dataset once per system. This module provides the same
+workflow for the stand-in: dump a generated graph (dictionary + integer
+triples), write the catalog as JSON, and load all of it back without
+regeneration.
+
+The dictionary is persisted explicitly (one term per line, in id
+order) and triples are stored as integer-id rows, so the reloaded
+store is id-identical to the saved one — which the id-keyed catalog
+JSON requires. (For interchange with *other* tools, use
+:func:`repro.graph.ntriples.dump_ntriples_file`, which writes surface
+strings instead.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.graph.store import TripleStore
+from repro.stats.catalog import Catalog, build_catalog
+
+TRIPLES_FILE = "triples.tsv"
+DICTIONARY_FILE = "terms.txt"
+CATALOG_FILE = "catalog.json"
+
+
+def save_dataset(
+    store: TripleStore, directory: str, catalog: Catalog | None = None
+) -> None:
+    """Write ``store``, its dictionary, and its catalog under ``directory``.
+
+    The catalog is computed if not supplied — the offline preprocessing
+    step. Terms containing newlines are rejected (they cannot round-trip
+    through the line-oriented dictionary file).
+    """
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, DICTIONARY_FILE), "w", encoding="utf-8") as f:
+        for term in store.dictionary:
+            if "\n" in term:
+                raise ValueError(f"term {term!r} contains a newline")
+            f.write(term + "\n")
+    with open(os.path.join(directory, TRIPLES_FILE), "w", encoding="utf-8") as f:
+        for s, p, o in store.triples():
+            f.write(f"{s}\t{p}\t{o}\n")
+    if catalog is None:
+        catalog = build_catalog(store)
+    with open(os.path.join(directory, CATALOG_FILE), "w", encoding="utf-8") as f:
+        json.dump(catalog.to_dict(), f)
+
+
+def load_dataset(directory: str, freeze: bool = True) -> tuple[TripleStore, Catalog]:
+    """Load a saved (store, catalog) pair with identical term ids."""
+    store = TripleStore()
+    with open(os.path.join(directory, DICTIONARY_FILE), "r", encoding="utf-8") as f:
+        for line in f:
+            store.dictionary.encode(line.rstrip("\n"))
+    with open(os.path.join(directory, TRIPLES_FILE), "r", encoding="utf-8") as f:
+        for line in f:
+            s, p, o = line.split("\t")
+            store.add(int(s), int(p), int(o))
+    with open(os.path.join(directory, CATALOG_FILE), "r", encoding="utf-8") as f:
+        catalog = Catalog.from_dict(json.load(f))
+    if freeze:
+        store.freeze()
+    return store, catalog

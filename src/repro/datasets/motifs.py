@@ -1,0 +1,115 @@
+"""Worked-example graphs from the paper's figures + parametric motifs.
+
+The figure transcriptions preserve the *properties the paper states*
+(exact node labels in the published figures are partly illegible in the
+preprint, so node numbering follows the paper where readable and is
+documented where adapted):
+
+* :func:`figure1_graph` / :func:`figure1_query` — the chain CQ of
+  Fig. 1 over a 15-node graph: 12 embedding tuples, an ideal answer
+  graph of exactly 8 labeled node pairs, with A-edges fanning into and
+  C-edges fanning out of the shared B pair.
+* :func:`figure4_graph` / :func:`figure4_query` — the diamond CQ of
+  Fig. 4 over an 8-node graph with exactly 2 embeddings where node
+  burnback alone leaves 2 spurious edges; edge burnback removes them.
+* :func:`fan_chain_graph` — parametric A/B/C chain with configurable
+  fan-in/fan-out, used by the factorization-ratio ablation benches
+  (|embeddings| = fan_in · fan_out while |iAG| = fan_in + fan_out + 1).
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import store_from_edges
+from repro.graph.store import TripleStore
+from repro.query.model import ConjunctiveQuery
+from repro.query.parser import parse_sparql
+
+
+def figure1_query() -> ConjunctiveQuery:
+    """Fig. 1's chain ``CQ_C``: ?w -A-> ?x -B-> ?y -C-> ?z."""
+    return parse_sparql(
+        "select ?w, ?x, ?y, ?z where { ?w :A ?x . ?x :B ?y . ?y :C ?z . }"
+    )
+
+
+def figure1_graph() -> TripleStore:
+    """The 15-node data graph of Figures 1 and 2.
+
+    Structure (iAG in the first three lines)::
+
+        A: 1->5, 2->5, 3->5          (fan-in to 5)
+        B: 5->9
+        C: 9->12, 9->13, 9->14, 9->15 (fan-out from 9)
+
+        A: 4->6        decoy: 6 has a B-edge whose target has no C-edge
+        B: 6->10       so burnback cascades 10 -> 6 -> 4 (Fig. 2)
+        B: 7->11       decoy: 7 is not an A-object, never retrieved
+        C: 8->15       decoy: 8 is not a B-object, never retrieved
+
+    Embeddings: {1,2,3} × {5} × {9} × {12,13,14,15} = 12 tuples; the
+    ideal answer graph has 3 + 1 + 4 = 8 labeled node pairs, matching
+    the counts stated in §2.
+    """
+    return store_from_edges(
+        {
+            "A": [("1", "5"), ("2", "5"), ("3", "5"), ("4", "6")],
+            "B": [("5", "9"), ("6", "10"), ("7", "11")],
+            "C": [("9", "12"), ("9", "13"), ("9", "14"), ("9", "15"), ("8", "15")],
+        }
+    )
+
+
+def figure4_query() -> ConjunctiveQuery:
+    """Fig. 4's diamond ``CQ_D``: the 4-cycle x–e–y–z–x.
+
+    Edge layout matches :func:`repro.query.templates.diamond_template`:
+    ``?x -A-> ?e``, ``?x -B-> ?z``, ``?y -C-> ?e``, ``?y -D-> ?z``.
+    """
+    return parse_sparql(
+        "select ?x, ?e, ?z, ?y where {"
+        " ?x :A ?e . ?x :B ?z . ?y :C ?e . ?y :D ?z . }"
+    )
+
+
+def figure4_graph() -> TripleStore:
+    """The 8-node diamond graph of Fig. 4.
+
+    Two genuine embeddings — (x,e,z,y) = (3,4,2,1) and (7,8,6,5) — plus
+    two *spurious* B-edges, 3->6 and 7->2. Every endpoint of the
+    spurious edges is locally consistent (each survives node burnback),
+    but neither edge participates in any embedding: the paper's point
+    that "node burn-back suffices ... for acyclic queries, but not for
+    cyclic" (§4.I, adapted node numbering).
+    """
+    return store_from_edges(
+        {
+            "A": [("3", "4"), ("7", "8")],
+            "B": [("3", "2"), ("7", "6"), ("3", "6"), ("7", "2")],
+            "C": [("1", "4"), ("5", "8")],
+            "D": [("1", "2"), ("5", "6")],
+        }
+    )
+
+
+def fan_chain_graph(
+    fan_in: int, fan_out: int, hub_pairs: int = 1
+) -> TripleStore:
+    """Parametric Fig.-1-style chain: A fan-in, B bridge(s), C fan-out.
+
+    ``hub_pairs`` independent (x, y) bridges each receive ``fan_in``
+    A-edges and emit ``fan_out`` C-edges, so the chain query of
+    :func:`figure1_query` has ``hub_pairs · fan_in · fan_out``
+    embeddings over an ideal AG of ``hub_pairs · (fan_in + 1 +
+    fan_out)`` pairs. The factorization ratio grows as
+    ``fan_in · fan_out / (fan_in + fan_out)`` — the knob the
+    ablation benches sweep.
+    """
+    edges_a, edges_b, edges_c = [], [], []
+    for h in range(hub_pairs):
+        x, y = f"x{h}", f"y{h}"
+        edges_b.append((x, y))
+        for i in range(fan_in):
+            edges_a.append((f"w{h}_{i}", x))
+        for i in range(fan_out):
+            edges_c.append((y, f"z{h}_{i}"))
+    return store_from_edges({"A": edges_a, "B": edges_b, "C": edges_c})

@@ -1,0 +1,80 @@
+"""The ten Table-1 queries of the paper's micro-benchmark.
+
+Table 1 lists each query as its slash-separated label sequence. Rows
+1–5 instantiate the snowflake template ``CQ_S`` (Fig. 3, 9 slots);
+rows 6–10 the diamond template ``CQ_D`` (Fig. 4, 4 slots). Slot order
+follows :func:`repro.query.templates.snowflake_template` /
+:func:`~repro.query.templates.diamond_template`.
+"""
+
+from __future__ import annotations
+
+from repro.query.model import ConjunctiveQuery
+from repro.query.templates import diamond_template, snowflake_template
+
+#: Table 1, rows 1–5 (labels in slot order: the three arm edges from
+#: the center ?x, then the two leaves of each arm).
+PAPER_SNOWFLAKE_LABELS: tuple[tuple[str, ...], ...] = (
+    (
+        "diedIn", "influences", "actedIn",
+        "owns", "wasCreatedOnDate",
+        "actedIn", "created",
+        "hasDuration", "wasCreatedOnDate",
+    ),
+    (
+        "hasChild", "influences", "actedIn",
+        "actedIn", "wasBornIn",
+        "created", "actedIn",
+        "hasDuration", "wasCreatedOnDate",
+    ),
+    (
+        "isCitizenOf", "influences", "actedIn",
+        "exports", "wasCreatedOnDate",
+        "actedIn", "created",
+        "hasDuration", "wasCreatedOnDate",
+    ),
+    (
+        "isMarriedTo", "influences", "actedIn",
+        "actedIn", "wasBornOnDate",
+        "created", "actedIn",
+        "hasDuration", "wasCreatedOnDate",
+    ),
+    (
+        "isMarriedTo", "diedIn", "actedIn",
+        "actedIn", "wasBornIn",
+        "owns", "wasCreatedOnDate",
+        "hasDuration", "wasCreatedOnDate",
+    ),
+)
+
+#: Table 1, rows 6–10 (labels in slot order ?x→?e, ?x→?z, ?y→?e, ?y→?z).
+PAPER_DIAMOND_LABELS: tuple[tuple[str, ...], ...] = (
+    ("livesIn", "isCitizenOf", "isLocatedIn", "linksTo"),
+    ("livesIn", "isCitizenOf", "linksTo", "happenedIn"),
+    ("diedIn", "linksTo", "wasBornIn", "graduatedFrom"),
+    ("diedIn", "linksTo", "wasBornIn", "isLeaderOf"),
+    ("diedIn", "linksTo", "wasBornIn", "hasWonPrize"),
+)
+
+
+def paper_snowflake_queries() -> list[ConjunctiveQuery]:
+    """Table 1 rows 1–5 as ready-to-run queries (named ``CQ_S#i``)."""
+    template = snowflake_template()
+    return [
+        template.instantiate(labels, name=f"CQ_S#{i}")
+        for i, labels in enumerate(PAPER_SNOWFLAKE_LABELS, start=1)
+    ]
+
+
+def paper_diamond_queries() -> list[ConjunctiveQuery]:
+    """Table 1 rows 6–10 as ready-to-run queries (named ``CQ_D#i``)."""
+    template = diamond_template()
+    return [
+        template.instantiate(labels, name=f"CQ_D#{i}")
+        for i, labels in enumerate(PAPER_DIAMOND_LABELS, start=1)
+    ]
+
+
+def paper_queries() -> list[ConjunctiveQuery]:
+    """All ten Table-1 queries, rows 1–10 in order."""
+    return paper_snowflake_queries() + paper_diamond_queries()

@@ -1,0 +1,179 @@
+"""The YAGO-like schema: entity types and predicate signatures.
+
+YAGO2s itself cannot be bundled (242M triples), so the generator in
+:mod:`repro.datasets.yago_like` synthesizes a graph with the same
+*vocabulary* and the same structural properties the paper's queries
+exercise. This module is the declarative part: which entity types
+exist, in what proportions, and which predicates connect which types
+with what coverage and fan-out.
+
+The 24 core predicates are exactly those used by the paper's Fig. 3
+snowflake and the ten Table-1 query label sequences; their signatures
+were derived from the YAGO2s ontology and from the constraints the
+Table-1 queries impose (e.g. query 1 requires ``owns`` and
+``wasCreatedOnDate`` edges whose subjects are *cities*, since slot 1's
+``diedIn`` makes ``?m`` a city — YAGO has such facts, so the stand-in
+schema does too). Filler predicates pad the vocabulary to the paper's
+"104 distinct predicates".
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+#: Entity types and their base population at ``scale=1.0``.
+TYPE_BASE_COUNTS: dict[str, int] = {
+    "Person": 4000,
+    "Movie": 1200,
+    "City": 180,
+    "Country": 50,
+    "Organization": 700,
+    "University": 150,
+    "Event": 400,
+    "Prize": 60,
+    "Commodity": 30,
+    "Concept": 500,
+    "Date": 1500,
+    "Duration": 120,
+}
+
+TYPE_NAMES: tuple[str, ...] = tuple(TYPE_BASE_COUNTS)
+
+#: Pseudo-type denoting the union of every entity type (used by the
+#: wiki-link style predicates ``linksTo`` and ``owl:sameAs``).
+ANY = "Any"
+
+#: Number of distinct predicates in the paper's preprocessed YAGO2s.
+TARGET_PREDICATE_COUNT = 104
+
+
+class Channel(NamedTuple):
+    """One (domain type → range type) population rule of a predicate.
+
+    ``coverage`` is the fraction of domain entities carrying at least
+    one edge; ``mean_out`` the average fan-out of those subjects
+    (geometric); ``zipf`` the popularity skew used when sampling
+    objects (higher = more hub-concentrated; 0 = uniform).
+    """
+
+    domain: str
+    range: str
+    coverage: float
+    mean_out: float
+    zipf: float = 0.8
+
+
+class PredicateSpec(NamedTuple):
+    """A named predicate with its population channels."""
+
+    name: str
+    channels: tuple[Channel, ...]
+
+
+def core_predicates() -> list[PredicateSpec]:
+    """The 24 predicates the paper's queries use, plus ``rdf:type``.
+
+    Coverages and fans are tuned so that (a) every Table-1 label
+    sequence is satisfiable through the type graph, and (b) popular
+    nodes exhibit the many-many fan-in/fan-out multiplicity that makes
+    |AG| ≪ |embeddings| (§2's "Such differences are greatly magnified
+    when on a larger scale").
+    """
+    return [
+        # --- person ↔ person -----------------------------------------
+        PredicateSpec("influences", (Channel("Person", "Person", 0.30, 3.0),)),
+        PredicateSpec("hasChild", (Channel("Person", "Person", 0.25, 2.0),)),
+        PredicateSpec("isMarriedTo", (Channel("Person", "Person", 0.30, 1.1),)),
+        # --- person → place -------------------------------------------
+        PredicateSpec("diedIn", (Channel("Person", "City", 0.45, 1.0, 1.0),)),
+        PredicateSpec("wasBornIn", (Channel("Person", "City", 0.60, 1.0, 1.0),)),
+        PredicateSpec("livesIn", (Channel("Person", "City", 0.40, 1.2, 1.0),)),
+        PredicateSpec("isCitizenOf", (Channel("Person", "Country", 0.50, 1.1, 0.9),)),
+        # --- person → works / institutions ----------------------------
+        PredicateSpec("actedIn", (Channel("Person", "Movie", 0.45, 5.0, 0.9),)),
+        PredicateSpec("created", (Channel("Person", "Movie", 0.25, 3.0, 0.9),)),
+        PredicateSpec("graduatedFrom", (Channel("Person", "University", 0.35, 1.2),)),
+        PredicateSpec("hasWonPrize", (Channel("Person", "Prize", 0.12, 1.3),)),
+        PredicateSpec(
+            "isLeaderOf",
+            (
+                Channel("Person", "City", 0.05, 1.0),
+                Channel("Person", "Country", 0.04, 1.0),
+                Channel("Person", "Organization", 0.06, 1.0),
+            ),
+        ),
+        PredicateSpec(
+            "owns",
+            (
+                Channel("Person", "Organization", 0.06, 1.5),
+                # YAGO has city-owned enterprises; Table 1's queries 1
+                # and 5 join diedIn's city straight into owns.
+                Channel("City", "Organization", 0.70, 2.0),
+                Channel("Organization", "Organization", 0.15, 1.5),
+            ),
+        ),
+        PredicateSpec(
+            "participatedIn",
+            (
+                Channel("Person", "Event", 0.15, 2.0),
+                Channel("Country", "Event", 0.50, 3.0),
+            ),
+        ),
+        PredicateSpec("isAffiliatedTo", (Channel("Person", "Organization", 0.25, 1.5),)),
+        # --- wiki-style link predicates --------------------------------
+        PredicateSpec("linksTo", (Channel(ANY, ANY, 0.55, 6.0, 1.0),)),
+        PredicateSpec(
+            "owl:sameAs",
+            (
+                Channel("Person", "Person", 0.10, 1.0),
+                Channel("City", "City", 0.15, 1.0),
+                Channel("Country", "Country", 0.30, 1.0),
+                Channel("Organization", "Organization", 0.10, 1.0),
+                Channel("Movie", "Movie", 0.08, 1.0),
+            ),
+        ),
+        # --- geography -------------------------------------------------
+        PredicateSpec(
+            "isLocatedIn",
+            (
+                Channel("City", "Country", 0.95, 1.0, 0.7),
+                Channel("University", "City", 0.90, 1.0, 1.0),
+                Channel("Organization", "City", 0.70, 1.0, 1.0),
+                Channel("Event", "City", 0.60, 1.0, 1.0),
+            ),
+        ),
+        PredicateSpec(
+            "happenedIn",
+            (
+                Channel("Event", "City", 0.50, 1.2, 1.0),
+                Channel("Event", "Country", 0.50, 1.1, 0.9),
+            ),
+        ),
+        PredicateSpec("exports", (Channel("Country", "Commodity", 0.80, 4.0, 0.6),)),
+        # --- literal-valued --------------------------------------------
+        PredicateSpec(
+            "wasCreatedOnDate",
+            (
+                Channel("Movie", "Date", 0.90, 1.0, 0.3),
+                Channel("City", "Date", 0.80, 1.0, 0.3),
+                Channel("Country", "Date", 0.90, 1.0, 0.3),
+                Channel("Organization", "Date", 0.60, 1.0, 0.3),
+            ),
+        ),
+        PredicateSpec("wasBornOnDate", (Channel("Person", "Date", 0.70, 1.0, 0.2),)),
+        PredicateSpec("hasDuration", (Channel("Movie", "Duration", 0.90, 1.0, 0.5),)),
+        PredicateSpec(
+            "isPreferredMeaningOf",
+            (
+                Channel("City", "Concept", 0.40, 1.0),
+                Channel("Country", "Concept", 0.60, 1.0),
+                Channel("Movie", "Concept", 0.20, 1.0),
+            ),
+        ),
+    ]
+
+
+CORE_PREDICATE_NAMES: tuple[str, ...] = tuple(p.name for p in core_predicates())
+
+#: The class-membership predicate emitted for every entity.
+RDF_TYPE = "rdf:type"

@@ -1,0 +1,59 @@
+"""The common engine interface shared by Wireframe and all baselines.
+
+Every engine in the library — Wireframe itself and the four stand-ins
+for the paper's comparison systems — implements :class:`Engine`:
+bind a :class:`~repro.query.model.ConjunctiveQuery` against a store,
+evaluate it under a cooperative :class:`~repro.utils.deadline.Deadline`,
+and return an :class:`EngineResult`. The benchmark harness treats all
+engines uniformly through this interface, exactly as the paper's
+Table 1 treats its five systems.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.query.model import ConjunctiveQuery
+from repro.utils.deadline import Deadline
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one query evaluation.
+
+    ``count`` is always the number of result tuples (after projection
+    and DISTINCT); ``rows`` holds the materialized tuples when the
+    caller asked for them (``materialize=True``), else ``None``.
+    ``stats`` carries engine-specific extras (edge walks, |AG|, plan
+    descriptions, phase timings...) surfaced in reports.
+    """
+
+    engine: str
+    count: int
+    rows: list[tuple] | None = None
+    stats: dict = field(default_factory=dict)
+
+
+class Engine(abc.ABC):
+    """Evaluate conjunctive queries over one fixed triple store."""
+
+    #: Short report label, e.g. ``"WF"`` or ``"PG"``.
+    name: str = "?"
+
+    @abc.abstractmethod
+    def evaluate(
+        self,
+        query: ConjunctiveQuery,
+        deadline: Deadline | None = None,
+        materialize: bool = True,
+    ) -> EngineResult:
+        """Evaluate ``query``, returning every result tuple.
+
+        Implementations must poll ``deadline`` in their inner loops and
+        let :class:`~repro.errors.EvaluationTimeout` propagate — the
+        harness converts it to the paper's ``*`` marker.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the Wireframe reproduction.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch everything the library raises with a single ``except`` clause while
+still being able to distinguish the broad failure classes below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DictionaryError(ReproError):
+    """A term could not be encoded or decoded by the string dictionary."""
+
+
+class StoreError(ReproError):
+    """The triple store was used inconsistently (bad ids, frozen store...)."""
+
+
+class ParseError(ReproError):
+    """A SPARQL conjunctive query could not be parsed.
+
+    Carries the offending position when available.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class QueryError(ReproError):
+    """A conjunctive query is structurally invalid for the operation."""
+
+
+class PlanError(ReproError):
+    """A query plan is malformed or cannot be constructed."""
+
+
+class EvaluationError(ReproError):
+    """Query evaluation failed."""
+
+
+class EvaluationTimeout(EvaluationError):
+    """Cooperative deadline expired during evaluation.
+
+    Mirrors the paper's Table 1 protocol where queries are terminated
+    after 300 seconds and reported as ``*``.
+    """
+
+    def __init__(self, elapsed: float, budget: float):
+        super().__init__(
+            f"evaluation exceeded its time budget: {elapsed:.2f}s > {budget:.2f}s"
+        )
+        self.elapsed = elapsed
+        self.budget = budget
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset could not be generated as requested."""

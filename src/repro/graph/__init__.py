@@ -1,0 +1,23 @@
+"""RDF graph substrate: string dictionary, triple store, N-Triples I/O.
+
+This package is substrate #1 in DESIGN.md: an in-memory, integer-encoded
+triple store with the six composite SPO-permutation indexes the paper
+configures for its relational baselines, plus a small N-Triples
+reader/writer and a convenience builder.
+"""
+
+from repro.graph.dictionary import Dictionary
+from repro.graph.triples import Triple, TriplePattern
+from repro.graph.store import TripleStore
+from repro.graph.ntriples import parse_ntriples, serialize_ntriples
+from repro.graph.builder import GraphBuilder
+
+__all__ = [
+    "Dictionary",
+    "Triple",
+    "TriplePattern",
+    "TripleStore",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "GraphBuilder",
+]

@@ -1,0 +1,96 @@
+"""Bidirectional string dictionary (term interning).
+
+RDF terms (IRIs, literals, blank-node labels) are interned to dense
+integer ids at load time; every engine in the library operates purely on
+integers. This mirrors the string-dictionary + composite-index layout
+the paper uses for its PostgreSQL/MonetDB imports ("indexes on the
+string dictionary, and six composite indexes over the permutations of
+subject, predicate, and object").
+
+Ids are assigned densely from 0 in first-seen order, which makes them
+directly usable as array indexes in the columnar baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import DictionaryError
+
+
+class Dictionary:
+    """Intern strings to dense integer ids and back.
+
+    >>> d = Dictionary()
+    >>> d.encode("alice")
+    0
+    >>> d.encode("bob"), d.encode("alice")
+    (1, 0)
+    >>> d.decode(1)
+    'bob'
+    """
+
+    __slots__ = ("_term_to_id", "_id_to_term", "_frozen")
+
+    def __init__(self) -> None:
+        self._term_to_id: dict[str, int] = {}
+        self._id_to_term: list[str] = []
+        self._frozen = False
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_term)
+
+    def freeze(self) -> None:
+        """Disallow further insertions (decode/lookup still work).
+
+        A frozen dictionary models the paper's *offline* preprocessing:
+        statistics and benchmarks run against an immutable dataset.
+        """
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def encode(self, term: str) -> int:
+        """Return the id for ``term``, interning it if new."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        if self._frozen:
+            raise DictionaryError(f"dictionary is frozen; cannot intern {term!r}")
+        if not isinstance(term, str):
+            raise DictionaryError(f"terms must be strings, got {type(term).__name__}")
+        new_id = len(self._id_to_term)
+        self._term_to_id[term] = new_id
+        self._id_to_term.append(term)
+        return new_id
+
+    def encode_many(self, terms: Iterable[str]) -> list[int]:
+        """Intern every term in ``terms``; returns their ids in order."""
+        return [self.encode(t) for t in terms]
+
+    def lookup(self, term: str) -> int | None:
+        """Return the id for ``term`` or ``None`` if it was never interned."""
+        return self._term_to_id.get(term)
+
+    def decode(self, term_id: int) -> str:
+        """Return the string for ``term_id``."""
+        try:
+            return self._id_to_term[term_id]
+        except (IndexError, TypeError) as exc:
+            raise DictionaryError(f"unknown term id {term_id!r}") from exc
+
+    def decode_many(self, ids: Iterable[int]) -> list[str]:
+        """Decode every id in ``ids``, in order."""
+        return [self.decode(i) for i in ids]
+
+    def __repr__(self) -> str:
+        state = "frozen" if self._frozen else "mutable"
+        return f"Dictionary({len(self)} terms, {state})"

@@ -1,0 +1,178 @@
+"""A small N-Triples reader/writer.
+
+Supports the subset of N-Triples needed to move datasets in and out of
+the library: IRIs (``<...>``), blank nodes (``_:label``), and literals
+(``"..."`` with optional ``@lang`` or ``^^<datatype>`` suffix). Escapes
+``\\n``, ``\\t``, ``\\"``, and ``\\\\`` inside literals.
+
+Terms are kept as their full surface strings (including angle brackets
+and quotes) so that round-tripping is lossless; the dictionary treats
+them as opaque.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import ParseError
+
+
+def parse_ntriples(lines: Iterable[str]) -> Iterator[tuple[str, str, str]]:
+    """Yield (subject, predicate, object) surface-string triples.
+
+    ``lines`` may be any iterable of text lines (an open file works).
+    Blank lines and ``#`` comment lines are skipped. Raises
+    :class:`~repro.errors.ParseError` on malformed input.
+    """
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            triple = _parse_line(line)
+        except ParseError as exc:
+            raise ParseError(f"line {line_no}: {exc}") from exc
+        yield triple
+
+
+def _parse_line(line: str) -> tuple[str, str, str]:
+    pos = 0
+    terms = []
+    for _ in range(3):
+        pos = _skip_ws(line, pos)
+        term, pos = _parse_term(line, pos)
+        terms.append(term)
+    pos = _skip_ws(line, pos)
+    if pos >= len(line) or line[pos] != ".":
+        raise ParseError("expected terminating '.'", pos)
+    trailing = line[pos + 1 :].strip()
+    if trailing and not trailing.startswith("#"):
+        raise ParseError(f"unexpected trailing content {trailing!r}", pos + 1)
+    return (terms[0], terms[1], terms[2])
+
+
+def _skip_ws(line: str, pos: int) -> int:
+    while pos < len(line) and line[pos] in " \t":
+        pos += 1
+    return pos
+
+
+def _parse_term(line: str, pos: int) -> tuple[str, int]:
+    if pos >= len(line):
+        raise ParseError("unexpected end of line", pos)
+    ch = line[pos]
+    if ch == "<":
+        end = line.find(">", pos)
+        if end == -1:
+            raise ParseError("unterminated IRI", pos)
+        return line[pos : end + 1], end + 1
+    if ch == "_":
+        end = pos
+        while end < len(line) and line[end] not in " \t":
+            end += 1
+        label = line[pos:end]
+        if not label.startswith("_:") or len(label) <= 2:
+            raise ParseError(f"malformed blank node {label!r}", pos)
+        return label, end
+    if ch == '"':
+        end = pos + 1
+        while end < len(line):
+            if line[end] == "\\":
+                end += 2
+                continue
+            if line[end] == '"':
+                break
+            end += 1
+        if end >= len(line):
+            raise ParseError("unterminated literal", pos)
+        end += 1  # past the closing quote
+        # Optional @lang or ^^<datatype> suffix.
+        if end < len(line) and line[end] == "@":
+            while end < len(line) and line[end] not in " \t":
+                end += 1
+        elif line[end : end + 2] == "^^":
+            close = line.find(">", end)
+            if close == -1 or line[end + 2] != "<":
+                raise ParseError("malformed datatype suffix", end)
+            end = close + 1
+        return line[pos:end], end
+    raise ParseError(f"unexpected character {ch!r}", pos)
+
+
+_UNESCAPES = {"\\": "\\", '"': '"', "n": "\n", "t": "\t"}
+
+
+def unescape_literal(term: str) -> str:
+    """The raw lexical value of a literal surface string (no quotes)."""
+    if not term.startswith('"'):
+        raise ParseError(f"not a literal: {term!r}")
+    closing = _closing_quote(term)
+    body = term[1:closing]
+    # Single left-to-right pass; placeholder tricks would corrupt
+    # literals that contain the placeholder byte themselves.
+    out = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            out.append(_UNESCAPES.get(body[i + 1], body[i + 1]))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _closing_quote(term: str) -> int:
+    i = 1
+    while i < len(term):
+        if term[i] == "\\":
+            i += 2
+            continue
+        if term[i] == '"':
+            return i
+        i += 1
+    raise ParseError(f"unterminated literal: {term!r}")
+
+
+def escape_literal(value: str) -> str:
+    """Render ``value`` as a quoted N-Triples literal surface string."""
+    body = (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\t", "\\t")
+    )
+    return f'"{body}"'
+
+
+def serialize_ntriples(triples: Iterable[tuple[str, str, str]]) -> Iterator[str]:
+    """Yield one N-Triples line per (s, p, o) surface-string triple."""
+    for s, p, o in triples:
+        yield f"{s} {p} {o} ."
+
+
+def load_ntriples_file(path: str, store=None):
+    """Load an N-Triples file into a (possibly new) TripleStore.
+
+    Returns the store. Imported here lazily to keep this module free of
+    a circular dependency at import time.
+    """
+    from repro.graph.store import TripleStore
+
+    if store is None:
+        store = TripleStore()
+    with open(path, "r", encoding="utf-8") as handle:
+        store.add_term_triples(parse_ntriples(handle))
+    return store
+
+
+def dump_ntriples_file(store, path: str) -> int:
+    """Write every triple of ``store`` to ``path``; returns the count."""
+    decode = store.dictionary.decode
+    n = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for t in store.triples():
+            handle.write(f"{decode(t.s)} {decode(t.p)} {decode(t.o)} .\n")
+            n += 1
+    return n

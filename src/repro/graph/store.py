@@ -1,0 +1,338 @@
+"""In-memory triple store with the six SPO-permutation composite indexes.
+
+The store keeps its data predicate-first (PSO and POS are always
+maintained) because every edge of a SPARQL conjunctive query in this
+paper carries a fixed predicate label; the remaining four permutations
+(SPO, SOP, OSP, OPS) are built lazily on first use, mirroring the
+"six composite indexes over the permutations of subject, predicate, and
+object" configured for the paper's relational imports.
+
+All terms are integers interned through an attached
+:class:`~repro.graph.dictionary.Dictionary`. Duplicate triples are
+ignored (RDF set semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import StoreError
+from repro.graph.dictionary import Dictionary
+from repro.graph.triples import Triple, TriplePattern
+
+# Index layout: each permutation index maps first_key -> second_key ->
+# set(third key). E.g. the PSO index is {p: {s: {o, ...}}}.
+_NestedIndex = dict
+
+
+class TripleStore:
+    """A labeled directed multigraph of interned triples.
+
+    Parameters
+    ----------
+    dictionary:
+        Shared term dictionary; a fresh one is created when omitted.
+
+    >>> store = TripleStore()
+    >>> _ = store.add_term_triple("alice", "knows", "bob")
+    >>> a, k, b = (store.dictionary.lookup(t) for t in ("alice", "knows", "bob"))
+    >>> sorted(store.successors(k, a)) == [b]
+    True
+    """
+
+    def __init__(self, dictionary: Dictionary | None = None):
+        self.dictionary = dictionary if dictionary is not None else Dictionary()
+        self._pso: dict[int, dict[int, set[int]]] = {}
+        self._pos: dict[int, dict[int, set[int]]] = {}
+        # Lazily-built permutations, keyed by their name.
+        self._lazy: dict[str, _NestedIndex] = {}
+        self._size = 0
+        self._nodes: set[int] = set()
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add(self, s: int, p: int, o: int) -> bool:
+        """Insert the triple ⟨s, p, o⟩; returns ``False`` if already present."""
+        if self._frozen:
+            raise StoreError("store is frozen; cannot add triples")
+        by_s = self._pso.setdefault(p, {})
+        objs = by_s.setdefault(s, set())
+        if o in objs:
+            return False
+        objs.add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._size += 1
+        self._nodes.add(s)
+        self._nodes.add(o)
+        if self._lazy:
+            # Keep any already-materialized permutation consistent.
+            self._insert_lazy(s, p, o)
+        return True
+
+    def add_triples(self, triples: Iterable[tuple[int, int, int]]) -> int:
+        """Bulk-insert; returns the number of *new* triples."""
+        added = 0
+        for s, p, o in triples:
+            if self.add(s, p, o):
+                added += 1
+        return added
+
+    def add_term_triple(self, s: str, p: str, o: str) -> bool:
+        """Insert a triple of raw strings, interning them first."""
+        enc = self.dictionary.encode
+        return self.add(enc(s), enc(p), enc(o))
+
+    def add_term_triples(self, triples: Iterable[tuple[str, str, str]]) -> int:
+        """Bulk string-triple insert; returns the number of new triples."""
+        added = 0
+        for s, p, o in triples:
+            if self.add_term_triple(s, p, o):
+                added += 1
+        return added
+
+    def freeze(self) -> None:
+        """Make the store (and its dictionary) immutable."""
+        self._frozen = True
+        self.dictionary.freeze()
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def num_triples(self) -> int:
+        return self._size
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of distinct terms occurring in subject or object position."""
+        return len(self._nodes)
+
+    def nodes(self) -> set[int]:
+        """The set of all subject/object terms (a copy is NOT made)."""
+        return self._nodes
+
+    def predicates(self) -> list[int]:
+        """All distinct predicate ids, ascending."""
+        return sorted(self._pso)
+
+    def has_predicate(self, p: int) -> bool:
+        """Whether any triple uses predicate ``p``."""
+        return p in self._pso
+
+    def __contains__(self, triple: tuple[int, int, int]) -> bool:
+        s, p, o = triple
+        by_s = self._pso.get(p)
+        if by_s is None:
+            return False
+        objs = by_s.get(s)
+        return objs is not None and o in objs
+
+    # ------------------------------------------------------------------
+    # Predicate-first navigation (the hot path for CQ evaluation)
+    # ------------------------------------------------------------------
+
+    def successors(self, p: int, s: int) -> set[int]:
+        """Objects ``o`` with ⟨s, p, o⟩ in the store (empty set if none).
+
+        The returned set is the live index container — callers must not
+        mutate it.
+        """
+        by_s = self._pso.get(p)
+        if by_s is None:
+            return _EMPTY_SET
+        return by_s.get(s, _EMPTY_SET)
+
+    def predecessors(self, p: int, o: int) -> set[int]:
+        """Subjects ``s`` with ⟨s, p, o⟩ in the store (empty set if none)."""
+        by_o = self._pos.get(p)
+        if by_o is None:
+            return _EMPTY_SET
+        return by_o.get(o, _EMPTY_SET)
+
+    def subjects(self, p: int) -> Iterable[int]:
+        """Distinct subjects of predicate ``p``."""
+        return self._pso.get(p, _EMPTY_DICT).keys()
+
+    def objects(self, p: int) -> Iterable[int]:
+        """Distinct objects of predicate ``p``."""
+        return self._pos.get(p, _EMPTY_DICT).keys()
+
+    def edges(self, p: int) -> Iterator[tuple[int, int]]:
+        """All (subject, object) pairs of predicate ``p``."""
+        for s, objs in self._pso.get(p, _EMPTY_DICT).items():
+            for o in objs:
+                yield (s, o)
+
+    def count(self, p: int) -> int:
+        """Number of triples with predicate ``p``."""
+        return sum(len(objs) for objs in self._pso.get(p, _EMPTY_DICT).values())
+
+    def forward_index(self, p: int) -> dict[int, set[int]]:
+        """The live ``subject -> {objects}`` adjacency of predicate ``p``.
+
+        Read-only view used by tuple-at-a-time engines; callers must
+        not mutate it.
+        """
+        return self._pso.get(p, _EMPTY_DICT)
+
+    def backward_index(self, p: int) -> dict[int, set[int]]:
+        """The live ``object -> {subjects}`` adjacency of predicate ``p``."""
+        return self._pos.get(p, _EMPTY_DICT)
+
+    def out_degree(self, p: int, s: int) -> int:
+        """Number of ``p``-edges leaving node ``s``."""
+        return len(self.successors(p, s))
+
+    def in_degree(self, p: int, o: int) -> int:
+        """Number of ``p``-edges entering node ``o``."""
+        return len(self.predecessors(p, o))
+
+    # ------------------------------------------------------------------
+    # Generic pattern matching over the six permutations
+    # ------------------------------------------------------------------
+
+    def triples(self) -> Iterator[Triple]:
+        """Iterate over every triple in the store."""
+        for p, by_s in self._pso.items():
+            for s, objs in by_s.items():
+                for o in objs:
+                    yield Triple(s, p, o)
+
+    def match(self, pattern: TriplePattern) -> Iterator[Triple]:
+        """Iterate over all triples satisfying ``pattern``.
+
+        Dispatches to the cheapest permutation index for the bound
+        positions; permutations other than PSO/POS are materialized on
+        first use (``spo`` / ``osp``).
+        """
+        s, p, o = pattern
+        if p is not None:
+            if s is not None and o is not None:
+                if (s, p, o) in self:
+                    yield Triple(s, p, o)
+            elif s is not None:
+                for obj in self.successors(p, s):
+                    yield Triple(s, p, obj)
+            elif o is not None:
+                for sub in self.predecessors(p, o):
+                    yield Triple(sub, p, o)
+            else:
+                for sub, obj in self.edges(p):
+                    yield Triple(sub, p, obj)
+            return
+        if s is not None:
+            spo = self._get_lazy("spo")
+            by_p = spo.get(s, _EMPTY_DICT)
+            if o is not None:
+                for pred, objs in by_p.items():
+                    if o in objs:
+                        yield Triple(s, pred, o)
+            else:
+                for pred, objs in by_p.items():
+                    for obj in objs:
+                        yield Triple(s, pred, obj)
+            return
+        if o is not None:
+            osp = self._get_lazy("osp")
+            for sub, preds in osp.get(o, _EMPTY_DICT).items():
+                for pred in preds:
+                    yield Triple(sub, pred, o)
+            return
+        yield from self.triples()
+
+    def count_matches(self, pattern: TriplePattern) -> int:
+        """Number of triples satisfying ``pattern`` (no materialization
+        beyond what :meth:`match` itself requires)."""
+        s, p, o = pattern
+        if p is not None and s is None and o is None:
+            return self.count(p)
+        if p is not None and s is not None and o is None:
+            return self.out_degree(p, s)
+        if p is not None and o is not None and s is None:
+            return self.in_degree(p, o)
+        if s is None and p is None and o is None:
+            return self._size
+        return sum(1 for _ in self.match(pattern))
+
+    # ------------------------------------------------------------------
+    # Node-first navigation (used by the query miner's random walks)
+    # ------------------------------------------------------------------
+
+    def out_edges(self, s: int) -> dict[int, set[int]]:
+        """Map ``predicate -> objects`` for all edges leaving node ``s``.
+
+        Materializes the SPO permutation on first use. The returned
+        mapping is live index state — do not mutate.
+        """
+        return self._get_lazy("spo").get(s, _EMPTY_DICT)
+
+    def in_edges(self, o: int) -> dict[int, set[int]]:
+        """Map ``predicate -> subjects`` for all edges entering ``o``.
+
+        Materializes the OPS permutation on first use.
+        """
+        return self._get_lazy("ops").get(o, _EMPTY_DICT)
+
+    def labels_between(self, s: int, o: int) -> list[int]:
+        """All predicates ``p`` with ⟨s, p, o⟩ in the store."""
+        return [p for p, objs in self.out_edges(s).items() if o in objs]
+
+    # ------------------------------------------------------------------
+    # Lazy permutations (SPO / SOP / OSP / OPS)
+    # ------------------------------------------------------------------
+
+    _PERMUTATIONS = ("spo", "sop", "osp", "ops")
+
+    def _get_lazy(self, name: str) -> _NestedIndex:
+        if name not in self._PERMUTATIONS:
+            raise StoreError(f"unknown permutation index {name!r}")
+        index = self._lazy.get(name)
+        if index is None:
+            index = {}
+            order = _PERMUTATION_EXTRACTORS[name]
+            for triple in self.triples():
+                k1, k2, k3 = order(triple)
+                index.setdefault(k1, {}).setdefault(k2, set()).add(k3)
+            self._lazy[name] = index
+        return index
+
+    def _insert_lazy(self, s: int, p: int, o: int) -> None:
+        triple = Triple(s, p, o)
+        for name, index in self._lazy.items():
+            k1, k2, k3 = _PERMUTATION_EXTRACTORS[name](triple)
+            index.setdefault(k1, {}).setdefault(k2, set()).add(k3)
+
+    def materialize_all_indexes(self) -> None:
+        """Eagerly build all six permutation indexes (offline prep)."""
+        for name in self._PERMUTATIONS:
+            self._get_lazy(name)
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"TripleStore({self._size} triples, {self.num_nodes} nodes, "
+            f"{len(self._pso)} predicates)"
+        )
+
+
+_EMPTY_SET: set[int] = set()
+_EMPTY_DICT: dict = {}
+
+_PERMUTATION_EXTRACTORS = {
+    "spo": lambda t: (t.s, t.p, t.o),
+    "sop": lambda t: (t.s, t.o, t.p),
+    "osp": lambda t: (t.o, t.s, t.p),
+    "ops": lambda t: (t.o, t.p, t.s),
+}

@@ -1,0 +1,52 @@
+"""Cost-based planners (substrates #4–5 in DESIGN.md).
+
+* :mod:`repro.planner.edgifier` — the Edgifier: bottom-up dynamic
+  programming over connected query-edge subsets, producing the
+  left-deep edge order for answer-graph generation.
+* :mod:`repro.planner.triangulator` — the Triangulator: chordification
+  of cycles longer than three via polygon-triangulation DP.
+* :mod:`repro.planner.embedding_planner` — greedy and DP join orders
+  for defactorization (phase 2).
+"""
+
+from repro.planner.plan import (
+    AGPlan,
+    Chord,
+    Chordification,
+    EmbeddingPlan,
+    SideRef,
+    Triangle,
+    TriangleSide,
+)
+from repro.planner.cost import cost_of_order
+from repro.planner.edgifier import Edgifier
+from repro.planner.triangulator import Triangulator
+from repro.planner.embedding_planner import (
+    greedy_embedding_plan,
+    dp_embedding_plan,
+)
+from repro.planner.bushy import (
+    BushyJoin,
+    BushyLeaf,
+    BushyPlan,
+    bushy_embedding_plan,
+)
+
+__all__ = [
+    "AGPlan",
+    "Chord",
+    "Chordification",
+    "EmbeddingPlan",
+    "SideRef",
+    "Triangle",
+    "TriangleSide",
+    "cost_of_order",
+    "Edgifier",
+    "Triangulator",
+    "greedy_embedding_plan",
+    "dp_embedding_plan",
+    "BushyLeaf",
+    "BushyJoin",
+    "BushyPlan",
+    "bushy_embedding_plan",
+]

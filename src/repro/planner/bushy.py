@@ -1,0 +1,219 @@
+"""Bushy join trees for defactorization (the paper's §6 extension).
+
+"One has a richer plan space when considering bushy plans for both our
+first and second phases. The challenge is to devise a suitable cost
+model for searching the bushy-plan space via dynamic programming."
+— §6
+
+This module implements that search for the *second* phase: a
+Selinger-style DP over connected subsets of query edges that considers
+**all** binary partitions of each subset, producing a
+:class:`BushyNode` join tree instead of a left-deep order. Costs are
+the estimated intermediate sizes, computed from the same exact AG
+statistics the left-deep planners use:
+
+    |L ⋈ R| ≈ |L| · |R| / Π_{v ∈ shared} max(d_L(v), d_R(v))
+
+where ``d_X(v)`` is the estimated number of distinct values variable
+``v`` takes in relation ``X`` — exact for leaf (single-edge) relations,
+propagated as ``min(d, size)`` upward.
+
+The DP is exponential in the number of query edges (3^n subset-split
+pairs); ``exhaustive_limit`` guards it the same way the Edgifier's DP
+is guarded.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, NamedTuple, Union
+
+from repro.errors import PlanError
+from repro.query.algebra import BoundQuery
+
+
+class BushyLeaf(NamedTuple):
+    """A single AG edge relation."""
+
+    edge: int
+
+    def edges(self) -> tuple[int, ...]:
+        return (self.edge,)
+
+    def depth(self) -> int:
+        return 1
+
+    def describe(self) -> str:
+        return f"e{self.edge}"
+
+
+class BushyJoin(NamedTuple):
+    """An inner join of two sub-trees on their shared variables."""
+
+    left: "BushyNode"
+    right: "BushyNode"
+
+    def edges(self) -> tuple[int, ...]:
+        return self.left.edges() + self.right.edges()
+
+    def depth(self) -> int:
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} ⋈ {self.right.describe()})"
+
+
+BushyNode = Union[BushyLeaf, BushyJoin]
+
+
+class BushyPlan(NamedTuple):
+    """Output of the bushy DP: the join tree and its estimated cost."""
+
+    root: BushyNode
+    estimated_cost: float
+
+    @property
+    def is_left_deep(self) -> bool:
+        """Whether the tree degenerates to a left-deep chain."""
+        node = self.root
+        while isinstance(node, BushyJoin):
+            if isinstance(node.right, BushyJoin):
+                return False
+            node = node.left
+        return True
+
+
+class _Rel(NamedTuple):
+    """Estimated relation statistics for one DP subset."""
+
+    size: float
+    distinct: dict  # var -> estimated distinct values
+
+
+def _leaf_rel(
+    bound: BoundQuery,
+    eid: int,
+    sizes: Mapping[int, int],
+    node_counts: Mapping[tuple[int, str], int],
+) -> _Rel:
+    edge = bound.edges[eid]
+    size = float(sizes.get(eid, 0))
+    distinct: dict = {}
+    if edge.s_var is not None:
+        distinct[edge.s_var] = float(max(node_counts.get((eid, "s"), 1), 1))
+    if edge.o_var is not None:
+        distinct[edge.o_var] = float(max(node_counts.get((eid, "o"), 1), 1))
+    return _Rel(size, distinct)
+
+
+def _join_rel(left: _Rel, right: _Rel, shared: frozenset[int]) -> _Rel:
+    denom = 1.0
+    for var in shared:
+        denom *= max(left.distinct.get(var, 1.0), right.distinct.get(var, 1.0))
+    size = left.size * right.size / max(denom, 1.0)
+    distinct: dict = {}
+    for var, d in left.distinct.items():
+        distinct[var] = min(d, size) if size else 0.0
+    for var, d in right.distinct.items():
+        if var in distinct:
+            distinct[var] = min(distinct[var], d)
+        else:
+            distinct[var] = min(d, size) if size else 0.0
+    return _Rel(size, distinct)
+
+
+def bushy_embedding_plan(
+    bound: BoundQuery,
+    sizes: Mapping[int, int],
+    node_counts: Mapping[tuple[int, str], int],
+    exhaustive_limit: int = 12,
+) -> BushyPlan:
+    """Optimal bushy join tree under the intermediate-size cost model.
+
+    Minimizes the total estimated intermediate tuples summed over every
+    inner join. Falls back to a left-deep shape produced by the greedy
+    planner beyond ``exhaustive_limit`` edges.
+    """
+    n = len(bound.edges)
+    if n == 0:
+        raise PlanError("cannot plan embeddings for a query with no edges")
+    if n == 1:
+        return BushyPlan(BushyLeaf(0), float(sizes.get(0, 0)))
+    if n > exhaustive_limit:
+        return _greedy_fallback(bound, sizes, node_counts)
+
+    edge_vars = [bound.edges[eid].var_set() for eid in range(n)]
+    edge_tokens = [bound.edges[eid].term_tokens() for eid in range(n)]
+
+    # best[mask] = (cost, node, rel); masks restricted to connected sets.
+    best: dict[int, tuple[float, BushyNode, _Rel]] = {}
+    token_sets: dict[int, frozenset] = {}
+    var_sets: dict[int, frozenset] = {}
+    for eid in range(n):
+        mask = 1 << eid
+        rel = _leaf_rel(bound, eid, sizes, node_counts)
+        best[mask] = (0.0, BushyLeaf(eid), rel)
+        token_sets[mask] = edge_tokens[eid]
+        var_sets[mask] = edge_vars[eid]
+
+    full = (1 << n) - 1
+    # Enumerate subsets in increasing popcount, then all splits into two
+    # non-empty, *connected-to-each-other* halves.
+    masks_by_size: list[list[int]] = [[] for _ in range(n + 1)]
+    for mask in best:
+        masks_by_size[1].append(mask)
+
+    for size in range(2, n + 1):
+        for mask in range(1, full + 1):
+            if bin(mask).count("1") != size:
+                continue
+            incumbent: tuple[float, BushyNode, _Rel] | None = None
+            # Iterate proper submasks; visit each unordered split once.
+            sub = (mask - 1) & mask
+            while sub:
+                other = mask ^ sub
+                if sub < other:
+                    sub = (sub - 1) & mask
+                    continue
+                left_entry = best.get(sub)
+                right_entry = best.get(other)
+                if left_entry is not None and right_entry is not None:
+                    if token_sets[sub] & token_sets[other]:
+                        shared = frozenset(var_sets[sub] & var_sets[other])
+                        rel = _join_rel(left_entry[2], right_entry[2], shared)
+                        cost = left_entry[0] + right_entry[0] + rel.size
+                        if incumbent is None or cost < incumbent[0]:
+                            incumbent = (
+                                cost,
+                                BushyJoin(left_entry[1], right_entry[1]),
+                                rel,
+                            )
+                sub = (sub - 1) & mask
+            if incumbent is not None:
+                best[mask] = incumbent
+                token_sets[mask] = frozenset().union(
+                    *(edge_tokens[e] for e in range(n) if mask & (1 << e))
+                )
+                var_sets[mask] = frozenset().union(
+                    *(edge_vars[e] for e in range(n) if mask & (1 << e))
+                )
+
+    final = best.get(full)
+    if final is None:
+        raise PlanError("query graph is disconnected; cannot plan embeddings")
+    cost, node, _ = final
+    return BushyPlan(node, cost)
+
+
+def _greedy_fallback(
+    bound: BoundQuery,
+    sizes: Mapping[int, int],
+    node_counts: Mapping[tuple[int, str], int],
+) -> BushyPlan:
+    """Left-deep tree from the greedy planner, as a BushyPlan."""
+    from repro.planner.embedding_planner import greedy_embedding_plan
+
+    plan = greedy_embedding_plan(bound, sizes, node_counts)
+    node: BushyNode = BushyLeaf(plan.order[0])
+    for eid in plan.order[1:]:
+        node = BushyJoin(node, BushyLeaf(eid))
+    return BushyPlan(node, plan.estimated_cost)

@@ -1,0 +1,145 @@
+"""Plan value types shared by the planners and the evaluators.
+
+A Wireframe plan has up to three parts:
+
+* an :class:`AGPlan` — the left-deep order in which query edges are
+  materialized into the answer graph (phase 1),
+* a :class:`Chordification` — for cyclic queries, the chords added by
+  the Triangulator and the triangles they form, and
+* an :class:`EmbeddingPlan` — the join order used by the Defactorizer
+  (phase 2).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Sequence
+
+
+class SideRef(NamedTuple):
+    """Reference to a triangle side: a real query edge or a chord."""
+
+    kind: str  # "edge" | "chord"
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.index}"
+
+
+class TriangleSide(NamedTuple):
+    """One side of a triangle with its variable endpoints.
+
+    ``a``/``b`` are variable indexes; for a real edge they are the
+    edge's (subject, object) variables, for a chord its stored (u, v).
+    The pair relation of the side is read as directed a→b.
+    """
+
+    ref: SideRef
+    a: int
+    b: int
+
+
+class Triangle(NamedTuple):
+    """Three sides over three variables (chordification unit)."""
+
+    vars: tuple[int, int, int]
+    sides: tuple[TriangleSide, TriangleSide, TriangleSide]
+
+    def sides_excluding(self, ref: SideRef) -> tuple[TriangleSide, TriangleSide]:
+        others = tuple(s for s in self.sides if s.ref != ref)
+        if len(others) != 2:
+            raise ValueError(f"{ref} does not occur exactly once in {self}")
+        return others  # type: ignore[return-value]
+
+
+class Chord(NamedTuple):
+    """A derived query edge added by the Triangulator.
+
+    A chord's pair relation is maintained as *the intersection of the
+    materialized joins of the opposite two edges for each triangle in
+    which it participates* (paper §4.I).
+    """
+
+    index: int
+    u: int  # variable index (relation direction u -> v)
+    v: int
+    estimated_size: float
+
+
+class Chordification(NamedTuple):
+    """Output of the Triangulator for one query."""
+
+    chords: tuple[Chord, ...]
+    triangles: tuple[Triangle, ...]
+    # Chord materialization order: indexes into ``chords``, innermost
+    # (smallest sub-polygon) first so each triangle's sides exist when
+    # the chord that depends on them is built.
+    order: tuple[int, ...]
+    estimated_cost: float
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the query needed no chords (acyclic or triangles)."""
+        return not self.triangles
+
+
+class AGPlan(NamedTuple):
+    """Left-deep answer-graph generation plan (phase 1).
+
+    ``order`` lists query-edge indexes in materialization order; every
+    prefix is connected. ``step_costs[i]`` is the estimated edge-walk
+    count of step ``i``; ``estimated_cost`` is their sum.
+    """
+
+    order: tuple[int, ...]
+    step_costs: tuple[float, ...]
+    estimated_cost: float
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.order)
+
+    def describe(self, query=None) -> str:
+        """Human-readable rendering, optionally with edge labels."""
+        parts = []
+        for i, (eid, cost) in enumerate(zip(self.order, self.step_costs)):
+            label = f"e{eid}"
+            if query is not None:
+                edge = query.edges[eid]
+                label = f"{edge.subject}-{edge.predicate}->{edge.object}"
+            parts.append(f"{i + 1}. {label} (~{cost:.0f} walks)")
+        return "\n".join(parts)
+
+
+class EmbeddingPlan(NamedTuple):
+    """Join order over answer-graph edge relations (phase 2).
+
+    ``order`` lists query-edge indexes; every prefix is connected so
+    each join step shares at least one variable with the tuples built
+    so far.
+    """
+
+    order: tuple[int, ...]
+    estimated_cost: float
+
+
+def validate_connected_order(
+    order: Sequence[int], edge_vars: Sequence[frozenset[int]]
+) -> None:
+    """Raise ``ValueError`` unless every prefix of ``order`` is connected.
+
+    ``edge_vars[i]`` is the variable set of query edge ``i``. Used by
+    both evaluators to reject hand-built malformed plans early.
+    """
+    if not order:
+        raise ValueError("plan order is empty")
+    if len(set(order)) != len(order):
+        raise ValueError(f"plan order repeats an edge: {order!r}")
+    bound: set[int] = set()
+    for step, eid in enumerate(order):
+        vars_ = edge_vars[eid]
+        if step > 0 and bound and vars_ and not (vars_ & bound):
+            raise ValueError(
+                f"step {step} (edge {eid}) shares no variable with the "
+                f"plan prefix {list(order[:step])!r}"
+            )
+        bound |= vars_

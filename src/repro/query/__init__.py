@@ -1,0 +1,44 @@
+"""SPARQL conjunctive-query front end.
+
+Substrate #2 in DESIGN.md: the CQ data model (query graphs), a parser
+for the SPARQL subset the paper uses, shape analysis
+(chain/star/snowflake/diamond, cycle detection), the paper's two query
+templates, and the query miner that instantiates templates into valid,
+non-empty queries over a dataset.
+"""
+
+from repro.query.model import Var, Const, QueryEdge, ConjunctiveQuery
+from repro.query.algebra import BoundEdge, BoundQuery, bind_query
+from repro.query.parser import parse_sparql
+from repro.query.shapes import QueryShape, classify_shape, find_cycles, is_acyclic
+from repro.query.templates import (
+    QueryTemplate,
+    chain_template,
+    star_template,
+    snowflake_template,
+    diamond_template,
+    cycle_template,
+)
+from repro.query.miner import QueryMiner
+
+__all__ = [
+    "Var",
+    "Const",
+    "QueryEdge",
+    "ConjunctiveQuery",
+    "BoundEdge",
+    "BoundQuery",
+    "bind_query",
+    "parse_sparql",
+    "QueryShape",
+    "classify_shape",
+    "find_cycles",
+    "is_acyclic",
+    "QueryTemplate",
+    "chain_template",
+    "star_template",
+    "snowflake_template",
+    "diamond_template",
+    "cycle_template",
+    "QueryMiner",
+]

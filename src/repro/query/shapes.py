@@ -1,0 +1,265 @@
+"""Query-graph shape analysis.
+
+The paper's planning pipeline needs two structural facts about a CQ:
+
+* whether the query graph is **acyclic** — node burnback alone produces
+  the ideal answer graph exactly for acyclic CQs (§3), and
+* where the **cycles** are — cyclic CQs are triangulated by the
+  Triangulator (§4.I), which needs each cycle as an ordered vertex ring.
+
+This module also classifies queries into the shapes the paper names
+(chain, star, snowflake, diamond) for reporting and mining.
+
+The query graph is treated as an undirected **multigraph** over the
+variables: two parallel edges between the same variable pair form a
+length-2 cycle (both labels must be matched by the *same* node pair, so
+node burnback alone can leave spurious edges exactly as in longer
+cycles). Edges with a constant endpoint hang off the graph and never
+participate in cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.query.model import ConjunctiveQuery, Var
+
+
+class QueryShape(enum.Enum):
+    """The shapes the paper names, plus catch-all classes."""
+
+    SINGLE_EDGE = "single-edge"
+    CHAIN = "chain"
+    STAR = "star"
+    SNOWFLAKE = "snowflake"
+    TREE = "tree"
+    DIAMOND = "diamond"
+    CYCLE = "cycle"
+    CYCLIC_OTHER = "cyclic-other"
+
+
+def _var_var_edges(query: ConjunctiveQuery) -> list[tuple[int, Var, Var]]:
+    """Edges with two (possibly equal) variable endpoints."""
+    out = []
+    for i, edge in enumerate(query.edges):
+        vars_ = edge.variables()
+        if len(vars_) == 2:
+            out.append((i, vars_[0], vars_[1]))
+        elif len(vars_) == 1 and edge.subject == edge.object:
+            out.append((i, vars_[0], vars_[0]))
+    return out
+
+
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """Whether the query graph is a forest (no cycles, incl. parallel
+    edges and self-loops)."""
+    parent: dict[Var, Var] = {}
+
+    def find(v: Var) -> Var:
+        root = v
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(v, v) != v:
+            parent[v], v = root, parent[v]
+        return root
+
+    for _, u, v in _var_var_edges(query):
+        if u == v:
+            return False
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            return False
+        parent[ru] = rv
+    return True
+
+
+def find_cycles(query: ConjunctiveQuery) -> list[list[int]]:
+    """Fundamental cycles of the query graph as lists of edge indexes.
+
+    Builds a spanning forest over the variables; each non-tree edge
+    closes exactly one cycle: the non-tree edge plus the tree path
+    between its endpoints. Self-loops yield single-edge cycles and a
+    parallel edge yields a two-edge cycle.
+
+    The returned basis is what the Triangulator chordifies. For a
+    diamond CQ the single returned cycle has the 4 edges of the ring.
+    """
+    edges = _var_var_edges(query)
+    adjacency: dict[Var, list[tuple[int, Var]]] = {}
+    for idx, u, v in edges:
+        adjacency.setdefault(u, []).append((idx, v))
+        adjacency.setdefault(v, []).append((idx, u))
+
+    tree_parent: dict[Var, tuple[Var, int]] = {}  # var -> (parent var, edge idx)
+    depth: dict[Var, int] = {}
+    tree_edges: set[int] = set()
+    cycles: list[list[int]] = []
+
+    for root in adjacency:
+        if root in depth:
+            continue
+        depth[root] = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for idx, neighbor in adjacency[node]:
+                if idx in tree_edges:
+                    continue
+                if neighbor not in depth:
+                    depth[neighbor] = depth[node] + 1
+                    tree_parent[neighbor] = (node, idx)
+                    tree_edges.add(idx)
+                    stack.append(neighbor)
+
+    for idx, u, v in edges:
+        if idx in tree_edges:
+            continue
+        if u == v:
+            cycles.append([idx])
+            continue
+        # Tree path u..v via lowest common ancestor.
+        path_edges = [idx]
+        uu, vv = u, v
+        while depth[uu] > depth[vv]:
+            parent_var, eidx = tree_parent[uu]
+            path_edges.append(eidx)
+            uu = parent_var
+        while depth[vv] > depth[uu]:
+            parent_var, eidx = tree_parent[vv]
+            path_edges.append(eidx)
+            vv = parent_var
+        while uu != vv:
+            parent_var, eidx = tree_parent[uu]
+            path_edges.append(eidx)
+            uu = parent_var
+            parent_var, eidx = tree_parent[vv]
+            path_edges.append(eidx)
+            vv = parent_var
+        cycles.append(path_edges)
+    return cycles
+
+
+def cycle_vertex_ring(query: ConjunctiveQuery, cycle_edges: list[int]) -> list[Var]:
+    """Order the variables of a simple cycle as a ring.
+
+    ``cycle_edges`` must form a simple cycle (as returned by
+    :func:`find_cycles` when the basis cycle is simple). The result
+    lists each variable once, such that consecutive ring entries (and
+    the last/first pair) are joined by exactly the cycle's edges.
+    """
+    if len(cycle_edges) == 1:  # self-loop
+        edge = query.edges[cycle_edges[0]]
+        return [edge.variables()[0]]
+    adjacency: dict[Var, list[tuple[int, Var]]] = {}
+    for idx in cycle_edges:
+        vars_ = query.edges[idx].variables()
+        u, v = vars_[0], vars_[-1]
+        adjacency.setdefault(u, []).append((idx, v))
+        adjacency.setdefault(v, []).append((idx, u))
+    start = next(iter(adjacency))
+    ring = [start]
+    used: set[int] = set()
+    current = start
+    while len(used) < len(cycle_edges):
+        for idx, neighbor in adjacency[current]:
+            if idx not in used:
+                used.add(idx)
+                if neighbor != start or len(used) < len(cycle_edges):
+                    if len(used) < len(cycle_edges):
+                        ring.append(neighbor)
+                current = neighbor
+                break
+        else:  # pragma: no cover - malformed input
+            raise ValueError("edges do not form a simple cycle")
+    return ring
+
+
+def classify_shape(query: ConjunctiveQuery) -> QueryShape:
+    """Classify ``query`` into one of :class:`QueryShape`.
+
+    Shape definitions (degrees count variable-variable edges only):
+
+    * ``SINGLE_EDGE`` — one triple pattern.
+    * ``CHAIN`` — acyclic path: all degrees ≤ 2.
+    * ``STAR`` — one center incident to every edge, all leaves degree 1.
+    * ``SNOWFLAKE`` — acyclic, diameter-4 tree: a star of stars as in the
+      paper's ``CQ_S`` (a center whose arms themselves have leaves).
+    * ``TREE`` — any other acyclic query.
+    * ``DIAMOND`` — a single 4-cycle using every edge (the paper's
+      ``CQ_D``).
+    * ``CYCLE`` — a single k-cycle using every edge.
+    * ``CYCLIC_OTHER`` — anything else with a cycle.
+    """
+    if len(query.edges) == 1:
+        return QueryShape.SINGLE_EDGE
+
+    vv = _var_var_edges(query)
+    degree: dict[Var, int] = {}
+    for _, u, v in vv:
+        degree[u] = degree.get(u, 0) + 1
+        if v != u:
+            degree[v] = degree.get(v, 0) + 1
+
+    if not is_acyclic(query):
+        cycles = find_cycles(query)
+        covers_all = (
+            len(cycles) == 1
+            and len(vv) == len(query.edges)
+            and sorted(cycles[0]) == list(range(len(query.edges)))
+        )
+        if covers_all and all(d == 2 for d in degree.values()):
+            if len(cycles[0]) == 4:
+                return QueryShape.DIAMOND
+            return QueryShape.CYCLE
+        return QueryShape.CYCLIC_OTHER
+
+    degrees = sorted(degree.values())
+    if degrees and degrees[-1] <= 2:
+        return QueryShape.CHAIN
+    # Star: some center covers all edges, every other var has degree 1.
+    for center, d in degree.items():
+        if d == len(vv) and len(vv) == len(query.edges):
+            others = [dv for v, dv in degree.items() if v != center]
+            if all(dv == 1 for dv in others):
+                return QueryShape.STAR
+    if _is_snowflake(query, degree):
+        return QueryShape.SNOWFLAKE
+    return QueryShape.TREE
+
+
+def _is_snowflake(query: ConjunctiveQuery, degree: dict[Var, int]) -> bool:
+    """A depth-2 tree when rooted at its unique max-degree center, with
+    at least two arms and at least one arm that itself branches."""
+    vv = _var_var_edges(query)
+    if len(vv) != len(query.edges):
+        return False
+    adjacency: dict[Var, list[Var]] = {}
+    for _, u, v in vv:
+        adjacency.setdefault(u, []).append(v)
+        adjacency.setdefault(v, []).append(u)
+    candidates = [v for v, d in degree.items() if d >= 2]
+    for center in candidates:
+        depths = {center: 0}
+        stack = [center]
+        ok = True
+        while stack:
+            node = stack.pop()
+            for neighbor in adjacency[node]:
+                if neighbor in depths:
+                    continue
+                depths[neighbor] = depths[node] + 1
+                if depths[neighbor] > 2:
+                    ok = False
+                    break
+                stack.append(neighbor)
+            if not ok:
+                break
+        if not ok or len(depths) != len(adjacency):
+            continue
+        arms = [v for v in adjacency[center]]
+        has_branching_arm = any(
+            any(depths.get(w) == 2 for w in adjacency[arm]) for arm in arms
+        )
+        if len(arms) >= 2 and has_branching_arm:
+            return True
+    return False

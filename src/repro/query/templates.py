@@ -1,0 +1,147 @@
+"""Query templates: parametric query graphs with edge-label slots.
+
+The paper's query miner "generates queries over a dataset using query
+templates (with placeholders for edge labels)" (§5). A
+:class:`QueryTemplate` is exactly that: a fixed query graph whose edge
+labels are numbered slots; :meth:`QueryTemplate.instantiate` fills the
+slots to produce a :class:`~repro.query.model.ConjunctiveQuery`.
+
+Two templates reproduce the paper's micro-benchmark:
+
+* :func:`snowflake_template` — ``CQ_S`` of Fig. 3: a center ``?x`` with
+  three arms (``?m``, ``?y``, ``?z``), each arm carrying two leaf edges
+  (9 edges, 10 variables).
+* :func:`diamond_template` — ``CQ_D`` of Fig. 4: an undirected 4-cycle
+  ``?x–?e–?y–?z–?x`` realized as two source variables ``?x``, ``?y``
+  whose out-edges meet at ``?e`` and ``?z`` (4 edges, 4 variables).
+
+Generic chain/star/cycle templates support tests and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Sequence
+
+from repro.errors import QueryError
+from repro.query.model import ConjunctiveQuery
+
+
+class TemplateEdge(NamedTuple):
+    """A directed template edge ``subject --slot--> object``."""
+
+    subject: str  # variable name without '?'
+    slot: int
+    object: str
+
+
+class QueryTemplate(NamedTuple):
+    """A query graph with numbered label slots."""
+
+    name: str
+    edges: tuple[TemplateEdge, ...]
+
+    @property
+    def num_slots(self) -> int:
+        return 1 + max(e.slot for e in self.edges)
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for edge in self.edges:
+            for v in (edge.subject, edge.object):
+                if v not in seen:
+                    seen.append(v)
+        return tuple(seen)
+
+    def instantiate(
+        self, labels: Sequence[str], name: str | None = None, distinct: bool = True
+    ) -> ConjunctiveQuery:
+        """Fill every slot with the corresponding label.
+
+        ``labels[i]`` goes into slot ``i``. The result projects all
+        variables (``select distinct ?x, ...`` as in the paper's
+        Fig. 3 query).
+        """
+        if len(labels) != self.num_slots:
+            raise QueryError(
+                f"template {self.name!r} has {self.num_slots} slots, "
+                f"got {len(labels)} labels"
+            )
+        edges = [
+            (f"?{e.subject}", labels[e.slot], f"?{e.object}") for e in self.edges
+        ]
+        if name is None:
+            name = f"{self.name}({'/'.join(labels)})"
+        return ConjunctiveQuery(edges, distinct=distinct, name=name)
+
+
+def chain_template(length: int = 3, name: str | None = None) -> QueryTemplate:
+    """A directed chain ``?v0 -0-> ?v1 -1-> ... -k-1-> ?vk``.
+
+    ``chain_template(3)`` is the paper's Fig. 1 query ``CQ_C`` shape
+    (``?w :A ?x . ?x :B ?y . ?y :C ?z``).
+    """
+    if length < 1:
+        raise QueryError("chain length must be >= 1")
+    edges = tuple(
+        TemplateEdge(f"v{i}", i, f"v{i + 1}") for i in range(length)
+    )
+    return QueryTemplate(name or f"chain{length}", edges)
+
+
+def star_template(arms: int = 3, name: str | None = None) -> QueryTemplate:
+    """A star: center ``?x`` with ``arms`` outgoing edges."""
+    if arms < 2:
+        raise QueryError("a star needs at least 2 arms")
+    edges = tuple(TemplateEdge("x", i, f"l{i}") for i in range(arms))
+    return QueryTemplate(name or f"star{arms}", edges)
+
+
+def snowflake_template() -> QueryTemplate:
+    """The paper's 9-edge snowflake ``CQ_S`` (Fig. 3).
+
+    Slot layout (matching the label order of Table 1's rows)::
+
+        0: ?x -> ?m      3: ?m -> ?a      5: ?y -> ?c      7: ?z -> ?e
+        1: ?x -> ?y      4: ?m -> ?b      6: ?y -> ?d      8: ?z -> ?f
+        2: ?x -> ?z
+    """
+    edges = (
+        TemplateEdge("x", 0, "m"),
+        TemplateEdge("x", 1, "y"),
+        TemplateEdge("x", 2, "z"),
+        TemplateEdge("m", 3, "a"),
+        TemplateEdge("m", 4, "b"),
+        TemplateEdge("y", 5, "c"),
+        TemplateEdge("y", 6, "d"),
+        TemplateEdge("z", 7, "e"),
+        TemplateEdge("z", 8, "f"),
+    )
+    return QueryTemplate("snowflake", edges)
+
+
+def diamond_template() -> QueryTemplate:
+    """The paper's 4-edge diamond ``CQ_D`` (Fig. 4).
+
+    Two sources ``?x`` and ``?y`` whose out-edges meet at ``?e`` and
+    ``?z``, forming the undirected 4-cycle ``x–e–y–z–x``::
+
+        0: ?x -> ?e    1: ?x -> ?z    2: ?y -> ?e    3: ?y -> ?z
+    """
+    edges = (
+        TemplateEdge("x", 0, "e"),
+        TemplateEdge("x", 1, "z"),
+        TemplateEdge("y", 2, "e"),
+        TemplateEdge("y", 3, "z"),
+    )
+    return QueryTemplate("diamond", edges)
+
+
+def cycle_template(length: int = 4, name: str | None = None) -> QueryTemplate:
+    """A directed k-cycle ``?v0 -> ?v1 -> ... -> ?v0``."""
+    if length < 3:
+        raise QueryError("cycle length must be >= 3")
+    edges = tuple(
+        TemplateEdge(f"v{i}", i, f"v{(i + 1) % length}") for i in range(length)
+    )
+    return QueryTemplate(name or f"cycle{length}", edges)

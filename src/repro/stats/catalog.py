@@ -1,0 +1,233 @@
+"""The offline 1-gram / 2-gram edge-label statistics catalog.
+
+**1-gram** statistics describe a single edge label ``L``: how many
+``L``-edges the graph has and over how many distinct subjects/objects
+they spread (hence average fan-out/fan-in).
+
+**2-gram** statistics describe how two labels ``L1``, ``L2`` connect.
+For each of the four join orientations — which position of ``L1`` meets
+which position of ``L2`` — the catalog records how many *nodes* are
+shared and how many *edge pairs* join through them:
+
+====== ======================================== =======================
+orient meaning                                   example pattern
+====== ======================================== =======================
+``os`` object of L1 = subject of L2              path ``-L1-> n -L2->``
+``oo`` object of L1 = object of L2               fan-in ``-L1-> n <-L2-``
+``ss`` subject of L1 = subject of L2             fan-out ``<-L1- n -L2->``
+``so`` subject of L1 = object of L2              reverse path
+====== ======================================== =======================
+
+``join_pairs`` for orientation ``os`` is exactly
+``|L1 ⋈ (o=s) L2|`` — the true size of the two-edge join — computed
+offline in one pass over the graph's nodes. This is what both planners
+cost chords and early extensions with.
+
+The catalog is a plain value object: build it once per dataset with
+:func:`build_catalog` (the paper's "computed offline" step), then share
+it across planners, engines, and benchmarks. It can be serialized to a
+JSON-compatible dict.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+from repro.graph.store import TripleStore
+
+ORIENTATIONS = ("os", "oo", "ss", "so")
+
+
+class UnigramStat(NamedTuple):
+    """Per-label statistics."""
+
+    count: int  # number of edges with this label
+    distinct_subjects: int
+    distinct_objects: int
+
+    @property
+    def avg_out(self) -> float:
+        """Average fan-out of a subject that has this label at all."""
+        return self.count / self.distinct_subjects if self.distinct_subjects else 0.0
+
+    @property
+    def avg_in(self) -> float:
+        """Average fan-in of an object that has this label at all."""
+        return self.count / self.distinct_objects if self.distinct_objects else 0.0
+
+
+class BigramStat(NamedTuple):
+    """Per-(label-pair, orientation) join statistics."""
+
+    join_nodes: int  # distinct shared nodes
+    join_pairs: int  # exact two-edge join cardinality
+
+
+_EMPTY_BIGRAM = BigramStat(0, 0)
+
+
+class Catalog:
+    """Immutable container of unigram and bigram label statistics."""
+
+    __slots__ = ("unigrams", "bigrams", "num_triples", "num_nodes")
+
+    def __init__(
+        self,
+        unigrams: dict[int, UnigramStat],
+        bigrams: dict[tuple[int, int, str], BigramStat],
+        num_triples: int,
+        num_nodes: int,
+    ):
+        self.unigrams = unigrams
+        self.bigrams = bigrams
+        self.num_triples = num_triples
+        self.num_nodes = num_nodes
+
+    # ------------------------------------------------------------------
+
+    def unigram(self, p: int | None) -> UnigramStat:
+        """Stats for label ``p`` (zeros for unknown/``None`` labels)."""
+        if p is None:
+            return UnigramStat(0, 0, 0)
+        return self.unigrams.get(p, UnigramStat(0, 0, 0))
+
+    def bigram(self, p1: int | None, p2: int | None, orient: str) -> BigramStat:
+        """Join stats for ``(p1, p2)`` under ``orient``.
+
+        Orientation is from ``p1``'s perspective then ``p2``'s: ``"os"``
+        joins the object of ``p1`` with the subject of ``p2``. Unknown
+        labels yield zeros.
+        """
+        if orient not in ORIENTATIONS:
+            raise ValueError(f"unknown orientation {orient!r}")
+        if p1 is None or p2 is None:
+            return _EMPTY_BIGRAM
+        stat = self.bigrams.get((p1, p2, orient))
+        if stat is not None:
+            return stat
+        # Bigrams are stored once per unordered pair where symmetric:
+        # (p1,p2,"oo") == (p2,p1,"oo") and likewise for "ss"; and
+        # (p1,p2,"os") == (p2,p1,"so"). Fall back to the mirror.
+        mirror = {"os": "so", "so": "os", "oo": "oo", "ss": "ss"}[orient]
+        return self.bigrams.get((p2, p1, mirror), _EMPTY_BIGRAM)
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (for offline persistence)."""
+        return {
+            "num_triples": self.num_triples,
+            "num_nodes": self.num_nodes,
+            "unigrams": {str(p): list(u) for p, u in self.unigrams.items()},
+            "bigrams": {
+                f"{p1},{p2},{orient}": list(b)
+                for (p1, p2, orient), b in self.bigrams.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Catalog":
+        unigrams = {int(p): UnigramStat(*u) for p, u in data["unigrams"].items()}
+        bigrams = {}
+        for key, b in data["bigrams"].items():
+            p1, p2, orient = key.split(",")
+            bigrams[(int(p1), int(p2), orient)] = BigramStat(*b)
+        return cls(unigrams, bigrams, data["num_triples"], data["num_nodes"])
+
+    def __repr__(self) -> str:
+        return (
+            f"Catalog({len(self.unigrams)} labels, {len(self.bigrams)} bigram "
+            f"entries, {self.num_triples} triples)"
+        )
+
+
+def build_catalog(
+    store: TripleStore,
+    sample_nodes: int | None = None,
+    seed: int = 0,
+) -> Catalog:
+    """Compute the catalog in one pass over the store.
+
+    Unigrams come straight from the predicate-first indexes (always
+    exact). Bigrams are accumulated node-at-a-time: for each node ``n``,
+    every label pair in ``in-labels(n) × out-labels(n)`` contributes to
+    ``os``/``so``, every pair in ``out × out`` to ``ss``, and every pair
+    in ``in × in`` to ``oo``. Runtime is O(Σ_n |labels(n)|²), which is
+    small for heterogeneous graphs where each node carries a handful of
+    labels.
+
+    ``sample_nodes`` makes the bigram pass *sampled*: only that many
+    uniformly-drawn nodes are scanned and every bigram figure is scaled
+    by ``num_nodes / sample_nodes`` (a Horvitz–Thompson estimate). This
+    is how the paper-scale "computed offline" step stays feasible on
+    graphs where a full node scan is too expensive; estimates remain
+    unbiased, and the planners only use them for relative comparisons.
+    """
+    unigrams: dict[int, UnigramStat] = {}
+    for p in store.predicates():
+        count = store.count(p)
+        ds = sum(1 for _ in store.subjects(p))
+        do = sum(1 for _ in store.objects(p))
+        unigrams[p] = UnigramStat(count, ds, do)
+
+    # Per-node label incidence with degrees.
+    out_deg: dict[int, dict[int, int]] = {}  # node -> {label: out-degree}
+    in_deg: dict[int, dict[int, int]] = {}
+    for p in store.predicates():
+        for s in store.subjects(p):
+            out_deg.setdefault(s, {})[p] = store.out_degree(p, s)
+        for o in store.objects(p):
+            in_deg.setdefault(o, {})[p] = store.in_degree(p, o)
+
+    all_nodes = store.nodes()
+    scale = 1.0
+    if sample_nodes is not None and sample_nodes < len(all_nodes):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        node_list = sorted(all_nodes)
+        chosen = rng.choice(len(node_list), size=sample_nodes, replace=False)
+        scan_nodes: Iterable[int] = (node_list[i] for i in sorted(chosen))
+        scale = len(node_list) / sample_nodes
+    else:
+        scan_nodes = all_nodes
+
+    nodes_acc: dict[tuple[int, int, str], float] = {}
+    pairs_acc: dict[tuple[int, int, str], float] = {}
+
+    def bump(p1: int, p2: int, orient: str, pairs: int) -> None:
+        key = (p1, p2, orient)
+        nodes_acc[key] = nodes_acc.get(key, 0.0) + 1.0
+        pairs_acc[key] = pairs_acc.get(key, 0.0) + pairs
+
+    for node in scan_nodes:
+        outs = out_deg.get(node)
+        ins = in_deg.get(node)
+        if outs:
+            for p1, d1 in outs.items():
+                for p2, d2 in outs.items():
+                    if p1 <= p2:  # store each unordered ss pair once
+                        bump(p1, p2, "ss", d1 * d2)
+        if ins:
+            for p1, d1 in ins.items():
+                for p2, d2 in ins.items():
+                    if p1 <= p2:
+                        bump(p1, p2, "oo", d1 * d2)
+        if outs and ins:
+            for p1, d1 in ins.items():  # p1's object is this node
+                for p2, d2 in outs.items():  # p2's subject is this node
+                    bump(p1, p2, "os", d1 * d2)
+
+    bigrams = {
+        key: BigramStat(
+            max(int(round(nodes_acc[key] * scale)), 1),
+            max(int(round(pairs_acc[key] * scale)), 1),
+        )
+        for key in nodes_acc
+    }
+    return Catalog(
+        unigrams=unigrams,
+        bigrams=bigrams,
+        num_triples=store.num_triples,
+        num_nodes=store.num_nodes,
+    )

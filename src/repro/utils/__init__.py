@@ -1,0 +1,7 @@
+"""Small shared utilities: deadlines, RNG handling, text tables."""
+
+from repro.utils.deadline import Deadline
+from repro.utils.rng import make_rng, spawn_rng
+from repro.utils.tables import TextTable
+
+__all__ = ["Deadline", "make_rng", "spawn_rng", "TextTable"]

@@ -1,0 +1,60 @@
+"""Minimal fixed-width text tables for benchmark reports.
+
+The benchmark harness prints results in the same row/column layout as
+the paper's Table 1; this module provides the formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class TextTable:
+    """Accumulate rows, then render an aligned monospace table.
+
+    >>> t = TextTable(["q", "time"])
+    >>> t.add_row(["Q1", 1.25])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    q   | time
+    ----+-----
+    Q1  | 1.25
+    """
+
+    def __init__(self, headers: Sequence[str], float_format: str = "{:.2f}"):
+        self.headers = [str(h) for h in headers]
+        self.float_format = float_format
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [self._format_cell(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def _format_cell(self, cell: object) -> str:
+        if cell is None:
+            return "*"  # the paper's timeout marker
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            return self.float_format.format(cell)
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header.rstrip())
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            line = " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            lines.append(line.rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,97 @@
+"""Tests for the benchmark timing harness."""
+
+import time
+
+import pytest
+
+from repro.bench.harness import BenchmarkProtocol, QueryTiming, run_query, run_suite
+from repro.core.engine import WireframeEngine
+from repro.datasets.motifs import figure1_graph, figure1_query
+from repro.engine_api import Engine, EngineResult
+
+
+def test_protocol_defaults_valid():
+    p = BenchmarkProtocol()
+    assert p.runs > p.discard
+
+
+def test_protocol_validation():
+    with pytest.raises(ValueError):
+        BenchmarkProtocol(runs=0)
+    with pytest.raises(ValueError):
+        BenchmarkProtocol(runs=2, discard=2)
+
+
+def test_run_query_basic():
+    store = figure1_graph()
+    engine = WireframeEngine(store)
+    timing = run_query(
+        engine, figure1_query(), BenchmarkProtocol(runs=3, discard=1, timeout=30)
+    )
+    assert timing.engine == "WF"
+    assert timing.count == 12
+    assert not timing.timed_out
+    assert len(timing.run_seconds) == 3
+    # Average of the measured (non-discarded) runs.
+    expected = sum(timing.run_seconds[1:]) / 2
+    assert timing.seconds == pytest.approx(expected)
+
+
+def test_run_query_single_run_no_discard():
+    store = figure1_graph()
+    timing = run_query(
+        WireframeEngine(store),
+        figure1_query(),
+        BenchmarkProtocol(runs=1, discard=0, timeout=30),
+    )
+    assert timing.seconds == pytest.approx(timing.run_seconds[0])
+
+
+class _SlowEngine(Engine):
+    """Cooperatively times out on every call."""
+
+    name = "SLOW"
+
+    def evaluate(self, query, deadline=None, materialize=True):
+        assert deadline is not None
+        while True:
+            time.sleep(0.002)
+            deadline.check_now()
+
+
+def test_timeout_reported_as_star():
+    timing = run_query(
+        _SlowEngine(),
+        figure1_query(),
+        BenchmarkProtocol(runs=2, discard=1, timeout=0.02),
+    )
+    assert timing.timed_out
+    assert timing.seconds is None
+    assert timing.count is None
+
+
+class _CountingEngine(Engine):
+    name = "CNT"
+
+    def __init__(self):
+        self.calls = 0
+
+    def evaluate(self, query, deadline=None, materialize=True):
+        self.calls += 1
+        return EngineResult(engine=self.name, count=7, rows=None)
+
+
+def test_warm_cache_protocol_runs_n_times():
+    engine = _CountingEngine()
+    run_query(engine, figure1_query(), BenchmarkProtocol(runs=4, discard=1, timeout=5))
+    assert engine.calls == 4
+
+
+def test_run_suite_grid():
+    store = figure1_graph()
+    engines = [WireframeEngine(store)]
+    queries = [figure1_query()]
+    queries[0].name = None  # exercise the fallback label
+    results = run_suite(engines, queries, BenchmarkProtocol(runs=1, discard=0))
+    assert ("WF", "?") in results
+    assert isinstance(results[("WF", "?")], QueryTiming)

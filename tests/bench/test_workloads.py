@@ -1,0 +1,49 @@
+"""Tests for benchmark configuration knobs."""
+
+import pytest
+
+from repro.bench.workloads import (
+    ENGINE_ORDER,
+    bench_protocol,
+    bench_runs,
+    bench_scale,
+    bench_timeout,
+    default_engines,
+)
+from repro.datasets.motifs import figure1_graph
+
+
+def test_engine_order_matches_table1():
+    assert ENGINE_ORDER == ("PG", "WF", "VT", "MD", "NJ")
+
+
+def test_env_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+    monkeypatch.setenv("REPRO_BENCH_RUNS", "7")
+    monkeypatch.setenv("REPRO_BENCH_TIMEOUT", "12")
+    assert bench_scale() == 0.5
+    assert bench_runs() == 7
+    assert bench_timeout() == 12.0
+    protocol = bench_protocol()
+    assert protocol.runs == 7 and protocol.discard == 1
+    assert protocol.timeout == 12.0
+
+
+def test_single_run_protocol(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_RUNS", "1")
+    protocol = bench_protocol()
+    assert protocol.runs == 1 and protocol.discard == 0
+
+
+def test_default_engines_on_custom_store():
+    store = figure1_graph()
+    engines = default_engines(store)
+    assert [e.name for e in engines] == list(ENGINE_ORDER)
+
+
+def test_engine_subset_and_unknown():
+    store = figure1_graph()
+    engines = default_engines(store, names=("WF", "NJ"))
+    assert [e.name for e in engines] == ["WF", "NJ"]
+    with pytest.raises(ValueError):
+        default_engines(store, names=("WF", "XX"))

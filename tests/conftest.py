@@ -1,0 +1,82 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.motifs import (
+    figure1_graph,
+    figure1_query,
+    figure4_graph,
+    figure4_query,
+)
+from repro.datasets.yago_like import generate_yago_like
+from repro.graph.builder import store_from_edges
+from repro.graph.store import TripleStore
+from repro.stats.catalog import build_catalog
+
+
+@pytest.fixture
+def fig1_graph() -> TripleStore:
+    return figure1_graph()
+
+
+@pytest.fixture
+def fig1_query():
+    return figure1_query()
+
+
+@pytest.fixture
+def fig4_graph() -> TripleStore:
+    return figure4_graph()
+
+
+@pytest.fixture
+def fig4_query():
+    return figure4_query()
+
+
+@pytest.fixture(scope="session")
+def mini_yago() -> TripleStore:
+    """A small YAGO-like graph shared across the session (read-only)."""
+    return generate_yago_like(scale=0.12, seed=7)
+
+
+@pytest.fixture(scope="session")
+def mini_yago_catalog(mini_yago):
+    return build_catalog(mini_yago)
+
+
+@pytest.fixture
+def triangle_graph() -> TripleStore:
+    """A graph with two triangles and one dangling path (for cyclic tests)."""
+    return store_from_edges(
+        {
+            "A": [("1", "2"), ("4", "5"), ("1", "7")],
+            "B": [("2", "3"), ("5", "6"), ("7", "8")],
+            "C": [("1", "3"), ("4", "6")],
+        }
+    )
+
+
+def random_store(
+    rng: np.random.Generator,
+    num_nodes: int = 12,
+    labels: tuple[str, ...] = ("A", "B", "C"),
+    density: float = 0.15,
+) -> TripleStore:
+    """A random small labeled digraph (used by property tests)."""
+    store = TripleStore()
+    for label in labels:
+        n_edges = max(1, int(density * num_nodes * num_nodes))
+        src = rng.integers(0, num_nodes, size=n_edges)
+        dst = rng.integers(0, num_nodes, size=n_edges)
+        for s, o in zip(src.tolist(), dst.tolist()):
+            store.add_term_triple(f"n{s}", label, f"n{o}")
+    return store
+
+
+def rows_sorted(rows):
+    """Canonical form for comparing result multisets."""
+    return sorted(rows)

@@ -1,0 +1,155 @@
+"""Tests for bushy-plan execution over the answer graph."""
+
+import pytest
+
+from repro.core.bushy_exec import materialize_embeddings_bushy
+from repro.core.engine import WireframeEngine
+from repro.core.generation import generate_answer_graph
+from repro.core.ideal import enumerate_embeddings_bruteforce
+from repro.datasets.motifs import (
+    figure1_graph,
+    figure1_query,
+    figure4_graph,
+    figure4_query,
+)
+from repro.errors import PlanError
+from repro.graph.builder import store_from_edges
+from repro.planner.bushy import BushyJoin, BushyLeaf, BushyPlan
+from repro.planner.plan import AGPlan
+from repro.query.algebra import bind_query
+from repro.query.parser import parse_sparql
+
+
+def make_ag(store, query):
+    bound = bind_query(query, store)
+    n = len(bound.edges)
+    plan = AGPlan(tuple(range(n)), (0.0,) * n, 0.0)
+    ag, _ = generate_answer_graph(bound, plan)
+    return ag
+
+
+def test_manual_tree_matches_oracle():
+    store = figure1_graph()
+    ag = make_ag(store, figure1_query())
+    tree = BushyPlan(BushyJoin(BushyLeaf(0), BushyJoin(BushyLeaf(1), BushyLeaf(2))), 0.0)
+    rows = materialize_embeddings_bushy(ag, tree)
+    oracle = enumerate_embeddings_bruteforce(store, figure1_query())
+    assert sorted(rows) == sorted(oracle)
+
+
+def test_all_tree_shapes_agree():
+    store = figure1_graph()
+    ag = make_ag(store, figure1_query())
+    oracle = sorted(enumerate_embeddings_bruteforce(store, figure1_query()))
+    trees = [
+        BushyJoin(BushyJoin(BushyLeaf(0), BushyLeaf(1)), BushyLeaf(2)),
+        BushyJoin(BushyLeaf(0), BushyJoin(BushyLeaf(1), BushyLeaf(2))),
+        BushyJoin(BushyJoin(BushyLeaf(2), BushyLeaf(1)), BushyLeaf(0)),
+    ]
+    for tree in trees:
+        rows = materialize_embeddings_bushy(ag, BushyPlan(tree, 0.0))
+        assert sorted(rows) == oracle
+
+
+def test_diamond_bushy_execution():
+    store = figure4_graph()
+    ag = make_ag(store, figure4_query())
+    # Join the two "source" edges of each meeting point, then combine:
+    # (A ⋈ B on ?x) ⋈ (C ⋈ D on ?y) on {?e, ?z} — a genuinely bushy tree.
+    tree = BushyPlan(
+        BushyJoin(
+            BushyJoin(BushyLeaf(0), BushyLeaf(1)),
+            BushyJoin(BushyLeaf(2), BushyLeaf(3)),
+        ),
+        0.0,
+    )
+    rows = materialize_embeddings_bushy(ag, tree)
+    oracle = enumerate_embeddings_bruteforce(store, figure4_query())
+    assert sorted(rows) == sorted(oracle)
+
+
+def test_engine_bushy_matches_greedy():
+    for store, query in (
+        (figure1_graph(), figure1_query()),
+        (figure4_graph(), figure4_query()),
+    ):
+        greedy = WireframeEngine(store).evaluate(query)
+        bushy = WireframeEngine(store, embedding_planner="bushy").evaluate(query)
+        assert sorted(bushy.rows) == sorted(greedy.rows)
+
+
+def test_engine_bushy_on_yago_snowflakes(mini_yago, mini_yago_catalog):
+    from repro.datasets.paper_queries import paper_snowflake_queries
+
+    greedy = WireframeEngine(mini_yago, mini_yago_catalog)
+    bushy = WireframeEngine(mini_yago, mini_yago_catalog, embedding_planner="bushy")
+    for q in paper_snowflake_queries()[:2]:
+        a = greedy.evaluate(q)
+        b = bushy.evaluate(q)
+        assert a.count == b.count
+        assert sorted(a.rows) == sorted(b.rows)
+
+
+def test_engine_exposes_bushy_plan(mini_yago, mini_yago_catalog):
+    from repro.datasets.paper_queries import paper_snowflake_queries
+
+    engine = WireframeEngine(mini_yago, mini_yago_catalog, embedding_planner="bushy")
+    detail = engine.evaluate_detailed(paper_snowflake_queries()[0])
+    assert detail.bushy_plan is not None
+    assert sorted(detail.bushy_plan.root.edges()) == list(range(9))
+    greedy_detail = WireframeEngine(mini_yago, mini_yago_catalog).evaluate_detailed(
+        paper_snowflake_queries()[0]
+    )
+    assert greedy_detail.bushy_plan is None
+
+
+def test_projection_distinct_through_bushy():
+    store = figure1_graph()
+    q = parse_sparql(
+        "select distinct ?x where { ?w :A ?x . ?x :B ?y . ?y :C ?z }"
+    )
+    result = WireframeEngine(store, embedding_planner="bushy").evaluate(q)
+    assert result.count == 1
+    assert result.rows == [(store.dictionary.lookup("5"),)]
+
+
+def test_empty_ag():
+    store = store_from_edges({"A": [("1", "2")], "B": [("8", "9")]})
+    q = parse_sparql("select * where { ?x A ?y . ?y B ?z }")
+    result = WireframeEngine(store, embedding_planner="bushy").evaluate(q)
+    assert result.count == 0 and result.rows == []
+
+
+def test_partial_tree_rejected():
+    store = figure1_graph()
+    ag = make_ag(store, figure1_query())
+    tree = BushyPlan(BushyJoin(BushyLeaf(0), BushyLeaf(1)), 0.0)
+    with pytest.raises(PlanError):
+        materialize_embeddings_bushy(ag, tree)
+
+
+def test_cross_product_tree_rejected():
+    store = figure1_graph()
+    ag = make_ag(store, figure1_query())
+    # (A ⋈ C) shares no variable: executor must refuse.
+    tree = BushyPlan(
+        BushyJoin(BushyJoin(BushyLeaf(0), BushyLeaf(2)), BushyLeaf(1)), 0.0
+    )
+    with pytest.raises(PlanError):
+        materialize_embeddings_bushy(ag, tree)
+
+
+def test_self_loop_leaf():
+    store = store_from_edges({"A": [("1", "1"), ("2", "3")], "B": [("1", "4")]})
+    q = parse_sparql("select * where { ?x A ?x . ?x B ?y }")
+    result = WireframeEngine(store, embedding_planner="bushy").evaluate(q)
+    d = store.dictionary.lookup
+    assert result.rows == [(d("1"), d("4"))]
+
+
+def test_constant_endpoints_bushy():
+    store = store_from_edges({"A": [("1", "2"), ("3", "2")], "B": [("2", "5")]})
+    q = parse_sparql("select * where { ?x A 2 . 2 B ?z }")
+    result = WireframeEngine(store, embedding_planner="bushy").evaluate(q)
+    oracle = enumerate_embeddings_bruteforce(store, q)
+    assert sorted(result.rows) == sorted(oracle)

@@ -1,0 +1,151 @@
+"""Tests for the end-to-end WireframeEngine."""
+
+import pytest
+
+from repro.core.engine import WireframeEngine
+from repro.core.generation import GenerationTrace
+from repro.core.ideal import enumerate_embeddings_bruteforce, ideal_answer_graph
+from repro.datasets.motifs import (
+    figure1_graph,
+    figure1_query,
+    figure4_graph,
+    figure4_query,
+)
+from repro.errors import EvaluationTimeout, QueryError
+from repro.query.model import ConjunctiveQuery
+from repro.query.parser import parse_sparql
+from repro.utils.deadline import Deadline
+
+
+def test_acyclic_end_to_end():
+    store = figure1_graph()
+    engine = WireframeEngine(store)
+    result = engine.evaluate_detailed(figure1_query())
+    assert result.count == 12
+    assert result.ag_size == 8
+    assert sorted(result.rows) == sorted(
+        enumerate_embeddings_bruteforce(store, figure1_query())
+    )
+    assert result.phase1_seconds >= 0 and result.phase2_seconds >= 0
+
+
+def test_cyclic_without_edge_burnback_default():
+    store = figure4_graph()
+    engine = WireframeEngine(store)
+    result = engine.evaluate_detailed(figure4_query())
+    assert result.count == 2
+    assert result.ag_size == 10  # non-ideal AG, as in the paper's runs
+    assert len(result.chordification.chords) == 1
+
+
+def test_cyclic_with_edge_burnback_ideal():
+    store = figure4_graph()
+    engine = WireframeEngine(store, edge_burnback=True)
+    result = engine.evaluate_detailed(figure4_query())
+    assert result.count == 2
+    assert result.ag_size == 8
+    ideal = ideal_answer_graph(store, figure4_query())
+    assert result.ag_size == sum(len(p) for p in ideal.values())
+
+
+def test_cyclic_without_chords():
+    store = figure4_graph()
+    engine = WireframeEngine(store, use_chords=False)
+    result = engine.evaluate_detailed(figure4_query())
+    assert result.count == 2
+    assert result.chordification.is_trivial
+
+
+def test_edge_burnback_requires_chords():
+    store = figure4_graph()
+    with pytest.raises(QueryError):
+        WireframeEngine(store, edge_burnback=True, use_chords=False)
+
+
+def test_unknown_embedding_planner_rejected():
+    with pytest.raises(QueryError):
+        WireframeEngine(figure1_graph(), embedding_planner="quantum")
+
+
+def test_dp_embedding_planner_same_results():
+    store = figure1_graph()
+    greedy = WireframeEngine(store, embedding_planner="greedy")
+    dp = WireframeEngine(store, embedding_planner="dp")
+    q = figure1_query()
+    assert sorted(greedy.evaluate(q).rows) == sorted(dp.evaluate(q).rows)
+
+
+def test_count_only_mode():
+    store = figure1_graph()
+    engine = WireframeEngine(store)
+    result = engine.evaluate_detailed(figure1_query(), materialize=False)
+    assert result.rows is None
+    assert result.count == 12
+
+
+def test_engine_result_interface():
+    store = figure1_graph()
+    result = WireframeEngine(store).evaluate(figure1_query())
+    assert result.engine == "WF"
+    assert result.count == 12
+    assert result.stats["ag_size"] == 8
+    assert result.stats["edge_walks"] > 0
+    assert tuple(sorted(result.stats["ag_plan"])) == (0, 1, 2)
+
+
+def test_empty_query_result():
+    store = figure1_graph()
+    q = parse_sparql("select * where { ?a A ?b . ?b A ?c }")
+    result = WireframeEngine(store).evaluate_detailed(q)
+    assert result.count == 0
+    assert result.rows == []
+    assert result.ag_size == 0
+
+
+def test_unsatisfiable_label():
+    store = figure1_graph()
+    q = parse_sparql("select * where { ?a zzz ?b }")
+    assert WireframeEngine(store).evaluate(q).count == 0
+
+
+def test_disconnected_query_rejected():
+    store = figure1_graph()
+    q = ConjunctiveQuery([("?a", "A", "?b"), ("?c", "B", "?d")])
+    with pytest.raises(QueryError):
+        WireframeEngine(store).evaluate(q)
+
+
+def test_trace_passthrough():
+    store = figure1_graph()
+    trace = GenerationTrace()
+    WireframeEngine(store).evaluate_detailed(figure1_query(), trace=trace)
+    assert trace.of_kind("extend")
+
+
+def test_timeout_propagates():
+    import time
+
+    store = figure1_graph()
+    engine = WireframeEngine(store)
+    deadline = Deadline(0.001, stride=1)
+    time.sleep(0.01)
+    with pytest.raises(EvaluationTimeout):
+        engine.evaluate(figure1_query(), deadline=deadline)
+
+
+def test_projection_distinct_through_engine():
+    store = figure1_graph()
+    q = parse_sparql(
+        "select distinct ?x where { ?w :A ?x . ?x :B ?y . ?y :C ?z }"
+    )
+    result = WireframeEngine(store).evaluate(q)
+    assert result.count == 1
+    assert result.rows == [(store.dictionary.lookup("5"),)]
+
+
+def test_total_seconds_property():
+    store = figure1_graph()
+    result = WireframeEngine(store).evaluate_detailed(figure1_query())
+    assert result.total_seconds == pytest.approx(
+        result.phase1_seconds + result.phase2_seconds
+    )

@@ -1,0 +1,118 @@
+"""Tests for phase-1 orchestration (extension + burnback interleaving)."""
+
+import pytest
+
+from repro.core.generation import GenerationTrace, generate_answer_graph
+from repro.core.ideal import ideal_answer_graph
+from repro.datasets.motifs import figure1_graph, figure1_query
+from repro.errors import PlanError
+from repro.graph.builder import store_from_edges
+from repro.planner.plan import AGPlan
+from repro.query.algebra import bind_query
+from repro.query.parser import parse_sparql
+
+
+def bound_fig1():
+    store = figure1_graph()
+    return store, bind_query(figure1_query(), store)
+
+
+def manual_plan(order):
+    return AGPlan(order=tuple(order), step_costs=(0.0,) * len(order),
+                  estimated_cost=0.0)
+
+
+def test_forward_order_reaches_ideal_ag():
+    store, bound = bound_fig1()
+    ag, stats = generate_answer_graph(bound, manual_plan([0, 1, 2]))
+    ideal = ideal_answer_graph(store, bound)
+    for eid in range(3):
+        assert ag.edge_pairs(eid) == ideal[eid]
+    assert ag.size == 8
+    assert stats.edge_walks > 0
+
+
+def test_any_connected_order_reaches_ideal_ag():
+    store, bound = bound_fig1()
+    ideal = ideal_answer_graph(store, bound)
+    for order in ([0, 1, 2], [1, 0, 2], [1, 2, 0], [2, 1, 0]):
+        ag, _ = generate_answer_graph(bound, manual_plan(order))
+        for eid in range(3):
+            assert ag.edge_pairs(eid) == ideal[eid], order
+
+
+def test_disconnected_order_rejected():
+    _, bound = bound_fig1()
+    with pytest.raises(ValueError):
+        generate_answer_graph(bound, manual_plan([0, 2, 1]))
+
+
+def test_partial_plan_rejected():
+    _, bound = bound_fig1()
+    with pytest.raises(PlanError):
+        generate_answer_graph(bound, manual_plan([0, 1]))
+
+
+def test_empty_result_short_circuits():
+    store = store_from_edges({"A": [("1", "2")], "B": [("9", "10")]})
+    bound = bind_query(
+        parse_sparql("select * where { ?x A ?y . ?y B ?z }"), store
+    )
+    ag, stats = generate_answer_graph(bound, manual_plan([0, 1]))
+    assert ag.empty
+    # The B step never walked anything useful after emptiness.
+    assert len(stats.step_walks) == 2
+
+
+def test_trace_records_fig2_cascade():
+    """Replays the worked example of Fig. 2 step by step."""
+    store, bound = bound_fig1()
+    d = store.dictionary.lookup
+    trace = GenerationTrace()
+    generate_answer_graph(bound, manual_plan([0, 1, 2]), trace=trace)
+
+    extends = trace.of_kind("extend")
+    assert [e[1] for e in extends] == [0, 1, 2]
+
+    # After extending A: all four A-edges are in the AG (incl. 4->6).
+    after_a = extends[0][2]
+    assert len(after_a["pairs"][("e", 0)]) == 4
+
+    # After extending B (x restricted to {5, 6}): pairs (5,9) and (6,10);
+    # the (7,11) B-edge was never retrieved.
+    after_b = extends[1][2]
+    assert after_b["pairs"][("e", 1)] == {
+        (d("5"), d("9")),
+        (d("6"), d("10")),
+    }
+
+    # After extending C (y restricted to {9, 10}): only 9 extends; the
+    # burnback cascade then removes 10 -> 6 -> 4 (Fig. 2's two "burning
+    # nodes" steps).
+    burnbacks = trace.of_kind("burnback")
+    final = burnbacks[-1][2]
+    assert final["pairs"][("e", 0)] == {
+        (d("1"), d("5")),
+        (d("2"), d("5")),
+        (d("3"), d("5")),
+    }
+    assert final["pairs"][("e", 1)] == {(d("5"), d("9"))}
+    assert len(final["pairs"][("e", 2)]) == 4
+    assert final["node_sets"][bound.var_index("x")] == {d("5")}
+    assert final["node_sets"][bound.var_index("y")] == {d("9")}
+
+
+def test_burned_nodes_counted():
+    store, bound = bound_fig1()
+    _, stats = generate_answer_graph(bound, manual_plan([0, 1, 2]))
+    # Nodes 10 (y), 6 (x), 4 (w) burn in the final cascade.
+    assert stats.burned_nodes >= 3
+
+
+def test_generation_stats_walks_match_paper_cost_unit():
+    store, bound = bound_fig1()
+    _, stats = generate_answer_graph(bound, manual_plan([0, 1, 2]))
+    # A scans 4 edges, B retrieves 2 (from x in {5,6}), C retrieves 4
+    # (from y in {9,10}; 10 has none).
+    assert stats.step_walks == [4, 2, 4]
+    assert stats.edge_walks == 10

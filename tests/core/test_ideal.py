@@ -1,0 +1,89 @@
+"""Tests for the oracle reference implementations."""
+
+from repro.core.ideal import (
+    enumerate_embeddings_bruteforce,
+    has_any_embedding,
+    ideal_answer_graph,
+)
+from repro.datasets.motifs import (
+    figure1_graph,
+    figure1_query,
+    figure4_graph,
+    figure4_query,
+)
+from repro.graph.builder import store_from_edges
+from repro.query.parser import parse_sparql
+
+
+def test_fig1_counts():
+    store = figure1_graph()
+    embeddings = enumerate_embeddings_bruteforce(store, figure1_query())
+    assert len(embeddings) == 12
+    assert len(set(embeddings)) == 12
+
+
+def test_fig4_embeddings_exact():
+    store = figure4_graph()
+    d = store.dictionary.lookup
+    embeddings = set(enumerate_embeddings_bruteforce(store, figure4_query()))
+    # Variables in first-appearance order: x, e, z, y.
+    assert embeddings == {
+        (d("3"), d("4"), d("2"), d("1")),
+        (d("7"), d("8"), d("6"), d("5")),
+    }
+
+
+def test_ideal_answer_graph_fig1():
+    store = figure1_graph()
+    ideal = ideal_answer_graph(store, figure1_query())
+    assert sum(len(p) for p in ideal.values()) == 8
+    d = store.dictionary.lookup
+    assert ideal[1] == {(d("5"), d("9"))}
+
+
+def test_ideal_answer_graph_excludes_spurious_fig4():
+    store = figure4_graph()
+    ideal = ideal_answer_graph(store, figure4_query())
+    assert sum(len(p) for p in ideal.values()) == 8
+    d = store.dictionary.lookup
+    b_pairs = ideal[1]  # ?x B ?z
+    assert (d("3"), d("6")) not in b_pairs
+    assert (d("7"), d("2")) not in b_pairs
+
+
+def test_has_any_embedding_true_false():
+    store = figure1_graph()
+    assert has_any_embedding(store, figure1_query())
+    assert not has_any_embedding(
+        store, parse_sparql("select * where { ?a A ?b . ?b A ?c }")
+    )
+
+
+def test_unsatisfiable_predicate():
+    store = figure1_graph()
+    q = parse_sparql("select * where { ?a noSuchLabel ?b }")
+    assert enumerate_embeddings_bruteforce(store, q) == []
+    assert not has_any_embedding(store, q)
+
+
+def test_constants_in_oracle():
+    store = store_from_edges({"A": [("1", "2"), ("3", "4")]})
+    q = parse_sparql("select * where { 1 A ?x }")
+    rows = enumerate_embeddings_bruteforce(store, q)
+    assert rows == [(store.dictionary.lookup("2"),)]
+
+
+def test_self_loop_in_oracle():
+    store = store_from_edges({"A": [("1", "1"), ("2", "3")]})
+    q = parse_sparql("select * where { ?x A ?x }")
+    rows = enumerate_embeddings_bruteforce(store, q)
+    assert rows == [(store.dictionary.lookup("1"),)]
+
+
+def test_ideal_ag_includes_constant_positions():
+    store = store_from_edges({"A": [("1", "2")], "B": [("2", "5")]})
+    q = parse_sparql("select * where { ?x A 2 . 2 B ?z }")
+    ideal = ideal_answer_graph(store, q)
+    d = store.dictionary.lookup
+    assert ideal[0] == {(d("1"), d("2"))}
+    assert ideal[1] == {(d("2"), d("5"))}

@@ -1,0 +1,61 @@
+"""Tests for dataset persistence."""
+
+import pytest
+
+from repro.datasets.loader import load_dataset, save_dataset
+from repro.datasets.motifs import figure1_graph
+from repro.stats.catalog import build_catalog
+
+
+def test_roundtrip_preserves_ids_and_triples(tmp_path):
+    store = figure1_graph()
+    catalog = build_catalog(store)
+    save_dataset(store, str(tmp_path), catalog)
+    restored, restored_catalog = load_dataset(str(tmp_path))
+    assert restored.num_triples == store.num_triples
+    assert set(restored.triples()) == set(store.triples())
+    assert list(restored.dictionary) == list(store.dictionary)
+    assert restored_catalog.unigrams == catalog.unigrams
+    assert restored_catalog.bigrams == catalog.bigrams
+    assert restored.frozen
+
+
+def test_catalog_computed_when_omitted(tmp_path):
+    store = figure1_graph()
+    save_dataset(store, str(tmp_path))
+    _, catalog = load_dataset(str(tmp_path))
+    assert catalog.num_triples == store.num_triples
+
+
+def test_catalog_ids_valid_after_reload(tmp_path):
+    store = figure1_graph()
+    save_dataset(store, str(tmp_path))
+    restored, catalog = load_dataset(str(tmp_path))
+    a = restored.dictionary.lookup("A")
+    assert catalog.unigram(a).count == restored.count(a)
+
+
+def test_load_unfrozen(tmp_path):
+    save_dataset(figure1_graph(), str(tmp_path))
+    restored, _ = load_dataset(str(tmp_path), freeze=False)
+    assert not restored.frozen
+
+
+def test_newline_terms_rejected(tmp_path):
+    from repro.graph.builder import GraphBuilder
+
+    store = GraphBuilder().edge("a\nb", "p", "c").build()
+    with pytest.raises(ValueError):
+        save_dataset(store, str(tmp_path))
+
+
+def test_queries_identical_after_reload(tmp_path):
+    from repro.core.engine import WireframeEngine
+    from repro.datasets.motifs import figure1_query
+
+    store = figure1_graph()
+    save_dataset(store, str(tmp_path))
+    restored, catalog = load_dataset(str(tmp_path))
+    before = WireframeEngine(store).evaluate(figure1_query())
+    after = WireframeEngine(restored, catalog).evaluate(figure1_query())
+    assert sorted(before.rows) == sorted(after.rows)

@@ -1,0 +1,52 @@
+"""Tests for the figure graphs and parametric motifs."""
+
+from repro.core.ideal import enumerate_embeddings_bruteforce, ideal_answer_graph
+from repro.datasets.motifs import (
+    fan_chain_graph,
+    figure1_graph,
+    figure1_query,
+    figure4_graph,
+    figure4_query,
+)
+
+
+def test_figure1_documented_counts():
+    store = figure1_graph()
+    assert store.num_nodes == 15
+    assert store.num_triples == 12  # 4 A + 3 B + 5 C
+    assert len(enumerate_embeddings_bruteforce(store, figure1_query())) == 12
+    ideal = ideal_answer_graph(store, figure1_query())
+    assert sum(len(p) for p in ideal.values()) == 8
+
+
+def test_figure4_documented_counts():
+    store = figure4_graph()
+    assert store.num_nodes == 8
+    embeddings = enumerate_embeddings_bruteforce(store, figure4_query())
+    assert len(embeddings) == 2
+    ideal = ideal_answer_graph(store, figure4_query())
+    assert sum(len(p) for p in ideal.values()) == 8
+
+
+def test_fan_chain_counts():
+    for fan_in, fan_out, hubs in ((2, 3, 1), (5, 5, 2), (1, 7, 3)):
+        store = fan_chain_graph(fan_in, fan_out, hubs)
+        q = figure1_query()
+        embeddings = enumerate_embeddings_bruteforce(store, q)
+        assert len(embeddings) == hubs * fan_in * fan_out
+        ideal = ideal_answer_graph(store, q)
+        assert sum(len(p) for p in ideal.values()) == hubs * (fan_in + 1 + fan_out)
+
+
+def test_fan_chain_ratio_grows():
+    q = figure1_query()
+
+    def ratio(fan):
+        store = fan_chain_graph(fan, fan, 1)
+        emb = len(enumerate_embeddings_bruteforce(store, q))
+        iag = sum(
+            len(p) for p in ideal_answer_graph(store, q).values()
+        )
+        return emb / iag
+
+    assert ratio(16) > ratio(4) > ratio(2)

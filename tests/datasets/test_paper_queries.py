@@ -1,0 +1,58 @@
+"""Tests for the Table-1 query definitions."""
+
+from repro.datasets.paper_queries import (
+    PAPER_DIAMOND_LABELS,
+    PAPER_SNOWFLAKE_LABELS,
+    paper_diamond_queries,
+    paper_queries,
+    paper_snowflake_queries,
+)
+from repro.query.shapes import QueryShape, classify_shape
+
+
+def test_counts():
+    assert len(PAPER_SNOWFLAKE_LABELS) == 5
+    assert len(PAPER_DIAMOND_LABELS) == 5
+    assert len(paper_queries()) == 10
+
+
+def test_snowflake_labels_match_table1_row2():
+    assert PAPER_SNOWFLAKE_LABELS[1] == (
+        "hasChild", "influences", "actedIn", "actedIn", "wasBornIn",
+        "created", "actedIn", "hasDuration", "wasCreatedOnDate",
+    )
+
+
+def test_diamond_labels_match_table1_row8():
+    assert PAPER_DIAMOND_LABELS[2] == (
+        "diedIn", "linksTo", "wasBornIn", "graduatedFrom"
+    )
+
+
+def test_shapes():
+    for q in paper_snowflake_queries():
+        assert classify_shape(q) == QueryShape.SNOWFLAKE
+    for q in paper_diamond_queries():
+        assert classify_shape(q) == QueryShape.DIAMOND
+
+
+def test_names_are_table_rows():
+    names = [q.name for q in paper_queries()]
+    assert names[0] == "CQ_S#1"
+    assert names[5] == "CQ_D#1"
+    assert names[9] == "CQ_D#5"
+
+
+def test_all_distinct_full_projection():
+    for q in paper_queries():
+        assert q.distinct
+        assert q.projection == q.variables
+
+
+def test_edge_counts():
+    for q in paper_snowflake_queries():
+        assert q.num_edges == 9
+        assert len(q.variables) == 10
+    for q in paper_diamond_queries():
+        assert q.num_edges == 4
+        assert len(q.variables) == 4

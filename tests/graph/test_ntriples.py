@@ -1,0 +1,120 @@
+"""Tests for the N-Triples reader/writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.graph.ntriples import (
+    dump_ntriples_file,
+    escape_literal,
+    load_ntriples_file,
+    parse_ntriples,
+    serialize_ntriples,
+    unescape_literal,
+)
+
+
+def parse_one(line: str):
+    return list(parse_ntriples([line]))[0]
+
+
+def test_basic_iri_triple():
+    s, p, o = parse_one("<http://a> <http://p> <http://b> .")
+    assert (s, p, o) == ("<http://a>", "<http://p>", "<http://b>")
+
+
+def test_literal_object():
+    _, _, o = parse_one('<http://a> <http://p> "hello world" .')
+    assert o == '"hello world"'
+
+
+def test_language_tagged_literal():
+    _, _, o = parse_one('<http://a> <http://p> "bonjour"@fr .')
+    assert o == '"bonjour"@fr'
+
+
+def test_datatyped_literal():
+    _, _, o = parse_one(
+        '<http://a> <http://p> "42"^^<http://www.w3.org/2001/XMLSchema#int> .'
+    )
+    assert o.startswith('"42"^^<')
+
+
+def test_blank_nodes():
+    s, _, o = parse_one("_:b0 <http://p> _:b1 .")
+    assert s == "_:b0" and o == "_:b1"
+
+
+def test_escaped_quote_in_literal():
+    _, _, o = parse_one('<http://a> <http://p> "say \\"hi\\"" .')
+    assert unescape_literal(o) == 'say "hi"'
+
+
+def test_comments_and_blank_lines_skipped():
+    lines = ["# header", "", "<http://a> <http://p> <http://b> ."]
+    assert len(list(parse_ntriples(lines))) == 1
+
+
+def test_trailing_comment_allowed():
+    s, _, _ = parse_one("<http://a> <http://p> <http://b> . # note")
+    assert s == "<http://a>"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "<http://a> <http://p> <http://b>",  # missing dot
+        "<http://a> <http://p> .",  # missing object
+        "<unterminated <http://p> <http://b> .".replace("<unterminated ", "<unterminated"),
+        '<http://a> <http://p> "unterminated .',
+        "<http://a> <http://p> <http://b> . trailing",
+        "_: <http://p> <http://b> .",  # empty blank label
+    ],
+)
+def test_malformed_lines_raise(bad):
+    with pytest.raises(ParseError):
+        list(parse_ntriples([bad]))
+
+
+def test_error_reports_line_number():
+    with pytest.raises(ParseError) as exc:
+        list(parse_ntriples(["<http://a> <http://p> <http://b> .", "garbage"]))
+    assert "line 2" in str(exc.value)
+
+
+def test_escape_unescape_roundtrip():
+    value = 'line1\nline2\t"quoted"\\backslash'
+    assert unescape_literal(escape_literal(value)) == value
+
+
+def test_unescape_rejects_non_literal():
+    with pytest.raises(ParseError):
+        unescape_literal("<http://a>")
+
+
+def test_serialize_roundtrip():
+    triples = [("<http://a>", "<http://p>", '"lit"')]
+    lines = list(serialize_ntriples(triples))
+    assert lines == ['<http://a> <http://p> "lit" .']
+    assert list(parse_ntriples(lines)) == triples
+
+
+def test_file_roundtrip(tmp_path):
+    from repro.graph.builder import GraphBuilder
+
+    store = (
+        GraphBuilder()
+        .edge("<http://a>", "<http://p>", "<http://b>")
+        .edge("<http://b>", "<http://p>", '"x y"')
+        .build()
+    )
+    path = tmp_path / "out.nt"
+    n = dump_ntriples_file(store, str(path))
+    assert n == 2
+    reloaded = load_ntriples_file(str(path))
+    original = {
+        tuple(store.dictionary.decode(x) for x in t) for t in store.triples()
+    }
+    restored = {
+        tuple(reloaded.dictionary.decode(x) for x in t) for t in reloaded.triples()
+    }
+    assert original == restored

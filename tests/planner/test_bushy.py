@@ -1,0 +1,119 @@
+"""Tests for the bushy phase-2 planner (§6 extension)."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.graph.store import TripleStore
+from repro.planner.bushy import (
+    BushyJoin,
+    BushyLeaf,
+    bushy_embedding_plan,
+)
+from repro.planner.embedding_planner import dp_embedding_plan
+from repro.query.algebra import bind_query
+from repro.query.model import ConjunctiveQuery
+from repro.query.parser import parse_sparql
+from repro.query.templates import snowflake_template
+
+
+def bind(query):
+    return bind_query(query, TripleStore())
+
+
+def uniform_counts(n, value=5):
+    return {(i, s): value for i in range(n) for s in ("s", "o")}
+
+
+def test_covers_all_edges():
+    bound = bind(parse_sparql("select * where { ?w A ?x . ?x B ?y . ?y C ?z }"))
+    plan = bushy_embedding_plan(bound, {0: 10, 1: 5, 2: 10}, uniform_counts(3))
+    assert sorted(plan.root.edges()) == [0, 1, 2]
+
+
+def test_single_edge_plan():
+    bound = bind(parse_sparql("select * where { ?a A ?b }"))
+    plan = bushy_embedding_plan(bound, {0: 7}, uniform_counts(1))
+    assert plan.root == BushyLeaf(0)
+
+
+def test_bushy_beats_left_deep_on_two_branches():
+    """Snowflake with two huge arms: joining each arm's leaves first
+    (bushy) produces smaller intermediates than any left-deep chain, so
+    the DP must pick a genuinely bushy tree."""
+    q = snowflake_template().instantiate([f"L{i}" for i in range(9)])
+    bound = bind(q)
+    # Arms explode: center edges tiny, leaves huge but selective pairs.
+    sizes = {0: 4, 1: 4, 2: 4, 3: 1000, 4: 1000, 5: 1000, 6: 1000, 7: 1000, 8: 1000}
+    counts = {}
+    for eid in range(9):
+        counts[(eid, "s")] = 4 if eid < 3 else 900
+        counts[(eid, "o")] = 4 if eid < 3 else 900
+    plan = bushy_embedding_plan(bound, sizes, counts)
+    ld = dp_embedding_plan(bound, sizes, counts)
+    assert plan.estimated_cost <= ld.estimated_cost + 1e-6
+    assert sorted(plan.root.edges()) == list(range(9))
+
+
+def test_never_worse_than_left_deep_dp():
+    bound = bind(parse_sparql(
+        "select * where { ?w A ?x . ?x B ?y . ?y C ?z . ?z D ?u }"
+    ))
+    sizes = {0: 50, 1: 2, 2: 50, 3: 9}
+    counts = uniform_counts(4, 3)
+    bushy = bushy_embedding_plan(bound, sizes, counts)
+    ld = dp_embedding_plan(bound, sizes, counts)
+    assert bushy.estimated_cost <= ld.estimated_cost + 1e-6
+
+
+def test_no_cross_products_in_tree():
+    bound = bind(parse_sparql("select * where { ?w A ?x . ?x B ?y . ?y C ?z }"))
+    plan = bushy_embedding_plan(bound, {0: 1, 1: 1, 2: 1}, uniform_counts(3))
+
+    def check(node):
+        if isinstance(node, BushyJoin):
+            left_vars = _vars(bound, node.left)
+            right_vars = _vars(bound, node.right)
+            assert left_vars & right_vars, "cross product in tree"
+            check(node.left)
+            check(node.right)
+
+    def _vars(bound, node):
+        out = set()
+        for eid in node.edges():
+            out |= bound.edges[eid].var_set()
+        return out
+
+    check(plan.root)
+
+
+def test_disconnected_rejected():
+    bound = bind(ConjunctiveQuery([("?a", "A", "?b"), ("?c", "B", "?d")]))
+    with pytest.raises(PlanError):
+        bushy_embedding_plan(bound, {0: 1, 1: 1}, uniform_counts(2))
+
+
+def test_greedy_fallback_beyond_limit():
+    bound = bind(parse_sparql("select * where { ?w A ?x . ?x B ?y . ?y C ?z }"))
+    plan = bushy_embedding_plan(
+        bound, {0: 3, 1: 1, 2: 3}, uniform_counts(3), exhaustive_limit=2
+    )
+    assert plan.is_left_deep
+    assert sorted(plan.root.edges()) == [0, 1, 2]
+
+
+def test_is_left_deep_property():
+    left_deep = BushyJoin(BushyJoin(BushyLeaf(0), BushyLeaf(1)), BushyLeaf(2))
+    bushy = BushyJoin(
+        BushyJoin(BushyLeaf(0), BushyLeaf(1)),
+        BushyJoin(BushyLeaf(2), BushyLeaf(3)),
+    )
+    from repro.planner.bushy import BushyPlan
+
+    assert BushyPlan(left_deep, 0.0).is_left_deep
+    assert not BushyPlan(bushy, 0.0).is_left_deep
+
+
+def test_describe_and_depth():
+    tree = BushyJoin(BushyLeaf(0), BushyJoin(BushyLeaf(1), BushyLeaf(2)))
+    assert tree.depth() == 3
+    assert "e0" in tree.describe() and "⋈" in tree.describe()

@@ -1,0 +1,87 @@
+"""Tests for plan value types."""
+
+import pytest
+
+from repro.planner.plan import (
+    AGPlan,
+    Chord,
+    Chordification,
+    SideRef,
+    Triangle,
+    TriangleSide,
+    validate_connected_order,
+)
+from repro.query.model import ConjunctiveQuery
+from repro.query.parser import parse_sparql
+
+
+def test_agplan_properties():
+    plan = AGPlan(order=(1, 0), step_costs=(5.0, 2.0), estimated_cost=7.0)
+    assert plan.num_steps == 2
+
+
+def test_agplan_describe_with_query():
+    q = parse_sparql("select * where { ?a p ?b . ?b q ?c }")
+    plan = AGPlan(order=(0, 1), step_costs=(3.0, 4.0), estimated_cost=7.0)
+    text = plan.describe(q)
+    assert "p" in text and "q" in text and "walks" in text
+
+
+def test_agplan_describe_without_query():
+    plan = AGPlan(order=(0,), step_costs=(3.0,), estimated_cost=3.0)
+    assert "e0" in plan.describe()
+
+
+def test_triangle_sides_excluding():
+    sides = (
+        TriangleSide(SideRef("edge", 0), 0, 1),
+        TriangleSide(SideRef("edge", 1), 1, 2),
+        TriangleSide(SideRef("chord", 0), 0, 2),
+    )
+    tri = Triangle(vars=(0, 1, 2), sides=sides)
+    others = tri.sides_excluding(SideRef("chord", 0))
+    assert {s.ref for s in others} == {SideRef("edge", 0), SideRef("edge", 1)}
+    with pytest.raises(ValueError):
+        tri.sides_excluding(SideRef("chord", 99))
+
+
+def test_chordification_trivial():
+    assert Chordification((), (), (), 0.0).is_trivial
+    chord = Chord(0, 0, 2, 10.0)
+    tri = Triangle(
+        (0, 1, 2),
+        (
+            TriangleSide(SideRef("edge", 0), 0, 1),
+            TriangleSide(SideRef("edge", 1), 1, 2),
+            TriangleSide(SideRef("chord", 0), 0, 2),
+        ),
+    )
+    assert not Chordification((chord,), (tri,), (0,), 10.0).is_trivial
+
+
+def _edge_vars(query: ConjunctiveQuery):
+    from repro.query.algebra import bind_query
+    from repro.graph.store import TripleStore
+
+    bound = bind_query(query, TripleStore())
+    return [e.var_set() for e in bound.edges]
+
+
+def test_validate_connected_order_accepts_connected():
+    q = parse_sparql("select * where { ?a p ?b . ?b q ?c . ?c r ?d }")
+    validate_connected_order([0, 1, 2], _edge_vars(q))
+    validate_connected_order([1, 0, 2], _edge_vars(q))
+
+
+def test_validate_connected_order_rejects_disconnected_prefix():
+    q = parse_sparql("select * where { ?a p ?b . ?b q ?c . ?c r ?d }")
+    with pytest.raises(ValueError):
+        validate_connected_order([0, 2, 1], _edge_vars(q))
+
+
+def test_validate_connected_order_rejects_duplicates_and_empty():
+    q = parse_sparql("select * where { ?a p ?b . ?b q ?c }")
+    with pytest.raises(ValueError):
+        validate_connected_order([0, 0], _edge_vars(q))
+    with pytest.raises(ValueError):
+        validate_connected_order([], _edge_vars(q))

@@ -1,0 +1,141 @@
+"""Tests for the Triangulator (chordification planner)."""
+
+import pytest
+
+from repro.datasets.motifs import figure4_graph, figure4_query
+from repro.graph.builder import store_from_edges
+from repro.planner.triangulator import Triangulator
+from repro.query.algebra import bind_query
+from repro.query.model import ConjunctiveQuery
+from repro.query.templates import cycle_template
+from repro.stats.catalog import build_catalog
+from repro.stats.estimator import CardinalityEstimator
+
+
+def plan_for(store, query):
+    bound = bind_query(query, store)
+    triangulator = Triangulator(CardinalityEstimator(build_catalog(store)))
+    return triangulator.plan(bound), bound
+
+
+def test_acyclic_query_trivial():
+    store = figure4_graph()
+    q = ConjunctiveQuery([("?a", "A", "?b"), ("?b", "B", "?c")])
+    chordification, _ = plan_for(store, q)
+    assert chordification.is_trivial
+    assert chordification.chords == ()
+
+
+def test_diamond_gets_one_chord_two_triangles():
+    store = figure4_graph()
+    chordification, bound = plan_for(store, figure4_query())
+    assert len(chordification.chords) == 1
+    assert len(chordification.triangles) == 2
+    assert chordification.order == (0,)
+    chord = chordification.chords[0]
+    # The chord connects opposite corners of the 4-cycle; with the
+    # diamond template x,e,z,y the diagonals are (x,y) and (e,z).
+    names = {bound.var_names[chord.u], bound.var_names[chord.v]}
+    assert names in ({"x", "y"}, {"e", "z"})
+
+
+def test_diamond_triangles_reference_chord_and_edges():
+    store = figure4_graph()
+    chordification, _ = plan_for(store, figure4_query())
+    chord_refs = [
+        s.ref
+        for tri in chordification.triangles
+        for s in tri.sides
+        if s.ref.kind == "chord"
+    ]
+    # The single chord appears in both triangles.
+    assert len(chord_refs) == 2
+    edge_refs = {
+        s.ref.index
+        for tri in chordification.triangles
+        for s in tri.sides
+        if s.ref.kind == "edge"
+    }
+    assert edge_refs == {0, 1, 2, 3}  # every cycle edge used exactly once
+
+
+def test_triangle_query_no_chords_but_one_triangle():
+    store = store_from_edges(
+        {"A": [("1", "2")], "B": [("2", "3")], "C": [("1", "3")]}
+    )
+    q = ConjunctiveQuery([("?a", "A", "?b"), ("?b", "B", "?c"), ("?a", "C", "?c")])
+    chordification, _ = plan_for(store, q)
+    assert chordification.chords == ()
+    assert len(chordification.triangles) == 1
+    assert chordification.estimated_cost == 0.0
+
+
+def test_pentagon_gets_two_chords_three_triangles():
+    edges = {f"L{i}": [(str(i), str((i + 1) % 5))] for i in range(5)}
+    store = store_from_edges(edges)
+    q = cycle_template(5).instantiate([f"L{i}" for i in range(5)])
+    chordification, _ = plan_for(store, q)
+    assert len(chordification.chords) == 2
+    assert len(chordification.triangles) == 3
+    # Materialization order is innermost-first: every chord's triangle
+    # sides must be edges or earlier chords.
+    seen: set[int] = set()
+    for ci in chordification.order:
+        chord = chordification.chords[ci]
+        tri_with = [
+            t
+            for t in chordification.triangles
+            if any(
+                s.ref.kind == "chord" and s.ref.index == chord.index
+                for s in t.sides
+            )
+        ]
+        assert tri_with
+        buildable = any(
+            all(
+                s.ref.kind == "edge"
+                or s.ref.index in seen
+                or s.ref.index == chord.index
+                for s in t.sides
+            )
+            for t in tri_with
+        )
+        assert buildable
+        seen.add(chord.index)
+
+
+def test_hexagon_chord_count():
+    edges = {f"L{i}": [(str(i), str((i + 1) % 6))] for i in range(6)}
+    store = store_from_edges(edges)
+    q = cycle_template(6).instantiate([f"L{i}" for i in range(6)])
+    chordification, _ = plan_for(store, q)
+    assert len(chordification.chords) == 3  # k-3 chords
+    assert len(chordification.triangles) == 4  # k-2 triangles
+
+
+def test_chord_estimated_size_nonnegative():
+    store = figure4_graph()
+    chordification, _ = plan_for(store, figure4_query())
+    for chord in chordification.chords:
+        assert chord.estimated_size >= 0.0
+
+
+def test_parallel_edge_cycle_skipped():
+    # Length-2 cycles have no interior; chordification is trivial.
+    store = store_from_edges({"A": [("1", "2")], "B": [("1", "2")]})
+    q = ConjunctiveQuery([("?a", "A", "?b"), ("?a", "B", "?b")])
+    chordification, _ = plan_for(store, q)
+    assert chordification.is_trivial
+
+
+def test_two_disjoint_squares_chordified_independently():
+    labels = {f"L{i}": [(str(i), str((i + 1) % 4))] for i in range(4)}
+    labels.update({f"M{i}": [(str(10 + i), str(10 + (i + 1) % 4))] for i in range(4)})
+    store = store_from_edges(labels)
+    q = ConjunctiveQuery(
+        [("?a", "L0", "?b"), ("?b", "L1", "?c"), ("?c", "L2", "?d"), ("?d", "L3", "?a"),
+         ("?a", "M0", "?p"), ("?p", "M1", "?q"), ("?q", "M2", "?r"), ("?r", "M3", "?a")]
+    )
+    chordification, _ = plan_for(store, q)
+    assert len(chordification.chords) == 2
+    assert len(chordification.triangles) == 4

@@ -1,0 +1,90 @@
+"""Shared hypothesis strategies for property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph.store import TripleStore
+
+LABELS = ("A", "B", "C", "D")
+
+
+@st.composite
+def edge_lists(draw, max_nodes: int = 8, max_edges_per_label: int = 10):
+    """A random small labeled digraph as {label: [(s, o), ...]}."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    node = st.integers(min_value=0, max_value=n - 1)
+    graph = {}
+    for label in LABELS:
+        pairs = draw(
+            st.lists(
+                st.tuples(node, node),
+                min_size=0,
+                max_size=max_edges_per_label,
+                unique=True,
+            )
+        )
+        graph[label] = pairs
+    return graph
+
+
+def build_store(graph: dict) -> TripleStore:
+    store = TripleStore()
+    for label, pairs in graph.items():
+        for s, o in pairs:
+            store.add_term_triple(f"n{s}", label, f"n{o}")
+    return store
+
+
+#: Random connected acyclic query shapes over the LABELS alphabet,
+#: expressed as edge tuples. Shapes: chains of length 2-4, stars, and
+#: small trees — all guaranteed connected and acyclic by construction.
+ACYCLIC_SHAPES = (
+    (("?a", 0, "?b"), ("?b", 1, "?c")),
+    (("?a", 0, "?b"), ("?b", 1, "?c"), ("?c", 2, "?d")),
+    (("?a", 0, "?b"), ("?a", 1, "?c")),
+    (("?a", 0, "?b"), ("?a", 1, "?c"), ("?a", 2, "?d")),
+    (("?a", 0, "?b"), ("?b", 1, "?c"), ("?b", 2, "?d")),
+    (("?b", 0, "?a"), ("?b", 1, "?c"), ("?c", 2, "?d")),
+)
+
+CYCLIC_SHAPES = (
+    # triangle
+    (("?a", 0, "?b"), ("?b", 1, "?c"), ("?a", 2, "?c")),
+    # diamond
+    (("?x", 0, "?e"), ("?x", 1, "?z"), ("?y", 2, "?e"), ("?y", 3, "?z")),
+    # parallel pair
+    (("?a", 0, "?b"), ("?a", 1, "?b")),
+)
+
+
+@st.composite
+def acyclic_queries(draw):
+    from repro.query.model import ConjunctiveQuery
+
+    shape = draw(st.sampled_from(ACYCLIC_SHAPES))
+    labels = draw(
+        st.lists(
+            st.sampled_from(LABELS),
+            min_size=len(shape),
+            max_size=len(shape),
+        )
+    )
+    edges = [(s, labels[slot], o) for (s, slot, o) in shape]
+    return ConjunctiveQuery(edges)
+
+
+@st.composite
+def cyclic_queries(draw):
+    from repro.query.model import ConjunctiveQuery
+
+    shape = draw(st.sampled_from(CYCLIC_SHAPES))
+    labels = draw(
+        st.lists(
+            st.sampled_from(LABELS),
+            min_size=len(shape),
+            max_size=len(shape),
+        )
+    )
+    edges = [(s, labels[slot], o) for (s, slot, o) in shape]
+    return ConjunctiveQuery(edges)

@@ -1,0 +1,109 @@
+"""Property-based tests for the planners."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.planner.cost import cost_of_order
+from repro.planner.edgifier import Edgifier
+from repro.planner.plan import validate_connected_order
+from repro.planner.triangulator import Triangulator
+from repro.query.algebra import bind_query
+from repro.query.shapes import find_cycles, is_acyclic
+from repro.stats.catalog import build_catalog
+from repro.stats.estimator import CardinalityEstimator
+
+from tests.properties.strategies import (
+    acyclic_queries,
+    build_store,
+    cyclic_queries,
+    edge_lists,
+)
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+
+@SETTINGS
+@given(graph=edge_lists(), query=acyclic_queries())
+def test_edgifier_plan_is_valid_and_self_consistent(graph, query):
+    store = build_store(graph)
+    bound = bind_query(query, store)
+    estimator = CardinalityEstimator(build_catalog(store))
+    plan = Edgifier(estimator).plan(bound)
+
+    tokens = [e.term_tokens() for e in bound.edges]
+    validate_connected_order(plan.order, tokens)
+    assert sorted(plan.order) == list(range(len(bound.edges)))
+
+    # The plan's own cost must be exactly what the shared cost model
+    # assigns its order (the DP and cost_of_order agree).
+    total, steps = cost_of_order(bound, estimator, list(plan.order))
+    assert total == pytest.approx(plan.estimated_cost)
+    assert steps == pytest.approx(plan.step_costs)
+
+    # NOTE on optimality: the DP memoizes ONE estimator state per edge
+    # subset (like any Selinger-style optimizer), so when two prefixes
+    # of the same subset differ in cost AND in state tightness, the
+    # cheaper-prefix choice can occasionally lose overall. That
+    # approximation is inherent to the paper's bottom-up DP design;
+    # exhaustive-optimality is asserted on deterministic fixtures in
+    # tests/planner/test_edgifier.py instead of universally here.
+
+
+@SETTINGS
+@given(graph=edge_lists(), query=cyclic_queries())
+def test_edgifier_handles_cyclic_queries(graph, query):
+    store = build_store(graph)
+    bound = bind_query(query, store)
+    estimator = CardinalityEstimator(build_catalog(store))
+    plan = Edgifier(estimator).plan(bound)
+    validate_connected_order(
+        plan.order, [e.term_tokens() for e in bound.edges]
+    )
+
+
+@SETTINGS
+@given(graph=edge_lists(), query=cyclic_queries())
+def test_triangulator_structure_invariants(graph, query):
+    store = build_store(graph)
+    bound = bind_query(query, store)
+    estimator = CardinalityEstimator(build_catalog(store))
+    chordification = Triangulator(estimator).plan(bound)
+
+    assert not is_acyclic(query)
+    cycles = [c for c in find_cycles(query) if len(c) >= 3]
+    # Each k-cycle yields k-3 chords and k-2 triangles.
+    expected_chords = sum(len(c) - 3 for c in cycles)
+    expected_triangles = sum(len(c) - 2 for c in cycles)
+    assert len(chordification.chords) == expected_chords
+    assert len(chordification.triangles) == expected_triangles
+    assert len(chordification.order) == expected_chords
+
+    # Triangles reference only declared chords and real edges.
+    for tri in chordification.triangles:
+        assert len(set(tri.vars)) == 3
+        for side in tri.sides:
+            if side.ref.kind == "chord":
+                assert side.ref.index < len(chordification.chords)
+            else:
+                assert side.ref.index < len(bound.edges)
+            assert {side.a, side.b} <= set(tri.vars)
+
+
+@SETTINGS
+@given(graph=edge_lists(), query=acyclic_queries())
+def test_estimator_sanity(graph, query):
+    """Walks are non-negative, bounded by the label count, and states
+    keep cardinalities non-negative."""
+    store = build_store(graph)
+    bound = bind_query(query, store)
+    estimator = CardinalityEstimator(build_catalog(store))
+    state = estimator.initial_state()
+    for edge in bound.edges:
+        walks, state = estimator.estimate_extension(state, edge)
+        assert walks >= 0.0
+        label_count = estimator.catalog.unigram(edge.p).count
+        assert walks <= label_count + 1e-9
+        for card in state.cards.values():
+            assert card >= 0.0

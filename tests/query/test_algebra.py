@@ -1,0 +1,83 @@
+"""Tests for query binding (surface strings → integer ids)."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.query.algebra import bind_query
+from repro.query.model import ConjunctiveQuery, Var
+
+
+@pytest.fixture
+def store():
+    return (
+        GraphBuilder()
+        .edge("a", "p", "b")
+        .edge("b", "q", "c")
+        .build()
+    )
+
+
+def test_variables_get_dense_indexes(store):
+    q = ConjunctiveQuery([("?x", "p", "?y"), ("?y", "q", "?z")])
+    bound = bind_query(q, store)
+    assert bound.var_names == ("x", "y", "z")
+    assert bound.edges[0].s_var == 0
+    assert bound.edges[0].o_var == 1
+    assert bound.edges[1].s_var == 1
+    assert bound.edges[1].o_var == 2
+
+
+def test_predicates_resolved(store):
+    q = ConjunctiveQuery([("?x", "p", "?y")])
+    bound = bind_query(q, store)
+    assert bound.edges[0].p == store.dictionary.lookup("p")
+    assert bound.satisfiable
+
+
+def test_constants_resolved(store):
+    q = ConjunctiveQuery([("a", "p", "?y")])
+    bound = bind_query(q, store)
+    assert bound.edges[0].s_const == store.dictionary.lookup("a")
+    assert bound.edges[0].s_var is None
+
+
+def test_unknown_predicate_unsatisfiable(store):
+    q = ConjunctiveQuery([("?x", "nope", "?y")])
+    bound = bind_query(q, store)
+    assert not bound.edges[0].satisfiable
+    assert not bound.satisfiable
+
+
+def test_unknown_constant_unsatisfiable(store):
+    q = ConjunctiveQuery([("ghost", "p", "?y")])
+    bound = bind_query(q, store)
+    assert not bound.edges[0].satisfiable
+
+
+def test_projection_indexes(store):
+    q = ConjunctiveQuery([("?x", "p", "?y")], projection=["?y"], distinct=True)
+    bound = bind_query(q, store)
+    assert bound.projection == (1,)
+    assert bound.distinct
+
+
+def test_var_index_lookup(store):
+    q = ConjunctiveQuery([("?x", "p", "?y")])
+    bound = bind_query(q, store)
+    assert bound.var_index(Var("y")) == 1
+    assert bound.var_index("?y") == 1
+    assert bound.var_index("y") == 1
+
+
+def test_edges_of_var(store):
+    q = ConjunctiveQuery([("?x", "p", "?y"), ("?y", "q", "?z")])
+    bound = bind_query(q, store)
+    assert [e.index for e in bound.edges_of_var(1)] == [0, 1]
+    assert [e.index for e in bound.edges_of_var(0)] == [0]
+
+
+def test_var_set(store):
+    q = ConjunctiveQuery([("?x", "p", "?x"), ("a", "q", "?y")])
+    bound = bind_query(q, store)
+    assert bound.edges[0].var_set() == frozenset({0})
+    assert bound.edges[1].var_set() == frozenset({1})

@@ -1,0 +1,129 @@
+"""Tests for the conjunctive-query model."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.model import ConjunctiveQuery, Const, QueryEdge, Var
+
+
+def chain():
+    return ConjunctiveQuery(
+        [("?w", "A", "?x"), ("?x", "B", "?y"), ("?y", "C", "?z")]
+    )
+
+
+def test_string_coercion():
+    q = ConjunctiveQuery([("?a", "p", "b")])
+    assert q.edges[0].subject == Var("a")
+    assert q.edges[0].object == Const("b")
+
+
+def test_variable_order_first_appearance():
+    q = chain()
+    assert [v.name for v in q.variables] == ["w", "x", "y", "z"]
+
+
+def test_default_projection_is_all_vars():
+    q = chain()
+    assert q.projection == q.variables
+
+
+def test_explicit_projection():
+    q = ConjunctiveQuery([("?a", "p", "?b")], projection=["?b"])
+    assert q.projection == (Var("b"),)
+
+
+def test_projection_unknown_var_rejected():
+    with pytest.raises(QueryError):
+        ConjunctiveQuery([("?a", "p", "?b")], projection=["?zzz"])
+
+
+def test_projection_constant_rejected():
+    with pytest.raises(QueryError):
+        ConjunctiveQuery([("?a", "p", "?b")], projection=[Const("a")])  # type: ignore
+
+
+def test_empty_query_rejected():
+    with pytest.raises(QueryError):
+        ConjunctiveQuery([])
+
+
+def test_all_constant_query_rejected():
+    with pytest.raises(QueryError):
+        ConjunctiveQuery([("a", "p", "b")])
+
+
+def test_empty_predicate_rejected():
+    with pytest.raises(QueryError):
+        ConjunctiveQuery([("?a", "", "?b")])
+
+
+def test_bare_question_mark_rejected():
+    with pytest.raises(QueryError):
+        ConjunctiveQuery([("?", "p", "?b")])
+
+
+def test_edge_variables_and_other_end():
+    e = QueryEdge(Var("a"), "p", Const("c"))
+    assert e.variables() == (Var("a"),)
+    assert e.other_end(Var("a")) == Const("c")
+    with pytest.raises(QueryError):
+        e.other_end(Var("zz"))
+
+
+def test_adjacency():
+    q = chain()
+    adj = q.adjacency()
+    assert adj[Var("x")] == [0, 1]
+    assert adj[Var("w")] == [0]
+
+
+def test_edges_between():
+    q = ConjunctiveQuery([("?a", "p", "?b"), ("?b", "q", "?a"), ("?b", "r", "?c")])
+    assert q.edges_between(Var("a"), Var("b")) == [0, 1]
+    assert q.edges_between(Var("a"), Var("c")) == []
+
+
+def test_connectivity():
+    assert chain().is_connected()
+    disconnected = ConjunctiveQuery([("?a", "p", "?b"), ("?c", "q", "?d")])
+    assert not disconnected.is_connected()
+    with pytest.raises(QueryError):
+        disconnected.validate()
+
+
+def test_single_edge_always_connected():
+    assert ConjunctiveQuery([("?a", "p", "?b")]).is_connected()
+
+
+def test_connected_via_shared_constant():
+    # Two edges sharing only a ground term still join (through it).
+    q = ConjunctiveQuery([("?a", "p", "k"), ("k", "q", "?b")])
+    assert q.is_connected()
+    q2 = ConjunctiveQuery([("?a", "p", "k"), ("j", "q", "?b")])
+    assert not q2.is_connected()
+
+
+def test_to_sparql_roundtrip():
+    from repro.query.parser import parse_sparql
+
+    q = ConjunctiveQuery(
+        [("?a", "p", "?b")], projection=["?a"], distinct=True, name="t"
+    )
+    text = q.to_sparql()
+    assert "distinct" in text
+    reparsed = parse_sparql(text)
+    assert reparsed == q
+
+
+def test_equality_and_hash():
+    q1, q2 = chain(), chain()
+    assert q1 == q2 and hash(q1) == hash(q2)
+    q3 = ConjunctiveQuery([("?w", "A", "?x")])
+    assert q1 != q3
+    assert q1 != "not a query"
+
+
+def test_repr_mentions_name():
+    q = ConjunctiveQuery([("?a", "p", "?b")], name="myq")
+    assert "myq" in repr(q)

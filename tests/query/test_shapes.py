@@ -1,0 +1,190 @@
+"""Tests for shape classification and cycle detection."""
+
+import pytest
+
+from repro.query.model import ConjunctiveQuery, Var
+from repro.query.shapes import (
+    QueryShape,
+    classify_shape,
+    cycle_vertex_ring,
+    find_cycles,
+    is_acyclic,
+)
+from repro.query.templates import (
+    chain_template,
+    cycle_template,
+    diamond_template,
+    snowflake_template,
+    star_template,
+)
+
+
+def instantiate(template):
+    return template.instantiate([f"L{i}" for i in range(template.num_slots)])
+
+
+def test_single_edge():
+    q = ConjunctiveQuery([("?a", "p", "?b")])
+    assert classify_shape(q) == QueryShape.SINGLE_EDGE
+    assert is_acyclic(q)
+
+
+def test_chain_shape():
+    q = instantiate(chain_template(4))
+    assert classify_shape(q) == QueryShape.CHAIN
+    assert is_acyclic(q)
+    assert find_cycles(q) == []
+
+
+def test_chain_direction_irrelevant():
+    # A path with mixed edge directions is still a chain.
+    q = ConjunctiveQuery([("?a", "p", "?b"), ("?c", "q", "?b"), ("?c", "r", "?d")])
+    assert classify_shape(q) == QueryShape.CHAIN
+
+
+def test_star_shape():
+    q = instantiate(star_template(4))
+    assert classify_shape(q) == QueryShape.STAR
+
+
+def test_star_with_inward_arm_still_star():
+    q = ConjunctiveQuery(
+        [("?x", "a", "?l0"), ("?x", "b", "?l1"), ("?l2", "c", "?x")]
+    )
+    assert classify_shape(q) == QueryShape.STAR
+
+
+def test_snowflake_shape():
+    q = instantiate(snowflake_template())
+    assert classify_shape(q) == QueryShape.SNOWFLAKE
+    assert is_acyclic(q)
+
+
+def test_diamond_shape():
+    q = instantiate(diamond_template())
+    assert classify_shape(q) == QueryShape.DIAMOND
+    assert not is_acyclic(q)
+
+
+def test_cycle_shapes():
+    for k in (3, 5, 6):
+        q = instantiate(cycle_template(k))
+        expected = QueryShape.CYCLE
+        assert classify_shape(q) == expected
+        cycles = find_cycles(q)
+        assert len(cycles) == 1 and len(cycles[0]) == k
+
+
+def test_triangle_is_cycle_not_diamond():
+    q = instantiate(cycle_template(3))
+    assert classify_shape(q) == QueryShape.CYCLE
+
+
+def test_mixed_direction_path_is_chain():
+    # Undirected topology decides the shape: a degree-2 branch node is
+    # still a path (b2–r–b1–c1–d1).
+    q = ConjunctiveQuery(
+        [
+            ("?r", "a", "?b1"),
+            ("?r", "b", "?b2"),
+            ("?b1", "c", "?c1"),
+            ("?c1", "d", "?d1"),
+        ]
+    )
+    assert classify_shape(q) == QueryShape.CHAIN
+
+
+def test_recentered_tree_is_still_snowflake():
+    # Rooting at ?b1 gives a depth-2 tree with two branching arms, so
+    # this *is* a snowflake even though no edge leaves ?b1 textually.
+    q = ConjunctiveQuery(
+        [
+            ("?r", "a", "?b1"),
+            ("?r", "b", "?b2"),
+            ("?r", "e", "?b3"),
+            ("?b1", "c", "?c1"),
+            ("?c1", "d", "?d1"),
+        ]
+    )
+    assert classify_shape(q) == QueryShape.SNOWFLAKE
+
+
+def test_tree_shape():
+    # A caterpillar of diameter 6: no vertex has eccentricity <= 2, so
+    # it is not a snowflake; degree 3 at both ends rules out a chain.
+    q = ConjunctiveQuery(
+        [
+            ("?r1", "p1", "?r2"),
+            ("?r2", "p2", "?r3"),
+            ("?r3", "p3", "?r4"),
+            ("?r4", "p4", "?r5"),
+            ("?r1", "q1", "?a1"),
+            ("?r1", "q2", "?a2"),
+            ("?r5", "q3", "?b1"),
+            ("?r5", "q4", "?b2"),
+        ]
+    )
+    assert classify_shape(q) == QueryShape.TREE
+    assert is_acyclic(q)
+
+
+def test_parallel_edges_are_cyclic():
+    q = ConjunctiveQuery([("?a", "p", "?b"), ("?a", "q", "?b")])
+    assert not is_acyclic(q)
+    cycles = find_cycles(q)
+    assert len(cycles) == 1 and len(cycles[0]) == 2
+
+
+def test_self_loop_is_cyclic():
+    q = ConjunctiveQuery([("?a", "p", "?a"), ("?a", "q", "?b")])
+    assert not is_acyclic(q)
+    cycles = find_cycles(q)
+    assert [len(c) for c in cycles] == [1]
+    assert classify_shape(q) == QueryShape.CYCLIC_OTHER
+
+
+def test_diamond_plus_tail_is_cyclic_other():
+    q = ConjunctiveQuery(
+        [
+            ("?x", "a", "?e"),
+            ("?x", "b", "?z"),
+            ("?y", "c", "?e"),
+            ("?y", "d", "?z"),
+            ("?z", "e", "?tail"),
+        ]
+    )
+    assert classify_shape(q) == QueryShape.CYCLIC_OTHER
+
+
+def test_constant_edges_do_not_create_cycles():
+    q = ConjunctiveQuery([("?a", "p", "k"), ("?a", "q", "k")])
+    assert is_acyclic(q)
+
+
+def test_cycle_vertex_ring_order():
+    q = instantiate(diamond_template())
+    cycles = find_cycles(q)
+    ring = cycle_vertex_ring(q, cycles[0])
+    assert len(ring) == 4
+    assert set(ring) == {Var("x"), Var("e"), Var("z"), Var("y")}
+    # Consecutive ring vars must share an edge.
+    for i in range(4):
+        a, b = ring[i], ring[(i + 1) % 4]
+        assert q.edges_between(a, b), f"{a} and {b} not adjacent"
+
+
+def test_two_independent_cycles():
+    q = ConjunctiveQuery(
+        [
+            ("?a", "p", "?b"),
+            ("?b", "p", "?c"),
+            ("?c", "p", "?a"),
+            ("?c", "x", "?d"),
+            ("?d", "p", "?e"),
+            ("?e", "p", "?f"),
+            ("?f", "p", "?d"),
+        ]
+    )
+    cycles = find_cycles(q)
+    assert len(cycles) == 2
+    assert sorted(len(c) for c in cycles) == [3, 3]

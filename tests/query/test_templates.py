@@ -1,0 +1,80 @@
+"""Tests for query templates."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.templates import (
+    chain_template,
+    cycle_template,
+    diamond_template,
+    snowflake_template,
+    star_template,
+)
+
+
+def test_chain_slots_and_vars():
+    t = chain_template(3)
+    assert t.num_slots == 3
+    assert t.variables == ("v0", "v1", "v2", "v3")
+
+
+def test_chain_instantiate_is_figure1_query():
+    q = chain_template(3).instantiate(["A", "B", "C"], distinct=False)
+    assert [e.predicate for e in q.edges] == ["A", "B", "C"]
+    assert q.edges[0].subject.name == "v0"
+
+
+def test_star_template():
+    t = star_template(4)
+    assert t.num_slots == 4
+    q = t.instantiate(["a", "b", "c", "d"])
+    assert all(e.subject.name == "x" for e in q.edges)
+
+
+def test_snowflake_structure():
+    t = snowflake_template()
+    assert t.num_slots == 9
+    assert t.variables == ("x", "m", "y", "z", "a", "b", "c", "d", "e", "f")
+    q = t.instantiate([str(i) for i in range(9)])
+    # Center x has exactly 3 outgoing arms.
+    x_edges = [e for e in q.edges if e.subject.name == "x"]
+    assert len(x_edges) == 3
+    # Each arm has exactly 2 leaf edges.
+    for arm in ("m", "y", "z"):
+        assert len([e for e in q.edges if e.subject.name == arm]) == 2
+
+
+def test_diamond_structure():
+    t = diamond_template()
+    q = t.instantiate(["A", "B", "C", "D"])
+    sources = {e.subject.name for e in q.edges}
+    targets = {e.object.name for e in q.edges}
+    assert sources == {"x", "y"}
+    assert targets == {"e", "z"}
+
+
+def test_cycle_template_closes():
+    q = cycle_template(5).instantiate([f"L{i}" for i in range(5)])
+    assert q.edges[-1].object == q.edges[0].subject
+
+
+def test_instantiate_wrong_arity():
+    with pytest.raises(QueryError):
+        snowflake_template().instantiate(["only", "three", "labels"])
+
+
+def test_instantiate_default_name_and_distinct():
+    q = diamond_template().instantiate(["A", "B", "C", "D"])
+    assert q.distinct
+    assert "diamond" in (q.name or "")
+    named = diamond_template().instantiate(["A", "B", "C", "D"], name="mine")
+    assert named.name == "mine"
+
+
+def test_bad_template_sizes():
+    with pytest.raises(QueryError):
+        chain_template(0)
+    with pytest.raises(QueryError):
+        star_template(1)
+    with pytest.raises(QueryError):
+        cycle_template(2)

@@ -1,0 +1,135 @@
+"""Tests for the cardinality estimator."""
+
+import pytest
+
+from repro.datasets.motifs import fan_chain_graph
+from repro.graph.builder import store_from_edges
+from repro.query.algebra import bind_query
+from repro.query.model import ConjunctiveQuery
+from repro.stats.catalog import build_catalog
+from repro.stats.estimator import CardinalityEstimator
+
+
+@pytest.fixture
+def chain_store():
+    return fan_chain_graph(fan_in=4, fan_out=5, hub_pairs=2)
+
+
+@pytest.fixture
+def estimator(chain_store):
+    return CardinalityEstimator(build_catalog(chain_store))
+
+
+def bound_chain(store):
+    q = ConjunctiveQuery([("?w", "A", "?x"), ("?x", "B", "?y"), ("?y", "C", "?z")])
+    return bind_query(q, store)
+
+
+def test_seed_edge_walks_is_label_count(chain_store, estimator):
+    bound = bound_chain(chain_store)
+    walks, state = estimator.estimate_extension(
+        estimator.initial_state(), bound.edges[0]
+    )
+    assert walks == 8.0  # 2 hubs × fan_in 4
+    assert state.card(0) == 8.0  # distinct subjects
+    assert state.card(1) == 2.0  # distinct objects (the hubs)
+
+
+def test_directed_extension_uses_fan(chain_store, estimator):
+    bound = bound_chain(chain_store)
+    _, state = estimator.estimate_extension(
+        estimator.initial_state(), bound.edges[0]
+    )
+    walks, state2 = estimator.estimate_extension(state, bound.edges[1])
+    # 2 candidate x-nodes, every one is a B-subject, avg_out(B)=1.
+    assert walks == pytest.approx(2.0)
+    assert state2.card(2) == pytest.approx(2.0)
+
+
+def test_correlation_fraction_prunes(chain_store, estimator):
+    # Walking B first then A-backwards: every B-subject is an A-object.
+    bound = bound_chain(chain_store)
+    _, state = estimator.estimate_extension(
+        estimator.initial_state(), bound.edges[1]
+    )
+    walks, _ = estimator.estimate_extension(state, bound.edges[0])
+    # 2 x-candidates × avg_in(A)=4 retrieved walking backwards.
+    assert walks == pytest.approx(8.0)
+
+
+def test_uncorrelated_labels_estimate_zero():
+    # D-edges share no nodes with A-edges: after A, extending a D edge
+    # from ?x yields zero estimated walks.
+    store = store_from_edges(
+        {"A": [("1", "2")], "D": [("8", "9")]}
+    )
+    estimator = CardinalityEstimator(build_catalog(store))
+    q = ConjunctiveQuery([("?w", "A", "?x"), ("?x", "D", "?y")])
+    bound = bind_query(q, store)
+    _, state = estimator.estimate_extension(
+        estimator.initial_state(), bound.edges[0]
+    )
+    walks, _ = estimator.estimate_extension(state, bound.edges[1])
+    assert walks == 0.0
+
+
+def test_unknown_predicate_zero(chain_store, estimator):
+    q = ConjunctiveQuery([("?a", "nosuch", "?b")])
+    bound = bind_query(q, chain_store)
+    walks, state = estimator.estimate_extension(
+        estimator.initial_state(), bound.edges[0]
+    )
+    assert walks == 0.0
+
+
+def test_constant_subject_estimates_avg_fan(chain_store, estimator):
+    q = ConjunctiveQuery([("x0", "B", "?y")])
+    bound = bind_query(q, chain_store)
+    walks, _ = estimator.estimate_extension(
+        estimator.initial_state(), bound.edges[0]
+    )
+    assert walks == pytest.approx(1.0)  # avg_out(B) == 1
+
+
+def test_both_bound_closing_edge(chain_store, estimator):
+    # Close a triangle-ish pattern: after A and B, re-extend A with both
+    # endpoints bound; estimate must not exceed the one-sided walk.
+    bound = bound_chain(chain_store)
+    _, s1 = estimator.estimate_extension(estimator.initial_state(), bound.edges[0])
+    _, s2 = estimator.estimate_extension(s1, bound.edges[1])
+    q = ConjunctiveQuery(
+        [("?w", "A", "?x"), ("?x", "B", "?y"), ("?w", "A", "?x")]
+    )
+    b2 = bind_query(q, chain_store)
+    walks_closing, _ = estimator.estimate_extension(s2, b2.edges[2])
+    walks_open, _ = estimator.estimate_extension(s1, b2.edges[2])
+    assert walks_closing <= walks_open + 1e-9
+
+
+def test_walks_never_exceed_label_count(chain_store, estimator):
+    bound = bound_chain(chain_store)
+    state = estimator.initial_state()
+    total_a = 8.0
+    for eid in (0, 1, 2):
+        walks, state = estimator.estimate_extension(state, bound.edges[eid])
+        label_count = estimator.catalog.unigram(bound.edges[eid].p).count
+        assert walks <= label_count + 1e-9
+    del total_a
+
+
+def test_chord_join_pairs_exact(chain_store, estimator):
+    bound = bound_chain(chain_store)
+    a, b = bound.edges[0].p, bound.edges[1].p
+    # A ⋈(o=s) B: each hub joins 4 A-edges with 1 B-edge → 8 pairs.
+    assert estimator.chord_join_pairs(a, "os", b) == 8
+    assert estimator.chord_join_pairs(None, "os", b) == 0
+
+
+def test_states_are_immutable(chain_store, estimator):
+    bound = bound_chain(chain_store)
+    s0 = estimator.initial_state()
+    _, s1 = estimator.estimate_extension(s0, bound.edges[0])
+    assert s0.cards == {}  # untouched
+    _, s2 = estimator.estimate_extension(s1, bound.edges[1])
+    assert set(s1.cards) == {0, 1}
+    assert set(s2.cards) == {0, 1, 2}

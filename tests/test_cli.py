@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_generate_and_stats(tmp_path, capsys):
+    out = str(tmp_path / "ds")
+    assert main(["generate", out, "--scale", "0.05", "--seed", "1"]) == 0
+    text = capsys.readouterr().out
+    assert "wrote" in text and "predicates" in text
+
+    assert main(["stats", "--dataset", out, "--top", "3"]) == 0
+    text = capsys.readouterr().out
+    assert "triples:" in text
+    assert "top 3 predicates" in text
+
+
+def test_stats_in_process(capsys):
+    assert main(["stats", "--scale", "0.05"]) == 0
+    assert "predicates: 104" in capsys.readouterr().out
+
+
+def test_query_wf(capsys):
+    code = main(
+        [
+            "query",
+            "--scale", "0.05",
+            "--sparql", "select ?x, ?m where { ?x actedIn ?m }",
+            "--limit", "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "rows in" in out and "[WF]" in out
+    assert "|AG| =" in out
+    assert "?x\t?m" in out
+
+
+def test_query_each_engine(capsys):
+    for engine in ("PG", "VT", "MD", "NJ"):
+        code = main(
+            [
+                "query",
+                "--scale", "0.05",
+                "--engine", engine,
+                "--sparql", "select ?x where { ?x isCitizenOf ?c }",
+                "--limit", "0",
+            ]
+        )
+        assert code == 0
+        assert f"[{engine}]" in capsys.readouterr().out
+
+
+def test_query_explain(capsys):
+    code = main(
+        [
+            "query",
+            "--scale", "0.05",
+            "--explain",
+            "--sparql",
+            "select * where { ?x livesIn ?e . ?x isCitizenOf ?z . "
+            "?y isLocatedIn ?e . ?y linksTo ?z }",
+            "--limit", "0",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "answer-graph plan:" in out
+    assert "chords: 1" in out
+
+
+def test_query_edge_burnback_requires_wf(capsys):
+    code = main(
+        [
+            "query", "--scale", "0.05", "--engine", "PG", "--edge-burnback",
+            "--sparql", "select ?x where { ?x actedIn ?m }",
+        ]
+    )
+    assert code == 2
+
+
+def test_query_edge_burnback_wf(capsys):
+    code = main(
+        [
+            "query", "--scale", "0.05", "--edge-burnback",
+            "--sparql",
+            "select * where { ?x livesIn ?e . ?x isCitizenOf ?z . "
+            "?y isLocatedIn ?e . ?y linksTo ?z }",
+            "--limit", "0",
+        ]
+    )
+    assert code == 0
+
+
+def test_query_from_file(tmp_path, capsys):
+    qfile = tmp_path / "q.rq"
+    qfile.write_text("select ?x where { ?x wasBornIn ?c }")
+    assert main(["query", "--scale", "0.05", "--file", str(qfile),
+                 "--limit", "1"]) == 0
+    assert "rows in" in capsys.readouterr().out
+
+
+def test_query_parse_error_is_reported(capsys):
+    code = main(["query", "--scale", "0.05", "--sparql", "not sparql"])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_mine(capsys):
+    assert main(
+        ["mine", "--scale", "0.1", "--template", "chain", "--count", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert out.count("select distinct") == 2
+
+
+def test_table1_subset(capsys):
+    code = main(
+        [
+            "table1", "--scale", "0.05", "--runs", "1",
+            "--engines", "WF,NJ", "--timeout", "30",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "WF" in out and "NJ" in out and "|Embeddings|" in out
+    assert "PG" not in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,86 @@
+"""Tests for the cooperative deadline."""
+
+import time
+
+import pytest
+
+from repro.errors import EvaluationTimeout
+from repro.utils.deadline import Deadline
+
+
+def test_unlimited_never_expires():
+    d = Deadline.unlimited()
+    for _ in range(10_000):
+        d.check()
+    d.check_now()
+    assert not d.expired()
+    assert d.remaining == float("inf")
+
+
+def test_none_budget_is_unlimited():
+    assert not Deadline(None).expired()
+
+
+def test_expired_after_budget():
+    d = Deadline(0.01)
+    time.sleep(0.02)
+    assert d.expired()
+
+
+def test_check_now_raises_with_elapsed_and_budget():
+    d = Deadline(0.01)
+    time.sleep(0.02)
+    with pytest.raises(EvaluationTimeout) as exc:
+        d.check_now()
+    assert exc.value.budget == pytest.approx(0.01)
+    assert exc.value.elapsed >= 0.01
+
+
+def test_check_strides_clock_reads():
+    d = Deadline(0.005, stride=1_000_000)
+    time.sleep(0.01)
+    # Under-stride checks do not read the clock, so no raise yet.
+    for _ in range(10):
+        d.check()
+    with pytest.raises(EvaluationTimeout):
+        d.check_now()
+
+
+def test_check_raises_at_stride_boundary():
+    d = Deadline(0.005, stride=10)
+    time.sleep(0.01)
+    with pytest.raises(EvaluationTimeout):
+        for _ in range(11):
+            d.check()
+
+
+def test_restart_resets_clock():
+    d = Deadline(0.05)
+    time.sleep(0.06)
+    assert d.expired()
+    d.restart()
+    assert not d.expired()
+
+
+def test_elapsed_monotonic():
+    d = Deadline(1.0)
+    first = d.elapsed
+    time.sleep(0.002)
+    assert d.elapsed > first
+
+
+def test_invalid_budget_rejected():
+    with pytest.raises(ValueError):
+        Deadline(0)
+    with pytest.raises(ValueError):
+        Deadline(-1.0)
+
+
+def test_invalid_stride_rejected():
+    with pytest.raises(ValueError):
+        Deadline(1.0, stride=0)
+
+
+def test_repr_mentions_budget():
+    assert "0.5" in repr(Deadline(0.5))
+    assert "unlimited" in repr(Deadline.unlimited())

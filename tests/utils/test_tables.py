@@ -1,0 +1,50 @@
+"""Tests for the text-table renderer."""
+
+import pytest
+
+from repro.utils.tables import TextTable
+
+
+def test_alignment_and_separator():
+    t = TextTable(["name", "value"])
+    t.add_row(["a", 1])
+    t.add_row(["longer", 123])
+    lines = t.render().splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", "+"}
+    assert lines[2].startswith("a")
+    # All lines padded against the widest cell.
+    assert lines[3].startswith("longer")
+
+
+def test_none_renders_as_star():
+    t = TextTable(["q", "time"])
+    t.add_row(["Q1", None])
+    assert "*" in t.render()
+
+
+def test_float_formatting():
+    t = TextTable(["x"], float_format="{:.1f}")
+    t.add_row([3.14159])
+    assert "3.1" in t.render()
+    assert "3.14" not in t.render()
+
+
+def test_bool_formatting():
+    t = TextTable(["flag"])
+    t.add_row([True])
+    t.add_row([False])
+    body = t.render()
+    assert "yes" in body and "no" in body
+
+
+def test_wrong_arity_rejected():
+    t = TextTable(["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row([1])
+
+
+def test_str_is_render():
+    t = TextTable(["a"])
+    t.add_row([1])
+    assert str(t) == t.render()
