@@ -1,0 +1,143 @@
+"""Service throughput: batched QueryService vs one engine per query.
+
+The ROADMAP's serving scenario: sustained traffic where query
+*templates* repeat heavily (the same shapes asked about different
+entities, plus literal repeats). The baseline is the seed's usage
+pattern — construct a :class:`WireframeEngine`, evaluate, discard — per
+query. The service amortizes planning through its plan cache, absorbs
+literal repeats in its result cache, and coalesces duplicates in
+flight.
+
+``test_throughput_ratio`` asserts the headline number (batched
+throughput >= 1.5x the per-query loop on a repeat-heavy workload);
+the ``benchmark`` cases record both absolute times for the trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.engine import WireframeEngine
+from repro.datasets.paper_queries import paper_diamond_queries, paper_snowflake_queries
+from repro.query.miner import QueryMiner
+from repro.query.model import ConjunctiveQuery, Const
+from repro.query.templates import chain_template
+from repro.service import QueryService
+
+#: Total workload size — the acceptance scenario's 100 mixed queries.
+WORKLOAD_SIZE = 100
+
+
+def anchored_variants(store, query, k: int) -> list[ConjunctiveQuery]:
+    """Up to ``k`` copies of ``query`` with its last variable pinned to a
+    concrete matching entity — "the same template asked about different
+    entities", the traffic pattern the plan cache exists for."""
+    result = WireframeEngine(store).evaluate(query)
+    last_var = query.variables[-1]
+    idx = query.projection.index(last_var)
+    decode = store.dictionary.decode
+    anchors: list[str] = []
+    for row in result.rows or []:
+        term = decode(row[idx])
+        if term not in anchors:
+            anchors.append(term)
+        if len(anchors) == k:
+            break
+    variants = []
+    for n, term in enumerate(anchors):
+        edges = [
+            (
+                Const(term) if edge.subject == last_var else edge.subject,
+                edge.predicate,
+                Const(term) if edge.object == last_var else edge.object,
+            )
+            for edge in query.edges
+        ]
+        variants.append(
+            ConjunctiveQuery(edges, name=f"{query.name or 'q'}@{n}")
+        )
+    return variants
+
+
+@pytest.fixture(scope="module")
+def workload(store):
+    """~100 mixed chain/diamond/snowflake queries: distinct templates,
+    constant-anchored variants of the chains, and literal repeats."""
+    miner = QueryMiner(store, seed=11, forbidden_labels=["rdf:type"])
+    chains = miner.mine(chain_template(3), count=4)
+    diamonds = list(paper_diamond_queries())[:3]
+    snowflakes = list(paper_snowflake_queries())[:3]
+    distinct = chains + diamonds + snowflakes
+    anchored = [
+        variant
+        for chain in chains
+        for variant in anchored_variants(store, chain, 5)
+    ]
+    queries = list(distinct)
+    queries += anchored
+    while len(queries) < WORKLOAD_SIZE:  # literal repeats fill the rest
+        queries += distinct
+    queries = queries[:WORKLOAD_SIZE]
+    # Deterministic interleave so repeats are spread out, not adjacent.
+    queries.sort(key=lambda q: sum(map(ord, q.name or "q")) % 97)
+    return queries
+
+
+def _serial_loop(store, catalog, queries):
+    counts = []
+    for query in queries:
+        engine = WireframeEngine(store, catalog)
+        counts.append(engine.evaluate(query, materialize=False).count)
+    return counts
+
+
+def _service_batch(service, queries):
+    return [r.count for r in service.evaluate_many(queries, materialize=False)]
+
+
+def test_one_engine_per_query_loop(benchmark, store, catalog, workload):
+    counts = benchmark.pedantic(
+        lambda: _serial_loop(store, catalog, workload),
+        rounds=1, iterations=1, warmup_rounds=1,
+    )
+    benchmark.extra_info["queries"] = len(workload)
+    benchmark.extra_info["total_rows"] = sum(counts)
+
+
+def test_service_batched(benchmark, store, catalog, workload):
+    with QueryService(store, catalog=catalog) as service:
+        counts = benchmark.pedantic(
+            lambda: _service_batch(service, workload),
+            rounds=1, iterations=1, warmup_rounds=1,
+        )
+        snapshot = service.snapshot()
+    benchmark.extra_info["queries"] = len(workload)
+    benchmark.extra_info["total_rows"] = sum(counts)
+    benchmark.extra_info["plan_cache_hit_rate"] = snapshot["plan_cache"]["hit_rate"]
+    benchmark.extra_info["result_cache_hit_rate"] = (
+        snapshot["result_cache"]["hit_rate"]
+    )
+    benchmark.extra_info["coalesced"] = snapshot["coalesced"]
+
+
+def test_throughput_ratio(store, catalog, workload):
+    """Batched service >= 1.5x the one-engine-per-query loop, same answers."""
+    t0 = time.perf_counter()
+    serial_counts = _serial_loop(store, catalog, workload)
+    serial_seconds = time.perf_counter() - t0
+
+    with QueryService(store, catalog=catalog) as service:
+        t0 = time.perf_counter()
+        service_counts = _service_batch(service, workload)
+        service_seconds = time.perf_counter() - t0
+        snapshot = service.snapshot()
+
+    assert service_counts == serial_counts
+    assert snapshot["plan_cache"]["hit_rate"] > 0.0
+    ratio = serial_seconds / service_seconds if service_seconds else float("inf")
+    assert ratio >= 1.5, (
+        f"service {service_seconds:.3f}s vs serial {serial_seconds:.3f}s "
+        f"(ratio {ratio:.2f}x < 1.5x)"
+    )

@@ -7,9 +7,17 @@ Run with::
 Environment knobs (see repro.bench.workloads): REPRO_BENCH_SCALE,
 REPRO_BENCH_RUNS, REPRO_BENCH_TIMEOUT. The dataset and catalog are
 generated once per session (the paper's offline preprocessing step).
+
+``--smoke`` shrinks the protocol (tiny dataset, one run, short
+timeouts) so every benchmark finishes in seconds — CI runs the whole
+suite this way per commit to keep the perf trajectory populated without
+burning runner minutes. Explicit ``REPRO_BENCH_*`` variables still win
+over the smoke defaults.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -28,6 +36,22 @@ from repro.baselines import (
 from repro.core.engine import WireframeEngine
 from repro.errors import EvaluationTimeout
 from repro.utils.deadline import Deadline
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="fast mode: tiny dataset, single run, short timeout",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--smoke"):
+        os.environ.setdefault("REPRO_BENCH_SCALE", "0.25")
+        os.environ.setdefault("REPRO_BENCH_RUNS", "1")
+        os.environ.setdefault("REPRO_BENCH_TIMEOUT", "30")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+All real metadata lives in ``pyproject.toml`` (PEP 621). This file
+exists only so ``pip install -e .`` still works on toolchains too old to
+build PEP 660 editable wheels (setuptools < 70 without ``wheel``), via
+the classic ``setup.py develop`` fallback.
+"""
+
+from setuptools import setup
+
+setup()

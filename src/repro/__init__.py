@@ -17,8 +17,21 @@ Quickstart::
     result = WireframeEngine(store).evaluate(query)
     print(result.count, "embeddings")
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured record.
+For serving many queries over one store, use the concurrent
+:class:`~repro.service.QueryService` instead of constructing an engine
+per query — it builds the statistics catalog exactly once, caches plans
+across structurally identical queries, and memoizes results until the
+store changes::
+
+    from repro import QueryService
+
+    with QueryService(store, freeze=True) as service:
+        future = service.submit(query)            # -> Future[EngineResult]
+        results = service.evaluate_many([query] * 100, deadlines=1.0)
+        print(service.snapshot()["plan_cache"]["hit_rate"])
+
+See README.md for the quickstart, DESIGN.md for the system inventory,
+and EXPERIMENTS.md for the paper-versus-measured record.
 """
 
 from repro.errors import (
@@ -87,7 +100,15 @@ from repro.core import (
     iter_embeddings,
     materialize_embeddings,
 )
-from repro.engine_api import Engine, EngineResult
+from repro.engine_api import Engine, EngineResult, resolve_catalog
+from repro.service import (
+    PlanCache,
+    QueryService,
+    ResultCache,
+    ServiceStats,
+    plan_signature,
+    query_signature,
+)
 from repro.baselines import (
     ColumnarEngine,
     HashJoinEngine,
@@ -173,6 +194,14 @@ __all__ = [
     # engines
     "Engine",
     "EngineResult",
+    "resolve_catalog",
+    # service
+    "QueryService",
+    "PlanCache",
+    "ResultCache",
+    "ServiceStats",
+    "plan_signature",
+    "query_signature",
     "HashJoinEngine",
     "IndexNestedLoopEngine",
     "ColumnarEngine",

@@ -11,12 +11,12 @@ from __future__ import annotations
 
 import abc
 
-from repro.engine_api import Engine, EngineResult
+from repro.engine_api import Engine, EngineResult, resolve_catalog
 from repro.errors import PlanError
 from repro.graph.store import TripleStore
 from repro.query.algebra import BoundQuery, bind_query
 from repro.query.model import ConjunctiveQuery
-from repro.stats.catalog import Catalog, build_catalog
+from repro.stats.catalog import Catalog
 from repro.stats.estimator import CardinalityEstimator
 from repro.utils.deadline import Deadline
 
@@ -26,7 +26,7 @@ class BaselineEngine(Engine):
 
     def __init__(self, store: TripleStore, catalog: Catalog | None = None):
         self.store = store
-        self.catalog = catalog if catalog is not None else build_catalog(store)
+        self.catalog = resolve_catalog(store, catalog)
         self.estimator = CardinalityEstimator(self.catalog)
 
     # ------------------------------------------------------------------

@@ -1,10 +1,11 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``repro <command>`` / ``python -m repro <command>``.
 
 Commands
 --------
 ``generate``   build the YAGO-like dataset and save it (offline prep)
 ``stats``      summarize a dataset and its catalog
 ``query``      evaluate a SPARQL CQ with any of the five engines
+``batch``      serve many queries through the concurrent QueryService
 ``mine``       mine non-empty template queries from a dataset
 ``table1``     regenerate the paper's Table 1
 
@@ -96,6 +97,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="enable edge burnback (WF only)")
     p_query.add_argument("--explain", action="store_true",
                          help="print the Wireframe plans")
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="evaluate many queries concurrently through the QueryService",
+    )
+    _add_dataset_args(p_batch)
+    source = p_batch.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--file",
+        help="file of SPARQL queries separated by blank lines ('-' = stdin)",
+    )
+    source.add_argument(
+        "--template", choices=sorted(_TEMPLATES),
+        help="mine the workload from this template instead of a file",
+    )
+    p_batch.add_argument("--count", type=int, default=20,
+                         help="queries to mine with --template (default 20)")
+    p_batch.add_argument("--repeat", type=int, default=1,
+                         help="repeat the workload N times (exercises caches)")
+    p_batch.add_argument("--workers", type=int, default=None,
+                         help="thread-pool width (default min(8, cpus))")
+    p_batch.add_argument("--timeout", type=float, default=300.0,
+                         help="per-query budget in seconds")
+    p_batch.add_argument("--no-result-cache", action="store_true",
+                         help="disable the service result cache")
+    p_batch.add_argument("--json", action="store_true",
+                         help="emit per-query results and stats as JSON")
 
     p_mine = sub.add_parser("mine", help="mine non-empty template queries")
     _add_dataset_args(p_mine)
@@ -205,6 +233,95 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _parse_query_file(text: str):
+    """Split a workload file into queries on blank lines."""
+    blocks = [b.strip() for b in text.split("\n\n")]
+    return [parse_sparql(b) for b in blocks if b]
+
+
+def _cmd_batch(args) -> int:
+    import json
+
+    from repro.errors import EvaluationTimeout as _Timeout
+    from repro.errors import ReproError as _ReproError
+    from repro.service import QueryService
+    from repro.service.stats import format_stats
+
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    store, catalog = _load(args)
+    if args.file:
+        if args.file == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        queries = _parse_query_file(text)
+    else:
+        miner = QueryMiner(store, seed=args.seed,
+                           forbidden_labels=["rdf:type"])
+        template = _TEMPLATES[args.template]()
+        queries = miner.mine(template, count=args.count)
+    queries = queries * max(args.repeat, 1)
+    if not queries:
+        print("error: empty workload", file=sys.stderr)
+        return 2
+
+    start = time.perf_counter()
+    with QueryService(
+        store,
+        catalog=catalog,
+        max_workers=args.workers,
+        result_cache_size=0 if args.no_result_cache else 256,
+        freeze=True,
+    ) as service:
+        results = service.evaluate_many(
+            queries, deadlines=args.timeout, materialize=False,
+            return_exceptions=True,
+        )
+        elapsed = time.perf_counter() - start
+        snapshot = service.snapshot()
+
+    if args.json:
+        payload = {
+            "elapsed_seconds": elapsed,
+            "queries": [
+                {"query": q.name or q.to_sparql(), "timed_out": True}
+                if isinstance(r, _Timeout)
+                else {"query": q.name or q.to_sparql(), "error": str(r)}
+                if isinstance(r, _ReproError)
+                else {
+                    "query": q.name or q.to_sparql(),
+                    "count": r.count,
+                    "service": r.stats.get("service", {}),
+                }
+                for q, r in zip(queries, results)
+            ],
+            "stats": snapshot,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    ok = sum(1 for r in results if not isinstance(r, _ReproError))
+    for i, (query, result) in enumerate(zip(queries, results)):
+        label = query.name or f"q{i}"
+        if isinstance(result, _Timeout):
+            print(f"  {label:<24} *")
+        elif isinstance(result, _ReproError):
+            print(f"  {label:<24} ! {result}")
+        else:
+            svc = result.stats.get("service", {})
+            print(f"  {label:<24} {result.count:>8} rows  "
+                  f"[plan {svc.get('plan_cache', '?')}, "
+                  f"result {svc.get('result_cache', '?')}]")
+    print(f"{ok}/{len(queries)} queries in {elapsed:.3f}s "
+          f"({len(queries) / elapsed:.1f} q/s)")
+    print("service stats:")
+    print(format_stats(snapshot))
+    return 0
+
+
 def _cmd_mine(args) -> int:
     store, _ = _load(args)
     miner = QueryMiner(store, seed=args.miner_seed,
@@ -234,6 +351,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
     "query": _cmd_query,
+    "batch": _cmd_batch,
     "mine": _cmd_mine,
     "table1": _cmd_table1,
 }
@@ -245,7 +363,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -31,7 +31,7 @@ from repro.core.generation import (
     GenerationTrace,
     generate_answer_graph,
 )
-from repro.engine_api import Engine, EngineResult
+from repro.engine_api import Engine, EngineResult, resolve_catalog
 from repro.errors import QueryError
 from repro.graph.store import TripleStore
 from repro.planner.bushy import BushyPlan, bushy_embedding_plan
@@ -42,7 +42,7 @@ from repro.planner.triangulator import Triangulator
 from repro.query.algebra import BoundQuery, bind_query
 from repro.query.model import ConjunctiveQuery
 from repro.query.shapes import is_acyclic
-from repro.stats.catalog import Catalog, build_catalog
+from repro.stats.catalog import Catalog
 from repro.stats.estimator import CardinalityEstimator
 from repro.utils.deadline import Deadline
 
@@ -110,7 +110,7 @@ class WireframeEngine(Engine):
         if edge_burnback and not use_chords:
             raise QueryError("edge burnback requires chord materialization")
         self.store = store
-        self.catalog = catalog if catalog is not None else build_catalog(store)
+        self.catalog = resolve_catalog(store, catalog)
         self.estimator = CardinalityEstimator(self.catalog)
         self.edgifier = Edgifier(self.estimator, exhaustive_limit=exhaustive_limit)
         self.triangulator = Triangulator(self.estimator)
@@ -123,11 +123,23 @@ class WireframeEngine(Engine):
     # ------------------------------------------------------------------
 
     def plan(
-        self, query: ConjunctiveQuery
+        self,
+        query: ConjunctiveQuery,
+        cached_plan: tuple[AGPlan, Chordification] | None = None,
     ) -> tuple[BoundQuery, AGPlan, Chordification]:
-        """Bind and plan ``query`` without evaluating it."""
+        """Bind and plan ``query`` without evaluating it.
+
+        ``cached_plan`` short-circuits the Edgifier/Triangulator with a
+        previously computed ``(AGPlan, Chordification)`` pair. The caller
+        (the service's plan cache) is responsible for only reusing plans
+        across *alpha-equivalent* queries over the *same store epoch* —
+        edge indexes and chord structure are positional, so they carry
+        over exactly for queries that differ only in variable names.
+        """
         query.validate()
         bound = bind_query(query, self.store)
+        if cached_plan is not None:
+            return bound, cached_plan[0], cached_plan[1]
         ag_plan = self.edgifier.plan(bound)
         if self.use_chords and not is_acyclic(query):
             chordification = self.triangulator.plan(bound)
@@ -153,11 +165,23 @@ class WireframeEngine(Engine):
         deadline: Deadline | None = None,
         materialize: bool = True,
         trace: GenerationTrace | None = None,
+        cached_plan: tuple[AGPlan, Chordification] | None = None,
+        prepared: tuple[BoundQuery, AGPlan, Chordification] | None = None,
     ) -> WireframeResult:
-        """Full two-phase evaluation with all artifacts exposed."""
+        """Full two-phase evaluation with all artifacts exposed.
+
+        ``prepared`` — the exact triple an earlier :meth:`plan` call
+        returned for this query — skips binding and planning entirely;
+        ``cached_plan`` skips only the planners (the query is re-bound).
+        """
         if deadline is None:
             deadline = Deadline.unlimited()
-        bound, ag_plan, chordification = self.plan(query)
+        if prepared is not None:
+            bound, ag_plan, chordification = prepared
+        else:
+            bound, ag_plan, chordification = self.plan(
+                query, cached_plan=cached_plan
+            )
 
         t0 = time.perf_counter()
         ag, gen_stats = generate_answer_graph(

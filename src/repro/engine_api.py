@@ -13,9 +13,29 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.query.model import ConjunctiveQuery
 from repro.utils.deadline import Deadline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.graph.store import TripleStore
+    from repro.stats.catalog import Catalog
+
+
+def resolve_catalog(
+    store: "TripleStore", catalog: "Catalog | None"
+) -> "Catalog":
+    """The catalog an engine should use for ``store``.
+
+    An explicit ``catalog`` wins; otherwise the store's memoized
+    :meth:`~repro.graph.store.TripleStore.catalog` is used, so every
+    engine constructed over the same store shares one statistics build
+    instead of each silently recomputing it.
+    """
+    if catalog is not None:
+        return catalog
+    return store.catalog()
 
 
 @dataclass

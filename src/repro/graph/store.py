@@ -14,9 +14,13 @@ ignored (RDF set semantics).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+import threading
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.errors import StoreError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (stats imports store)
+    from repro.stats.catalog import Catalog
 from repro.graph.dictionary import Dictionary
 from repro.graph.triples import Triple, TriplePattern
 
@@ -49,6 +53,12 @@ class TripleStore:
         self._size = 0
         self._nodes: set[int] = set()
         self._frozen = False
+        # Monotonic mutation counter: bumped on every successful insert.
+        # Caches keyed on (store, epoch) — the memoized catalog below,
+        # the service result cache — use it for invalidation.
+        self._epoch = 0
+        self._catalog_cache: "tuple[int, Catalog] | None" = None
+        self._lazy_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction
@@ -65,6 +75,7 @@ class TripleStore:
         objs.add(o)
         self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
         self._size += 1
+        self._epoch += 1
         self._nodes.add(s)
         self._nodes.add(o)
         if self._lazy:
@@ -101,6 +112,34 @@ class TripleStore:
     @property
     def frozen(self) -> bool:
         return self._frozen
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter: increases by one per successfully added triple.
+
+        Two reads returning the same epoch guarantee the store content
+        did not change in between, which is what plan/result caches key
+        their validity on.
+        """
+        return self._epoch
+
+    def catalog(self) -> "Catalog":
+        """The store's statistics catalog, built at most once per epoch.
+
+        Every engine constructed without an explicit catalog shares this
+        memoized instance instead of silently recomputing
+        :func:`~repro.stats.catalog.build_catalog` — on large graphs the
+        rebuild dwarfs the query itself. Adding a triple invalidates the
+        memo; the next call rebuilds from the current contents.
+        """
+        from repro.stats.catalog import build_catalog
+
+        cached = self._catalog_cache
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1]
+        catalog = build_catalog(self)
+        self._catalog_cache = (self._epoch, catalog)
+        return catalog
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -299,12 +338,19 @@ class TripleStore:
             raise StoreError(f"unknown permutation index {name!r}")
         index = self._lazy.get(name)
         if index is None:
-            index = {}
-            order = _PERMUTATION_EXTRACTORS[name]
-            for triple in self.triples():
-                k1, k2, k3 = order(triple)
-                index.setdefault(k1, {}).setdefault(k2, set()).add(k3)
-            self._lazy[name] = index
+            # Concurrent readers (the QueryService thread pool) may race
+            # to materialize the same permutation; build under a lock so
+            # the index is published exactly once and never observed
+            # half-built.
+            with self._lazy_lock:
+                index = self._lazy.get(name)
+                if index is None:
+                    index = {}
+                    order = _PERMUTATION_EXTRACTORS[name]
+                    for triple in self.triples():
+                        k1, k2, k3 = order(triple)
+                        index.setdefault(k1, {}).setdefault(k2, set()).add(k3)
+                    self._lazy[name] = index
         return index
 
     def _insert_lazy(self, s: int, p: int, o: int) -> None:

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import NamedTuple
 
 from repro.errors import PlanError
-from repro.query.algebra import BoundEdge, BoundQuery
+from repro.query.algebra import BoundQuery
 from repro.planner.plan import AGPlan
 from repro.stats.estimator import CardinalityEstimator, EstimatorState
 

@@ -1,0 +1,39 @@
+"""Long-lived query service over one (ideally frozen) triple store.
+
+The seed reproduction evaluates one query at a time: construct a
+:class:`~repro.core.engine.WireframeEngine`, call ``evaluate``, throw
+both away. A production deployment instead keeps *one* engine alive and
+pushes many queries through it. This package provides that layer:
+
+- :func:`~repro.service.signature.query_signature` — a canonical,
+  alpha-invariant key for a :class:`~repro.query.model.ConjunctiveQuery`
+  (structurally identical queries share a key no matter how their
+  variables are named).
+- :class:`~repro.service.caches.PlanCache` — an LRU of
+  ``(AGPlan, Chordification)`` pairs keyed on that signature, so
+  repeated query templates skip the Edgifier/Triangulator entirely.
+- :class:`~repro.service.caches.ResultCache` — a bounded cache of final
+  results, invalidated automatically when the store's epoch moves.
+- :class:`~repro.service.query_service.QueryService` — the façade: a
+  thread pool over the immutable store, ``submit()`` returning futures,
+  ``evaluate_many()`` for batches with per-query deadlines, and
+  aggregate :class:`~repro.service.stats.ServiceStats` (hit rates,
+  queue depth, latency percentiles).
+"""
+
+from repro.service.caches import CacheStats, LRUCache, PlanCache, ResultCache
+from repro.service.query_service import QueryService
+from repro.service.signature import plan_signature, query_signature
+from repro.service.stats import LatencyDigest, ServiceStats
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "LatencyDigest",
+    "PlanCache",
+    "QueryService",
+    "ResultCache",
+    "ServiceStats",
+    "plan_signature",
+    "query_signature",
+]

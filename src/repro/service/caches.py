@@ -1,0 +1,174 @@
+"""Thread-safe bounded caches for the query service.
+
+:class:`LRUCache` is the shared substrate: an ``OrderedDict`` guarded by
+a lock, with hit/miss/eviction counters. On top of it sit the two
+service caches:
+
+- :class:`PlanCache` maps a query signature to the reusable planning
+  artifacts ``(AGPlan, Chordification)``. Plans depend only on the
+  catalog, so the whole cache is cleared when the store (and hence the
+  catalog) changes.
+- :class:`ResultCache` maps ``(signature, materialize)`` to a finished
+  :class:`~repro.engine_api.EngineResult`. Entries are stamped with the
+  store epoch they were computed at; a lookup whose epoch no longer
+  matches is treated as a miss and dropped, so stale answers can never
+  be served after ``store.add*`` mutates the graph.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, NamedTuple
+
+from repro.engine_api import EngineResult
+from repro.planner.plan import AGPlan, Chordification
+
+
+class CacheStats(NamedTuple):
+    """Counters snapshot for one cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when untouched)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """A bounded least-recently-used mapping, safe for concurrent use.
+
+    ``get`` promotes the entry to most-recently-used; ``put`` evicts the
+    oldest entry once ``maxsize`` is exceeded. ``maxsize <= 0`` disables
+    the cache entirely (every lookup misses, every put is dropped),
+    which lets the service switch caching off without special-casing.
+    """
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    _MISSING = object()
+
+    def get(self, key: Hashable, default: Any = None, record: bool = True) -> Any:
+        """Look up ``key``; ``record=False`` leaves the counters alone
+        (used for double-checks that already counted once)."""
+        with self._lock:
+            value = self._data.get(key, self._MISSING)
+            if value is self._MISSING:
+                if record:
+                    self._misses += 1
+                return default
+            self._data.move_to_end(key)
+            if record:
+                self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def discard(self, key: Hashable) -> None:
+        """Remove ``key`` if present (no-op otherwise)."""
+        with self._lock:
+            self._data.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )
+
+
+class PlanCache(LRUCache):
+    """LRU of ``(AGPlan, Chordification)`` keyed by query signature."""
+
+    def get_plan(self, signature: Hashable) -> tuple[AGPlan, Chordification] | None:
+        """The cached ``(AGPlan, Chordification)`` pair, or ``None``."""
+        return self.get(signature)
+
+    def put_plan(
+        self,
+        signature: Hashable,
+        ag_plan: AGPlan,
+        chordification: Chordification,
+    ) -> None:
+        """Cache the planning artifacts for ``signature``."""
+        self.put(signature, (ag_plan, chordification))
+
+
+class _ResultEntry(NamedTuple):
+    epoch: int
+    result: EngineResult
+
+
+class ResultCache(LRUCache):
+    """Bounded result cache with epoch-based invalidation.
+
+    Entries record the store epoch at computation time. ``get_result``
+    only returns entries whose epoch matches the caller's view of the
+    store; mismatched entries are dropped eagerly so one pass over a
+    mutated store's keys retires them.
+    """
+
+    def get_result(
+        self, signature: Hashable, epoch: int, record: bool = True
+    ) -> EngineResult | None:
+        """The cached result for ``signature`` if it was computed at
+        ``epoch``; stale entries are dropped and report ``None``."""
+        entry: _ResultEntry | None = self.get(signature, record=record)
+        if entry is None:
+            return None
+        if entry.epoch != epoch:
+            # A stale entry is a miss, not a hit: reclassify the lookup
+            # the base class may have just counted, then retire it.
+            with self._lock:
+                if record:
+                    self._hits -= 1
+                    self._misses += 1
+                self._data.pop(signature, None)
+            return None
+        return entry.result
+
+    def put_result(
+        self, signature: Hashable, epoch: int, result: EngineResult
+    ) -> None:
+        """Cache ``result`` as valid for store epoch ``epoch``."""
+        self.put(signature, _ResultEntry(epoch, result))

@@ -1,0 +1,492 @@
+"""A long-lived, concurrent query service over one triple store.
+
+:class:`QueryService` is the production-shaped front end the ROADMAP
+asks for: it owns a store and its statistics catalog (built exactly
+once per store epoch), keeps one Wireframe engine alive, and serves
+many queries through a thread pool. Two caches sit in front of the
+engine:
+
+1. a **plan cache** keyed on the alpha-invariant query signature, so a
+   repeated query *template* skips the Edgifier/Triangulator and reuses
+   its ``(AGPlan, Chordification)`` verbatim;
+2. a **result cache** keyed on ``(signature, materialize)`` and stamped
+   with the store epoch, so an exactly-repeated query returns without
+   touching the engine at all — and never returns a stale answer after
+   the store mutates.
+
+Evaluation over the store is read-only, so one engine is safely shared
+by all workers (the store's lazy permutation indexes materialize under
+a lock). Deadlines stay cooperative: each worker polls its per-query
+:class:`~repro.utils.deadline.Deadline` exactly as the serial engine
+does, and a timed-out query surfaces as
+:class:`~repro.errors.EvaluationTimeout` on its future.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import replace
+from typing import Iterable, Sequence
+
+from repro.core.engine import WireframeEngine
+from repro.engine_api import EngineResult
+from repro.errors import EvaluationTimeout, ReproError
+from repro.graph.store import TripleStore
+from repro.query.model import ConjunctiveQuery
+from repro.service.caches import PlanCache, ResultCache
+from repro.service.signature import plan_signature, query_signature
+from repro.service.stats import ServiceStats
+from repro.stats.catalog import Catalog
+from repro.utils.deadline import Deadline
+
+
+def _default_workers() -> int:
+    return min(8, os.cpu_count() or 1)
+
+
+def _budget_of(deadline: "Deadline | float | None") -> float:
+    """The seconds a submission may still spend evaluating (inf = none)."""
+    if deadline is None:
+        return float("inf")
+    if isinstance(deadline, Deadline):
+        return deadline.remaining
+    return float(deadline)
+
+
+def _chain_future(target: "Future[EngineResult]"):
+    """A done-callback copying one future's outcome onto ``target``."""
+
+    def callback(source: "Future[EngineResult]") -> None:
+        exc = source.exception()
+        if exc is not None:
+            target.set_exception(exc)
+        else:
+            target.set_result(source.result())
+
+    return callback
+
+
+class QueryService:
+    """Serve many conjunctive queries concurrently over one store.
+
+    Parameters
+    ----------
+    store:
+        The data graph. Freezing it (``freeze=True``, or freezing it
+        yourself beforehand) is recommended for serving; an unfrozen
+        store is tolerated — every mutation bumps the store epoch, which
+        rebuilds the catalog lazily and invalidates both caches.
+    catalog:
+        Optional prebuilt statistics for the store's *current* epoch.
+        When omitted the store's memoized catalog is used.
+    max_workers:
+        Thread-pool width (default: ``min(8, cpu_count)``).
+    plan_cache_size / result_cache_size:
+        LRU capacities; ``0`` disables the respective cache.
+    coalesce:
+        Deduplicate identical *in-flight* queries: while a query is
+        being evaluated, further submissions of an alpha-equivalent
+        query attach to the leader's future instead of evaluating again
+        (the classic thundering-herd guard). A follower only attaches
+        when its own budget is at least the leader's — it then waits no
+        longer than its budget allows, because the leader completes or
+        times out within that window; stricter-deadline duplicates
+        evaluate independently. If the leader times out under its own
+        budget, followers are transparently resubmitted under theirs.
+    freeze:
+        Freeze the store (and its dictionary) at construction.
+    engine_options:
+        Extra keyword arguments forwarded to
+        :class:`~repro.core.engine.WireframeEngine` (``edge_burnback``,
+        ``use_chords``, ``embedding_planner``, ``exhaustive_limit``).
+
+    >>> from repro.graph.builder import GraphBuilder
+    >>> store = (
+    ...     GraphBuilder()
+    ...     .edge("alice", "knows", "bob")
+    ...     .edge("bob", "knows", "carol")
+    ...     .build(freeze=True)
+    ... )
+    >>> from repro.query.parser import parse_sparql
+    >>> q = parse_sparql("select ?a, ?b where { ?a knows ?b }")
+    >>> with QueryService(store) as service:
+    ...     service.submit(q).result().count
+    2
+    """
+
+    def __init__(
+        self,
+        store: TripleStore,
+        catalog: Catalog | None = None,
+        max_workers: int | None = None,
+        plan_cache_size: int = 512,
+        result_cache_size: int = 256,
+        latency_window: int = 2048,
+        coalesce: bool = True,
+        freeze: bool = False,
+        engine_options: dict | None = None,
+    ):
+        if freeze and not store.frozen:
+            store.freeze()
+        self.store = store
+        self.max_workers = max_workers if max_workers is not None else _default_workers()
+        self._engine_options = dict(engine_options or {})
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.result_cache = ResultCache(result_cache_size)
+        self.stats = ServiceStats(window=latency_window)
+        self.coalesce = coalesce
+        # key -> (leader future, leader budget in seconds at submit).
+        self._inflight: dict[tuple, "tuple[Future[EngineResult], float]"] = {}
+        self._inflight_lock = threading.Lock()
+        self._refresh_lock = threading.Lock()
+        self._epoch = store.epoch
+        self._engine = WireframeEngine(store, catalog, **self._engine_options)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-query"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> WireframeEngine:
+        """The currently active engine (rebuilt when the store mutates)."""
+        return self._engine
+
+    @property
+    def epoch(self) -> int:
+        """The store epoch this service last synchronized with."""
+        return self._epoch
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the worker pool down; the service cannot be reused."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _refresh_if_stale(self) -> None:
+        """Re-synchronize engine and caches after a store mutation.
+
+        The common case (epoch unchanged) is a single integer compare.
+        On change, the engine is rebuilt over the store's memoized
+        catalog and the plan cache is cleared; the result cache
+        self-invalidates through its epoch stamps.
+        """
+        if self.store.epoch == self._epoch:
+            return
+        with self._refresh_lock:
+            if self.store.epoch == self._epoch:
+                return
+            self._engine = WireframeEngine(
+                self.store, None, **self._engine_options
+            )
+            self.plan_cache.clear()
+            self._epoch = self.store.epoch
+
+    # ------------------------------------------------------------------
+    # Submission APIs
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: ConjunctiveQuery,
+        deadline: Deadline | float | None = None,
+        materialize: bool = True,
+    ) -> "Future[EngineResult]":
+        """Enqueue one query; returns a future of its ``EngineResult``.
+
+        ``deadline`` may be a :class:`Deadline` (its clock is already
+        running, so time spent queued counts against the budget) or a
+        float budget in seconds (the clock starts when a worker picks
+        the query up). Timeouts surface as
+        :class:`~repro.errors.EvaluationTimeout` from ``result()``.
+        """
+        if self._closed:
+            raise RuntimeError("QueryService is closed")
+        self._refresh_if_stale()
+        epoch = self._epoch
+        # Results are keyed on the exact (alpha-invariant) query;
+        # plans on the broader structural key that also canonicalizes
+        # constants, so "same template, different entity" reuses a plan.
+        result_key = (query_signature(query), materialize)
+        plan_key = plan_signature(query)
+
+        cached = self.result_cache.get_result(result_key, epoch)
+        if cached is not None:
+            # Served without touching the pool: complete the future now.
+            self.stats.record_result_cache_short_circuit()
+            self.stats.record_latency(0.0, 0.0, 0.0)
+            future: "Future[EngineResult]" = Future()
+            future.set_result(
+                self._annotate(cached, "cached", "hit", queue_seconds=0.0)
+            )
+            return future
+
+        leader: "Future[EngineResult] | None" = None
+        budget = _budget_of(deadline)
+        with self._inflight_lock:
+            if self.coalesce:
+                entry = self._inflight.get(result_key)
+                # Attach only when our budget covers the leader's worst
+                # case; a stricter duplicate evaluates independently so
+                # its deadline stays enforced.
+                if entry is not None and budget >= entry[1]:
+                    leader = entry[0]
+            if leader is None:
+                self.stats.enqueued()
+                submitted_at = time.perf_counter()
+                future = self._pool.submit(
+                    self._run,
+                    query,
+                    result_key,
+                    plan_key,
+                    epoch,
+                    deadline,
+                    materialize,
+                    submitted_at,
+                )
+                if self.coalesce and result_key not in self._inflight:
+                    self._inflight[result_key] = (future, budget)
+                    future.add_done_callback(
+                        # dict.pop is atomic; deliberately lock-free —
+                        # this callback can fire synchronously right here.
+                        lambda _f, _k=result_key: self._inflight.pop(_k, None)
+                    )
+                return future
+        # Coalesced path, outside the lock: the leader's completion
+        # callback may run synchronously and (on leader timeout)
+        # re-enter submit(), which takes the lock again.
+        follower: "Future[EngineResult]" = Future()
+        self.stats.record_coalesced()
+        leader.add_done_callback(
+            self._follower_callback(follower, query, deadline, materialize)
+        )
+        return follower
+
+    def _follower_callback(
+        self,
+        follower: "Future[EngineResult]",
+        query: ConjunctiveQuery,
+        deadline: Deadline | float | None,
+        materialize: bool,
+    ):
+        """Completion hook chaining a coalesced follower to its leader.
+
+        Success propagates the leader's result (re-annotated, since each
+        caller gets its own stats dict). A leader *timeout* only proves
+        the leader's budget was too small, so the follower is resubmitted
+        under its own deadline; any other failure propagates as-is.
+        """
+
+        def callback(leader: "Future[EngineResult]") -> None:
+            exc = leader.exception()
+            if exc is None:
+                self.stats.record_coalesced_outcome(ok=True)
+                follower.set_result(
+                    self._annotate(leader.result(), "coalesced", "coalesced")
+                )
+            elif isinstance(exc, EvaluationTimeout):
+                # Not counted here: the resubmission records its own
+                # outcome through the normal worker path.
+                try:
+                    retry = self.submit(query, deadline, materialize)
+                except BaseException as submit_exc:  # pool closed, etc.
+                    follower.set_exception(submit_exc)
+                else:
+                    retry.add_done_callback(_chain_future(follower))
+            else:
+                self.stats.record_coalesced_outcome(ok=False)
+                follower.set_exception(exc)
+
+        return callback
+
+    def evaluate(
+        self,
+        query: ConjunctiveQuery,
+        deadline: Deadline | float | None = None,
+        materialize: bool = True,
+    ) -> EngineResult:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(query, deadline, materialize).result()
+
+    def evaluate_many(
+        self,
+        queries: Iterable[ConjunctiveQuery],
+        deadlines: Sequence[Deadline | float | None] | Deadline | float | None = None,
+        materialize: bool = True,
+        return_exceptions: bool = False,
+    ) -> list:
+        """Evaluate a batch, preserving input order.
+
+        ``deadlines`` is either one budget applied to every query or a
+        sequence aligned with ``queries``. With
+        ``return_exceptions=True``, a query that times out (or raises
+        any other :class:`~repro.errors.ReproError`) contributes the
+        exception object at its position instead of aborting the batch.
+        """
+        query_list = list(queries)
+        if isinstance(deadlines, (Deadline, float, int)) or deadlines is None:
+            per_query: list = [deadlines] * len(query_list)
+        else:
+            per_query = list(deadlines)
+            if len(per_query) != len(query_list):
+                raise ValueError(
+                    f"got {len(per_query)} deadlines for {len(query_list)} queries"
+                )
+        futures = [
+            self.submit(query, deadline, materialize)
+            for query, deadline in zip(query_list, per_query)
+        ]
+        results = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except ReproError as exc:
+                if not return_exceptions:
+                    raise
+                results.append(exc)
+        return results
+
+    # ------------------------------------------------------------------
+    # Worker path
+    # ------------------------------------------------------------------
+
+    def _run(
+        self,
+        query: ConjunctiveQuery,
+        result_key: tuple,
+        plan_key: tuple,
+        epoch: int,
+        deadline: Deadline | float | None,
+        materialize: bool,
+        submitted_at: float,
+    ) -> EngineResult:
+        self.stats.started()
+        queue_seconds = time.perf_counter() - submitted_at
+        outcome = "error"
+        try:
+            if isinstance(deadline, Deadline):
+                effective = deadline
+            elif deadline is None:
+                effective = Deadline.unlimited()
+            else:
+                effective = Deadline(float(deadline))
+            # A query whose budget drained while it sat in the queue
+            # fails fast instead of starting doomed work.
+            effective.check_now()
+
+            # The result cache may have been filled while we queued
+            # (don't re-count: submit() already recorded this lookup).
+            cached = self.result_cache.get_result(result_key, epoch, record=False)
+            if cached is not None:
+                outcome = "ok"
+                self.stats.record_latency(queue_seconds, 0.0, 0.0)
+                return self._annotate(
+                    cached, "cached", "hit", queue_seconds=queue_seconds
+                )
+
+            engine = self._engine
+            t0 = time.perf_counter()
+            cached_plan = self.plan_cache.get_plan(plan_key)
+            plan_outcome = "hit" if cached_plan is not None else "miss"
+            # One bind either way: plan() reuses the cached artifacts on
+            # a hit and runs the planners only on a miss.
+            prepared = engine.plan(query, cached_plan=cached_plan)
+            if cached_plan is None:
+                self.plan_cache.put_plan(plan_key, prepared[1], prepared[2])
+            t1 = time.perf_counter()
+
+            detail = engine.evaluate_detailed(
+                query, effective, materialize, prepared=prepared
+            )
+            exec_seconds = time.perf_counter() - t1
+            result = EngineResult(
+                engine=engine.name,
+                count=detail.count,
+                rows=detail.rows,
+                stats={
+                    "ag_size": detail.ag_size,
+                    "edge_walks": detail.generation_stats.edge_walks,
+                    "phase1_seconds": detail.phase1_seconds,
+                    "phase2_seconds": detail.phase2_seconds,
+                    "ag_plan": detail.ag_plan.order,
+                    "embedding_plan": detail.embedding_plan.order,
+                    "chords": len(detail.chordification.chords),
+                    "spurious_pairs_removed": (
+                        detail.generation_stats.spurious_pairs_removed
+                    ),
+                },
+            )
+            # Only a result computed at the epoch we advertised may be
+            # cached under it; a concurrent mutation means our answer is
+            # already stale.
+            if self.store.epoch == epoch:
+                self.result_cache.put_result(result_key, epoch, result)
+            outcome = "ok"
+            self.stats.record_latency(queue_seconds, t1 - t0, exec_seconds)
+            return self._annotate(
+                result, plan_outcome, "miss", queue_seconds=queue_seconds
+            )
+        except Exception as exc:
+            if isinstance(exc, EvaluationTimeout):
+                outcome = "timeout"
+            raise
+        finally:
+            self.stats.finished(outcome)
+
+    @staticmethod
+    def _annotate(
+        result: EngineResult,
+        plan_outcome: str,
+        result_outcome: str = "miss",
+        queue_seconds: float = 0.0,
+    ) -> EngineResult:
+        """A shallow copy of ``result`` carrying per-call service stats.
+
+        Cached results are shared across callers, so the base object is
+        never mutated; each caller gets its own ``stats`` dict.
+        """
+        service_stats = {
+            "plan_cache": plan_outcome,
+            "result_cache": result_outcome,
+            "queue_seconds": queue_seconds,
+        }
+        return replace(result, stats={**result.stats, "service": service_stats})
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All service statistics as one JSON-compatible dict."""
+        snap = self.stats.snapshot()
+        snap["plan_cache"] = self._cache_dict(self.plan_cache)
+        snap["result_cache"] = self._cache_dict(self.result_cache)
+        snap["epoch"] = self._epoch
+        snap["max_workers"] = self.max_workers
+        snap["store_triples"] = self.store.num_triples
+        return snap
+
+    @staticmethod
+    def _cache_dict(cache) -> dict:
+        stats = cache.stats()
+        data = stats._asdict()
+        data["lookups"] = stats.lookups
+        data["hit_rate"] = stats.hit_rate
+        return data
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService({self.store!r}, workers={self.max_workers}, "
+            f"epoch={self._epoch})"
+        )

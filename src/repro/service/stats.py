@@ -1,0 +1,200 @@
+"""Aggregate service-level statistics.
+
+The service records, per completed query, how long it spent queued, in
+planning, and in execution. Latencies go into bounded reservoirs (the
+most recent ``window`` observations) from which percentiles are read on
+demand — a deliberate trade of exactness for O(1) memory under
+sustained traffic, the same shape production systems use for p50/p99
+dashboards.
+
+Everything here is thread-safe: workers record from pool threads while
+callers snapshot from anywhere.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Mapping
+
+
+class LatencyDigest:
+    """Percentiles over the most recent ``window`` observations."""
+
+    def __init__(self, window: int = 2048):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        self._samples: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._total = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self._count += 1
+            self._total += seconds
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._total / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0 <= q <= 1) of the retained window.
+
+        Nearest-rank on the sorted window; 0.0 when nothing has been
+        recorded yet.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+        rank = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[rank]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+
+class ServiceStats:
+    """Counters and latency digests for one :class:`QueryService`.
+
+    ``queued`` / ``running`` are live gauges (queue depth and in-flight
+    work); the remaining fields are monotonic counters. Per-phase
+    latencies are split exactly along the service's pipeline: time spent
+    waiting for a worker (``queue``), binding + planning (``plan``),
+    evaluation proper (``exec``), and end-to-end (``total``).
+    """
+
+    _PHASES = ("queue", "plan", "exec", "total")
+
+    def __init__(self, window: int = 2048):
+        self._lock = threading.Lock()
+        self.queued = 0
+        self.running = 0
+        self.completed = 0
+        self.timeouts = 0
+        self.failures = 0
+        self.result_cache_short_circuits = 0
+        self.coalesced = 0
+        self.latency = {phase: LatencyDigest(window) for phase in self._PHASES}
+
+    # -- gauges --------------------------------------------------------
+
+    def enqueued(self) -> None:
+        """A query entered the queue (bumps the ``queued`` gauge)."""
+        with self._lock:
+            self.queued += 1
+
+    def started(self) -> None:
+        """A worker picked a query up (``queued`` -> ``running``)."""
+        with self._lock:
+            self.queued -= 1
+            self.running += 1
+
+    def finished(self, outcome: str) -> None:
+        """Move one query out of ``running``; outcome is
+        ``"ok" | "timeout" | "error"``."""
+        with self._lock:
+            self.running -= 1
+            if outcome == "ok":
+                self.completed += 1
+            elif outcome == "timeout":
+                self.timeouts += 1
+            else:
+                self.failures += 1
+
+    def record_result_cache_short_circuit(self) -> None:
+        """A query answered from the result cache without entering the
+        pool — it still counts as completed."""
+        with self._lock:
+            self.result_cache_short_circuits += 1
+            self.completed += 1
+
+    def record_coalesced(self) -> None:
+        """A duplicate in-flight query was attached to the leader's
+        future instead of being evaluated again. Its final outcome is
+        recorded separately by :meth:`record_coalesced_outcome` once the
+        leader resolves."""
+        with self._lock:
+            self.coalesced += 1
+
+    def record_coalesced_outcome(self, ok: bool) -> None:
+        """Count a coalesced follower's final outcome (a follower whose
+        leader timed out is resubmitted and counted by the retry
+        instead)."""
+        with self._lock:
+            if ok:
+                self.completed += 1
+            else:
+                self.failures += 1
+
+    # -- latency -------------------------------------------------------
+
+    def record_latency(
+        self,
+        queue_seconds: float,
+        plan_seconds: float,
+        exec_seconds: float,
+    ) -> None:
+        """Record one query's per-phase latencies (and their total)."""
+        self.latency["queue"].record(queue_seconds)
+        self.latency["plan"].record(plan_seconds)
+        self.latency["exec"].record(exec_seconds)
+        self.latency["total"].record(queue_seconds + plan_seconds + exec_seconds)
+
+    # -- reporting -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-compatible point-in-time view of every statistic."""
+        with self._lock:
+            counters = {
+                "queued": self.queued,
+                "running": self.running,
+                "completed": self.completed,
+                "timeouts": self.timeouts,
+                "failures": self.failures,
+                "result_cache_short_circuits": self.result_cache_short_circuits,
+                "coalesced": self.coalesced,
+            }
+        counters["latency_seconds"] = {
+            phase: digest.summary() for phase, digest in self.latency.items()
+        }
+        return counters
+
+
+def format_stats(snapshot: Mapping) -> str:
+    """Human-readable one-screen rendering (used by ``repro batch``)."""
+    lines = []
+    for key in ("completed", "coalesced", "timeouts", "failures", "queued", "running"):
+        lines.append(f"  {key:<12} {snapshot.get(key, 0)}")
+    for name in ("plan_cache", "result_cache"):
+        cache = snapshot.get(name)
+        if cache:
+            lines.append(
+                f"  {name:<12} {cache['hits']}/{cache['lookups']} hits "
+                f"({100.0 * cache['hit_rate']:.0f}%)"
+            )
+    latencies = snapshot.get("latency_seconds", {})
+    for phase in ("queue", "plan", "exec", "total"):
+        digest = latencies.get(phase)
+        if digest and digest["count"]:
+            lines.append(
+                f"  {phase + ' (s)':<12} mean {digest['mean']:.4f}  "
+                f"p50 {digest['p50']:.4f}  p99 {digest['p99']:.4f}"
+            )
+    return "\n".join(lines)

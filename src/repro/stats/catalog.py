@@ -67,9 +67,16 @@ _EMPTY_BIGRAM = BigramStat(0, 0)
 
 
 class Catalog:
-    """Immutable container of unigram and bigram label statistics."""
+    """Immutable container of unigram and bigram label statistics.
 
-    __slots__ = ("unigrams", "bigrams", "num_triples", "num_nodes")
+    The catalog is *frozen*: after construction its attributes cannot be
+    rebound, and it is hashable by content (a cached digest over all
+    statistics), so it can key caches and be shared freely across
+    engines and service threads. The mappings themselves must not be
+    mutated by callers.
+    """
+
+    __slots__ = ("unigrams", "bigrams", "num_triples", "num_nodes", "_hash")
 
     def __init__(
         self,
@@ -78,10 +85,42 @@ class Catalog:
         num_triples: int,
         num_nodes: int,
     ):
-        self.unigrams = unigrams
-        self.bigrams = bigrams
-        self.num_triples = num_triples
-        self.num_nodes = num_nodes
+        object.__setattr__(self, "unigrams", unigrams)
+        object.__setattr__(self, "bigrams", bigrams)
+        object.__setattr__(self, "num_triples", num_triples)
+        object.__setattr__(self, "num_nodes", num_nodes)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"Catalog is frozen; cannot assign attribute {name!r}"
+        )
+
+    def content_key(self) -> tuple:
+        """A hashable canonical form of every statistic in the catalog."""
+        return (
+            self.num_triples,
+            self.num_nodes,
+            tuple(sorted(self.unigrams.items())),
+            tuple(sorted(self.bigrams.items())),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Catalog):
+            return NotImplemented
+        return (
+            self.num_triples == other.num_triples
+            and self.num_nodes == other.num_nodes
+            and self.unigrams == other.unigrams
+            and self.bigrams == other.bigrams
+        )
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash(self.content_key())
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     # ------------------------------------------------------------------
 

@@ -1,10 +1,7 @@
 """Tests for node burnback and edge burnback."""
 
-import pytest
-
 from repro.core.answer_graph import AnswerGraph
 from repro.core.burnback import (
-    edge_burnback,
     intersect_node_set,
     node_burnback,
 )

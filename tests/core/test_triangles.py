@@ -1,10 +1,7 @@
 """Tests for chord materialization."""
 
-import pytest
-
-from repro.core.answer_graph import AnswerGraph
 from repro.core.generation import generate_answer_graph
-from repro.core.triangles import drop_chords, join_triangle_sides, materialize_chords
+from repro.core.triangles import drop_chords, join_triangle_sides
 from repro.datasets.motifs import figure4_graph, figure4_query
 from repro.planner.edgifier import Edgifier
 from repro.planner.triangulator import Triangulator

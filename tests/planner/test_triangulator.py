@@ -1,7 +1,5 @@
 """Tests for the Triangulator (chordification planner)."""
 
-import pytest
-
 from repro.datasets.motifs import figure4_graph, figure4_query
 from repro.graph.builder import store_from_edges
 from repro.planner.triangulator import Triangulator

@@ -1,7 +1,5 @@
 """Property-based tests for the planners."""
 
-import itertools
-
 import pytest
 from hypothesis import given, settings
 

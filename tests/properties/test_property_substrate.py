@@ -5,7 +5,6 @@ from hypothesis import strategies as st
 
 from repro.graph.dictionary import Dictionary
 from repro.graph.ntriples import escape_literal, unescape_literal
-from repro.graph.store import TripleStore
 from repro.graph.triples import TriplePattern
 
 from tests.properties.strategies import build_store, edge_lists

@@ -1,7 +1,5 @@
 """Tests for shape classification and cycle detection."""
 
-import pytest
-
 from repro.query.model import ConjunctiveQuery, Var
 from repro.query.shapes import (
     QueryShape,

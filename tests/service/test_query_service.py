@@ -1,0 +1,308 @@
+"""QueryService: concurrency, caching, invalidation, and determinism."""
+
+import time
+
+import pytest
+
+from repro.core.engine import WireframeEngine
+from repro.datasets.paper_queries import paper_diamond_queries, paper_snowflake_queries
+from repro.errors import EvaluationTimeout
+from repro.query.miner import QueryMiner
+from repro.query.model import ConjunctiveQuery, Const
+from repro.query.parser import parse_sparql
+from repro.query.templates import chain_template
+from repro.service import QueryService
+from repro.utils.deadline import Deadline
+
+
+def expired_deadline() -> Deadline:
+    """A deadline that is already exhausted when a worker first polls it."""
+    deadline = Deadline(1e-9)
+    time.sleep(0.001)
+    return deadline
+
+
+@pytest.fixture
+def mined_queries(mini_yago):
+    miner = QueryMiner(mini_yago, seed=3, forbidden_labels=["rdf:type"])
+    return miner.mine(chain_template(3), count=4)
+
+
+@pytest.fixture
+def service(mini_yago, mini_yago_catalog):
+    with QueryService(
+        mini_yago, catalog=mini_yago_catalog, max_workers=4
+    ) as svc:
+        yield svc
+
+
+class TestBasics:
+    def test_submit_returns_future_with_engine_result(self, service, mined_queries):
+        future = service.submit(mined_queries[0])
+        result = future.result(timeout=30)
+        assert result.engine == "WF"
+        assert result.count == len(result.rows)
+        assert result.stats["service"]["result_cache"] == "miss"
+
+    def test_matches_serial_engine(self, service, mini_yago, mini_yago_catalog,
+                                   mined_queries):
+        serial = WireframeEngine(mini_yago, mini_yago_catalog)
+        for query in mined_queries:
+            expected = serial.evaluate(query)
+            got = service.evaluate(query)
+            assert got.count == expected.count
+            assert sorted(got.rows) == sorted(expected.rows)
+
+    def test_materialize_false_counts_only(self, service, mined_queries):
+        result = service.evaluate(mined_queries[0], materialize=False)
+        assert result.rows is None
+        assert result.count >= 0
+
+    def test_closed_service_rejects_submissions(self, mini_yago):
+        svc = QueryService(mini_yago, max_workers=1)
+        svc.close()
+        with pytest.raises(RuntimeError):
+            svc.submit(parse_sparql("select ?x where { ?x actedIn ?m }"))
+
+    def test_snapshot_shape(self, service, mined_queries):
+        service.evaluate(mined_queries[0])
+        snap = service.snapshot()
+        for key in ("completed", "plan_cache", "result_cache",
+                    "latency_seconds", "epoch", "max_workers"):
+            assert key in snap
+        assert snap["completed"] >= 1
+        assert snap["latency_seconds"]["total"]["count"] >= 1
+
+
+class TestPlanCache:
+    def test_alpha_equivalent_queries_share_plans(self, mini_yago):
+        a = parse_sparql("select ?x, ?m where { ?x actedIn ?m }")
+        b = parse_sparql("select ?p, ?f where { ?p actedIn ?f }")
+        with QueryService(mini_yago, max_workers=2,
+                          result_cache_size=0) as svc:
+            first = svc.evaluate(a)
+            second = svc.evaluate(b)
+            assert first.count == second.count
+            assert second.stats["service"]["plan_cache"] == "hit"
+            assert svc.plan_cache.stats().hits == 1
+
+    def test_constant_variants_share_plans(self, mini_yago):
+        probe = parse_sparql("select ?x, ?m where { ?x actedIn ?m }")
+        rows = WireframeEngine(mini_yago).evaluate(probe).rows
+        decode = mini_yago.dictionary.decode
+        movies = sorted({decode(r[1]) for r in rows})[:4]
+        queries = [
+            ConjunctiveQuery([("?x", "actedIn", Const(m))], name=m)
+            for m in movies
+        ]
+        with QueryService(mini_yago, max_workers=2) as svc:
+            results = svc.evaluate_many(queries)
+            assert all(r.count > 0 for r in results)
+            stats = svc.plan_cache.stats()
+            assert stats.hits == len(queries) - 1
+
+    def test_plan_reuse_preserves_results(self, service, mined_queries):
+        # Same query through cold and warm plan paths must agree.
+        cold = service.evaluate(mined_queries[1])
+        service.plan_cache.clear()
+        service.result_cache.clear()
+        warm_plan_source = service.evaluate(mined_queries[1])
+        assert cold.count == warm_plan_source.count
+
+
+class TestResultCache:
+    def test_repeat_hits_cache(self, service, mined_queries):
+        query = mined_queries[0]
+        first = service.evaluate(query)
+        second = service.evaluate(query)
+        assert second.stats["service"]["result_cache"] in ("hit", "coalesced")
+        assert second.count == first.count
+
+    def test_invalidation_after_store_mutation(self, mini_yago_catalog):
+        from repro.graph.builder import GraphBuilder
+
+        store = (
+            GraphBuilder()
+            .edge("a", "knows", "b")
+            .edge("b", "knows", "c")
+            .build(freeze=False)
+        )
+        query = parse_sparql("select ?x, ?y where { ?x knows ?y }")
+        with QueryService(store, max_workers=2) as svc:
+            assert svc.evaluate(query).count == 2
+            engine_before = svc.engine
+            store.add_term_triple("c", "knows", "d")
+            result = svc.evaluate(query)
+            assert result.count == 3  # not the stale cached 2
+            assert result.stats["service"]["result_cache"] == "miss"
+            assert svc.engine is not engine_before  # catalog was rebuilt
+            assert svc.epoch == store.epoch
+
+    def test_mutation_clears_plan_cache(self, mini_yago):
+        from repro.graph.builder import GraphBuilder
+
+        store = GraphBuilder().edge("a", "knows", "b").build(freeze=False)
+        query = parse_sparql("select ?x where { ?x knows ?y }")
+        with QueryService(store, max_workers=1) as svc:
+            svc.evaluate(query)
+            assert len(svc.plan_cache) == 1
+            store.add_term_triple("b", "knows", "c")
+            svc.evaluate(query)
+            # Cleared on refresh, then repopulated by the re-plan.
+            assert svc.plan_cache.stats().hits == 0
+
+    def test_disabled_result_cache(self, mini_yago, mined_queries):
+        with QueryService(mini_yago, max_workers=1, result_cache_size=0,
+                          coalesce=False) as svc:
+            first = svc.evaluate(mined_queries[0])
+            second = svc.evaluate(mined_queries[0])
+            assert second.stats["service"]["result_cache"] == "miss"
+            assert first.count == second.count
+
+
+class TestDeadlines:
+    def test_expired_deadline_times_out(self, service, mined_queries):
+        with pytest.raises(EvaluationTimeout):
+            service.submit(mined_queries[0], deadline=expired_deadline()).result(30)
+
+    def test_mixed_deadlines_in_batch(self, mini_yago, mined_queries):
+        queries = mined_queries[:4]
+        deadlines = [None, expired_deadline(), 30.0, expired_deadline()]
+        with QueryService(mini_yago, max_workers=2,
+                          result_cache_size=0, coalesce=False) as svc:
+            results = svc.evaluate_many(
+                queries, deadlines=deadlines, return_exceptions=True
+            )
+        assert isinstance(results[1], EvaluationTimeout)
+        assert isinstance(results[3], EvaluationTimeout)
+        serial = WireframeEngine(mini_yago)
+        assert results[0].count == serial.evaluate(queries[0]).count
+        assert results[2].count == serial.evaluate(queries[2]).count
+        assert svc.stats.timeouts == 2
+
+    def test_timeout_raises_without_return_exceptions(self, service,
+                                                      mined_queries):
+        with pytest.raises(EvaluationTimeout):
+            service.evaluate_many(
+                [mined_queries[0]], deadlines=[expired_deadline()]
+            )
+
+    def test_deadline_count_mismatch(self, service, mined_queries):
+        with pytest.raises(ValueError):
+            service.evaluate_many(mined_queries[:2], deadlines=[None])
+
+    def test_scalar_float_deadline_applies_to_all(self, service, mined_queries):
+        results = service.evaluate_many(mined_queries[:2], deadlines=60.0)
+        assert all(r.count >= 0 for r in results)
+
+
+class TestCoalescing:
+    def _slow_engine(self, svc, delay=0.05):
+        original = svc.engine.evaluate_detailed
+
+        def slowed(*args, **kwargs):
+            time.sleep(delay)
+            return original(*args, **kwargs)
+
+        svc.engine.evaluate_detailed = slowed
+
+    def test_in_flight_duplicates_coalesce(self, mini_yago, mined_queries):
+        query = mined_queries[0]
+        with QueryService(mini_yago, max_workers=2,
+                          result_cache_size=0) as svc:
+            self._slow_engine(svc)
+            futures = [svc.submit(query) for _ in range(5)]
+            counts = {f.result(30).count for f in futures}
+        assert len(counts) == 1
+        assert svc.stats.coalesced == 4
+        # Exactly one evaluation ran: the others were deduplicated.
+        assert svc.stats.latency["exec"].count == 1
+
+    def test_leader_timeout_retries_follower(self, mini_yago, mined_queries):
+        blocker, query = mined_queries[0], mined_queries[1]
+        with QueryService(mini_yago, max_workers=1,
+                          result_cache_size=0) as svc:
+            self._slow_engine(svc)
+            svc.submit(blocker)  # occupies the single worker
+            leader = svc.submit(query, deadline=expired_deadline())
+            follower = svc.submit(query)  # coalesces onto the leader
+            with pytest.raises(EvaluationTimeout):
+                leader.result(30)
+            # The follower is transparently resubmitted under its own
+            # (unlimited) deadline and succeeds.
+            expected = WireframeEngine(mini_yago).evaluate(query).count
+            assert follower.result(30).count == expected
+
+    def test_stricter_deadline_does_not_coalesce(self, mini_yago,
+                                                 mined_queries):
+        # A follower with a tighter budget than the leader must keep its
+        # own deadline enforceable, so it evaluates independently.
+        query = mined_queries[0]
+        with QueryService(mini_yago, max_workers=2,
+                          result_cache_size=0) as svc:
+            self._slow_engine(svc, delay=0.05)
+            lead = svc.submit(query)                   # unlimited budget
+            strict = svc.submit(query, deadline=5.0)   # stricter
+            assert lead.result(30).count == strict.result(30).count
+        assert svc.stats.coalesced == 0
+        assert svc.stats.latency["exec"].count == 2  # both evaluated
+
+    def test_follower_counts_once_resolved(self, mini_yago, mined_queries):
+        query = mined_queries[0]
+        with QueryService(mini_yago, max_workers=2,
+                          result_cache_size=0) as svc:
+            self._slow_engine(svc)
+            futures = [svc.submit(query) for _ in range(4)]
+            for future in futures:
+                future.result(30)
+        # 1 leader + 3 followers, all successful: the books balance.
+        assert svc.stats.coalesced == 3
+        assert svc.stats.completed == 4
+        assert svc.stats.failures == 0
+
+    def test_coalescing_disabled(self, mini_yago, mined_queries):
+        query = mined_queries[0]
+        with QueryService(mini_yago, max_workers=2, result_cache_size=0,
+                          coalesce=False) as svc:
+            futures = [svc.submit(query) for _ in range(3)]
+            counts = {f.result(30).count for f in futures}
+        assert len(counts) == 1
+        assert svc.stats.coalesced == 0
+
+
+class TestAcceptanceScenario:
+    """The issue's acceptance bar: 100 mixed queries match serial exactly."""
+
+    def test_hundred_mixed_queries_match_serial(self, mini_yago,
+                                                mini_yago_catalog):
+        miner = QueryMiner(mini_yago, seed=11, forbidden_labels=["rdf:type"])
+        chains = miner.mine(chain_template(3), count=4)
+        diamonds = list(paper_diamond_queries())[:3]
+        snowflakes = list(paper_snowflake_queries())[:3]
+        distinct = chains + diamonds + snowflakes
+
+        probe = parse_sparql("select ?x, ?m where { ?x actedIn ?m }")
+        rows = WireframeEngine(mini_yago, mini_yago_catalog).evaluate(probe).rows
+        decode = mini_yago.dictionary.decode
+        movies = sorted({decode(r[1]) for r in rows})[:10]
+        anchored = [
+            ConjunctiveQuery([("?x", "actedIn", Const(m))], name=f"anchor-{m}")
+            for m in movies
+        ]
+
+        queries = (distinct + anchored) * 5
+        queries = queries[:100]
+        assert len(queries) == 100
+
+        serial = WireframeEngine(mini_yago, mini_yago_catalog)
+        expected = [serial.evaluate(q, materialize=False).count
+                    for q in queries]
+
+        with QueryService(mini_yago, catalog=mini_yago_catalog,
+                          max_workers=8) as svc:
+            results = svc.evaluate_many(queries, materialize=False)
+            snapshot = svc.snapshot()
+
+        assert [r.count for r in results] == expected
+        assert snapshot["plan_cache"]["hit_rate"] > 0.0
+        assert (snapshot["result_cache"]["hits"] + snapshot["coalesced"]) > 0

@@ -1,0 +1,88 @@
+"""Canonical query signatures: alpha-invariance and its limits."""
+
+from repro.query.parser import parse_sparql
+from repro.service.signature import plan_signature, query_signature
+
+
+def q(text: str):
+    return parse_sparql(text)
+
+
+class TestQuerySignature:
+    def test_alpha_equivalent_queries_collide(self):
+        a = q("select ?x, ?m where { ?x actedIn ?m . ?m locatedIn ?c }")
+        b = q("select ?actor, ?movie where "
+              "{ ?actor actedIn ?movie . ?movie locatedIn ?city }")
+        assert query_signature(a) == query_signature(b)
+
+    def test_signature_is_hashable(self):
+        sig = query_signature(q("select ?x where { ?x knows ?y }"))
+        assert hash(sig) == hash(sig)
+        assert {sig: 1}[sig] == 1
+
+    def test_different_predicates_differ(self):
+        a = q("select ?x where { ?x knows ?y }")
+        b = q("select ?x where { ?x likes ?y }")
+        assert query_signature(a) != query_signature(b)
+
+    def test_different_structure_differs(self):
+        chain = q("select ?x where { ?x A ?y . ?y A ?z }")
+        fork = q("select ?x where { ?x A ?y . ?x A ?z }")
+        assert query_signature(chain) != query_signature(fork)
+
+    def test_projection_matters(self):
+        a = q("select ?x where { ?x knows ?y }")
+        b = q("select ?y where { ?x knows ?y }")
+        assert query_signature(a) != query_signature(b)
+
+    def test_distinct_matters(self):
+        a = q("select ?x where { ?x knows ?y }")
+        b = q("select distinct ?x where { ?x knows ?y }")
+        assert query_signature(a) != query_signature(b)
+
+    def test_constants_matter(self):
+        a = q("select ?x where { ?x actedIn Movie1 }")
+        b = q("select ?x where { ?x actedIn Movie2 }")
+        assert query_signature(a) != query_signature(b)
+
+    def test_edge_order_matters(self):
+        # Deliberate: plans are positional, so permuted edge lists must
+        # not share cache entries even though they are semantically equal.
+        a = q("select ?x where { ?x A ?y . ?y B ?z }")
+        b = q("select ?x where { ?y B ?z . ?x A ?y }")
+        assert query_signature(a) != query_signature(b)
+
+    def test_query_name_is_ignored(self):
+        from repro.query.model import ConjunctiveQuery
+
+        a = ConjunctiveQuery([("?x", "knows", "?y")], name="one")
+        b = ConjunctiveQuery([("?x", "knows", "?y")], name="two")
+        assert query_signature(a) == query_signature(b)
+
+
+class TestPlanSignature:
+    def test_constants_are_canonicalized(self):
+        a = q("select ?x where { ?x actedIn Movie1 }")
+        b = q("select ?y where { ?y actedIn Movie2 }")
+        assert plan_signature(a) == plan_signature(b)
+        assert query_signature(a) != query_signature(b)
+
+    def test_constant_sharing_pattern_is_kept(self):
+        # k joining two edges is structurally different from two
+        # unrelated constants: connectivity of the plan depends on it.
+        shared = q("select ?x where { ?x A k . k B ?z }")
+        split = q("select ?x where { ?x A k1 . k2 B ?z }")
+        assert plan_signature(shared) != plan_signature(split)
+        # ...whereas renaming the shared constant preserves the pattern.
+        renamed = q("select ?x where { ?x A j . j B ?z }")
+        assert plan_signature(shared) == plan_signature(renamed)
+
+    def test_projection_is_ignored_for_plans(self):
+        a = q("select ?x where { ?x knows ?y }")
+        b = q("select ?y where { ?x knows ?y }")
+        assert plan_signature(a) == plan_signature(b)
+
+    def test_distinct_is_ignored_for_plans(self):
+        a = q("select ?x where { ?x knows ?y }")
+        b = q("select distinct ?x where { ?x knows ?y }")
+        assert plan_signature(a) == plan_signature(b)

@@ -132,3 +132,57 @@ def test_table1_subset(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_batch_template_workload(capsys):
+    code = main(
+        [
+            "batch", "--scale", "0.05", "--template", "chain",
+            "--count", "3", "--repeat", "2", "--workers", "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "6/6 queries in" in out
+    assert "service stats:" in out
+    assert "result_cache" in out
+
+
+def test_batch_query_file(tmp_path, capsys):
+    workload = tmp_path / "queries.sparql"
+    workload.write_text(
+        "select ?x, ?m where { ?x actedIn ?m }\n"
+        "\n"
+        "select ?a, ?f where { ?a actedIn ?f }\n"
+    )
+    code = main(
+        ["batch", "--scale", "0.05", "--file", str(workload), "--workers", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2/2 queries in" in out
+
+
+def test_batch_json_output(capsys):
+    import json
+
+    code = main(
+        [
+            "batch", "--scale", "0.05", "--template", "star",
+            "--count", "2", "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["queries"]) == 2
+    assert all("count" in q for q in payload["queries"])
+    assert payload["stats"]["completed"] == 2
+    assert "plan_cache" in payload["stats"]
+
+
+def test_batch_empty_file_rejected(tmp_path, capsys):
+    empty = tmp_path / "empty.sparql"
+    empty.write_text("\n\n")
+    code = main(["batch", "--scale", "0.05", "--file", str(empty)])
+    assert code == 2
+    assert "empty workload" in capsys.readouterr().err
