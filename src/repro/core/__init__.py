@@ -1,18 +1,28 @@
 """The paper's contribution: answer-graph (factorized) CQ evaluation.
 
 * :mod:`repro.core.answer_graph` — the AG data structure.
+* :mod:`repro.core.kernels` — set-at-a-time bulk primitives (semi-join,
+  adjacency composition, pair intersection) backing all of phase 1.
 * :mod:`repro.core.extension` — edge-extension steps (phase 1).
 * :mod:`repro.core.burnback` — cascading node burnback and the optional
   edge burnback for cyclic queries.
 * :mod:`repro.core.triangles` — chord materialization and triangle
   consistency.
 * :mod:`repro.core.generation` — phase-1 orchestration (with tracing).
+* :mod:`repro.core.reference` — the retained tuple-at-a-time phase-1
+  implementation (equivalence oracle and benchmark baseline).
 * :mod:`repro.core.defactorize` — phase 2: embedding generation.
 * :mod:`repro.core.ideal` — oracle reference implementations.
 * :mod:`repro.core.engine` — the end-to-end Wireframe engine.
 """
 
 from repro.core.answer_graph import AnswerGraph, RelKey
+from repro.core.kernels import (
+    bulk_extend,
+    compose_adjacency,
+    intersect_pairs,
+    semijoin_restrict,
+)
 from repro.core.generation import GenerationStats, GenerationTrace, generate_answer_graph
 from repro.core.defactorize import count_embeddings, iter_embeddings, materialize_embeddings
 from repro.core.bushy_exec import materialize_embeddings_bushy
@@ -31,6 +41,10 @@ from repro.core.engine import WireframeEngine, WireframeResult
 __all__ = [
     "AnswerGraph",
     "RelKey",
+    "bulk_extend",
+    "compose_adjacency",
+    "intersect_pairs",
+    "semijoin_restrict",
     "GenerationStats",
     "GenerationTrace",
     "generate_answer_graph",

@@ -76,9 +76,23 @@ class AnswerGraph:
         rel: RelKey,
         s_var: int | None,
         o_var: int | None,
-        pairs: Iterator[tuple[int, int]] | set[tuple[int, int]],
+        pairs: Iterator[tuple[int, int]] | set[tuple[int, int]] | None = None,
+        *,
+        adjacency: dict[int, set[int]] | None = None,
+        backward: dict[int, set[int]] | None = None,
     ) -> None:
-        """Materialize ``rel`` with ``pairs`` and index both directions.
+        """Materialize ``rel`` and index both directions.
+
+        The relation content is given either as ``pairs`` (an iterable
+        of (s, o) tuples, grouped here tuple-at-a-time) or as
+        pre-grouped ``adjacency`` (``{s: {o, ...}}``, the set-at-a-time
+        kernel output) — exactly one of the two. With ``adjacency``,
+        the AG **takes ownership** of the dict and its value sets
+        (burnback mutates them in place); kernels always hand over
+        fresh containers. ``backward`` optionally supplies the already
+        inverted ``{o: {s, ...}}`` index (kernels produce it for free
+        on full scans and object-driven walks); it is inverted here
+        otherwise.
 
         Does *not* run burnback — callers (the generation driver)
         intersect node sets and cascade afterwards, because removal
@@ -86,11 +100,30 @@ class AnswerGraph:
         """
         if rel in self.src:
             raise EvaluationError(f"relation {rel} is already materialized")
-        fwd: dict[int, set[int]] = {}
-        bwd: dict[int, set[int]] = {}
-        for s, o in pairs:
-            fwd.setdefault(s, set()).add(o)
-            bwd.setdefault(o, set()).add(s)
+        if (pairs is None) == (adjacency is None):
+            raise EvaluationError(
+                "register_relation needs exactly one of pairs= or adjacency="
+            )
+        if backward is not None and adjacency is None:
+            raise EvaluationError(
+                "register_relation: backward= requires adjacency= (a supplied "
+                "inverse would be silently discarded on the pairs= path)"
+            )
+        if adjacency is not None:
+            fwd = adjacency
+            if backward is not None:
+                bwd = backward
+            else:
+                from repro.core.kernels import invert_adjacency
+
+                bwd = invert_adjacency(adjacency)
+        else:
+            assert pairs is not None
+            fwd = {}
+            bwd = {}
+            for s, o in pairs:
+                fwd.setdefault(s, set()).add(o)
+                bwd.setdefault(o, set()).add(s)
         self.src[rel] = fwd
         self.dst[rel] = bwd
         self.rel_vars[rel] = (s_var, o_var)

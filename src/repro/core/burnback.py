@@ -2,12 +2,16 @@
 
 **Node burnback** (§3): after an edge-extension step, "nodes in the AG
 that failed to extend are removed. This 'node burnback' cascades."
-Implemented as a worklist fixpoint over (variable, node) removals:
-deleting node ``n`` from variable ``v`` deletes every AG pair incident
-to ``n`` at ``v``'s position in every materialized relation touching
-``v``; any partner node left without pairs in that relation loses its
-membership in the opposite variable's node set, which enqueues further
-removals.
+Implemented as a *batched* worklist fixpoint: removals are grouped per
+variable and each batch is applied to every incident relation with
+bulk set operations — one ``set.difference_update`` per touched
+partner bucket (see :func:`repro.core.kernels.subtract_from_buckets`)
+instead of one ``set.discard`` per (node, partner) pair. Any partner
+left without pairs in a relation loses its membership in the opposite
+variable's node set, which feeds the next batch. The fixpoint (and the
+count of removals processed) is identical to the tuple-at-a-time
+reference (:func:`repro.core.reference.node_burnback_reference`); only
+the processing order differs.
 
 **Edge burnback** (§4.I, the paper's work-in-progress extension,
 implemented here): with the query triangulated, every triangle's sides
@@ -16,15 +20,17 @@ survives only if some node z completes it to a materialized triangle
 through the other two sides. Enforcing this to fixpoint removes the
 spurious edges that node burnback alone cannot see in cyclic queries
 (Fig. 4); for treewidth-2 queries (e.g. the paper's diamonds) the
-result is the ideal answer graph.
+result is the ideal answer graph. The per-side prune computes each
+source node's surviving object set with ``set`` intersections and
+C-level ``isdisjoint`` probes, then applies the survivors in bulk.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Iterable
+from typing import AbstractSet, Iterable
 
 from repro.core.answer_graph import AnswerGraph, RelKey
+from repro.core.kernels import subtract_from_buckets
 from repro.planner.plan import Triangle, TriangleSide
 from repro.utils.deadline import Deadline
 
@@ -38,46 +44,54 @@ def node_burnback(
 
     ``removals`` seeds the worklist: nodes already deleted from their
     variable's node set whose incident AG pairs must now be chased.
-    Returns the total number of (variable, node) removals processed.
+    Returns the total number of distinct (variable, node) removals
+    processed.
     """
-    queue: deque[tuple[int, int]] = deque(removals)
+    pending: dict[int, set[int]] = {}
+    for var, node in removals:
+        pending.setdefault(var, set()).add(node)
     burned = 0
     node_sets = ag.node_sets
-    while queue:
-        deadline.check()
-        var, node = queue.popleft()
-        burned += 1
+    while pending:
+        var, batch = pending.popitem()
+        deadline.check_every(len(batch))
+        burned += len(batch)
         for rel, pos in ag.var_positions.get(var, ()):
             if pos == "s":
                 index, other_index = ag.src[rel], ag.dst[rel]
             else:
                 index, other_index = ag.dst[rel], ag.src[rel]
-            partners = index.pop(node, None)
-            if partners is None:
+            # Pop the batch out of the near index, collecting the set
+            # of far-side partners whose buckets must shrink. Probe
+            # the smaller side: a cascade batch can dwarf a relation's
+            # remaining index (and vice versa).
+            present = (
+                index.keys() & batch if len(batch) > len(index) else batch
+            )
+            touched: set[int] = set()
+            for node in present:
+                partners = index.pop(node, None)
+                if partners:
+                    touched |= partners
+            if not touched:
                 continue
+            emptied = subtract_from_buckets(other_index, touched, batch)
             s_var, o_var = ag.rel_vars[rel]
             other_var = o_var if pos == "s" else s_var
-            for partner in partners:
-                opposite = other_index.get(partner)
-                if opposite is None:
-                    continue
-                opposite.discard(node)
-                if opposite:
-                    continue
-                del other_index[partner]
-                if other_var is None:
-                    continue
+            if other_var is not None and emptied:
                 candidates = node_sets.get(other_var)
-                if candidates is not None and partner in candidates:
-                    candidates.discard(partner)
-                    queue.append((other_var, partner))
+                if candidates is not None:
+                    dropped = candidates.intersection(emptied)
+                    if dropped:
+                        candidates -= dropped
+                        pending.setdefault(other_var, set()).update(dropped)
             if not ag.src[rel]:
                 ag.empty = True
     return burned
 
 
 def intersect_node_set(
-    ag: AnswerGraph, var: int, new_nodes: set[int]
+    ag: AnswerGraph, var: int, new_nodes: AbstractSet[int]
 ) -> list[tuple[int, int]]:
     """Constrain ``var``'s node set to ``new_nodes``; return removals.
 
@@ -85,14 +99,17 @@ def intersect_node_set(
     outright (no cascade possible — nothing else references those
     nodes yet). Later relations intersect, and every node that drops
     out must be cascaded by :func:`node_burnback`.
+
+    ``new_nodes`` may be a live ``dict_keys`` view of an AG index — it
+    is only read, and copied exactly once on first installation.
     """
     current = ag.node_sets.get(var)
     if current is None:
         ag.node_sets[var] = set(new_nodes)
         return []
-    removed = [(var, node) for node in current - new_nodes]
+    removed = [(var, node) for node in current.difference(new_nodes)]
     if removed:
-        current &= new_nodes
+        current.intersection_update(new_nodes)
     return removed
 
 
@@ -136,43 +153,61 @@ def _prune_side(
 
     rel = _rel_of(side)
     fwd, bwd = ag.src[rel], ag.dst[rel]
-    doomed: list[tuple[int, int]] = []
+
+    # Pass 1 (read-only): per source node, the surviving object set.
+    # Objects with no y—z partner at all are cut by one C-level key
+    # intersection; the rest take one ``isdisjoint`` probe each.
+    removed = 0
+    shrunk: list[tuple[int, set[int], set[int]]] = []  # (s, keep, gone)
+    y_keys = from_y.keys()
     for s, objs in fwd.items():
+        deadline.check_every(len(objs))
         mids_s = from_x.get(s)
         if not mids_s:
-            doomed.extend((s, o) for o in objs)
+            removed += len(objs)
+            shrunk.append((s, set(), set(objs)))
             continue
-        for o in objs:
-            deadline.check()
-            mids_o = from_y.get(o)
-            if not mids_o or mids_s.isdisjoint(mids_o):
-                doomed.append((s, o))
+        candidates = objs & y_keys
+        keep = {o for o in candidates if not mids_s.isdisjoint(from_y[o])}
+        if len(keep) != len(objs):
+            removed += len(objs) - len(keep)
+            shrunk.append((s, keep, objs - keep))
 
-    if not doomed:
+    if not shrunk:
         return 0, []
+
+    # Pass 2: apply survivors in bulk and collect node-set removals.
     removals: list[tuple[int, int]] = []
     s_var, o_var = ag.rel_vars[rel]
     node_sets = ag.node_sets
-    for s, o in doomed:
-        objs = fwd.get(s)
-        if objs is not None:
-            objs.discard(o)
-            if not objs:
-                del fwd[s]
-                if s_var is not None and s in node_sets.get(s_var, ()):
-                    node_sets[s_var].discard(s)
-                    removals.append((s_var, s))
+    doomed_by_o: dict[int, set[int]] = {}
+    for s, keep, gone in shrunk:
+        if keep:
+            fwd[s] = keep
+        else:
+            del fwd[s]
+            if s_var is not None and s in node_sets.get(s_var, ()):
+                node_sets[s_var].discard(s)
+                removals.append((s_var, s))
+        for o in gone:
+            bucket = doomed_by_o.get(o)
+            if bucket is None:
+                doomed_by_o[o] = {s}
+            else:
+                bucket.add(s)
+    for o, gone_subs in doomed_by_o.items():
         subs = bwd.get(o)
-        if subs is not None:
-            subs.discard(s)
-            if not subs:
-                del bwd[o]
-                if o_var is not None and o in node_sets.get(o_var, ()):
-                    node_sets[o_var].discard(o)
-                    removals.append((o_var, o))
+        if subs is None:
+            continue
+        subs -= gone_subs
+        if not subs:
+            del bwd[o]
+            if o_var is not None and o in node_sets.get(o_var, ()):
+                node_sets[o_var].discard(o)
+                removals.append((o_var, o))
     if not fwd:
         ag.empty = True
-    return len(doomed), removals
+    return removed, removals
 
 
 def edge_burnback(

@@ -9,6 +9,14 @@ predicate-first indexes, restricted to the current AG node sets of any
 already-constrained endpoint. The number of data edges *retrieved*
 (before any far-endpoint filtering) is the step's **edge-walk** count —
 the unit the cost model estimates.
+
+Since the set-at-a-time rewrite the work is done by
+:func:`repro.core.kernels.bulk_extend`, which matches whole candidate
+sets against the store's live indexes with C-level set algebra and
+polls the deadline once per candidate node instead of once per pair.
+Walk counts are computed from index sizes and are bit-identical to the
+retained tuple-at-a-time reference
+(:func:`repro.core.reference.extend_edge_reference`).
 """
 
 from __future__ import annotations
@@ -16,10 +24,10 @@ from __future__ import annotations
 from typing import NamedTuple
 
 from repro.core.answer_graph import AnswerGraph
+from repro.core.kernels import BulkExtension, bulk_extend, flatten_pairs
 from repro.graph.store import TripleStore
 from repro.query.algebra import BoundEdge
 from repro.utils.deadline import Deadline
-
 
 class ExtensionResult(NamedTuple):
     """Outcome of one edge-extension step."""
@@ -28,85 +36,39 @@ class ExtensionResult(NamedTuple):
     edge_walks: int
 
 
+def extend_edge_bulk(
+    ag: AnswerGraph,
+    store: TripleStore,
+    edge: BoundEdge,
+    deadline: Deadline,
+) -> BulkExtension:
+    """Matching data edges for ``edge``, as grouped adjacency.
+
+    Does not mutate ``ag``; the generation driver hands the result's
+    forward/backward adjacency straight to
+    :meth:`~repro.core.answer_graph.AnswerGraph.register_relation`
+    (no intermediate pair set) and runs burnback. An unsatisfiable edge
+    (unknown predicate or constant) yields no pairs.
+    """
+    if not edge.satisfiable:
+        return BulkExtension({}, {}, 0)
+    p = edge.p
+    assert p is not None
+    s_candidates = _endpoint_candidates(ag, edge.s_var, edge.s_const)
+    o_candidates = _endpoint_candidates(ag, edge.o_var, edge.o_const)
+    self_join = edge.s_var is not None and edge.s_var == edge.o_var
+    return bulk_extend(store, p, s_candidates, o_candidates, self_join, deadline)
+
+
 def extend_edge(
     ag: AnswerGraph,
     store: TripleStore,
     edge: BoundEdge,
     deadline: Deadline,
 ) -> ExtensionResult:
-    """Matching data-edge pairs for ``edge`` under the current AG state.
-
-    Does not mutate ``ag``; the generation driver registers the pairs
-    and runs burnback. An unsatisfiable edge (unknown predicate or
-    constant) yields no pairs.
-    """
-    if not edge.satisfiable:
-        return ExtensionResult(set(), 0)
-    p = edge.p
-    assert p is not None
-
-    s_candidates = _endpoint_candidates(ag, edge.s_var, edge.s_const)
-    o_candidates = _endpoint_candidates(ag, edge.o_var, edge.o_const)
-    self_join = edge.s_var is not None and edge.s_var == edge.o_var
-
-    pairs: set[tuple[int, int]] = set()
-    walks = 0
-
-    if s_candidates is None and o_candidates is None:
-        for s, o in store.edges(p):
-            deadline.check()
-            walks += 1
-            if self_join and s != o:
-                continue
-            pairs.add((s, o))
-        return ExtensionResult(pairs, walks)
-
-    if s_candidates is not None and o_candidates is None:
-        for s in s_candidates:
-            for o in store.successors(p, s):
-                deadline.check()
-                walks += 1
-                if self_join and s != o:
-                    continue
-                pairs.add((s, o))
-        return ExtensionResult(pairs, walks)
-
-    if o_candidates is not None and s_candidates is None:
-        for o in o_candidates:
-            for s in store.predecessors(p, o):
-                deadline.check()
-                walks += 1
-                if self_join and s != o:
-                    continue
-                pairs.add((s, o))
-        return ExtensionResult(pairs, walks)
-
-    # Both endpoints constrained: walk from the smaller candidate set
-    # and filter on the other.
-    assert s_candidates is not None and o_candidates is not None
-    o_lookup = o_candidates if isinstance(o_candidates, set) else set(o_candidates)
-    s_lookup = s_candidates if isinstance(s_candidates, set) else set(s_candidates)
-    if len(s_lookup) <= len(o_lookup):
-        for s in s_lookup:
-            for o in store.successors(p, s):
-                deadline.check()
-                walks += 1
-                if o not in o_lookup:
-                    continue
-                if self_join and s != o:
-                    continue
-                pairs.add((s, o))
-    else:
-        for o in o_lookup:
-            for s in store.predecessors(p, o):
-                deadline.check()
-                walks += 1
-                if s not in s_lookup:
-                    continue
-                if self_join and s != o:
-                    continue
-                pairs.add((s, o))
-    return ExtensionResult(pairs, walks)
+    """Pair-set view of :func:`extend_edge_bulk` (compatibility API)."""
+    result = extend_edge_bulk(ag, store, edge, deadline)
+    return ExtensionResult(flatten_pairs(result.forward), result.walks)
 
 
 def _endpoint_candidates(

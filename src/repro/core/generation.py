@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.core.answer_graph import AnswerGraph
 from repro.core.burnback import edge_burnback, intersect_node_set, node_burnback
-from repro.core.extension import extend_edge
+from repro.core.extension import extend_edge_bulk
 from repro.core.triangles import drop_chords, materialize_chords
 from repro.errors import PlanError
 from repro.planner.plan import AGPlan, Chordification, validate_connected_order
@@ -92,19 +92,25 @@ def generate_answer_graph(
             stats.step_walks.append(0)
             continue
         edge = bound.edges[eid]
-        result = extend_edge(ag, bound.store, edge, deadline)
-        stats.edge_walks += result.edge_walks
-        stats.step_walks.append(result.edge_walks)
+        result = extend_edge_bulk(ag, bound.store, edge, deadline)
+        stats.edge_walks += result.walks
+        stats.step_walks.append(result.walks)
         rel = ("e", eid)
-        ag.register_relation(rel, edge.s_var, edge.o_var, result.pairs)
+        ag.register_relation(
+            rel,
+            edge.s_var,
+            edge.o_var,
+            adjacency=result.forward,
+            backward=result.backward,
+        )
         if trace is not None:
             trace.record("extend", eid, ag)
 
         removals: list[tuple[int, int]] = []
         if edge.s_var is not None:
-            removals += intersect_node_set(ag, edge.s_var, set(ag.src[rel].keys()))
+            removals += intersect_node_set(ag, edge.s_var, ag.src[rel].keys())
         if edge.o_var is not None:
-            removals += intersect_node_set(ag, edge.o_var, set(ag.dst[rel].keys()))
+            removals += intersect_node_set(ag, edge.o_var, ag.dst[rel].keys())
         if removals:
             stats.burned_nodes += node_burnback(ag, removals, deadline)
             if trace is not None:

@@ -11,12 +11,27 @@ previously-built chords — are already materialized. If the chord
 participates in further triangles whose sides are also ready, the
 materialization is intersected with those joins as well; any remaining
 triangles are enforced later by edge burnback.
+
+The two-step join runs as a set-at-a-time kernel
+(:func:`repro.core.kernels.compose_adjacency`: one ``set.union`` per
+source node), multi-triangle intersection as
+:func:`repro.core.kernels.intersect_pairs`, and the result is
+registered as pre-grouped adjacency — the explicit pair set of the
+tuple-at-a-time implementation is never materialized.
 """
 
 from __future__ import annotations
 
 from repro.core.answer_graph import AnswerGraph, RelKey
 from repro.core.burnback import intersect_node_set, node_burnback
+from repro.core.kernels import (
+    Adjacency,
+    adjacency_size,
+    compose_adjacency,
+    flatten_pairs,
+    intersect_pairs,
+    invert_adjacency,
+)
 from repro.errors import EvaluationError
 from repro.planner.plan import Chordification, Triangle, TriangleSide
 from repro.utils.deadline import Deadline
@@ -35,18 +50,18 @@ def _adjacency_from(ag: AnswerGraph, side: TriangleSide, var: int):
     raise EvaluationError(f"variable {var} is not an endpoint of {side}")
 
 
-def join_triangle_sides(
+def join_triangle_adjacency(
     ag: AnswerGraph,
     triangle: Triangle,
     u: int,
     v: int,
     deadline: Deadline,
-) -> set[tuple[int, int]]:
+) -> Adjacency:
     """Join the two triangle sides opposite the (u, v) chord.
 
-    Returns the composed pairs u→v: all (x, y) such that some node z
-    of the triangle's third variable links x—z and z—y through the two
-    materialized sides.
+    Returns the composed u→v adjacency: ``{x: {y}}`` for all (x, y)
+    such that some node z of the triangle's third variable links x—z
+    and z—y through the two materialized sides.
     """
     z = next(var for var in triangle.vars if var not in (u, v))
     sides = [s for s in triangle.sides if {s.a, s.b} != {u, v}]
@@ -56,16 +71,18 @@ def join_triangle_sides(
     side_v = sides[1] if side_u is sides[0] else sides[0]
     from_u = _adjacency_from(ag, side_u, u)  # u -> {z}
     from_z = _adjacency_from(ag, side_v, z)  # z -> {v}
-    pairs: set[tuple[int, int]] = set()
-    for x, zs in from_u.items():
-        for mid in zs:
-            targets = from_z.get(mid)
-            if not targets:
-                continue
-            for y in targets:
-                deadline.check()
-                pairs.add((x, y))
-    return pairs
+    return compose_adjacency(from_u, from_z, deadline)
+
+
+def join_triangle_sides(
+    ag: AnswerGraph,
+    triangle: Triangle,
+    u: int,
+    v: int,
+    deadline: Deadline,
+) -> set[tuple[int, int]]:
+    """Pair-set view of :func:`join_triangle_adjacency` (compat API)."""
+    return flatten_pairs(join_triangle_adjacency(ag, triangle, u, v, deadline))
 
 
 def materialize_chords(
@@ -77,8 +94,9 @@ def materialize_chords(
 
     Each chord's relation is the intersection of the joins of all its
     triangles whose other two sides are already materialized. The
-    chord's endpoints then constrain the AG node sets, cascading
-    through node burnback.
+    chord's endpoints then constrain the AG node sets (through the live
+    ``dict_keys`` views of the freshly registered relation — no key-set
+    copies), cascading through node burnback.
     """
     total = 0
     for chord_index in chordification.order:
@@ -86,7 +104,7 @@ def materialize_chords(
             break
         chord = chordification.chords[chord_index]
         rel: RelKey = ("c", chord.index)
-        pairs: set[tuple[int, int]] | None = None
+        adj: Adjacency | None = None
         for triangle in chordification.triangles:
             refs = [s.ref for s in triangle.sides]
             if ("chord", chord.index) not in [tuple(r) for r in refs]:
@@ -98,17 +116,23 @@ def materialize_chords(
             ]
             if any(_rel_of(s) not in ag.src for s in others):
                 continue  # sides not ready yet; edge burnback covers it
-            joined = join_triangle_sides(ag, triangle, chord.u, chord.v, deadline)
-            pairs = joined if pairs is None else (pairs & joined)
-        if pairs is None:
+            joined = join_triangle_adjacency(ag, triangle, chord.u, chord.v, deadline)
+            adj = joined if adj is None else intersect_pairs(adj, joined, deadline)
+        if adj is None:
             raise EvaluationError(
                 f"chord {chord.index} has no triangle with materialized sides; "
                 "chord order is invalid"
             )
-        ag.register_relation(rel, chord.u, chord.v, pairs)
-        total += len(pairs)
-        removals = intersect_node_set(ag, chord.u, set(ag.src[rel].keys()))
-        removals += intersect_node_set(ag, chord.v, set(ag.dst[rel].keys()))
+        ag.register_relation(
+            rel,
+            chord.u,
+            chord.v,
+            adjacency=adj,
+            backward=invert_adjacency(adj, deadline),
+        )
+        total += adjacency_size(adj)
+        removals = intersect_node_set(ag, chord.u, ag.src[rel].keys())
+        removals += intersect_node_set(ag, chord.v, ag.dst[rel].keys())
         if removals:
             node_burnback(ag, removals, deadline)
     return total

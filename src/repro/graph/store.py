@@ -15,7 +15,7 @@ ignored (RDF set semantics).
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Iterable, Iterator
+from typing import TYPE_CHECKING, AbstractSet, Iterable, Iterator
 
 from repro.errors import StoreError
 
@@ -228,6 +228,66 @@ class TripleStore:
     def backward_index(self, p: int) -> dict[int, set[int]]:
         """The live ``object -> {subjects}`` adjacency of predicate ``p``."""
         return self._pos.get(p, _EMPTY_DICT)
+
+    # ------------------------------------------------------------------
+    # Bulk accessors (the set-at-a-time kernel interface)
+    #
+    # These hand back *live* internal index views without copying; the
+    # kernels in repro.core.kernels copy (or intersect into fresh sets)
+    # exactly once, on their own terms. Callers must never mutate what
+    # these return.
+    # ------------------------------------------------------------------
+
+    def adjacency(self, p: int) -> dict[int, set[int]]:
+        """The live ``subject -> {objects}`` index of predicate ``p``.
+
+        Synonym of :meth:`forward_index`, named for the kernel layer.
+        """
+        return self._pso.get(p, _EMPTY_DICT)
+
+    def reverse_adjacency(self, p: int) -> dict[int, set[int]]:
+        """The live ``object -> {subjects}`` index of predicate ``p``."""
+        return self._pos.get(p, _EMPTY_DICT)
+
+    def subject_set(self, p: int):
+        """Set-like view of the distinct subjects of ``p`` (no copy)."""
+        return self._pso.get(p, _EMPTY_DICT).keys()
+
+    def object_set(self, p: int):
+        """Set-like view of the distinct objects of ``p`` (no copy)."""
+        return self._pos.get(p, _EMPTY_DICT).keys()
+
+    def successor_sets(
+        self, p: int, nodes: AbstractSet[int]
+    ) -> list[tuple[int, set[int]]]:
+        """``(s, successors-of-s)`` for each node of ``nodes`` with any
+        ``p``-edge, successor sets live (not copied).
+
+        Nodes without out-edges are silently skipped — they contribute
+        zero edge walks. Probes the smaller of ``nodes`` and the
+        subject index; returns an eagerly built list (cheaper than a
+        generator in the kernel hot path).
+        """
+        by_s = self._pso.get(p)
+        if not by_s:
+            return []
+        if len(nodes) > len(by_s):
+            return [(s, objs) for s, objs in by_s.items() if s in nodes]
+        get = by_s.get
+        return [(s, objs) for s in nodes if (objs := get(s))]
+
+    def predecessor_sets(
+        self, p: int, nodes: AbstractSet[int]
+    ) -> list[tuple[int, set[int]]]:
+        """``(o, predecessors-of-o)`` for each node of ``nodes`` with
+        any incoming ``p``-edge; predecessor sets are live views."""
+        by_o = self._pos.get(p)
+        if not by_o:
+            return []
+        if len(nodes) > len(by_o):
+            return [(o, subs) for o, subs in by_o.items() if o in nodes]
+        get = by_o.get
+        return [(o, subs) for o in nodes if (subs := get(o))]
 
     def out_degree(self, p: int, s: int) -> int:
         """Number of ``p``-edges leaving node ``s``."""

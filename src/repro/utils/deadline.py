@@ -86,6 +86,33 @@ class Deadline:
         if elapsed >= self.budget:
             raise EvaluationTimeout(elapsed, self.budget)
 
+    def check_every(self, n: int) -> None:
+        """Account for ``n`` units of work in one call.
+
+        Equivalent to calling :meth:`check` ``n`` times, but with a
+        single tick update — this is what the set-at-a-time kernels use
+        to hoist deadline polling from per-tuple to per-block
+        granularity. The clock is read whenever the accumulated work
+        since the last read reaches ``stride``, so the overshoot past
+        an expired budget is bounded by ``max(n, stride) - 1`` units of
+        work (one oversized block can defer the read by at most its own
+        length).
+
+        ``n == 0`` is a no-op (empty blocks are legal); negative ``n``
+        raises :class:`ValueError`.
+        """
+        if n < 0:
+            raise ValueError(f"work units must be non-negative, got {n!r}")
+        if self._unlimited or n == 0:
+            return
+        self._tick += n
+        if self._tick < self.stride:
+            return
+        self._tick %= self.stride
+        elapsed = self.elapsed
+        if elapsed >= self.budget:
+            raise EvaluationTimeout(elapsed, self.budget)
+
     def check_now(self) -> None:
         """Like :meth:`check` but always reads the clock immediately."""
         if self._unlimited:

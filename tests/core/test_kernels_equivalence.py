@@ -1,0 +1,349 @@
+"""Property-based equivalence: set-at-a-time kernels vs the retained
+tuple-at-a-time reference.
+
+The kernels (`repro.core.kernels`) must reproduce the pre-kernel
+implementation (`repro.core.reference`) *bit-for-bit*: identical AG
+pair sets, identical per-variable node sets, identical edge-walk
+counts (per step and total), identical burn/chord/edge-burnback
+accounting, and identical timeout behaviour. These properties quantify
+over random stores and query shapes including self-joins, constants,
+and cyclic (chordified) queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.extension import extend_edge, extend_edge_bulk
+from repro.core.generation import generate_answer_graph
+from repro.core.kernels import (
+    adjacency_size,
+    compose_adjacency,
+    flatten_pairs,
+    intersect_pairs,
+    invert_adjacency,
+    semijoin_restrict,
+)
+from repro.core.reference import (
+    extend_edge_reference,
+    generate_answer_graph_reference,
+)
+from repro.errors import EvaluationTimeout
+from repro.planner.edgifier import Edgifier
+from repro.planner.triangulator import Triangulator
+from repro.query.algebra import bind_query
+from repro.query.model import ConjunctiveQuery
+from repro.query.shapes import is_acyclic
+from repro.stats.catalog import build_catalog
+from repro.stats.estimator import CardinalityEstimator
+from repro.utils.deadline import Deadline
+
+from tests.properties.strategies import LABELS, build_store, edge_lists
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+#: Query shapes as (subject, label slot, object) templates. ``?``-terms
+#: are variables; ``n<k>`` terms are constants resolved against the
+#: random store's node names. Covers chains, stars, cycles, diamonds,
+#: self-joins (repeated variable on one edge), and ground endpoints.
+SHAPES = (
+    # chains / trees
+    (("?a", 0, "?b"), ("?b", 1, "?c")),
+    (("?a", 0, "?b"), ("?b", 1, "?c"), ("?c", 2, "?d")),
+    (("?a", 0, "?b"), ("?a", 1, "?c"), ("?a", 2, "?d")),
+    # self-joins
+    (("?a", 0, "?a"),),
+    (("?a", 0, "?a"), ("?a", 1, "?b")),
+    (("?a", 0, "?b"), ("?b", 1, "?b")),
+    # constants (subject / object / both)
+    (("n0", 0, "?b"), ("?b", 1, "?c")),
+    (("?a", 0, "n1"), ("?a", 1, "?c")),
+    (("n0", 0, "n1"), ("n1", 1, "?c")),
+    (("?a", 0, "?b"), ("?b", 1, "n2")),
+    # cyclic: triangle, diamond, parallel edges
+    (("?a", 0, "?b"), ("?b", 1, "?c"), ("?a", 2, "?c")),
+    (("?x", 0, "?e"), ("?x", 1, "?z"), ("?y", 2, "?e"), ("?y", 3, "?z")),
+    (("?a", 0, "?b"), ("?a", 1, "?b")),
+)
+
+
+@st.composite
+def queries(draw):
+    shape = draw(st.sampled_from(SHAPES))
+    labels = draw(
+        st.lists(
+            st.sampled_from(LABELS), min_size=len(shape), max_size=len(shape)
+        )
+    )
+    edges = [(s, labels[slot], o) for (s, slot, o) in shape]
+    return ConjunctiveQuery(edges)
+
+
+def _plan(store, query):
+    """Bind and plan, discarding (hypothesis-)examples the planner
+    rejects — e.g. constants unknown to the store can disconnect the
+    query graph, a pre-kernel planner behaviour out of scope here."""
+    from repro.errors import PlanError
+
+    bound = bind_query(query, store)
+    estimator = CardinalityEstimator(build_catalog(store))
+    try:
+        plan = Edgifier(estimator).plan(bound)
+    except PlanError:
+        assume(False)
+    chordification = (
+        None if is_acyclic(query) else Triangulator(estimator).plan(bound)
+    )
+    return bound, plan, chordification
+
+
+def _generate_both(store, query, edge_burnback):
+    bound, plan, chordification = _plan(store, query)
+    ag_k, stats_k = generate_answer_graph(
+        bound,
+        plan,
+        chordification=chordification,
+        edge_burnback_enabled=edge_burnback,
+    )
+    ag_r, stats_r = generate_answer_graph_reference(
+        bound,
+        plan,
+        chordification=chordification,
+        edge_burnback_enabled=edge_burnback,
+    )
+    return (ag_k, stats_k), (ag_r, stats_r)
+
+
+@SETTINGS
+@given(graph=edge_lists(), query=queries())
+def test_generation_matches_reference(graph, query):
+    """AG state and every stat of phase 1 are bit-identical."""
+    store = build_store(graph)
+    (ag_k, stats_k), (ag_r, stats_r) = _generate_both(store, query, False)
+    assert ag_k.snapshot() == ag_r.snapshot()
+    assert stats_k == stats_r
+
+
+@SETTINGS
+@given(graph=edge_lists(), query=queries())
+def test_generation_matches_reference_with_edge_burnback(graph, query):
+    store = build_store(graph)
+    (ag_k, stats_k), (ag_r, stats_r) = _generate_both(store, query, True)
+    assert ag_k.snapshot() == ag_r.snapshot()
+    assert stats_k == stats_r
+
+
+@SETTINGS
+@given(graph=edge_lists(), query=queries())
+def test_single_extension_matches_reference(graph, query):
+    """One extension step over an empty AG: pairs and walks agree."""
+    from repro.core.answer_graph import AnswerGraph
+
+    store = build_store(graph)
+    bound = bind_query(query, store)
+    ag = AnswerGraph(bound)
+    for edge in bound.edges:
+        got = extend_edge(ag, store, edge, Deadline.unlimited())
+        want = extend_edge_reference(ag, store, edge, Deadline.unlimited())
+        assert got.pairs == want.pairs
+        assert got.edge_walks == want.edge_walks
+
+
+@SETTINGS
+@given(graph=edge_lists(), query=queries())
+def test_bulk_extension_backward_index_consistent(graph, query):
+    """The kernel's backward adjacency is the exact inverse of forward."""
+    from repro.core.answer_graph import AnswerGraph
+
+    store = build_store(graph)
+    bound = bind_query(query, store)
+    ag = AnswerGraph(bound)
+    for edge in bound.edges:
+        result = extend_edge_bulk(ag, store, edge, Deadline.unlimited())
+        if result.backward is None:
+            continue
+        assert flatten_pairs(result.backward) == {
+            (o, s) for s, o in flatten_pairs(result.forward)
+        }
+
+
+def test_paper_queries_walks_bit_identical():
+    """`evaluate_detailed` walk counts on the paper's benchmark queries
+    match the pre-kernel implementation exactly (acceptance criterion)."""
+    from repro.datasets.paper_queries import paper_queries
+    from repro.datasets.yago_like import generate_yago_like
+
+    store = generate_yago_like(scale=0.25, seed=0)
+    from repro.core.engine import WireframeEngine
+
+    engine = WireframeEngine(store, edge_burnback=True)
+    for query in paper_queries():
+        bound, plan, chordification = engine.plan(query)
+        detailed = engine.evaluate_detailed(
+            query, prepared=(bound, plan, chordification), materialize=False
+        )
+        stats_k = detailed.generation_stats
+        ag_r, stats_r = generate_answer_graph_reference(
+            bound, plan, chordification=chordification, edge_burnback_enabled=True
+        )
+        assert stats_k.edge_walks == stats_r.edge_walks
+        assert stats_k.step_walks == stats_r.step_walks
+        assert stats_k == stats_r
+        assert detailed.ag_size == ag_r.size
+
+
+# ----------------------------------------------------------------------
+# Timeout paths
+# ----------------------------------------------------------------------
+
+
+def _busy_store():
+    """A store big enough that generation performs >stride walks."""
+    return build_store(
+        {
+            "A": [(i, j) for i in range(40) for j in range(40)],
+            "B": [(i, j) for i in range(40) for j in range(40)],
+        }
+    )
+
+
+@pytest.mark.parametrize("generate", [
+    generate_answer_graph, generate_answer_graph_reference,
+])
+def test_expired_deadline_raises_in_both_implementations(generate):
+    store = _busy_store()
+    query = ConjunctiveQuery([("?a", "A", "?b"), ("?b", "B", "?c")])
+    bound, plan, chordification = _plan(store, query)
+    deadline = Deadline(0.000001, stride=256)
+    with pytest.raises(EvaluationTimeout):
+        generate(bound, plan, chordification=chordification, deadline=deadline)
+
+
+def test_kernel_timeout_overshoot_is_block_bounded():
+    """The kernel path notices an expired deadline within one block of
+    work rather than running the full generation."""
+    import time
+
+    store = _busy_store()
+    query = ConjunctiveQuery([("?a", "A", "?b"), ("?b", "B", "?c")])
+    bound, plan, chordification = _plan(store, query)
+    deadline = Deadline(0.000001, stride=1)
+    t0 = time.perf_counter()
+    with pytest.raises(EvaluationTimeout):
+        generate_answer_graph(
+            bound, plan, chordification=chordification, deadline=deadline
+        )
+    assert time.perf_counter() - t0 < 5.0
+
+
+# ----------------------------------------------------------------------
+# Kernel primitive unit properties
+# ----------------------------------------------------------------------
+
+adjacencies = st.dictionaries(
+    st.integers(0, 15),
+    st.sets(st.integers(0, 15), min_size=1, max_size=6),
+    max_size=8,
+)
+
+
+@SETTINGS
+@given(adj=adjacencies)
+def test_invert_adjacency_is_involution(adj):
+    assert invert_adjacency(invert_adjacency(adj)) == adj
+
+
+@SETTINGS
+@given(adj=adjacencies)
+def test_adjacency_size_counts_pairs(adj):
+    assert adjacency_size(adj) == len(flatten_pairs(adj))
+
+
+@SETTINGS
+@given(a=adjacencies, b=adjacencies)
+def test_intersect_pairs_matches_pair_intersection(a, b):
+    assert flatten_pairs(intersect_pairs(a, b)) == (
+        flatten_pairs(a) & flatten_pairs(b)
+    )
+
+
+@SETTINGS
+@given(a=adjacencies, b=adjacencies)
+def test_compose_adjacency_matches_pair_composition(a, b):
+    want = {
+        (x, v)
+        for x, ys in a.items()
+        for y in ys
+        for v in b.get(y, ())
+    }
+    assert flatten_pairs(compose_adjacency(a, b)) == want
+
+
+@SETTINGS
+@given(adj=adjacencies, keys=st.sets(st.integers(0, 15), max_size=10))
+def test_semijoin_restrict_keeps_only_allowed_keys(adj, keys):
+    restricted = semijoin_restrict(adj, keys)
+    assert set(restricted) == set(adj) & keys
+    for k, vs in restricted.items():
+        assert vs == adj[k]
+        assert vs is not adj[k]  # fresh copies, caller-owned
+
+
+@SETTINGS
+@given(graph=edge_lists(), query=queries())
+def test_bulk_extend_fresh_containers(graph, query):
+    """Kernel output never aliases live store index sets."""
+    store = build_store(graph)
+    bound = bind_query(query, store)
+    from repro.core.answer_graph import AnswerGraph
+
+    ag = AnswerGraph(bound)
+    for edge in bound.edges:
+        if not edge.satisfiable:
+            continue
+        result = extend_edge_bulk(ag, store, edge, Deadline.unlimited())
+        for s, objs in result.forward.items():
+            assert objs is not store.successors(edge.p, s)
+
+
+@SETTINGS
+@given(graph=edge_lists())
+def test_store_bulk_views_are_live_and_consistent(graph):
+    """subject_set/object_set/adjacency hand back live index views that
+    agree with the tuple-at-a-time accessors."""
+    store = build_store(graph)
+    for label in LABELS:
+        p = store.dictionary.lookup(label)
+        if p is None:
+            continue
+        assert set(store.subject_set(p)) == set(store.subjects(p))
+        assert set(store.object_set(p)) == set(store.objects(p))
+        adj = store.adjacency(p)
+        rev = store.reverse_adjacency(p)
+        assert adj.keys() == store.subject_set(p)
+        assert rev.keys() == store.object_set(p)
+        assert {(s, o) for s, objs in adj.items() for o in objs} == set(
+            store.edges(p)
+        )
+        # set-like views: usable directly in set algebra, no copies
+        assert store.subject_set(p) & store.object_set(p) == (
+            set(store.subjects(p)) & set(store.objects(p))
+        )
+
+
+def test_register_relation_argument_validation():
+    from repro.core.answer_graph import AnswerGraph
+    from repro.errors import EvaluationError
+
+    store = build_store({"A": [(0, 1)]})
+    bound = bind_query(ConjunctiveQuery([("?a", "A", "?b")]), store)
+    for kwargs in (
+        dict(),                                   # neither content form
+        dict(pairs=set(), adjacency={}),          # both content forms
+        dict(pairs={(1, 2)}, backward={2: {1}}),  # inverse without adjacency
+    ):
+        ag = AnswerGraph(bound)
+        with pytest.raises(EvaluationError):
+            ag.register_relation(("e", 0), 0, 1, **kwargs)
