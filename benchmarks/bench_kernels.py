@@ -58,15 +58,29 @@ REGRESSION_TOLERANCE = 0.20
 GATED = ("chain", "diamond", "snowflake")
 
 
-def _layered_store(layers: tuple, n: int, degree: int, seed: int) -> TripleStore:
+#: The snowflake workload's layers (label, source layer, target layer) —
+#: shared with bench_memory_footprint so the memory gate measures the
+#: same graph the kernel gate races on.
+SNOWFLAKE_LAYERS = (
+    ("A", "x", "m"), ("B", "x", "y"), ("C", "x", "z"),
+    ("D", "m", "a"), ("E", "m", "b"), ("F", "y", "c"),
+    ("G", "y", "d"), ("H", "z", "e"), ("I", "z", "f"),
+)
+
+
+def _layered_store(
+    layers: tuple, n: int, degree: int, seed: int, backend: str | None = None
+) -> TripleStore:
     """A layered digraph: every node of a predicate's source layer gets
     ``degree`` random successors in its target layer."""
     rng = random.Random(seed)
-    store = TripleStore()
+    store = TripleStore(backend=backend)
     for label, src_layer, dst_layer in layers:
-        for i in range(n):
-            for j in rng.sample(range(n), degree):
-                store.add_term_triple(f"{src_layer}{i}", label, f"{dst_layer}{j}")
+        store.add_term_triples(
+            (f"{src_layer}{i}", label, f"{dst_layer}{j}")
+            for i in range(n)
+            for j in rng.sample(range(n), degree)
+        )
     store.freeze()
     return store
 
@@ -99,16 +113,7 @@ def _diamond():
 
 
 def _snowflake():
-    store = _layered_store(
-        (
-            ("A", "x", "m"), ("B", "x", "y"), ("C", "x", "z"),
-            ("D", "m", "a"), ("E", "m", "b"), ("F", "y", "c"),
-            ("G", "y", "d"), ("H", "z", "e"), ("I", "z", "f"),
-        ),
-        320,
-        16,
-        3,
-    )
+    store = _layered_store(SNOWFLAKE_LAYERS, 320, 16, 3)
     return store, snowflake_template().instantiate(
         list("ABCDEFGHI"), name="snowflake"
     )

@@ -124,11 +124,20 @@ def test_service_batched(benchmark, store, catalog, workload):
 
 def test_throughput_ratio(store, catalog, workload):
     """Batched service >= 1.5x the one-engine-per-query loop, same answers."""
+    import gc
+
+    # Drain garbage accumulated by earlier benchmark modules before
+    # each timed section: a gen-2 collection pause landing inside one
+    # side's window (hundreds of ms once several session-scoped stores
+    # are retained) would swamp the ~30ms service run and turn this
+    # ratio into a GC-phase lottery.
+    gc.collect()
     t0 = time.perf_counter()
     serial_counts = _serial_loop(store, catalog, workload)
     serial_seconds = time.perf_counter() - t0
 
     with QueryService(store, catalog=catalog) as service:
+        gc.collect()
         t0 = time.perf_counter()
         service_counts = _service_batch(service, workload)
         service_seconds = time.perf_counter() - t0

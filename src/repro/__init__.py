@@ -46,11 +46,15 @@ from repro.errors import (
     StoreError,
 )
 from repro.graph import (
+    ColumnarBackend,
     Dictionary,
     GraphBuilder,
+    HashDictBackend,
+    StorageBackend,
     Triple,
     TriplePattern,
     TripleStore,
+    available_backends,
     parse_ntriples,
     serialize_ntriples,
 )
@@ -142,6 +146,10 @@ __all__ = [
     "Triple",
     "TriplePattern",
     "TripleStore",
+    "StorageBackend",
+    "HashDictBackend",
+    "ColumnarBackend",
+    "available_backends",
     "GraphBuilder",
     "parse_ntriples",
     "serialize_ntriples",

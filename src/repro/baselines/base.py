@@ -75,6 +75,7 @@ class BaselineEngine(Engine):
         if not bound.satisfiable:
             return EngineResult(engine=self.name, count=0, rows=[] if materialize else None)
         rows, count, stats = self._execute(bound, deadline, materialize)
+        stats.setdefault("backend", self.store.backend_name)
         return EngineResult(engine=self.name, count=count, rows=rows, stats=stats)
 
     @abc.abstractmethod

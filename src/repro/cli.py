@@ -25,6 +25,7 @@ from repro.bench.workloads import ENGINE_ORDER, default_engines
 from repro.datasets.loader import load_dataset, save_dataset
 from repro.datasets.yago_like import generate_yago_like
 from repro.errors import EvaluationTimeout, ReproError
+from repro.graph.backends import available_backends
 from repro.graph.store import TripleStore
 from repro.query.miner import QueryMiner
 from repro.query.parser import parse_sparql
@@ -54,12 +55,18 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
         help="in-process YAGO-like scale (ignored with --dataset)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backend", choices=available_backends(), default=None,
+        help="storage backend for the triple indexes "
+        "(default: $REPRO_BACKEND or 'hashdict')",
+    )
 
 
 def _load(args) -> tuple[TripleStore, Catalog]:
+    backend = getattr(args, "backend", None)
     if args.dataset:
-        return load_dataset(args.dataset)
-    store = generate_yago_like(scale=args.scale, seed=args.seed)
+        return load_dataset(args.dataset, backend=backend)
+    store = generate_yago_like(scale=args.scale, seed=args.seed, backend=backend)
     return store, build_catalog(store)
 
 
@@ -165,6 +172,8 @@ def _cmd_stats(args) -> int:
     print(f"triples:    {store.num_triples}")
     print(f"nodes:      {store.num_nodes}")
     print(f"predicates: {len(store.predicates())}")
+    print(f"backend:    {store.backend_name} "
+          f"({store.index_bytes() / 1024:.0f} KiB of indexes)")
     decode = store.dictionary.decode
     by_count = sorted(
         ((catalog.unigram(p).count, p) for p in store.predicates()),
@@ -218,7 +227,8 @@ def _cmd_query(args) -> int:
         return 1
     elapsed = time.perf_counter() - start
 
-    print(f"{result.count} rows in {elapsed:.3f}s [{engine.name}]")
+    print(f"{result.count} rows in {elapsed:.3f}s [{engine.name}] "
+          f"(backend {store.backend_name})")
     if result.stats.get("ag_size") is not None:
         print(f"|AG| = {result.stats['ag_size']}, "
               f"edge walks = {result.stats.get('edge_walks')}")

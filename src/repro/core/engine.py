@@ -260,5 +260,6 @@ class WireframeEngine(Engine):
                 "spurious_pairs_removed": (
                     result.generation_stats.spurious_pairs_removed
                 ),
+                "backend": self.store.backend_name,
             },
         )

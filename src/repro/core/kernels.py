@@ -31,14 +31,23 @@ invariant.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, AbstractSet, Iterable, NamedTuple
+from typing import TYPE_CHECKING, AbstractSet, Iterable, Mapping, NamedTuple
 
 from repro.utils.deadline import Deadline
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.graph.backends.base import StorageBackend
     from repro.graph.store import TripleStore
 
+    StoreViews = TripleStore | StorageBackend
+
+#: Fresh kernel-owned adjacencies are plain dict-of-sets; *store-view*
+#: arguments are only required to be mapping-like with set-like values
+#: (the storage-backend protocol contract), so the kernels run
+#: unmodified against any physical layout — nested hash maps or sorted
+#: columnar runs with galloping intersection.
 Adjacency = dict[int, set[int]]
+AdjacencyView = Mapping[int, AbstractSet[int]]
 
 #: Pairs to accumulate before one :meth:`Deadline.check_every` call in
 #: the extension kernels — polling per 4k-pair block keeps the call
@@ -187,7 +196,7 @@ def compose_adjacency(
 
 
 def bulk_extend(
-    store: "TripleStore",
+    store: "StoreViews",
     p: int,
     s_candidates: AbstractSet[int] | None,
     o_candidates: AbstractSet[int] | None,
@@ -222,7 +231,7 @@ def bulk_extend(
 
 
 def _extend_scan(
-    store: "TripleStore", p: int, self_join: bool, deadline: Deadline
+    store: "StoreViews", p: int, self_join: bool, deadline: Deadline
 ) -> BulkExtension:
     """Full-label scan: copy both live indexes wholesale."""
     by_s = store.adjacency(p)
@@ -243,7 +252,7 @@ _INVERT_OP_WEIGHT = 4
 
 
 def _semijoin_inverse(
-    reverse: Adjacency, forward: Adjacency, deadline: Deadline
+    reverse: AdjacencyView, forward: Adjacency, deadline: Deadline
 ) -> Adjacency:
     """The backward index of ``forward``.
 
@@ -280,7 +289,7 @@ def _semijoin_inverse(
 
 
 def _candidate_adjacency(
-    items: list[tuple[int, set[int]]],
+    items: "list[tuple[int, AbstractSet[int]]]",
     far_filter: AbstractSet[int] | None,
     self_join: bool,
     deadline: Deadline,
@@ -318,7 +327,7 @@ def _candidate_adjacency(
 
 
 def _extend_from_subjects(
-    store: "TripleStore",
+    store: "StoreViews",
     p: int,
     s_candidates: AbstractSet[int],
     o_filter: AbstractSet[int] | None,
@@ -335,7 +344,7 @@ def _extend_from_subjects(
 
 
 def _extend_from_objects(
-    store: "TripleStore",
+    store: "StoreViews",
     p: int,
     o_candidates: AbstractSet[int],
     s_filter: AbstractSet[int] | None,

@@ -9,6 +9,11 @@ baseline the kernel benchmarks (``benchmarks/bench_kernels.py``) and
 the equivalence suite (``tests/core/test_kernels_equivalence.py``)
 measure against.
 
+Like the kernels, the oracle consumes only storage-backend protocol
+views (``edges`` / ``successors`` / ``predecessors``), so it runs —
+and must agree with itself — on every registered backend; the
+backend-parity property suite exploits exactly that.
+
 Deliberately slow; never call these from production paths.
 """
 

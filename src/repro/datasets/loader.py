@@ -51,16 +51,23 @@ def save_dataset(
         json.dump(catalog.to_dict(), f)
 
 
-def load_dataset(directory: str, freeze: bool = True) -> tuple[TripleStore, Catalog]:
-    """Load a saved (store, catalog) pair with identical term ids."""
-    store = TripleStore()
+def load_dataset(
+    directory: str, freeze: bool = True, backend: str | None = None
+) -> tuple[TripleStore, Catalog]:
+    """Load a saved (store, catalog) pair with identical term ids.
+
+    ``backend`` selects the physical layout of the reloaded store
+    (``None`` = ``REPRO_BACKEND``/default); the on-disk format is
+    backend-independent, so any saved dataset loads into any backend.
+    """
+    store = TripleStore(backend=backend)
     with open(os.path.join(directory, DICTIONARY_FILE), "r", encoding="utf-8") as f:
         for line in f:
             store.dictionary.encode(line.rstrip("\n"))
     with open(os.path.join(directory, TRIPLES_FILE), "r", encoding="utf-8") as f:
-        for line in f:
-            s, p, o = line.split("\t")
-            store.add(int(s), int(p), int(o))
+        store.add_triples(
+            tuple(int(field) for field in line.split("\t")) for line in f
+        )
     with open(os.path.join(directory, CATALOG_FILE), "r", encoding="utf-8") as f:
         catalog = Catalog.from_dict(json.load(f))
     if freeze:

@@ -68,12 +68,15 @@ def generate_yago_like(
     scale: float | None = None,
     seed: int | None = None,
     freeze: bool = True,
+    backend: str | None = None,
 ) -> TripleStore:
     """Generate the YAGO-like graph.
 
     ``scale``/``seed`` shortcuts override the corresponding ``config``
     fields. The returned store is frozen by default (the paper's
-    offline-preprocessed dataset is immutable).
+    offline-preprocessed dataset is immutable). ``backend`` selects the
+    store's physical layout (``None`` = ``REPRO_BACKEND``/default);
+    the generated triples are backend-independent.
     """
     if config is None:
         config = YagoLikeConfig()
@@ -87,7 +90,7 @@ def generate_yago_like(
         )
 
     rng = make_rng(config.seed)
-    store = TripleStore()
+    store = TripleStore(backend=backend)
     entities = _make_entities(store, config)
 
     specs = list(schema.core_predicates())
@@ -203,12 +206,11 @@ def _populate_channel(
     repeated_subjects = np.repeat(subjects, fans)
 
     p_id = store.dictionary.encode(predicate)
-    added = 0
-    for s, o in zip(repeated_subjects.tolist(), objects.tolist()):
-        if s == o:
-            continue  # no self-loops in the organic data
-        if store.add(s, p_id, o):
-            added += 1
+    added = store.add_triples(
+        (s, p_id, o)
+        for s, o in zip(repeated_subjects.tolist(), objects.tolist())
+        if s != o  # no self-loops in the organic data
+    )
     if added == 0:
         # Tiny scales can lose a channel's only sampled edge to the
         # self-loop filter; every declared predicate must exist in the
@@ -245,8 +247,9 @@ def _emit_types(store: TripleStore, entities: dict[str, np.ndarray]) -> None:
     p_type = encode(schema.RDF_TYPE)
     for type_name in schema.TYPE_NAMES:
         class_id = encode(f"class:{type_name}")
-        for ent in entities[type_name].tolist():
-            store.add(ent, p_type, class_id)
+        store.add_triples(
+            (ent, p_type, class_id) for ent in entities[type_name].tolist()
+        )
 
 
 # ----------------------------------------------------------------------
@@ -271,9 +274,11 @@ def _plant_one(
     node_ids = {
         var: encode(f"witness:{tag}:{var}") for var in template.variables
     }
-    for edge in template.edges:
-        store.add(
+    store.add_triples(
+        (
             node_ids[edge.subject],
             encode(labels[edge.slot]),
             node_ids[edge.object],
         )
+        for edge in template.edges
+    )

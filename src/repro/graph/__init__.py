@@ -6,6 +6,15 @@ configures for its relational baselines, plus a small N-Triples
 reader/writer and a convenience builder.
 """
 
+from repro.graph.backends import (
+    ColumnarBackend,
+    HashDictBackend,
+    StorageBackend,
+    available_backends,
+    create_backend,
+    default_backend_name,
+    register_backend,
+)
 from repro.graph.dictionary import Dictionary
 from repro.graph.triples import Triple, TriplePattern
 from repro.graph.store import TripleStore
@@ -17,6 +26,13 @@ __all__ = [
     "Triple",
     "TriplePattern",
     "TripleStore",
+    "StorageBackend",
+    "HashDictBackend",
+    "ColumnarBackend",
+    "available_backends",
+    "create_backend",
+    "default_backend_name",
+    "register_backend",
     "parse_ntriples",
     "serialize_ntriples",
     "GraphBuilder",

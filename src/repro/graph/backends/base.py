@@ -1,0 +1,253 @@
+"""The storage-backend protocol: one physical triple layout per class.
+
+A :class:`StorageBackend` owns the *physical* representation of the
+triple set — nested hash maps, sorted integer columns, future
+memory-mapped or sharded layouts — and exposes exactly the views the
+rest of the system consumes:
+
+* pattern scans over the six SPO permutations (:meth:`match` plumbing:
+  :meth:`successors` / :meth:`predecessors` / :meth:`edges` /
+  :meth:`out_edges` / :meth:`in_edges` / :meth:`triples`),
+* the bulk kernel views from the set-at-a-time execution layer
+  (:meth:`adjacency` / :meth:`reverse_adjacency` / :meth:`subject_set`
+  / :meth:`object_set` / :meth:`successor_sets` /
+  :meth:`predecessor_sets`),
+* degree/cardinality summaries for the statistics catalog
+  (:meth:`predicate_summaries`, :meth:`count`, :meth:`out_degree`,
+  :meth:`in_degree`),
+* the monotonic :attr:`epoch` counter that plan/result caches key
+  their validity on, and
+* :meth:`index_bytes`, the resident size of the physical indexes
+  (what the memory-footprint benchmark compares across backends).
+
+:class:`~repro.graph.store.TripleStore` is a thin facade over one
+backend instance; engines, kernels, the catalog builder, and the
+baselines never see a concrete layout. The contract for every view is
+*set-like / mapping-like duck typing*, not concrete ``set`` / ``dict``
+classes: a backend may hand back any object registered against
+``collections.abc.Set`` / ``Mapping`` whose elements are term ids, as
+long as it supports C-level set algebra (``&``, ``in``, iteration,
+``len``) against plain sets and dict key views. Returned views are
+*live* (or cheap wrappers over live storage) and must never be mutated
+by callers.
+
+Thread-safety contract: after :meth:`freeze` (or, more generally, in
+the absence of writers) every view method must be safe to call from
+many threads concurrently, including the first, lazily-materializing
+access to a secondary permutation — lazy builds happen under the
+backend's own lock and are published exactly once.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import AbstractSet, Iterable, Iterator, Mapping, NamedTuple
+
+from repro.graph.triples import Triple
+
+
+class PredicateSummary(NamedTuple):
+    """Cardinality summary of one predicate, for the stats catalog.
+
+    ``count`` is the number of edges carrying the label;
+    ``distinct_subjects`` / ``distinct_objects`` the sizes of its
+    endpoint sets (hence average fan-out/fan-in).
+    """
+
+    count: int
+    distinct_subjects: int
+    distinct_objects: int
+
+
+class StorageBackend(abc.ABC):
+    """Abstract physical triple layout behind :class:`TripleStore`.
+
+    Implementations register themselves in
+    :mod:`repro.graph.backends` under a short :attr:`name` (e.g.
+    ``"hashdict"``, ``"columnar"``) so stores can be constructed with
+    ``TripleStore(backend="columnar")`` or via the ``REPRO_BACKEND``
+    environment variable.
+    """
+
+    #: Registry/reporting name of the physical layout.
+    name: str = "?"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Propagate protocol docstrings to undocumented overrides.
+
+        The protocol documentation lives once, on this ABC; concrete
+        backends document only where their behavior *differs* (sealing
+        rules, view types), and everything else inherits verbatim.
+        """
+        super().__init_subclass__(**kwargs)
+        for attr_name, attr in vars(cls).items():
+            if attr_name.startswith("_") or not callable(attr):
+                continue
+            if (attr.__doc__ or "").strip():
+                continue
+            base = getattr(StorageBackend, attr_name, None)
+            if base is not None and (base.__doc__ or "").strip():
+                attr.__doc__ = base.__doc__
+
+    # -- construction ---------------------------------------------------
+
+    @abc.abstractmethod
+    def add(self, s: int, p: int, o: int) -> bool:
+        """Insert ⟨s, p, o⟩; ``False`` if already present (set semantics).
+
+        Must bump :attr:`epoch` exactly when a new triple is stored and
+        keep every already-materialized secondary permutation
+        consistent.
+        """
+
+    def add_many(self, triples: Iterable[tuple[int, int, int]]) -> int:
+        """Bulk-insert; returns the number of *new* triples.
+
+        Backends override this to amortize their per-insert locking
+        over the whole batch — the dominant cost of the bulk-load path
+        (dataset generation, :func:`~repro.datasets.loader.load_dataset`).
+        """
+        added = 0
+        for s, p, o in triples:
+            if self.add(s, p, o):
+                added += 1
+        return added
+
+    @abc.abstractmethod
+    def freeze(self) -> None:
+        """Make the layout immutable; further :meth:`add` is rejected
+        by the facade. Backends may use this to seal/compact."""
+
+    # -- cardinalities --------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def epoch(self) -> int:
+        """Monotonic mutation counter (one tick per stored triple)."""
+
+    @property
+    @abc.abstractmethod
+    def num_triples(self) -> int:
+        """Total number of stored triples."""
+
+    @abc.abstractmethod
+    def nodes(self) -> AbstractSet[int]:
+        """All subject/object terms (live view; do not mutate)."""
+
+    @abc.abstractmethod
+    def predicates(self) -> list[int]:
+        """All distinct predicate ids, ascending."""
+
+    @abc.abstractmethod
+    def has_predicate(self, p: int) -> bool:
+        """Whether any triple uses predicate ``p``."""
+
+    @abc.abstractmethod
+    def contains(self, s: int, p: int, o: int) -> bool:
+        """Whether ⟨s, p, o⟩ is stored."""
+
+    # -- predicate-first navigation (the CQ evaluation hot path) --------
+
+    @abc.abstractmethod
+    def successors(self, p: int, s: int) -> AbstractSet[int]:
+        """Set-like view of objects ``o`` with ⟨s, p, o⟩ (empty if none)."""
+
+    @abc.abstractmethod
+    def predecessors(self, p: int, o: int) -> AbstractSet[int]:
+        """Set-like view of subjects ``s`` with ⟨s, p, o⟩."""
+
+    def subjects(self, p: int) -> Iterable[int]:
+        """Distinct subjects of predicate ``p`` (the subject-set view)."""
+        return self.subject_set(p)
+
+    def objects(self, p: int) -> Iterable[int]:
+        """Distinct objects of predicate ``p`` (the object-set view)."""
+        return self.object_set(p)
+
+    @abc.abstractmethod
+    def edges(self, p: int) -> Iterator[tuple[int, int]]:
+        """All (subject, object) pairs of predicate ``p``."""
+
+    @abc.abstractmethod
+    def count(self, p: int) -> int:
+        """Number of triples with predicate ``p``."""
+
+    def out_degree(self, p: int, s: int) -> int:
+        """Number of ``p``-edges leaving ``s``."""
+        return len(self.successors(p, s))
+
+    def in_degree(self, p: int, o: int) -> int:
+        """Number of ``p``-edges entering ``o``."""
+        return len(self.predecessors(p, o))
+
+    # -- bulk kernel views ----------------------------------------------
+
+    @abc.abstractmethod
+    def adjacency(self, p: int) -> Mapping[int, AbstractSet[int]]:
+        """Mapping-like ``subject -> {objects}`` view of predicate ``p``."""
+
+    @abc.abstractmethod
+    def reverse_adjacency(self, p: int) -> Mapping[int, AbstractSet[int]]:
+        """Mapping-like ``object -> {subjects}`` view of predicate ``p``."""
+
+    @abc.abstractmethod
+    def subject_set(self, p: int) -> AbstractSet[int]:
+        """Set-like view of the distinct subjects of ``p`` (no copy)."""
+
+    @abc.abstractmethod
+    def object_set(self, p: int) -> AbstractSet[int]:
+        """Set-like view of the distinct objects of ``p`` (no copy)."""
+
+    @abc.abstractmethod
+    def successor_sets(
+        self, p: int, nodes: AbstractSet[int]
+    ) -> list[tuple[int, AbstractSet[int]]]:
+        """``(s, successors-of-s)`` for each node of ``nodes`` with any
+        ``p``-edge; nodes without out-edges are skipped. Probes the
+        smaller of ``nodes`` and the subject index."""
+
+    @abc.abstractmethod
+    def predecessor_sets(
+        self, p: int, nodes: AbstractSet[int]
+    ) -> list[tuple[int, AbstractSet[int]]]:
+        """``(o, predecessors-of-o)`` for each node of ``nodes`` with
+        any incoming ``p``-edge."""
+
+    # -- node-first navigation (query mining / unbound-predicate scans) -
+
+    @abc.abstractmethod
+    def triples(self) -> Iterator[Triple]:
+        """Iterate over every stored triple."""
+
+    @abc.abstractmethod
+    def out_edges(self, s: int) -> Mapping[int, AbstractSet[int]]:
+        """``predicate -> objects`` for edges leaving ``s`` (may
+        materialize the SPO permutation on first use)."""
+
+    @abc.abstractmethod
+    def in_edges(self, o: int) -> Mapping[int, AbstractSet[int]]:
+        """``predicate -> subjects`` for edges entering ``o`` (may
+        materialize the OPS permutation on first use)."""
+
+    @abc.abstractmethod
+    def get_permutation(self, name: str) -> Mapping:
+        """The named secondary permutation (``spo``/``sop``/``osp``/
+        ``ops``), materialized on first use under the backend lock.
+        Raises :class:`~repro.errors.StoreError` for unknown names."""
+
+    @abc.abstractmethod
+    def materialize_all_indexes(self) -> None:
+        """Eagerly build every secondary permutation (offline prep)."""
+
+    # -- catalog & reporting --------------------------------------------
+
+    @abc.abstractmethod
+    def predicate_summaries(self) -> dict[int, PredicateSummary]:
+        """Per-predicate cardinality summaries (the catalog's unigram
+        input), computed from the physical indexes."""
+
+    @abc.abstractmethod
+    def index_bytes(self) -> int:
+        """Approximate resident bytes of the physical indexes
+        (containers only — term ids are shared ``int`` objects and the
+        dictionary is backend-independent, so neither is counted)."""

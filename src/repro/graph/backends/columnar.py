@@ -1,0 +1,624 @@
+"""Dictionary-encoded columnar storage backend.
+
+Triples are already integer-encoded by the shared
+:class:`~repro.graph.dictionary.Dictionary`; this backend stores them
+as **sorted ``array('q')`` runs per predicate with offset indexes**
+instead of nested hash maps:
+
+* ``subs``  — sorted distinct subjects of the predicate,
+* ``offs``  — ``len(subs) + 1`` prefix offsets into ``objs``,
+* ``objs``  — concatenated sorted object runs (``objs[offs[i]:offs[i+1]]``
+  are the successors of ``subs[i]``),
+
+plus the mirrored ``robjs`` / ``roffs`` / ``rsubs`` triple for the
+reverse (POS) direction. At 8 bytes per stored id this is a fraction
+of the dict-of-sets footprint (a CPython ``set`` spends ~60+ bytes per
+element in table slots and boxed ints), which is the point: the
+columnar layout trades pointer-chasing hash lookups for binary search
+and **galloping/merge intersection** over contiguous buffers.
+
+The kernel views (:class:`ColumnarAdjacency`, :class:`SortedRun`) duck
+type as ``Mapping[int, AbstractSet[int]]`` / ``AbstractSet[int]``, so
+:mod:`repro.core.kernels` runs unmodified against either backend:
+``run & other`` dispatches to galloping intersection when both sides
+are sorted runs and to size-ordered hash probing otherwise.
+
+Writes go to a per-predicate staging area (plain dict-of-sets) and are
+*sealed* into the sorted arrays on the first read touching the
+predicate — the bulk-load-then-freeze lifecycle every dataset in this
+repo follows pays exactly one seal per predicate. Interleaving single
+adds with reads re-seals the touched predicate (O(run) per seal), which
+is documented as an anti-pattern for this layout.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from array import array
+from bisect import bisect_left
+from collections.abc import Mapping, Set
+from typing import AbstractSet, Iterator
+
+from repro.graph.backends.base import PredicateSummary, StorageBackend
+from repro.graph.backends.permutations import LazyPermutations
+from repro.graph.triples import Triple
+
+_EMPTY_DICT: dict = {}
+_EMPTY_ARRAY = array("q")
+
+#: Size ratio beyond which run∩run intersection gallops (binary search
+#: per probe element) instead of linear merging. 8 keeps the crossover
+#: near the classic ``m log n < m + n`` break-even.
+GALLOP_RATIO = 8
+
+
+def intersect_sorted(
+    a, alo: int, ahi: int, b, blo: int, bhi: int
+) -> list[int]:
+    """Intersection of two sorted integer runs, as an ascending list.
+
+    Chooses between a linear merge (similar sizes) and a **galloping**
+    probe — each element of the smaller run binary-searched in the
+    steadily shrinking remainder of the larger — when one side is
+    :data:`GALLOP_RATIO` times the other. Either way the work is
+    ``O(min + log·max)``-ish, never a full rescan of the larger run.
+    """
+    out: list[int] = []
+    la, lb = ahi - alo, bhi - blo
+    if la <= 0 or lb <= 0:
+        return out
+    if la > lb:  # keep a the smaller side
+        a, alo, ahi, b, blo, bhi, la, lb = b, blo, bhi, a, alo, ahi, lb, la
+    if la * GALLOP_RATIO < lb:
+        lo = blo
+        append = out.append
+        for i in range(alo, ahi):
+            x = a[i]
+            lo = bisect_left(b, x, lo, bhi)
+            if lo >= bhi:
+                break
+            if b[lo] == x:
+                append(x)
+                lo += 1
+        return out
+    i, j = alo, blo
+    append = out.append
+    while i < ahi and j < bhi:
+        x = a[i]
+        y = b[j]
+        if x == y:
+            append(x)
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+class SortedRun(Set):
+    """Set-like view over one sorted slice of an ``array('q')``.
+
+    Supports the full C-level set algebra the kernels rely on —
+    ``in`` (binary search), ``&`` (galloping/merge against another run,
+    size-ordered probing against hash sets and dict key views), ``==``
+    against any set, iteration, ``len`` — without ever copying the
+    underlying column. ``set(run)`` materializes a plain set when a
+    caller needs an owned, mutable copy.
+    """
+
+    __slots__ = ("_arr", "_lo", "_hi")
+
+    def __init__(self, arr, lo: int, hi: int) -> None:
+        self._arr = arr
+        self._lo = lo
+        self._hi = hi
+
+    def __len__(self) -> int:
+        return self._hi - self._lo
+
+    def __iter__(self) -> Iterator[int]:
+        # An array slice is one C memcpy; iterating it afterwards stays
+        # out of __getitem__ dispatch.
+        return iter(self._arr[self._lo : self._hi])
+
+    def __contains__(self, x) -> bool:
+        i = bisect_left(self._arr, x, self._lo, self._hi)
+        return i < self._hi and self._arr[i] == x
+
+    @classmethod
+    def _from_iterable(cls, it) -> set:
+        # Derived sets (|, -, ^, default &) are plain mutable sets.
+        return set(it)
+
+    def __and__(self, other):
+        if isinstance(other, SortedRun):
+            return set(
+                intersect_sorted(
+                    self._arr, self._lo, self._hi,
+                    other._arr, other._lo, other._hi,
+                )
+            )
+        if not isinstance(other, Set) and not isinstance(other, (set, frozenset)):
+            return NotImplemented
+        # Probe from the smaller side: bisect into the run, hash into
+        # the set — both sub-linear in the larger side.
+        if len(self) <= len(other):
+            return {x for x in self if x in other}
+        return {x for x in other if x in self}
+
+    __rand__ = __and__
+
+    def isdisjoint(self, other) -> bool:
+        if isinstance(other, SortedRun):
+            if (
+                self._lo >= self._hi
+                or other._lo >= other._hi
+                or self._arr[self._hi - 1] < other._arr[other._lo]
+                or other._arr[other._hi - 1] < self._arr[self._lo]
+            ):
+                return True
+            return not intersect_sorted(
+                self._arr, self._lo, self._hi,
+                other._arr, other._lo, other._hi,
+            )
+        if len(self) <= len(other):
+            return not any(x in other for x in self)
+        return not any(x in self for x in other)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SortedRun):
+            return self._arr[self._lo : self._hi] == other._arr[other._lo : other._hi]
+        if isinstance(other, (set, frozenset)) or isinstance(other, Set):
+            return len(self) == len(other) and all(x in other for x in self)
+        return NotImplemented
+
+    __hash__ = None  # mutable-set convention: runs are views, not keys
+
+    def __repr__(self) -> str:
+        return f"SortedRun({list(self)!r})"
+
+
+class _RunsView:
+    """Iterable-with-length over ``(key, run)`` items or runs alone."""
+
+    __slots__ = ("_adj", "_mode")
+
+    def __init__(self, adj: "ColumnarAdjacency", mode: str) -> None:
+        self._adj = adj
+        self._mode = mode
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self):
+        adj = self._adj
+        keys, offs, vals = adj._keys, adj._offs, adj._vals
+        if self._mode == "items":
+            return (
+                (keys[i], SortedRun(vals, offs[i], offs[i + 1]))
+                for i in range(len(keys))
+            )
+        return (
+            SortedRun(vals, offs[i], offs[i + 1]) for i in range(len(keys))
+        )
+
+
+class ColumnarAdjacency(Mapping):
+    """Mapping-like ``key -> SortedRun`` view over one column triple.
+
+    ``keys()`` hands back the sorted key column itself as a
+    :class:`SortedRun` (set-like, zero-copy); ``items()`` / ``values()``
+    iterate runs lazily. Lookups are binary searches over the key
+    column.
+    """
+
+    __slots__ = ("_keys", "_offs", "_vals")
+
+    def __init__(self, keys, offs, vals) -> None:
+        self._keys = keys
+        self._offs = offs
+        self._vals = vals
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._keys)
+
+    def __contains__(self, k) -> bool:
+        keys = self._keys
+        i = bisect_left(keys, k)
+        return i < len(keys) and keys[i] == k
+
+    def __getitem__(self, k) -> SortedRun:
+        keys = self._keys
+        i = bisect_left(keys, k)
+        if i == len(keys) or keys[i] != k:
+            raise KeyError(k)
+        return SortedRun(self._vals, self._offs[i], self._offs[i + 1])
+
+    def get(self, k, default=None):
+        keys = self._keys
+        i = bisect_left(keys, k)
+        if i == len(keys) or keys[i] != k:
+            return default
+        return SortedRun(self._vals, self._offs[i], self._offs[i + 1])
+
+    def keys(self) -> SortedRun:
+        return SortedRun(self._keys, 0, len(self._keys))
+
+    def items(self) -> _RunsView:
+        return _RunsView(self, "items")
+
+    def values(self) -> _RunsView:
+        return _RunsView(self, "values")
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ColumnarAdjacency):
+            return (
+                self._keys == other._keys
+                and self._offs == other._offs
+                and self._vals == other._vals
+            )
+        if isinstance(other, Mapping) or isinstance(other, dict):
+            if len(self) != len(other):
+                return False
+            return all(
+                k in other and run == other[k] for k, run in self.items()
+            )
+        return NotImplemented
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        return f"ColumnarAdjacency({len(self)} keys, {len(self._vals)} pairs)"
+
+
+class _Columns:
+    """Sealed per-predicate storage: forward and reverse column triples."""
+
+    __slots__ = ("subs", "offs", "objs", "robjs", "roffs", "rsubs")
+
+    def __init__(self, fwd_pairs: list[tuple[int, int]]) -> None:
+        self.subs, self.offs, self.objs = _group(fwd_pairs)
+        fwd_pairs = sorted((o, s) for s, o in fwd_pairs)
+        self.robjs, self.roffs, self.rsubs = _group(fwd_pairs)
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        subs, offs, objs = self.subs, self.offs, self.objs
+        for i in range(len(subs)):
+            s = subs[i]
+            for j in range(offs[i], offs[i + 1]):
+                yield (s, objs[j])
+
+    def forward(self) -> ColumnarAdjacency:
+        return ColumnarAdjacency(self.subs, self.offs, self.objs)
+
+    def backward(self) -> ColumnarAdjacency:
+        return ColumnarAdjacency(self.robjs, self.roffs, self.rsubs)
+
+    def run_of(self, s: int) -> SortedRun | None:
+        subs = self.subs
+        i = bisect_left(subs, s)
+        if i == len(subs) or subs[i] != s:
+            return None
+        return SortedRun(self.objs, self.offs[i], self.offs[i + 1])
+
+    def reverse_run_of(self, o: int) -> SortedRun | None:
+        robjs = self.robjs
+        i = bisect_left(robjs, o)
+        if i == len(robjs) or robjs[i] != o:
+            return None
+        return SortedRun(self.rsubs, self.roffs[i], self.roffs[i + 1])
+
+    def index_bytes(self) -> int:
+        return sum(
+            sys.getsizeof(getattr(self, slot)) for slot in self.__slots__
+        )
+
+
+def _group(pairs: list[tuple[int, int]]) -> tuple[array, array, array]:
+    """Group a sorted, duplicate-free pair list into (keys, offs, vals)."""
+    keys = array("q")
+    offs = array("q", (0,))
+    vals = array("q")
+    prev = None
+    for k, v in pairs:
+        if k != prev:
+            if prev is not None:
+                offs.append(len(vals))
+            keys.append(k)
+            prev = k
+        vals.append(v)
+    offs.append(len(vals))
+    if not keys:  # empty predicate: offs must still be [0]
+        return keys, array("q", (0,)), vals
+    return keys, offs, vals
+
+
+_EMPTY_RUN = SortedRun(_EMPTY_ARRAY, 0, 0)
+
+
+class ColumnarBackend(StorageBackend):
+    """Triples as per-predicate sorted integer columns."""
+
+    name = "columnar"
+
+    def __init__(self) -> None:
+        #: Sealed sorted-array storage, one `_Columns` per predicate.
+        self._cols: dict[int, _Columns] = {}
+        #: Unsealed writes: predicate -> subject -> {objects}.
+        self._staged: dict[int, dict[int, set[int]]] = {}
+        self._perms = LazyPermutations()
+        self._seal_lock = threading.Lock()
+        self._size = 0
+        self._nodes: set[int] = set()
+        self._epoch = 0
+
+    # -- construction ---------------------------------------------------
+
+    def add(self, s: int, p: int, o: int) -> bool:
+        # Lock order is always perms-lock -> seal-lock (a permutation
+        # build holds the former and seals predicates via triples()).
+        # The seal lock makes the staging mutation atomic with respect
+        # to a reader-triggered seal, which would otherwise drop a
+        # triple staged mid-merge.
+        with self._perms.lock:
+            with self._seal_lock:
+                return self._add_locked(s, p, o)
+
+    def add_many(self, triples) -> int:
+        # Both locks acquired once per batch (reentrant perms.insert
+        # re-acquisition inside is an owner-check fast path).
+        added = 0
+        with self._perms.lock:
+            with self._seal_lock:
+                for s, p, o in triples:
+                    if self._add_locked(s, p, o):
+                        added += 1
+        return added
+
+    def _add_locked(self, s: int, p: int, o: int) -> bool:
+        staged = self._staged.get(p)
+        if staged is not None and o in staged.get(s, ()):
+            return False
+        cols = self._cols.get(p)
+        if cols is not None:
+            run = cols.run_of(s)
+            if run is not None and o in run:
+                return False
+        if staged is None:
+            staged = self._staged.setdefault(p, {})
+        staged.setdefault(s, set()).add(o)
+        self._size += 1
+        self._epoch += 1
+        self._nodes.add(s)
+        self._nodes.add(o)
+        self._perms.insert(s, p, o)
+        return True
+
+    def freeze(self) -> None:
+        """Seal every predicate so reads are lock-free from here on."""
+        for p in list(self._staged):
+            self._sealed(p)
+
+    def _sealed(self, p: int) -> _Columns | None:
+        """The sealed columns of ``p``, merging any staged writes first.
+
+        Thread-safe against concurrent readers: the merge happens under
+        the seal lock and the finished `_Columns` is published in one
+        reference assignment before the staging entry is dropped.
+        """
+        if p not in self._staged:
+            return self._cols.get(p)
+        with self._seal_lock:
+            staged = self._staged.get(p)
+            if staged is None:
+                return self._cols.get(p)
+            cols = self._cols.get(p)
+            pairs: list[tuple[int, int]] = list(cols.pairs()) if cols else []
+            for s, objs in staged.items():
+                pairs.extend((s, o) for o in objs)
+            pairs.sort()
+            new_cols = _Columns(pairs)
+            self._cols[p] = new_cols
+            del self._staged[p]
+            return new_cols
+
+    # -- cardinalities --------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def num_triples(self) -> int:
+        return self._size
+
+    def nodes(self) -> set[int]:
+        return self._nodes
+
+    def predicates(self) -> list[int]:
+        # Under the seal lock: a concurrent reader-triggered seal
+        # inserts into _cols / deletes from _staged, which would break
+        # lock-free key iteration mid-union.
+        with self._seal_lock:
+            return sorted(self._cols.keys() | self._staged.keys())
+
+    def has_predicate(self, p: int) -> bool:
+        # Probe staging *first*: a concurrent seal publishes the new
+        # columns before dropping the staging entry, so a miss on
+        # staging guarantees a subsequent hit on _cols (same
+        # publish-before-delete ordering contains() relies on).
+        return p in self._staged or p in self._cols
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        staged = self._staged.get(p)
+        if staged is not None and o in staged.get(s, ()):
+            return True
+        cols = self._cols.get(p)
+        if cols is None:
+            return False
+        run = cols.run_of(s)
+        return run is not None and o in run
+
+    # -- predicate-first navigation -------------------------------------
+
+    def successors(self, p: int, s: int) -> SortedRun:
+        cols = self._sealed(p)
+        if cols is None:
+            return _EMPTY_RUN
+        run = cols.run_of(s)
+        return run if run is not None else _EMPTY_RUN
+
+    def predecessors(self, p: int, o: int) -> SortedRun:
+        cols = self._sealed(p)
+        if cols is None:
+            return _EMPTY_RUN
+        run = cols.reverse_run_of(o)
+        return run if run is not None else _EMPTY_RUN
+
+    def edges(self, p: int) -> Iterator[tuple[int, int]]:
+        cols = self._sealed(p)
+        if cols is not None:
+            yield from cols.pairs()
+
+    def count(self, p: int) -> int:
+        cols = self._sealed(p)
+        return len(cols.objs) if cols is not None else 0
+
+    # -- bulk kernel views ----------------------------------------------
+
+    def adjacency(self, p: int):
+        cols = self._sealed(p)
+        return cols.forward() if cols is not None else _EMPTY_DICT
+
+    def reverse_adjacency(self, p: int):
+        cols = self._sealed(p)
+        return cols.backward() if cols is not None else _EMPTY_DICT
+
+    def subject_set(self, p: int) -> SortedRun:
+        cols = self._sealed(p)
+        return SortedRun(cols.subs, 0, len(cols.subs)) if cols else _EMPTY_RUN
+
+    def object_set(self, p: int) -> SortedRun:
+        cols = self._sealed(p)
+        return SortedRun(cols.robjs, 0, len(cols.robjs)) if cols else _EMPTY_RUN
+
+    def successor_sets(
+        self, p: int, nodes: AbstractSet[int]
+    ) -> list[tuple[int, SortedRun]]:
+        cols = self._sealed(p)
+        if cols is None or not len(cols.subs):
+            return []
+        subs, offs, objs = cols.subs, cols.offs, cols.objs
+        if len(nodes) > len(subs):
+            return [
+                (subs[i], SortedRun(objs, offs[i], offs[i + 1]))
+                for i in range(len(subs))
+                if subs[i] in nodes
+            ]
+        out = []
+        n = len(subs)
+        for s in nodes:
+            i = bisect_left(subs, s)
+            if i < n and subs[i] == s:
+                out.append((s, SortedRun(objs, offs[i], offs[i + 1])))
+        return out
+
+    def predecessor_sets(
+        self, p: int, nodes: AbstractSet[int]
+    ) -> list[tuple[int, SortedRun]]:
+        cols = self._sealed(p)
+        if cols is None or not len(cols.robjs):
+            return []
+        robjs, roffs, rsubs = cols.robjs, cols.roffs, cols.rsubs
+        if len(nodes) > len(robjs):
+            return [
+                (robjs[i], SortedRun(rsubs, roffs[i], roffs[i + 1]))
+                for i in range(len(robjs))
+                if robjs[i] in nodes
+            ]
+        out = []
+        n = len(robjs)
+        for o in nodes:
+            i = bisect_left(robjs, o)
+            if i < n and robjs[i] == o:
+                out.append((o, SortedRun(rsubs, roffs[i], roffs[i + 1])))
+        return out
+
+    def out_degree(self, p: int, s: int) -> int:
+        cols = self._sealed(p)
+        if cols is None:
+            return 0
+        subs = cols.subs
+        i = bisect_left(subs, s)
+        if i == len(subs) or subs[i] != s:
+            return 0
+        return cols.offs[i + 1] - cols.offs[i]
+
+    def in_degree(self, p: int, o: int) -> int:
+        cols = self._sealed(p)
+        if cols is None:
+            return 0
+        robjs = cols.robjs
+        i = bisect_left(robjs, o)
+        if i == len(robjs) or robjs[i] != o:
+            return 0
+        return cols.roffs[i + 1] - cols.roffs[i]
+
+    # -- node-first navigation ------------------------------------------
+
+    def triples(self) -> Iterator[Triple]:
+        for p in self.predicates():
+            cols = self._sealed(p)
+            if cols is None:
+                continue
+            for s, o in cols.pairs():
+                yield Triple(s, p, o)
+
+    def out_edges(self, s: int) -> dict[int, set[int]]:
+        return self._perms.get("spo", self.triples).get(s, _EMPTY_DICT)
+
+    def in_edges(self, o: int) -> dict[int, set[int]]:
+        return self._perms.get("ops", self.triples).get(o, _EMPTY_DICT)
+
+    def get_permutation(self, name: str) -> dict:
+        return self._perms.get(name, self.triples)
+
+    def materialize_all_indexes(self) -> None:
+        self._perms.materialize_all(self.triples)
+
+    # -- catalog & reporting --------------------------------------------
+
+    def predicate_summaries(self) -> dict[int, PredicateSummary]:
+        out = {}
+        for p in self.predicates():
+            cols = self._sealed(p)
+            if cols is None:
+                continue
+            out[p] = PredicateSummary(
+                count=len(cols.objs),
+                distinct_subjects=len(cols.subs),
+                distinct_objects=len(cols.robjs),
+            )
+        return out
+
+    def index_bytes(self) -> int:
+        total = sys.getsizeof(self._cols)
+        for cols in self._cols.values():
+            total += cols.index_bytes()
+        total += sys.getsizeof(self._staged)
+        for staged in self._staged.values():
+            total += sys.getsizeof(staged)
+            total += sum(sys.getsizeof(objs) for objs in staged.values())
+        return total + self._perms.index_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarBackend({self._size} triples, "
+            f"{len(self.predicates())} predicates)"
+        )

@@ -1,0 +1,202 @@
+"""The dict-of-sets storage backend (the original physical layout).
+
+Primary indexes are predicate-first nested hash maps — PSO
+(``{p: {s: {o, ...}}}``) and POS — because every edge of a conjunctive
+query in this paper carries a fixed predicate label. The remaining
+four permutations (SPO, SOP, OSP, OPS) are built lazily on first use
+by the shared :class:`~repro.graph.backends.permutations.LazyPermutations`
+machinery, mirroring the "six composite indexes over the permutations
+of subject, predicate, and object" configured for the paper's
+relational imports.
+
+All views hand back the live ``dict`` / ``set`` containers without
+copying; callers must not mutate them.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterator
+
+from repro.graph.backends.base import PredicateSummary, StorageBackend
+from repro.graph.backends.permutations import LazyPermutations, nested_index_bytes
+from repro.graph.triples import Triple
+
+_EMPTY_SET: set[int] = set()
+_EMPTY_DICT: dict = {}
+
+
+class HashDictBackend(StorageBackend):
+    """Triples as nested ``dict``-of-``set`` hash indexes."""
+
+    name = "hashdict"
+
+    def __init__(self) -> None:
+        self._pso: dict[int, dict[int, set[int]]] = {}
+        self._pos: dict[int, dict[int, set[int]]] = {}
+        self._perms = LazyPermutations()
+        self._size = 0
+        self._nodes: set[int] = set()
+        self._epoch = 0
+
+    # -- construction ---------------------------------------------------
+
+    def add(self, s: int, p: int, o: int) -> bool:
+        # The whole mutation runs under the permutation build lock so a
+        # concurrent lazy build never scans half-inserted state (and
+        # never races the keep-consistent patch inside _add_locked).
+        with self._perms.lock:
+            return self._add_locked(s, p, o)
+
+    def add_many(self, triples) -> int:
+        # One lock acquisition per batch, not per triple — the
+        # per-insert RLock otherwise costs ~20% of a bulk load.
+        added = 0
+        with self._perms.lock:
+            for s, p, o in triples:
+                if self._add_locked(s, p, o):
+                    added += 1
+        return added
+
+    def _add_locked(self, s: int, p: int, o: int) -> bool:
+        by_s = self._pso.setdefault(p, {})
+        objs = by_s.setdefault(s, set())
+        if o in objs:
+            return False
+        objs.add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._size += 1
+        self._epoch += 1
+        self._nodes.add(s)
+        self._nodes.add(o)
+        # Keep any already-materialized permutation consistent.
+        self._perms.insert(s, p, o)
+        return True
+
+    def freeze(self) -> None:
+        """No compaction step: hash indexes are already final."""
+
+    # -- cardinalities --------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def num_triples(self) -> int:
+        return self._size
+
+    def nodes(self) -> set[int]:
+        return self._nodes
+
+    def predicates(self) -> list[int]:
+        return sorted(self._pso)
+
+    def has_predicate(self, p: int) -> bool:
+        return p in self._pso
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        by_s = self._pso.get(p)
+        if by_s is None:
+            return False
+        objs = by_s.get(s)
+        return objs is not None and o in objs
+
+    # -- predicate-first navigation -------------------------------------
+
+    def successors(self, p: int, s: int) -> set[int]:
+        by_s = self._pso.get(p)
+        if by_s is None:
+            return _EMPTY_SET
+        return by_s.get(s, _EMPTY_SET)
+
+    def predecessors(self, p: int, o: int) -> set[int]:
+        by_o = self._pos.get(p)
+        if by_o is None:
+            return _EMPTY_SET
+        return by_o.get(o, _EMPTY_SET)
+
+    def edges(self, p: int) -> Iterator[tuple[int, int]]:
+        for s, objs in self._pso.get(p, _EMPTY_DICT).items():
+            for o in objs:
+                yield (s, o)
+
+    def count(self, p: int) -> int:
+        return sum(len(objs) for objs in self._pso.get(p, _EMPTY_DICT).values())
+
+    # -- bulk kernel views ----------------------------------------------
+
+    def adjacency(self, p: int) -> dict[int, set[int]]:
+        return self._pso.get(p, _EMPTY_DICT)
+
+    def reverse_adjacency(self, p: int) -> dict[int, set[int]]:
+        return self._pos.get(p, _EMPTY_DICT)
+
+    def subject_set(self, p: int):
+        return self._pso.get(p, _EMPTY_DICT).keys()
+
+    def object_set(self, p: int):
+        return self._pos.get(p, _EMPTY_DICT).keys()
+
+    def successor_sets(
+        self, p: int, nodes: AbstractSet[int]
+    ) -> list[tuple[int, set[int]]]:
+        by_s = self._pso.get(p)
+        if not by_s:
+            return []
+        if len(nodes) > len(by_s):
+            return [(s, objs) for s, objs in by_s.items() if s in nodes]
+        get = by_s.get
+        return [(s, objs) for s in nodes if (objs := get(s))]
+
+    def predecessor_sets(
+        self, p: int, nodes: AbstractSet[int]
+    ) -> list[tuple[int, set[int]]]:
+        by_o = self._pos.get(p)
+        if not by_o:
+            return []
+        if len(nodes) > len(by_o):
+            return [(o, subs) for o, subs in by_o.items() if o in nodes]
+        get = by_o.get
+        return [(o, subs) for o in nodes if (subs := get(o))]
+
+    # -- node-first navigation ------------------------------------------
+
+    def triples(self) -> Iterator[Triple]:
+        for p, by_s in self._pso.items():
+            for s, objs in by_s.items():
+                for o in objs:
+                    yield Triple(s, p, o)
+
+    def out_edges(self, s: int) -> dict[int, set[int]]:
+        return self._perms.get("spo", self.triples).get(s, _EMPTY_DICT)
+
+    def in_edges(self, o: int) -> dict[int, set[int]]:
+        return self._perms.get("ops", self.triples).get(o, _EMPTY_DICT)
+
+    def get_permutation(self, name: str) -> dict:
+        return self._perms.get(name, self.triples)
+
+    def materialize_all_indexes(self) -> None:
+        self._perms.materialize_all(self.triples)
+
+    # -- catalog & reporting --------------------------------------------
+
+    def predicate_summaries(self) -> dict[int, PredicateSummary]:
+        return {
+            p: PredicateSummary(
+                count=sum(len(objs) for objs in by_s.values()),
+                distinct_subjects=len(by_s),
+                distinct_objects=len(self._pos.get(p, _EMPTY_DICT)),
+            )
+            for p, by_s in self._pso.items()
+        }
+
+    def index_bytes(self) -> int:
+        return (
+            nested_index_bytes(self._pso)
+            + nested_index_bytes(self._pos)
+            + self._perms.index_bytes()
+        )
+
+    def __repr__(self) -> str:
+        return f"HashDictBackend({self._size} triples, {len(self._pso)} predicates)"

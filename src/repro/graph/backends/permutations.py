@@ -1,0 +1,136 @@
+"""Lazily-materialized secondary permutation indexes (SPO/SOP/OSP/OPS).
+
+Both shipped backends keep their *primary* data predicate-first and
+materialize the four node-first permutations only when a pattern scan
+or the query miner's random walks first need them. The build-once /
+publish-exactly-once discipline lives here, behind one lock shared by
+builders and writers:
+
+* concurrent readers racing to materialize the same permutation build
+  it once — the double-checked ``get`` below — and never observe a
+  half-built index;
+* a writer inserting while another thread builds a *different*
+  permutation serializes against the build, so the new triple is
+  either included by the ongoing scan or patched in afterwards, never
+  lost.
+
+The materialized form is a nested ``{k1: {k2: {k3, ...}}}`` hash index
+regardless of the owning backend's primary layout: permutation scans
+are cold paths (query mining, unbound-predicate patterns), so a simple
+uniform representation beats per-backend cleverness.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Callable, Iterator
+
+from repro.errors import StoreError
+from repro.graph.triples import Triple
+
+#: Extraction order of each lazily-built permutation.
+PERMUTATION_EXTRACTORS = {
+    "spo": lambda t: (t.s, t.p, t.o),
+    "sop": lambda t: (t.s, t.o, t.p),
+    "osp": lambda t: (t.o, t.s, t.p),
+    "ops": lambda t: (t.o, t.p, t.s),
+}
+
+LAZY_PERMUTATIONS = ("spo", "sop", "osp", "ops")
+
+
+class LazyPermutations:
+    """Thread-safe container of the four secondary permutation indexes.
+
+    The owning backend passes its full-scan ``triples`` iterator *per
+    call* to :meth:`get` / :meth:`materialize_all` rather than at
+    construction — storing the bound method here would create a
+    backend → permutations → backend reference cycle, turning every
+    discarded store into cyclic garbage that only the gen-2 GC can
+    reclaim (a measurable collection pause once many stores have been
+    built and dropped).
+    """
+
+    def __init__(self) -> None:
+        self._indexes: dict[str, dict] = {}
+        # Reentrant: backends wrap their own primary-index mutation in
+        # this lock (see `lock` below) and then call :meth:`insert`,
+        # which re-acquires it.
+        self._lock = threading.RLock()
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The build lock, shared with the owning backend's writers.
+
+        A writer mutating the primary indexes while a builder scans
+        them via ``triples()`` would corrupt the scan ("dict changed
+        size during iteration") or lose the triple from the built
+        index; backends therefore hold this lock across the whole
+        mutation (primary update + :meth:`insert`). Builds hold it for
+        the whole scan, so writers and builders strictly alternate
+        while plain readers stay lock-free.
+        """
+        return self._lock
+
+    def get(self, name: str, triples: Callable[[], Iterator[Triple]]) -> dict:
+        """The named permutation, building it from ``triples`` on first use."""
+        if name not in PERMUTATION_EXTRACTORS:
+            raise StoreError(f"unknown permutation index {name!r}")
+        index = self._indexes.get(name)
+        if index is None:
+            # Double-checked: racing readers build at most once, and an
+            # index is only published (made visible to the lock-free
+            # fast path above) fully built.
+            with self._lock:
+                index = self._indexes.get(name)
+                if index is None:
+                    index = {}
+                    order = PERMUTATION_EXTRACTORS[name]
+                    for triple in triples():
+                        k1, k2, k3 = order(triple)
+                        index.setdefault(k1, {}).setdefault(k2, set()).add(k3)
+                    self._indexes[name] = index
+        return index
+
+    def insert(self, s: int, p: int, o: int) -> None:
+        """Patch one new triple into every already-built permutation.
+
+        Takes the lock *before* checking for materialized indexes: a
+        build in progress on another thread may have already scanned
+        past this triple's position, so the patch must wait for the
+        build to publish and then apply — checking lock-free would drop
+        the triple from the freshly-built index (the classic
+        freeze/lazy-materialization lost-update race). The patch is a
+        set insert, so a triple both scanned and patched is harmless.
+        """
+        with self._lock:
+            if not self._indexes:
+                return
+            triple = Triple(s, p, o)
+            for name, index in self._indexes.items():
+                k1, k2, k3 = PERMUTATION_EXTRACTORS[name](triple)
+                index.setdefault(k1, {}).setdefault(k2, set()).add(k3)
+
+    def materialize_all(
+        self, triples: Callable[[], Iterator[Triple]]
+    ) -> None:
+        for name in LAZY_PERMUTATIONS:
+            self.get(name, triples)
+
+    def index_bytes(self) -> int:
+        """Container bytes of every materialized permutation."""
+        return sum(
+            nested_index_bytes(index) for index in self._indexes.values()
+        )
+
+
+def nested_index_bytes(index: dict) -> int:
+    """Container bytes of one ``{k1: {k2: {k3...}}}`` nested index —
+    the sizing rule shared by every dict-of-sets index in this package
+    (hashdict primaries and lazy permutations alike)."""
+    total = sys.getsizeof(index)
+    for inner in index.values():
+        total += sys.getsizeof(inner)
+        total += sum(sys.getsizeof(leaf) for leaf in inner.values())
+    return total

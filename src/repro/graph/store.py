@@ -1,11 +1,15 @@
-"""In-memory triple store with the six SPO-permutation composite indexes.
+"""In-memory triple store: a facade over a pluggable storage backend.
 
-The store keeps its data predicate-first (PSO and POS are always
-maintained) because every edge of a SPARQL conjunctive query in this
-paper carries a fixed predicate label; the remaining four permutations
-(SPO, SOP, OSP, OPS) are built lazily on first use, mirroring the
-"six composite indexes over the permutations of subject, predicate, and
-object" configured for the paper's relational imports.
+The logical model — a labeled directed multigraph of integer-interned
+triples with the six SPO-permutation composite indexes the paper
+configures — lives here; the *physical* layout lives in a
+:class:`~repro.graph.backends.base.StorageBackend` chosen at
+construction (``TripleStore(backend="columnar")``, the
+``REPRO_BACKEND`` environment variable, or the ``hashdict`` default).
+Engines, kernels, the catalog builder, and the baselines only ever see
+the store's protocol views, so alternative layouts (sorted integer
+columns today, memory-mapped or sharded stores tomorrow) are drop-in
+swaps instead of engine rewrites.
 
 All terms are integers interned through an attached
 :class:`~repro.graph.dictionary.Dictionary`. Duplicate triples are
@@ -14,19 +18,16 @@ ignored (RDF set semantics).
 
 from __future__ import annotations
 
-import threading
-from typing import TYPE_CHECKING, AbstractSet, Iterable, Iterator
+from typing import TYPE_CHECKING, AbstractSet, Iterable, Iterator, Mapping
 
 from repro.errors import StoreError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle (stats imports store)
     from repro.stats.catalog import Catalog
+from repro.graph.backends import StorageBackend, create_backend
+from repro.graph.backends.base import PredicateSummary
 from repro.graph.dictionary import Dictionary
 from repro.graph.triples import Triple, TriplePattern
-
-# Index layout: each permutation index maps first_key -> second_key ->
-# set(third key). E.g. the PSO index is {p: {s: {o, ...}}}.
-_NestedIndex = dict
 
 
 class TripleStore:
@@ -36,6 +37,10 @@ class TripleStore:
     ----------
     dictionary:
         Shared term dictionary; a fresh one is created when omitted.
+    backend:
+        Physical layout: a registered backend name (``"hashdict"``,
+        ``"columnar"``), a ready :class:`StorageBackend` instance, or
+        ``None`` for the ``REPRO_BACKEND``/default selection.
 
     >>> store = TripleStore()
     >>> _ = store.add_term_triple("alice", "knows", "bob")
@@ -44,21 +49,28 @@ class TripleStore:
     True
     """
 
-    def __init__(self, dictionary: Dictionary | None = None):
+    def __init__(
+        self,
+        dictionary: Dictionary | None = None,
+        backend: StorageBackend | str | None = None,
+    ):
         self.dictionary = dictionary if dictionary is not None else Dictionary()
-        self._pso: dict[int, dict[int, set[int]]] = {}
-        self._pos: dict[int, dict[int, set[int]]] = {}
-        # Lazily-built permutations, keyed by their name.
-        self._lazy: dict[str, _NestedIndex] = {}
-        self._size = 0
-        self._nodes: set[int] = set()
+        if isinstance(backend, StorageBackend):
+            self._backend = backend
+        else:
+            self._backend = create_backend(backend)
         self._frozen = False
-        # Monotonic mutation counter: bumped on every successful insert.
-        # Caches keyed on (store, epoch) — the memoized catalog below,
-        # the service result cache — use it for invalidation.
-        self._epoch = 0
         self._catalog_cache: "tuple[int, Catalog] | None" = None
-        self._lazy_lock = threading.Lock()
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The physical storage layout behind this store."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the active backend (``"hashdict"``, ...)."""
+        return self._backend.name
 
     # ------------------------------------------------------------------
     # Construction
@@ -68,28 +80,17 @@ class TripleStore:
         """Insert the triple ⟨s, p, o⟩; returns ``False`` if already present."""
         if self._frozen:
             raise StoreError("store is frozen; cannot add triples")
-        by_s = self._pso.setdefault(p, {})
-        objs = by_s.setdefault(s, set())
-        if o in objs:
-            return False
-        objs.add(o)
-        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
-        self._size += 1
-        self._epoch += 1
-        self._nodes.add(s)
-        self._nodes.add(o)
-        if self._lazy:
-            # Keep any already-materialized permutation consistent.
-            self._insert_lazy(s, p, o)
-        return True
+        return self._backend.add(s, p, o)
 
     def add_triples(self, triples: Iterable[tuple[int, int, int]]) -> int:
-        """Bulk-insert; returns the number of *new* triples."""
-        added = 0
-        for s, p, o in triples:
-            if self.add(s, p, o):
-                added += 1
-        return added
+        """Bulk-insert; returns the number of *new* triples.
+
+        Prefer this (or :meth:`add_term_triples`) for bulk loads: the
+        backend amortizes its write locking over the whole batch.
+        """
+        if self._frozen:
+            raise StoreError("store is frozen; cannot add triples")
+        return self._backend.add_many(triples)
 
     def add_term_triple(self, s: str, p: str, o: str) -> bool:
         """Insert a triple of raw strings, interning them first."""
@@ -98,16 +99,22 @@ class TripleStore:
 
     def add_term_triples(self, triples: Iterable[tuple[str, str, str]]) -> int:
         """Bulk string-triple insert; returns the number of new triples."""
-        added = 0
-        for s, p, o in triples:
-            if self.add_term_triple(s, p, o):
-                added += 1
-        return added
+        if self._frozen:
+            raise StoreError("store is frozen; cannot add triples")
+        enc = self.dictionary.encode
+        return self._backend.add_many(
+            (enc(s), enc(p), enc(o)) for s, p, o in triples
+        )
 
     def freeze(self) -> None:
-        """Make the store (and its dictionary) immutable."""
+        """Make the store (and its dictionary) immutable.
+
+        The backend gets to seal/compact its physical layout; reads on
+        a frozen store are lock-free and safe from any thread.
+        """
         self._frozen = True
         self.dictionary.freeze()
+        self._backend.freeze()
 
     @property
     def frozen(self) -> bool:
@@ -119,9 +126,10 @@ class TripleStore:
 
         Two reads returning the same epoch guarantee the store content
         did not change in between, which is what plan/result caches key
-        their validity on.
+        their validity on. Owned by the backend (the layer that
+        actually stores the triple).
         """
-        return self._epoch
+        return self._backend.epoch
 
     def catalog(self) -> "Catalog":
         """The store's statistics catalog, built at most once per epoch.
@@ -135,10 +143,11 @@ class TripleStore:
         from repro.stats.catalog import build_catalog
 
         cached = self._catalog_cache
-        if cached is not None and cached[0] == self._epoch:
+        epoch = self._backend.epoch
+        if cached is not None and cached[0] == epoch:
             return cached[1]
         catalog = build_catalog(self)
-        self._catalog_cache = (self._epoch, catalog)
+        self._catalog_cache = (epoch, catalog)
         return catalog
 
     # ------------------------------------------------------------------
@@ -146,88 +155,76 @@ class TripleStore:
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return self._size
+        return self._backend.num_triples
 
     @property
     def num_triples(self) -> int:
-        return self._size
+        return self._backend.num_triples
 
     @property
     def num_nodes(self) -> int:
         """Number of distinct terms occurring in subject or object position."""
-        return len(self._nodes)
+        return len(self._backend.nodes())
 
-    def nodes(self) -> set[int]:
+    def nodes(self) -> AbstractSet[int]:
         """The set of all subject/object terms (a copy is NOT made)."""
-        return self._nodes
+        return self._backend.nodes()
 
     def predicates(self) -> list[int]:
         """All distinct predicate ids, ascending."""
-        return sorted(self._pso)
+        return self._backend.predicates()
 
     def has_predicate(self, p: int) -> bool:
         """Whether any triple uses predicate ``p``."""
-        return p in self._pso
+        return self._backend.has_predicate(p)
 
     def __contains__(self, triple: tuple[int, int, int]) -> bool:
         s, p, o = triple
-        by_s = self._pso.get(p)
-        if by_s is None:
-            return False
-        objs = by_s.get(s)
-        return objs is not None and o in objs
+        return self._backend.contains(s, p, o)
 
     # ------------------------------------------------------------------
     # Predicate-first navigation (the hot path for CQ evaluation)
     # ------------------------------------------------------------------
 
-    def successors(self, p: int, s: int) -> set[int]:
+    def successors(self, p: int, s: int) -> AbstractSet[int]:
         """Objects ``o`` with ⟨s, p, o⟩ in the store (empty set if none).
 
-        The returned set is the live index container — callers must not
-        mutate it.
+        The returned set-like view is live index state — callers must
+        not mutate it.
         """
-        by_s = self._pso.get(p)
-        if by_s is None:
-            return _EMPTY_SET
-        return by_s.get(s, _EMPTY_SET)
+        return self._backend.successors(p, s)
 
-    def predecessors(self, p: int, o: int) -> set[int]:
+    def predecessors(self, p: int, o: int) -> AbstractSet[int]:
         """Subjects ``s`` with ⟨s, p, o⟩ in the store (empty set if none)."""
-        by_o = self._pos.get(p)
-        if by_o is None:
-            return _EMPTY_SET
-        return by_o.get(o, _EMPTY_SET)
+        return self._backend.predecessors(p, o)
 
     def subjects(self, p: int) -> Iterable[int]:
         """Distinct subjects of predicate ``p``."""
-        return self._pso.get(p, _EMPTY_DICT).keys()
+        return self._backend.subjects(p)
 
     def objects(self, p: int) -> Iterable[int]:
         """Distinct objects of predicate ``p``."""
-        return self._pos.get(p, _EMPTY_DICT).keys()
+        return self._backend.objects(p)
 
     def edges(self, p: int) -> Iterator[tuple[int, int]]:
         """All (subject, object) pairs of predicate ``p``."""
-        for s, objs in self._pso.get(p, _EMPTY_DICT).items():
-            for o in objs:
-                yield (s, o)
+        return self._backend.edges(p)
 
     def count(self, p: int) -> int:
         """Number of triples with predicate ``p``."""
-        return sum(len(objs) for objs in self._pso.get(p, _EMPTY_DICT).values())
+        return self._backend.count(p)
 
-    def forward_index(self, p: int) -> dict[int, set[int]]:
+    def forward_index(self, p: int) -> Mapping[int, AbstractSet[int]]:
         """The live ``subject -> {objects}`` adjacency of predicate ``p``.
 
         Read-only view used by tuple-at-a-time engines; callers must
         not mutate it.
         """
-        return self._pso.get(p, _EMPTY_DICT)
+        return self._backend.adjacency(p)
 
-    def backward_index(self, p: int) -> dict[int, set[int]]:
+    def backward_index(self, p: int) -> Mapping[int, AbstractSet[int]]:
         """The live ``object -> {subjects}`` adjacency of predicate ``p``."""
-        return self._pos.get(p, _EMPTY_DICT)
+        return self._backend.reverse_adjacency(p)
 
     # ------------------------------------------------------------------
     # Bulk accessors (the set-at-a-time kernel interface)
@@ -238,28 +235,28 @@ class TripleStore:
     # these return.
     # ------------------------------------------------------------------
 
-    def adjacency(self, p: int) -> dict[int, set[int]]:
+    def adjacency(self, p: int) -> Mapping[int, AbstractSet[int]]:
         """The live ``subject -> {objects}`` index of predicate ``p``.
 
         Synonym of :meth:`forward_index`, named for the kernel layer.
         """
-        return self._pso.get(p, _EMPTY_DICT)
+        return self._backend.adjacency(p)
 
-    def reverse_adjacency(self, p: int) -> dict[int, set[int]]:
+    def reverse_adjacency(self, p: int) -> Mapping[int, AbstractSet[int]]:
         """The live ``object -> {subjects}`` index of predicate ``p``."""
-        return self._pos.get(p, _EMPTY_DICT)
+        return self._backend.reverse_adjacency(p)
 
-    def subject_set(self, p: int):
+    def subject_set(self, p: int) -> AbstractSet[int]:
         """Set-like view of the distinct subjects of ``p`` (no copy)."""
-        return self._pso.get(p, _EMPTY_DICT).keys()
+        return self._backend.subject_set(p)
 
-    def object_set(self, p: int):
+    def object_set(self, p: int) -> AbstractSet[int]:
         """Set-like view of the distinct objects of ``p`` (no copy)."""
-        return self._pos.get(p, _EMPTY_DICT).keys()
+        return self._backend.object_set(p)
 
     def successor_sets(
         self, p: int, nodes: AbstractSet[int]
-    ) -> list[tuple[int, set[int]]]:
+    ) -> list[tuple[int, AbstractSet[int]]]:
         """``(s, successors-of-s)`` for each node of ``nodes`` with any
         ``p``-edge, successor sets live (not copied).
 
@@ -268,34 +265,22 @@ class TripleStore:
         subject index; returns an eagerly built list (cheaper than a
         generator in the kernel hot path).
         """
-        by_s = self._pso.get(p)
-        if not by_s:
-            return []
-        if len(nodes) > len(by_s):
-            return [(s, objs) for s, objs in by_s.items() if s in nodes]
-        get = by_s.get
-        return [(s, objs) for s in nodes if (objs := get(s))]
+        return self._backend.successor_sets(p, nodes)
 
     def predecessor_sets(
         self, p: int, nodes: AbstractSet[int]
-    ) -> list[tuple[int, set[int]]]:
+    ) -> list[tuple[int, AbstractSet[int]]]:
         """``(o, predecessors-of-o)`` for each node of ``nodes`` with
         any incoming ``p``-edge; predecessor sets are live views."""
-        by_o = self._pos.get(p)
-        if not by_o:
-            return []
-        if len(nodes) > len(by_o):
-            return [(o, subs) for o, subs in by_o.items() if o in nodes]
-        get = by_o.get
-        return [(o, subs) for o in nodes if (subs := get(o))]
+        return self._backend.predecessor_sets(p, nodes)
 
     def out_degree(self, p: int, s: int) -> int:
         """Number of ``p``-edges leaving node ``s``."""
-        return len(self.successors(p, s))
+        return self._backend.out_degree(p, s)
 
     def in_degree(self, p: int, o: int) -> int:
         """Number of ``p``-edges entering node ``o``."""
-        return len(self.predecessors(p, o))
+        return self._backend.in_degree(p, o)
 
     # ------------------------------------------------------------------
     # Generic pattern matching over the six permutations
@@ -303,10 +288,7 @@ class TripleStore:
 
     def triples(self) -> Iterator[Triple]:
         """Iterate over every triple in the store."""
-        for p, by_s in self._pso.items():
-            for s, objs in by_s.items():
-                for o in objs:
-                    yield Triple(s, p, o)
+        return self._backend.triples()
 
     def match(self, pattern: TriplePattern) -> Iterator[Triple]:
         """Iterate over all triples satisfying ``pattern``.
@@ -316,22 +298,23 @@ class TripleStore:
         first use (``spo`` / ``osp``).
         """
         s, p, o = pattern
+        backend = self._backend
         if p is not None:
             if s is not None and o is not None:
-                if (s, p, o) in self:
+                if backend.contains(s, p, o):
                     yield Triple(s, p, o)
             elif s is not None:
-                for obj in self.successors(p, s):
+                for obj in backend.successors(p, s):
                     yield Triple(s, p, obj)
             elif o is not None:
-                for sub in self.predecessors(p, o):
+                for sub in backend.predecessors(p, o):
                     yield Triple(sub, p, o)
             else:
-                for sub, obj in self.edges(p):
+                for sub, obj in backend.edges(p):
                     yield Triple(sub, p, obj)
             return
         if s is not None:
-            spo = self._get_lazy("spo")
+            spo = backend.get_permutation("spo")
             by_p = spo.get(s, _EMPTY_DICT)
             if o is not None:
                 for pred, objs in by_p.items():
@@ -343,45 +326,45 @@ class TripleStore:
                         yield Triple(s, pred, obj)
             return
         if o is not None:
-            osp = self._get_lazy("osp")
+            osp = backend.get_permutation("osp")
             for sub, preds in osp.get(o, _EMPTY_DICT).items():
                 for pred in preds:
                     yield Triple(sub, pred, o)
             return
-        yield from self.triples()
+        yield from backend.triples()
 
     def count_matches(self, pattern: TriplePattern) -> int:
         """Number of triples satisfying ``pattern`` (no materialization
         beyond what :meth:`match` itself requires)."""
         s, p, o = pattern
         if p is not None and s is None and o is None:
-            return self.count(p)
+            return self._backend.count(p)
         if p is not None and s is not None and o is None:
-            return self.out_degree(p, s)
+            return self._backend.out_degree(p, s)
         if p is not None and o is not None and s is None:
-            return self.in_degree(p, o)
+            return self._backend.in_degree(p, o)
         if s is None and p is None and o is None:
-            return self._size
+            return self._backend.num_triples
         return sum(1 for _ in self.match(pattern))
 
     # ------------------------------------------------------------------
     # Node-first navigation (used by the query miner's random walks)
     # ------------------------------------------------------------------
 
-    def out_edges(self, s: int) -> dict[int, set[int]]:
+    def out_edges(self, s: int) -> Mapping[int, AbstractSet[int]]:
         """Map ``predicate -> objects`` for all edges leaving node ``s``.
 
         Materializes the SPO permutation on first use. The returned
         mapping is live index state — do not mutate.
         """
-        return self._get_lazy("spo").get(s, _EMPTY_DICT)
+        return self._backend.out_edges(s)
 
-    def in_edges(self, o: int) -> dict[int, set[int]]:
+    def in_edges(self, o: int) -> Mapping[int, AbstractSet[int]]:
         """Map ``predicate -> subjects`` for all edges entering ``o``.
 
         Materializes the OPS permutation on first use.
         """
-        return self._get_lazy("ops").get(o, _EMPTY_DICT)
+        return self._backend.in_edges(o)
 
     def labels_between(self, s: int, o: int) -> list[int]:
         """All predicates ``p`` with ⟨s, p, o⟩ in the store."""
@@ -391,54 +374,36 @@ class TripleStore:
     # Lazy permutations (SPO / SOP / OSP / OPS)
     # ------------------------------------------------------------------
 
-    _PERMUTATIONS = ("spo", "sop", "osp", "ops")
-
-    def _get_lazy(self, name: str) -> _NestedIndex:
-        if name not in self._PERMUTATIONS:
-            raise StoreError(f"unknown permutation index {name!r}")
-        index = self._lazy.get(name)
-        if index is None:
-            # Concurrent readers (the QueryService thread pool) may race
-            # to materialize the same permutation; build under a lock so
-            # the index is published exactly once and never observed
-            # half-built.
-            with self._lazy_lock:
-                index = self._lazy.get(name)
-                if index is None:
-                    index = {}
-                    order = _PERMUTATION_EXTRACTORS[name]
-                    for triple in self.triples():
-                        k1, k2, k3 = order(triple)
-                        index.setdefault(k1, {}).setdefault(k2, set()).add(k3)
-                    self._lazy[name] = index
-        return index
-
-    def _insert_lazy(self, s: int, p: int, o: int) -> None:
-        triple = Triple(s, p, o)
-        for name, index in self._lazy.items():
-            k1, k2, k3 = _PERMUTATION_EXTRACTORS[name](triple)
-            index.setdefault(k1, {}).setdefault(k2, set()).add(k3)
+    def _get_lazy(self, name: str) -> Mapping:
+        """The named secondary permutation (kept for compatibility;
+        lazy-build logic and its lock live in the backend layer)."""
+        return self._backend.get_permutation(name)
 
     def materialize_all_indexes(self) -> None:
         """Eagerly build all six permutation indexes (offline prep)."""
-        for name in self._PERMUTATIONS:
-            self._get_lazy(name)
+        self._backend.materialize_all_indexes()
+
+    # ------------------------------------------------------------------
+    # Catalog & reporting hooks
+    # ------------------------------------------------------------------
+
+    def predicate_summaries(self) -> dict[int, PredicateSummary]:
+        """Per-predicate cardinality summaries (the stats catalog's
+        unigram input), computed by the backend from its own indexes."""
+        return self._backend.predicate_summaries()
+
+    def index_bytes(self) -> int:
+        """Approximate resident bytes of the backend's physical indexes."""
+        return self._backend.index_bytes()
 
     # ------------------------------------------------------------------
 
     def __repr__(self) -> str:
         return (
-            f"TripleStore({self._size} triples, {self.num_nodes} nodes, "
-            f"{len(self._pso)} predicates)"
+            f"TripleStore({self.num_triples} triples, {self.num_nodes} nodes, "
+            f"{len(self.predicates())} predicates, "
+            f"backend={self.backend_name})"
         )
 
 
-_EMPTY_SET: set[int] = set()
 _EMPTY_DICT: dict = {}
-
-_PERMUTATION_EXTRACTORS = {
-    "spo": lambda t: (t.s, t.p, t.o),
-    "sop": lambda t: (t.s, t.o, t.p),
-    "osp": lambda t: (t.o, t.s, t.p),
-    "ops": lambda t: (t.o, t.p, t.s),
-}

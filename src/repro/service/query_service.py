@@ -132,6 +132,11 @@ class QueryService:
         if freeze and not store.frozen:
             store.freeze()
         self.store = store
+        # Cache keys carry the backend name alongside the epoch: a
+        # service handed a store with a different physical layout can
+        # never alias cached plans/results from another layout, even if
+        # cache objects are shared or persisted across services.
+        self._backend_name = store.backend_name
         self.max_workers = max_workers if max_workers is not None else _default_workers()
         self._engine_options = dict(engine_options or {})
         self.plan_cache = PlanCache(plan_cache_size)
@@ -218,8 +223,9 @@ class QueryService:
         # Results are keyed on the exact (alpha-invariant) query;
         # plans on the broader structural key that also canonicalizes
         # constants, so "same template, different entity" reuses a plan.
-        result_key = (query_signature(query), materialize)
-        plan_key = plan_signature(query)
+        # Both keys are qualified by the active backend name.
+        result_key = (self._backend_name, query_signature(query), materialize)
+        plan_key = (self._backend_name, plan_signature(query))
 
         cached = self.result_cache.get_result(result_key, epoch)
         if cached is not None:
@@ -425,6 +431,7 @@ class QueryService:
                     "spurious_pairs_removed": (
                         detail.generation_stats.spurious_pairs_removed
                     ),
+                    "backend": self._backend_name,
                 },
             )
             # Only a result computed at the epoch we advertised may be
@@ -473,6 +480,7 @@ class QueryService:
         snap["plan_cache"] = self._cache_dict(self.plan_cache)
         snap["result_cache"] = self._cache_dict(self.result_cache)
         snap["epoch"] = self._epoch
+        snap["backend"] = self._backend_name
         snap["max_workers"] = self.max_workers
         snap["store_triples"] = self.store.num_triples
         return snap

@@ -201,22 +201,28 @@ def build_catalog(
     is how the paper-scale "computed offline" step stays feasible on
     graphs where a full node scan is too expensive; estimates remain
     unbiased, and the planners only use them for relative comparisons.
-    """
-    unigrams: dict[int, UnigramStat] = {}
-    for p in store.predicates():
-        count = store.count(p)
-        ds = sum(1 for _ in store.subjects(p))
-        do = sum(1 for _ in store.objects(p))
-        unigrams[p] = UnigramStat(count, ds, do)
 
-    # Per-node label incidence with degrees.
+    The pass consumes only storage-backend protocol views — the
+    per-predicate cardinality summaries and the forward/reverse
+    adjacency mappings — so it is identical across physical layouts
+    (hashdict, columnar, ...), which the backend-parity suite asserts.
+    """
+    unigrams: dict[int, UnigramStat] = {
+        p: UnigramStat(
+            summary.count, summary.distinct_subjects, summary.distinct_objects
+        )
+        for p, summary in sorted(store.predicate_summaries().items())
+    }
+
+    # Per-node label incidence with degrees, read off the adjacency
+    # views (one len() per index run — no per-node point lookups).
     out_deg: dict[int, dict[int, int]] = {}  # node -> {label: out-degree}
     in_deg: dict[int, dict[int, int]] = {}
     for p in store.predicates():
-        for s in store.subjects(p):
-            out_deg.setdefault(s, {})[p] = store.out_degree(p, s)
-        for o in store.objects(p):
-            in_deg.setdefault(o, {})[p] = store.in_degree(p, o)
+        for s, objs in store.adjacency(p).items():
+            out_deg.setdefault(s, {})[p] = len(objs)
+        for o, subs in store.reverse_adjacency(p).items():
+            in_deg.setdefault(o, {})[p] = len(subs)
 
     all_nodes = store.nodes()
     scale = 1.0

@@ -28,8 +28,8 @@ def edge_lists(draw, max_nodes: int = 8, max_edges_per_label: int = 10):
     return graph
 
 
-def build_store(graph: dict) -> TripleStore:
-    store = TripleStore()
+def build_store(graph: dict, backend: str | None = None) -> TripleStore:
+    store = TripleStore(backend=backend)
     for label, pairs in graph.items():
         for s, o in pairs:
             store.add_term_triple(f"n{s}", label, f"n{o}")

@@ -186,3 +186,76 @@ def test_batch_empty_file_rejected(tmp_path, capsys):
     code = main(["batch", "--scale", "0.05", "--file", str(empty)])
     assert code == 2
     assert "empty workload" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# --backend flag
+# ----------------------------------------------------------------------
+
+
+def test_query_backend_flag(capsys):
+    for backend in ("hashdict", "columnar"):
+        code = main(
+            [
+                "query",
+                "--scale", "0.05",
+                "--backend", backend,
+                "--sparql", "select ?x, ?m where { ?x actedIn ?m }",
+                "--limit", "0",
+            ]
+        )
+        assert code == 0
+        assert f"(backend {backend})" in capsys.readouterr().out
+
+
+def test_query_backend_results_agree(capsys):
+    counts = {}
+    for backend in ("hashdict", "columnar"):
+        assert main(
+            [
+                "query",
+                "--scale", "0.05",
+                "--backend", backend,
+                "--sparql", "select ?x, ?m where { ?x actedIn ?m }",
+                "--limit", "0",
+            ]
+        ) == 0
+        counts[backend] = capsys.readouterr().out.split(" rows")[0]
+    assert counts["hashdict"] == counts["columnar"]
+
+
+def test_stats_shows_backend(capsys):
+    assert main(["stats", "--scale", "0.05", "--backend", "columnar"]) == 0
+    assert "backend:    columnar" in capsys.readouterr().out
+
+
+def test_batch_backend_flag(capsys):
+    code = main(
+        [
+            "batch",
+            "--scale", "0.05",
+            "--backend", "columnar",
+            "--template", "chain",
+            "--count", "2",
+            "--json",
+        ]
+    )
+    assert code == 0
+    import json as _json
+
+    payload = _json.loads(capsys.readouterr().out)
+    assert payload["stats"]["backend"] == "columnar"
+
+
+def test_dataset_loads_into_any_backend(tmp_path, capsys):
+    out = str(tmp_path / "ds")
+    assert main(["generate", out, "--scale", "0.05", "--seed", "1"]) == 0
+    capsys.readouterr()
+    for backend in ("hashdict", "columnar"):
+        assert main(["stats", "--dataset", out, "--backend", backend]) == 0
+        assert f"backend:    {backend}" in capsys.readouterr().out
+
+
+def test_unknown_backend_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["stats", "--scale", "0.05", "--backend", "parquet"])
