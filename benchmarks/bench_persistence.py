@@ -1,0 +1,233 @@
+"""Cold N-Triples ingest vs. warm snapshot start — the persistence gate.
+
+Every process start used to re-parse N-Triples and rebuild every index;
+the snapshot layer (:mod:`repro.storage`) turns that into a
+memory-mapped warm start. This benchmark quantifies the difference on
+the snowflake workload (the same layered digraph the kernel and memory
+gates measure):
+
+* **cold** — ``load_ntriples_file`` + ``freeze()``: line parsing, term
+  interning, dedup, staging, sort;
+* **warm eager** — ``load_snapshot(use_mmap=False)`` per backend:
+  checksum + segment import, no parsing or sorting for columnar;
+* **warm mmap** — ``load_snapshot`` onto the columnar backend:
+  zero-copy ``memoryview('q')`` casts over the mapped segment files.
+
+Correctness is asserted before timing: the snapshot round-trips
+byte-identically (triples, dictionary, and the paper's snowflake query
+results) under both backends. The gate asserts the mmap warm start is
+at least :data:`WARM_START_FLOOR` (5x) faster than cold ingest.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_persistence.py [--smoke]`` — the
+  pytest-benchmark timings CI's bench-smoke job records;
+* ``python benchmarks/bench_persistence.py [--smoke] [--output F]`` —
+  the CI persistence gate: prints the table, writes
+  ``BENCH_persistence.json``, exits non-zero if the floor is missed or
+  any round-trip differs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+# benchmarks/ is not a package; the snowflake builder lives in
+# bench_kernels so every gate measures the same graph.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_kernels import SNOWFLAKE_LAYERS, _layered_store
+
+from repro.core.engine import WireframeEngine
+from repro.core.generation import generate_answer_graph
+from repro.graph.backends import available_backends
+from repro.graph.ntriples import load_ntriples_file
+from repro.query.templates import snowflake_template
+from repro.storage import load_snapshot, save_snapshot
+from repro.utils.deadline import Deadline
+
+#: Minimum cold-ingest / mmap-warm-start speedup the gate enforces.
+WARM_START_FLOOR = 5.0
+
+REPEATS = 3
+
+
+def _snowflake_size() -> tuple[int, int]:
+    """(n, degree), shrunk by REPRO_BENCH_SCALE (the --smoke knob)."""
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return max(64, int(320 * scale)), max(4, int(16 * min(scale, 1.0)))
+
+
+def _snowflake_query():
+    return snowflake_template().instantiate(list("ABCDEFGHI"), name="snowflake")
+
+
+def _query_fingerprint(store):
+    """The snowflake query's full answer graph, as a comparable snapshot.
+
+    The factorized result representation *is* the answer graph, so two
+    stores with equal AG snapshots return identical results for the
+    query; materialized rows would be combinatorial at benchmark scale.
+    """
+    engine = WireframeEngine(store)
+    bound, plan, chordification = engine.plan(_snowflake_query())
+    ag, stats = generate_answer_graph(
+        bound, plan, chordification=chordification, deadline=Deadline(300)
+    )
+    return (ag.snapshot(), stats.edge_walks)
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_persistence_benchmark(
+    workdir: str, n: int, degree: int, repeats: int = REPEATS
+) -> dict:
+    """Round-trip + timing record for the snowflake workload."""
+    store = _layered_store(SNOWFLAKE_LAYERS, n, degree, seed=3, backend="columnar")
+    live_triples = set(store.triples())
+    live_fingerprint = _query_fingerprint(store)
+
+    nt_path = os.path.join(workdir, "snowflake.nt")
+    snap_path = os.path.join(workdir, "snowflake.snap")
+    # The layered store's synthetic terms are bare labels; the cold
+    # corpus wraps them as IRIs so the file is well-formed N-Triples
+    # (and the cold path pays realistic surface-string parsing).
+    decode = store.dictionary.decode
+    with open(nt_path, "w", encoding="utf-8") as handle:
+        for t in store.triples():
+            handle.write(f"<{decode(t.s)}> <{decode(t.p)}> <{decode(t.o)}> .\n")
+    save_snapshot(store, snap_path)
+
+    # Correctness first: the snapshot must round-trip losslessly into
+    # every backend before any timing is worth recording.
+    round_trips = {}
+    for backend in available_backends():
+        loaded = load_snapshot(snap_path, backend=backend)
+        identical = (
+            set(loaded.triples()) == live_triples
+            and list(loaded.dictionary) == list(store.dictionary)
+            and _query_fingerprint(loaded) == live_fingerprint
+        )
+        round_trips[backend] = identical
+        if not identical:
+            raise AssertionError(
+                f"snapshot round-trip differs from the live store "
+                f"under backend {backend!r}"
+            )
+
+    cold_seconds = _best_of(
+        repeats,
+        lambda: load_ntriples_file(nt_path, backend="columnar").freeze(),
+    )
+    warm = {}
+    for backend in available_backends():
+        warm[backend] = _best_of(
+            repeats,
+            lambda b=backend: load_snapshot(snap_path, backend=b, use_mmap=False),
+        )
+    mmap_seconds = _best_of(
+        repeats,
+        lambda: load_snapshot(snap_path, backend="columnar", use_mmap=True),
+    )
+
+    return {
+        "workload": "snowflake",
+        "n": n,
+        "degree": degree,
+        "triples": store.num_triples,
+        "repeats": repeats,
+        "round_trip_identical": round_trips,
+        "cold_ingest_seconds": cold_seconds,
+        "warm_eager_seconds": warm,
+        "warm_mmap_seconds": mmap_seconds,
+        "warm_speedup": cold_seconds / mmap_seconds,
+        "warm_start_floor": WARM_START_FLOOR,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+def test_warm_start_beats_cold_ingest(benchmark, tmp_path):
+    """mmap warm start >= 5x faster than cold N-Triples ingest, with a
+    lossless round-trip under every backend."""
+    n, degree = _snowflake_size()
+    results = benchmark.pedantic(
+        lambda: run_persistence_benchmark(str(tmp_path), n, degree, repeats=1),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "cold_ingest_seconds": round(results["cold_ingest_seconds"], 4),
+            "warm_mmap_seconds": round(results["warm_mmap_seconds"], 4),
+            "warm_speedup": round(results["warm_speedup"], 2),
+        }
+    )
+    assert all(results["round_trip_identical"].values())
+    assert results["warm_speedup"] >= WARM_START_FLOOR, (
+        f"warm start only {results['warm_speedup']:.1f}x faster than cold "
+        f"ingest (floor {WARM_START_FLOOR:.0f}x)"
+    )
+
+
+# ----------------------------------------------------------------------
+# script entry point (CI persistence gate + BENCH_persistence.json)
+# ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller snowflake store (CI)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write results JSON here")
+    args = parser.parse_args(argv)
+
+    n, degree = (128, 8) if args.smoke else (320, 16)
+    with tempfile.TemporaryDirectory(prefix="bench-persistence-") as workdir:
+        results = {
+            "benchmark": "bench_persistence",
+            "schema": 1,
+            "python": sys.version.split()[0],
+            **run_persistence_benchmark(workdir, n, degree),
+        }
+
+    print(f"snowflake n={n} degree={degree}: {results['triples']} triples")
+    print(f"cold N-Triples ingest   {results['cold_ingest_seconds'] * 1e3:9.1f} ms")
+    for backend, seconds in sorted(results["warm_eager_seconds"].items()):
+        print(f"warm eager ({backend:9s}) {seconds * 1e3:9.1f} ms  "
+              f"({results['cold_ingest_seconds'] / seconds:5.1f}x)")
+    print(f"warm mmap  (columnar)   {results['warm_mmap_seconds'] * 1e3:9.1f} ms  "
+          f"({results['warm_speedup']:5.1f}x)")
+    print(f"gate: mmap warm start >= {WARM_START_FLOOR:.0f}x cold ingest "
+          f"-> {'ok' if results['warm_speedup'] >= WARM_START_FLOOR else 'FAIL'}")
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    if results["warm_speedup"] < WARM_START_FLOOR:
+        print("FAIL: warm start below the speedup floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

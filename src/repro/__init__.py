@@ -43,6 +43,7 @@ from repro.errors import (
     PlanError,
     QueryError,
     ReproError,
+    SnapshotError,
     StoreError,
 )
 from repro.graph import (
@@ -105,6 +106,12 @@ from repro.core import (
     materialize_embeddings,
 )
 from repro.engine_api import Engine, EngineResult, resolve_catalog
+from repro.storage import (
+    is_snapshot,
+    load_snapshot,
+    load_snapshot_catalog,
+    save_snapshot,
+)
 from repro.service import (
     PlanCache,
     QueryService,
@@ -141,6 +148,7 @@ __all__ = [
     "EvaluationError",
     "EvaluationTimeout",
     "DatasetError",
+    "SnapshotError",
     # graph substrate
     "Dictionary",
     "Triple",
@@ -203,6 +211,11 @@ __all__ = [
     "Engine",
     "EngineResult",
     "resolve_catalog",
+    # persistence
+    "save_snapshot",
+    "load_snapshot",
+    "load_snapshot_catalog",
+    "is_snapshot",
     # service
     "QueryService",
     "PlanCache",

@@ -8,9 +8,13 @@ Commands
 ``batch``      serve many queries through the concurrent QueryService
 ``mine``       mine non-empty template queries from a dataset
 ``table1``     regenerate the paper's Table 1
+``save``       write a dataset as a durable binary snapshot
+``dump``       export a dataset as an N-Triples file
 
-Every command accepts either ``--dataset DIR`` (a directory written by
-``generate``) or ``--scale``/``--seed`` to build the graph in-process.
+Every command accepts ``--dataset DIR`` (a directory written by
+``generate``), ``--snapshot DIR`` (a durable snapshot written by
+``save`` — warm-starts without re-parsing), or ``--scale``/``--seed``
+to build the graph in-process.
 """
 
 from __future__ import annotations
@@ -27,8 +31,10 @@ from repro.datasets.yago_like import generate_yago_like
 from repro.errors import EvaluationTimeout, ReproError
 from repro.graph.backends import available_backends
 from repro.graph.store import TripleStore
+from repro.graph.ntriples import dump_ntriples_file
 from repro.query.miner import QueryMiner
 from repro.query.parser import parse_sparql
+from repro.storage import load_snapshot, load_snapshot_catalog, save_snapshot
 from repro.query.templates import (
     chain_template,
     cycle_template,
@@ -49,10 +55,15 @@ _TEMPLATES = {
 
 
 def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--dataset", help="directory written by `generate`")
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--dataset", help="directory written by `generate`")
+    source.add_argument(
+        "--snapshot",
+        help="durable snapshot written by `save` (mmap warm start)",
+    )
     parser.add_argument(
         "--scale", type=float, default=1.0,
-        help="in-process YAGO-like scale (ignored with --dataset)",
+        help="in-process YAGO-like scale (ignored with --dataset/--snapshot)",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -64,6 +75,11 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
 
 def _load(args) -> tuple[TripleStore, Catalog]:
     backend = getattr(args, "backend", None)
+    snapshot = getattr(args, "snapshot", None)
+    if snapshot:
+        store = load_snapshot(snapshot, backend=backend)
+        catalog = load_snapshot_catalog(snapshot)
+        return store, catalog if catalog is not None else store.catalog()
     if args.dataset:
         return load_dataset(args.dataset, backend=backend)
     store = generate_yago_like(scale=args.scale, seed=args.seed, backend=backend)
@@ -147,6 +163,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--engines", default=",".join(ENGINE_ORDER),
         help="comma-separated engine subset (default all five)",
     )
+
+    p_save = sub.add_parser(
+        "save",
+        help="write the dataset as a durable snapshot (mmap warm start)",
+    )
+    _add_dataset_args(p_save)
+    p_save.add_argument("out", help="snapshot directory to write")
+    p_save.add_argument(
+        "--no-catalog", action="store_true",
+        help="skip persisting the statistics catalog",
+    )
+    p_save.add_argument(
+        "--no-overwrite", action="store_true",
+        help="fail instead of replacing an existing snapshot",
+    )
+
+    p_dump = sub.add_parser(
+        "dump", help="export the dataset as an N-Triples file",
+    )
+    _add_dataset_args(p_dump)
+    p_dump.add_argument("out", help="N-Triples file to write ('-' = stdout)")
     return parser
 
 
@@ -357,6 +394,40 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+def _cmd_save(args) -> int:
+    start = time.time()
+    store, catalog = _load(args)
+    if not store.frozen:
+        store.freeze()
+    manifest = save_snapshot(
+        store,
+        args.out,
+        catalog=None if args.no_catalog else catalog,
+        include_catalog=not args.no_catalog,
+        overwrite=not args.no_overwrite,
+    )
+    segment_bytes = sum(
+        entry["bytes"] for entry in manifest["files"].values()
+    )
+    print(
+        f"snapshot {args.out}: {manifest['num_triples']} triples, "
+        f"{len(manifest['predicates'])} segments, "
+        f"{manifest['num_terms']} terms "
+        f"({segment_bytes / 1024:.0f} KiB, backend {manifest['backend']}) "
+        f"in {time.time() - start:.1f}s"
+    )
+    return 0
+
+
+def _cmd_dump(args) -> int:
+    store, _ = _load(args)
+    start = time.time()
+    n = dump_ntriples_file(store, args.out)
+    if args.out != "-":
+        print(f"wrote {n} triples to {args.out} in {time.time() - start:.1f}s")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -364,6 +435,8 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "mine": _cmd_mine,
     "table1": _cmd_table1,
+    "save": _cmd_save,
+    "dump": _cmd_dump,
 }
 
 

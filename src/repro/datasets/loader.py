@@ -6,10 +6,22 @@ workflow for the stand-in: dump a generated graph (dictionary + integer
 triples), write the catalog as JSON, and load all of it back without
 regeneration.
 
-The dictionary is persisted explicitly (one term per line, in id
-order) and triples are stored as integer-id rows, so the reloaded
-store is id-identical to the saved one — which the id-keyed catalog
-JSON requires. (For interchange with *other* tools, use
+Two on-disk forms are understood:
+
+* the original **text dataset directory** (``terms.txt`` +
+  ``triples.tsv`` + ``catalog.json``) written by :func:`save_dataset` —
+  human-inspectable, id-identical on reload;
+* a **binary snapshot** written by
+  :func:`repro.storage.save_snapshot` — checksummed columnar segments
+  that warm-start without re-parsing or re-sorting.
+
+:func:`load_dataset` auto-detects which one a directory holds, so every
+CLI command and service constructor accepts either interchangeably.
+Text loads stream through the backends' ``add_many`` in fixed-size
+batches (:data:`BATCH_SIZE`), so multi-GB ingest keeps bounded memory
+and never holds a backend's write lock across a whole file parse.
+
+(For interchange with *other* tools, use
 :func:`repro.graph.ntriples.dump_ntriples_file`, which writes surface
 strings instead.)
 """
@@ -21,6 +33,8 @@ import os
 
 from repro.graph.store import TripleStore
 from repro.stats.catalog import Catalog, build_catalog
+from repro.storage import is_snapshot, load_snapshot, load_snapshot_catalog
+from repro.utils.batching import BATCH_SIZE, batched
 
 TRIPLES_FILE = "triples.tsv"
 DICTIONARY_FILE = "terms.txt"
@@ -34,7 +48,8 @@ def save_dataset(
 
     The catalog is computed if not supplied — the offline preprocessing
     step. Terms containing newlines are rejected (they cannot round-trip
-    through the line-oriented dictionary file).
+    through the line-oriented dictionary file). Triples are written in
+    :data:`BATCH_SIZE` buffered blocks, never materialized wholesale.
     """
     os.makedirs(directory, exist_ok=True)
     with open(os.path.join(directory, DICTIONARY_FILE), "w", encoding="utf-8") as f:
@@ -43,8 +58,8 @@ def save_dataset(
                 raise ValueError(f"term {term!r} contains a newline")
             f.write(term + "\n")
     with open(os.path.join(directory, TRIPLES_FILE), "w", encoding="utf-8") as f:
-        for s, p, o in store.triples():
-            f.write(f"{s}\t{p}\t{o}\n")
+        for chunk in batched(store.triples()):
+            f.writelines(f"{s}\t{p}\t{o}\n" for s, p, o in chunk)
     if catalog is None:
         catalog = build_catalog(store)
     with open(os.path.join(directory, CATALOG_FILE), "w", encoding="utf-8") as f:
@@ -52,22 +67,37 @@ def save_dataset(
 
 
 def load_dataset(
-    directory: str, freeze: bool = True, backend: str | None = None
+    directory: str,
+    freeze: bool = True,
+    backend: str | None = None,
+    batch_size: int = BATCH_SIZE,
 ) -> tuple[TripleStore, Catalog]:
     """Load a saved (store, catalog) pair with identical term ids.
 
-    ``backend`` selects the physical layout of the reloaded store
-    (``None`` = ``REPRO_BACKEND``/default); the on-disk format is
-    backend-independent, so any saved dataset loads into any backend.
+    ``directory`` may be a text dataset directory *or* a binary
+    snapshot (see the module docstring); the distinction is detected
+    from the files present. ``backend`` selects the physical layout of
+    the reloaded store (``None`` = ``REPRO_BACKEND``/default); both
+    on-disk formats are backend-independent, so any saved dataset loads
+    into any backend.
     """
+    if is_snapshot(directory):
+        store = load_snapshot(directory, backend=backend, freeze=freeze)
+        catalog = load_snapshot_catalog(directory)
+        if catalog is None:
+            catalog = store.catalog()
+        return store, catalog
+
     store = TripleStore(backend=backend)
     with open(os.path.join(directory, DICTIONARY_FILE), "r", encoding="utf-8") as f:
         for line in f:
             store.dictionary.encode(line.rstrip("\n"))
     with open(os.path.join(directory, TRIPLES_FILE), "r", encoding="utf-8") as f:
-        store.add_triples(
+        rows = (
             tuple(int(field) for field in line.split("\t")) for line in f
         )
+        for chunk in batched(rows, batch_size):
+            store.add_triples(chunk)
     with open(os.path.join(directory, CATALOG_FILE), "r", encoding="utf-8") as f:
         catalog = Catalog.from_dict(json.load(f))
     if freeze:

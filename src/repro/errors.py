@@ -62,3 +62,12 @@ class EvaluationTimeout(EvaluationError):
 
 class DatasetError(ReproError):
     """A synthetic dataset could not be generated as requested."""
+
+
+class SnapshotError(ReproError):
+    """A durable snapshot could not be written or read back.
+
+    Raised for missing or half-written snapshot directories, checksum
+    mismatches (on-disk corruption), unsupported format versions, and
+    snapshots whose byte layout does not match the running platform.
+    """

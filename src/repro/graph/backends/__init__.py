@@ -23,7 +23,12 @@ from __future__ import annotations
 import os
 
 from repro.errors import StoreError
-from repro.graph.backends.base import PredicateSummary, StorageBackend
+from repro.graph.backends.base import (
+    PredicateSummary,
+    Segment,
+    StorageBackend,
+    group_pairs,
+)
 from repro.graph.backends.columnar import ColumnarBackend, SortedRun, intersect_sorted
 from repro.graph.backends.hashdict import HashDictBackend
 
@@ -75,6 +80,8 @@ def create_backend(name: str | None = None) -> StorageBackend:
 __all__ = [
     "StorageBackend",
     "PredicateSummary",
+    "Segment",
+    "group_pairs",
     "HashDictBackend",
     "ColumnarBackend",
     "SortedRun",

@@ -41,9 +41,98 @@ backend's own lock and are published exactly once.
 from __future__ import annotations
 
 import abc
-from typing import AbstractSet, Iterable, Iterator, Mapping, NamedTuple
+from array import array
+from typing import AbstractSet, Iterable, Iterator, Mapping, NamedTuple, Sequence
 
 from repro.graph.triples import Triple
+
+
+def group_pairs(pairs: Sequence[tuple[int, int]]) -> tuple[array, array, array]:
+    """Group a sorted, duplicate-free pair list into (keys, offs, vals).
+
+    ``keys`` are the distinct first components in order, ``vals`` the
+    concatenated runs of second components, and ``offs`` the
+    ``len(keys) + 1`` prefix offsets delimiting each run — the columnar
+    backend's physical layout and the snapshot segment format.
+    """
+    keys = array("q")
+    offs = array("q", (0,))
+    vals = array("q")
+    prev = None
+    for k, v in pairs:
+        if k != prev:
+            if prev is not None:
+                offs.append(len(vals))
+            keys.append(k)
+            prev = k
+        vals.append(v)
+    offs.append(len(vals))
+    if not keys:  # empty predicate: offs must still be [0]
+        return keys, array("q", (0,)), vals
+    return keys, offs, vals
+
+
+class Segment(NamedTuple):
+    """One predicate's triples as the six sorted offset-indexed columns.
+
+    The interchange unit between backends and the snapshot layer
+    (:mod:`repro.storage`): ``subs``/``offs``/``objs`` encode the
+    forward (PSO) direction — ``objs[offs[i]:offs[i+1]]`` are the
+    sorted successors of ``subs[i]`` — and ``robjs``/``roffs``/``rsubs``
+    mirror it for the reverse (POS) direction. Columns are any
+    ``array('q')``-shaped integer sequences; the mmap warm-start path
+    hands in ``memoryview`` casts over on-disk bytes instead of arrays,
+    and every consumer (binary search, iteration, set algebra) works
+    unchanged on either.
+    """
+
+    subs: Sequence[int]
+    offs: Sequence[int]
+    objs: Sequence[int]
+    robjs: Sequence[int]
+    roffs: Sequence[int]
+    rsubs: Sequence[int]
+
+    @classmethod
+    def from_pairs(cls, pairs: list[tuple[int, int]]) -> "Segment":
+        """Build both directions from sorted, duplicate-free (s, o) pairs."""
+        subs, offs, objs = group_pairs(pairs)
+        robjs, roffs, rsubs = group_pairs(sorted((o, s) for s, o in pairs))
+        return cls(subs, offs, objs, robjs, roffs, rsubs)
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.objs)
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """Iterate the forward (subject, object) pairs in sorted order."""
+        subs, offs, objs = self.subs, self.offs, self.objs
+        for i in range(len(subs)):
+            s = subs[i]
+            for j in range(offs[i], offs[i + 1]):
+                yield (s, objs[j])
+
+    def check(self) -> None:
+        """Cheap structural invariants; raises ``ValueError`` when broken.
+
+        Guards the snapshot load path against truncated or transposed
+        columns that happen to pass no other validation (checksums catch
+        bit rot, not a manifest pointing at the wrong file).
+        """
+        if len(self.offs) != len(self.subs) + 1 and not (
+            len(self.subs) == 0 and len(self.offs) == 1
+        ):
+            raise ValueError("forward offset column length mismatch")
+        if len(self.roffs) != len(self.robjs) + 1 and not (
+            len(self.robjs) == 0 and len(self.roffs) == 1
+        ):
+            raise ValueError("reverse offset column length mismatch")
+        if len(self.objs) != len(self.rsubs):
+            raise ValueError("forward and reverse pair counts differ")
+        if self.offs[0] != 0 or self.offs[-1] != len(self.objs):
+            raise ValueError("forward offsets do not span the value column")
+        if self.roffs[0] != 0 or self.roffs[-1] != len(self.rsubs):
+            raise ValueError("reverse offsets do not span the value column")
 
 
 class PredicateSummary(NamedTuple):
@@ -117,6 +206,38 @@ class StorageBackend(abc.ABC):
     def freeze(self) -> None:
         """Make the layout immutable; further :meth:`add` is rejected
         by the facade. Backends may use this to seal/compact."""
+
+    # -- snapshot interchange (the repro.storage persistence layer) -----
+
+    def export_segments(self) -> Iterator[tuple[int, Segment]]:
+        """Yield ``(predicate, Segment)`` for every non-empty predicate.
+
+        The generic implementation sorts each predicate's edge list and
+        groups both directions; backends whose physical layout *is*
+        already sorted columns override this to hand their storage out
+        without re-sorting. Yielded columns may be live storage — treat
+        them as read-only and consume them before mutating the backend.
+        """
+        for p in self.predicates():
+            pairs = sorted(self.edges(p))
+            if pairs:
+                yield p, Segment.from_pairs(pairs)
+
+    def import_segments(self, segments: Iterable[tuple[int, Segment]]) -> int:
+        """Bulk-load exported segments; returns the number of new triples.
+
+        The generic implementation replays each segment's pairs through
+        :meth:`add_many` (correct for any backend, deduplicating as it
+        goes). Backends able to adopt the sorted columns directly —
+        notably the columnar layout, for which a segment *is* the sealed
+        physical representation — override this to skip re-sorting and
+        re-deduplication entirely; the snapshot warm-start path depends
+        on that fast path.
+        """
+        added = 0
+        for p, seg in segments:
+            added += self.add_many((s, p, o) for s, o in seg.pairs())
+        return added
 
     # -- cardinalities --------------------------------------------------
 

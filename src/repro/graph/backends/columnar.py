@@ -40,7 +40,12 @@ from bisect import bisect_left
 from collections.abc import Mapping, Set
 from typing import AbstractSet, Iterator
 
-from repro.graph.backends.base import PredicateSummary, StorageBackend
+from repro.graph.backends.base import (
+    PredicateSummary,
+    Segment,
+    StorageBackend,
+    group_pairs,
+)
 from repro.graph.backends.permutations import LazyPermutations
 from repro.graph.triples import Triple
 
@@ -278,14 +283,33 @@ class ColumnarAdjacency(Mapping):
 
 
 class _Columns:
-    """Sealed per-predicate storage: forward and reverse column triples."""
+    """Sealed per-predicate storage: forward and reverse column triples.
+
+    The six columns are ``array('q')`` instances when built in memory
+    and read-only ``memoryview('q')`` casts over a mapped snapshot file
+    when constructed via :meth:`from_segment` on the mmap warm-start
+    path — every consumer (binary search, slicing, iteration, the
+    :class:`SortedRun` set algebra) is indifferent to which."""
 
     __slots__ = ("subs", "offs", "objs", "robjs", "roffs", "rsubs")
 
     def __init__(self, fwd_pairs: list[tuple[int, int]]) -> None:
-        self.subs, self.offs, self.objs = _group(fwd_pairs)
+        self.subs, self.offs, self.objs = group_pairs(fwd_pairs)
         fwd_pairs = sorted((o, s) for s, o in fwd_pairs)
-        self.robjs, self.roffs, self.rsubs = _group(fwd_pairs)
+        self.robjs, self.roffs, self.rsubs = group_pairs(fwd_pairs)
+
+    @classmethod
+    def from_segment(cls, seg: Segment) -> "_Columns":
+        """Adopt an exported segment's columns verbatim (zero-copy)."""
+        self = object.__new__(cls)
+        self.subs, self.offs, self.objs = seg.subs, seg.offs, seg.objs
+        self.robjs, self.roffs, self.rsubs = seg.robjs, seg.roffs, seg.rsubs
+        return self
+
+    def to_segment(self) -> Segment:
+        return Segment(
+            self.subs, self.offs, self.objs, self.robjs, self.roffs, self.rsubs
+        )
 
     def pairs(self) -> Iterator[tuple[int, int]]:
         subs, offs, objs = self.subs, self.offs, self.objs
@@ -318,25 +342,6 @@ class _Columns:
         return sum(
             sys.getsizeof(getattr(self, slot)) for slot in self.__slots__
         )
-
-
-def _group(pairs: list[tuple[int, int]]) -> tuple[array, array, array]:
-    """Group a sorted, duplicate-free pair list into (keys, offs, vals)."""
-    keys = array("q")
-    offs = array("q", (0,))
-    vals = array("q")
-    prev = None
-    for k, v in pairs:
-        if k != prev:
-            if prev is not None:
-                offs.append(len(vals))
-            keys.append(k)
-            prev = k
-        vals.append(v)
-    offs.append(len(vals))
-    if not keys:  # empty predicate: offs must still be [0]
-        return keys, array("q", (0,)), vals
-    return keys, offs, vals
 
 
 _EMPTY_RUN = SortedRun(_EMPTY_ARRAY, 0, 0)
@@ -427,6 +432,51 @@ class ColumnarBackend(StorageBackend):
             self._cols[p] = new_cols
             del self._staged[p]
             return new_cols
+
+    # -- snapshot interchange -------------------------------------------
+
+    def export_segments(self):
+        """Hand out the sealed columns directly — no re-sort, no copy.
+
+        Sealing on the way out means a snapshot save after a bulk load
+        serializes exactly the arrays the store would compute anyway.
+        """
+        for p in self.predicates():
+            cols = self._sealed(p)
+            if cols is not None and len(cols.objs):
+                yield p, cols.to_segment()
+
+    def import_segments(self, segments) -> int:
+        """Adopt segments as sealed columns: no parse, no sort, no dedup.
+
+        This is the snapshot warm-start fast path — a segment *is* this
+        backend's physical layout, so installing it is one reference
+        assignment plus the node-set union (C-level set updates over the
+        distinct-endpoint columns, far smaller than the pair count).
+        A predicate that already has sealed or staged triples falls back
+        to the deduplicating add path; already-materialized secondary
+        permutations are patched pair-by-pair to stay consistent.
+        """
+        added = 0
+        with self._perms.lock:
+            with self._seal_lock:
+                for p, seg in segments:
+                    if p in self._cols or p in self._staged:
+                        for s, o in seg.pairs():
+                            if self._add_locked(s, p, o):
+                                added += 1
+                        continue
+                    n = seg.num_pairs
+                    self._cols[p] = _Columns.from_segment(seg)
+                    self._size += n
+                    self._epoch += n
+                    added += n
+                    self._nodes.update(seg.subs)
+                    self._nodes.update(seg.robjs)
+                    if self._perms.materialized:
+                        for s, o in seg.pairs():
+                            self._perms.insert(s, p, o)
+        return added
 
     # -- cardinalities --------------------------------------------------
 

@@ -60,6 +60,12 @@ class LazyPermutations:
         self._lock = threading.RLock()
 
     @property
+    def materialized(self) -> bool:
+        """Whether any permutation has been built yet (writers use this
+        to decide if a bulk import must patch the secondary indexes)."""
+        return bool(self._indexes)
+
+    @property
     def lock(self) -> threading.RLock:
         """The build lock, shared with the owning backend's writers.
 

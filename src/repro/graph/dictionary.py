@@ -13,9 +13,12 @@ directly usable as array indexes in the columnar baseline.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+import struct
+from typing import BinaryIO, Iterable, Iterator
 
 from repro.errors import DictionaryError
+
+_LEN = struct.Struct("<I")
 
 
 class Dictionary:
@@ -90,6 +93,63 @@ class Dictionary:
     def decode_many(self, ids: Iterable[int]) -> list[str]:
         """Decode every id in ``ids``, in order."""
         return [self.decode(i) for i in ids]
+
+    # ------------------------------------------------------------------
+    # Stable binary persistence (the snapshot layer's term file)
+    # ------------------------------------------------------------------
+    #
+    # Terms are written in id order as ``<u32 little-endian byte
+    # length><UTF-8 bytes>`` records, so ids are implicit, arbitrary
+    # strings (newlines, any unicode) round-trip losslessly, and the
+    # format is byte-stable: the same dictionary always produces the
+    # same bytes, which the snapshot manifest checksums.
+
+    def dump(self, out: BinaryIO) -> int:
+        """Write every term in id order; returns the number written."""
+        pack = _LEN.pack
+        write = out.write
+        for term in self._id_to_term:
+            data = term.encode("utf-8")
+            write(pack(len(data)))
+            write(data)
+        return len(self._id_to_term)
+
+    @classmethod
+    def load(cls, src: BinaryIO, count: int | None = None) -> "Dictionary":
+        """Read a :meth:`dump`-format stream back into a new dictionary.
+
+        ``count`` (when known, e.g. from a snapshot manifest) is
+        verified against the number of records actually present; any
+        truncated or trailing bytes raise :class:`DictionaryError`.
+        """
+        blob = src.read()
+        self = cls()
+        terms = self._id_to_term
+        term_to_id = self._term_to_id
+        pos = 0
+        end = len(blob)
+        unpack = _LEN.unpack_from
+        while pos < end:
+            if pos + _LEN.size > end:
+                raise DictionaryError("truncated dictionary record header")
+            (length,) = unpack(blob, pos)
+            pos += _LEN.size
+            if pos + length > end:
+                raise DictionaryError("truncated dictionary record body")
+            try:
+                term = blob[pos : pos + length].decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise DictionaryError(f"corrupt dictionary record: {exc}") from exc
+            pos += length
+            term_to_id[term] = len(terms)
+            terms.append(term)
+        if len(term_to_id) != len(terms):
+            raise DictionaryError("duplicate terms in dictionary stream")
+        if count is not None and count != len(terms):
+            raise DictionaryError(
+                f"expected {count} dictionary terms, read {len(terms)}"
+            )
+        return self
 
     def __repr__(self) -> str:
         state = "frozen" if self._frozen else "mutable"

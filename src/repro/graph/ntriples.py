@@ -2,12 +2,19 @@
 
 Supports the subset of N-Triples needed to move datasets in and out of
 the library: IRIs (``<...>``), blank nodes (``_:label``), and literals
-(``"..."`` with optional ``@lang`` or ``^^<datatype>`` suffix). Escapes
-``\\n``, ``\\t``, ``\\"``, and ``\\\\`` inside literals.
+(``"..."`` with optional ``@lang`` or ``^^<datatype>`` suffix).
+Escapes ``\\n``, ``\\r``, ``\\t``, ``\\"``, and ``\\\\`` inside
+literals, and decodes the spec's ``\\uXXXX`` / ``\\UXXXXXXXX`` numeric
+escapes (malformed ones raise :class:`~repro.errors.ParseError`).
 
 Terms are kept as their full surface strings (including angle brackets
 and quotes) so that round-tripping is lossless; the dictionary treats
 them as opaque.
+
+File loads stream through the store in fixed-size batches
+(:data:`repro.utils.batching.BATCH_SIZE`), so arbitrarily large files
+ingest with bounded memory and the backend's write lock is taken once
+per batch, not once for the whole parse.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.errors import ParseError
+from repro.utils.batching import BATCH_SIZE, batched
 
 
 def parse_ntriples(lines: Iterable[str]) -> Iterator[tuple[str, str, str]]:
@@ -99,11 +107,21 @@ def _parse_term(line: str, pos: int) -> tuple[str, int]:
     raise ParseError(f"unexpected character {ch!r}", pos)
 
 
-_UNESCAPES = {"\\": "\\", '"': '"', "n": "\n", "t": "\t"}
+_UNESCAPES = {"\\": "\\", '"': '"', "n": "\n", "t": "\t", "r": "\r"}
+
+#: Numeric escape widths: ``\uXXXX`` and ``\UXXXXXXXX``.
+_HEX_WIDTHS = {"u": 4, "U": 8}
 
 
 def unescape_literal(term: str) -> str:
-    """The raw lexical value of a literal surface string (no quotes)."""
+    """The raw lexical value of a literal surface string (no quotes).
+
+    Decodes the named escapes (``\\n \\r \\t \\" \\\\``) and the
+    numeric ``\\uXXXX`` / ``\\UXXXXXXXX`` forms; a truncated or
+    non-hex numeric escape (and a code point beyond U+10FFFF) raises
+    :class:`~repro.errors.ParseError` instead of silently corrupting
+    the value.
+    """
     if not term.startswith('"'):
         raise ParseError(f"not a literal: {term!r}")
     closing = _closing_quote(term)
@@ -115,7 +133,28 @@ def unescape_literal(term: str) -> str:
     while i < len(body):
         ch = body[i]
         if ch == "\\" and i + 1 < len(body):
-            out.append(_UNESCAPES.get(body[i + 1], body[i + 1]))
+            esc = body[i + 1]
+            width = _HEX_WIDTHS.get(esc)
+            if width is not None:
+                digits = body[i + 2 : i + 2 + width]
+                # int(x, 16) alone is too lenient: it accepts signs,
+                # whitespace, and underscores, silently mis-decoding
+                # malformed escapes. Require exactly `width` hex chars.
+                if len(digits) < width or not all(
+                    c in "0123456789abcdefABCDEF" for c in digits
+                ):
+                    raise ParseError(
+                        f"malformed \\{esc} escape {digits!r} in literal", i
+                    )
+                try:
+                    out.append(chr(int(digits, 16)))
+                except ValueError as exc:  # \U beyond U+10FFFF
+                    raise ParseError(
+                        f"malformed \\{esc} escape {digits!r} in literal", i
+                    ) from exc
+                i += 2 + width
+                continue
+            out.append(_UNESCAPES.get(esc, esc))
             i += 2
         else:
             out.append(ch)
@@ -136,11 +175,16 @@ def _closing_quote(term: str) -> int:
 
 
 def escape_literal(value: str) -> str:
-    """Render ``value`` as a quoted N-Triples literal surface string."""
+    """Render ``value`` as a quoted N-Triples literal surface string.
+
+    Escapes carriage returns too — a raw ``\\r`` inside a line would be
+    split by universal-newlines translation on the next file read.
+    """
     body = (
         value.replace("\\", "\\\\")
         .replace('"', '\\"')
         .replace("\n", "\\n")
+        .replace("\r", "\\r")
         .replace("\t", "\\t")
     )
     return f'"{body}"'
@@ -152,27 +196,49 @@ def serialize_ntriples(triples: Iterable[tuple[str, str, str]]) -> Iterator[str]
         yield f"{s} {p} {o} ."
 
 
-def load_ntriples_file(path: str, store=None):
+def load_ntriples_file(
+    path: str, store=None, backend=None, batch_size: int = BATCH_SIZE
+):
     """Load an N-Triples file into a (possibly new) TripleStore.
 
-    Returns the store. Imported here lazily to keep this module free of
-    a circular dependency at import time.
+    Returns the store (built on ``backend`` when newly created). The
+    parse streams through :meth:`~repro.graph.store.TripleStore.add_term_triples`
+    in ``batch_size`` chunks — bounded memory on multi-GB files, and
+    the backend's bulk-write lock is held per batch, never across the
+    whole parse. The store import is lazy to keep this module free of a
+    circular dependency at import time.
     """
     from repro.graph.store import TripleStore
 
     if store is None:
-        store = TripleStore()
+        store = TripleStore(backend=backend)
     with open(path, "r", encoding="utf-8") as handle:
-        store.add_term_triples(parse_ntriples(handle))
+        for chunk in batched(parse_ntriples(handle), batch_size):
+            store.add_term_triples(chunk)
     return store
 
 
-def dump_ntriples_file(store, path: str) -> int:
-    """Write every triple of ``store`` to ``path``; returns the count."""
+def dump_ntriples_file(store, path: str, batch_size: int = BATCH_SIZE) -> int:
+    """Write every triple of ``store`` to ``path``; returns the count.
+
+    ``path`` may be ``"-"`` for standard output. Lines are emitted in
+    ``batch_size`` buffered blocks — the write-side mirror of the
+    streaming load path.
+    """
+    if path == "-":
+        import sys
+
+        return _dump_lines(store, sys.stdout, batch_size)
+    with open(path, "w", encoding="utf-8") as handle:
+        return _dump_lines(store, handle, batch_size)
+
+
+def _dump_lines(store, handle, batch_size: int) -> int:
     decode = store.dictionary.decode
     n = 0
-    with open(path, "w", encoding="utf-8") as handle:
-        for t in store.triples():
-            handle.write(f"{decode(t.s)} {decode(t.p)} {decode(t.o)} .\n")
-            n += 1
+    for chunk in batched(store.triples(), batch_size):
+        handle.writelines(
+            f"{decode(t.s)} {decode(t.p)} {decode(t.o)} .\n" for t in chunk
+        )
+        n += len(chunk)
     return n

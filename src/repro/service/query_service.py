@@ -158,6 +158,60 @@ class QueryService:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    @classmethod
+    def from_snapshot(
+        cls,
+        path,
+        *,
+        backend=None,
+        use_mmap: bool | None = None,
+        verify: bool = True,
+        **service_kwargs,
+    ) -> "QueryService":
+        """Construct a service straight from a durable snapshot.
+
+        The store is warm-started via
+        :func:`repro.storage.load_snapshot` (zero-copy mmap onto the
+        columnar backend by default) and arrives frozen; the snapshot's
+        stored catalog, when present, is used instead of rebuilding
+        statistics. Remaining keyword arguments are forwarded to the
+        constructor — this is the millisecond cold-start path for a
+        serving process: no parsing, no dictionary encoding, no sort.
+        """
+        from repro.storage import load_snapshot, load_snapshot_catalog
+
+        store = load_snapshot(
+            path, backend=backend, use_mmap=use_mmap, verify=verify
+        )
+        catalog = load_snapshot_catalog(path, verify=verify)
+        return cls(store, catalog=catalog, **service_kwargs)
+
+    def persist(self, path, *, include_catalog: bool = True,
+                overwrite: bool = True) -> dict:
+        """Snapshot the store at its current epoch; returns the manifest.
+
+        A convenience over :func:`repro.storage.save_snapshot` using
+        the store's memoized catalog *at the current epoch* (the
+        service is re-synchronized first, so a store mutated since the
+        last query never persists stale statistics next to fresh
+        triples), so the written snapshot warm-starts (via
+        :meth:`from_snapshot`) with zero statistics rebuild. Safe to
+        call while queries are in flight — evaluation is read-only; a
+        concurrent *mutation* of an unfrozen store is detected through
+        the epoch counter and aborts the save instead of persisting a
+        torn state.
+        """
+        from repro.storage import save_snapshot
+
+        self._refresh_if_stale()
+        return save_snapshot(
+            self.store,
+            path,
+            catalog=None,  # resolved to store.catalog() at this epoch
+            include_catalog=include_catalog,
+            overwrite=overwrite,
+        )
+
     @property
     def engine(self) -> WireframeEngine:
         """The currently active engine (rebuilt when the store mutates)."""

@@ -1,0 +1,59 @@
+"""Durable snapshot & segment persistence for triple stores.
+
+The persistence subsystem behind ``repro save`` / ``--snapshot`` and
+:meth:`QueryService.persist() <repro.service.QueryService.persist>`:
+
+* :func:`save_snapshot` — atomically serialize a store (term
+  dictionary, per-predicate columnar segments, optional statistics
+  catalog) into a checksummed snapshot directory;
+* :func:`load_snapshot` — reconstruct the store either eagerly (any
+  backend) or **zero-copy via mmap** into the columnar backend, so a
+  warm start skips parsing, dictionary encoding, and sorting entirely;
+* :func:`is_snapshot` / :func:`read_manifest` /
+  :func:`load_snapshot_catalog` — introspection helpers used by the
+  dataset loader and the CLI.
+
+Format details live in :mod:`repro.storage.snapshot` (directory layout,
+atomicity, corruption detection) and :mod:`repro.storage.segments`
+(the binary segment encoding).
+"""
+
+from repro.errors import SnapshotError
+from repro.storage.segments import (
+    read_segment,
+    segment_bytes,
+    segment_to_bytes,
+    segment_view,
+    write_segment,
+)
+from repro.storage.snapshot import (
+    CATALOG_FILE,
+    FORMAT_VERSION,
+    MANIFEST_FILE,
+    SEGMENTS_DIR,
+    TERMS_FILE,
+    is_snapshot,
+    load_snapshot,
+    load_snapshot_catalog,
+    read_manifest,
+    save_snapshot,
+)
+
+__all__ = [
+    "SnapshotError",
+    "FORMAT_VERSION",
+    "MANIFEST_FILE",
+    "TERMS_FILE",
+    "CATALOG_FILE",
+    "SEGMENTS_DIR",
+    "save_snapshot",
+    "load_snapshot",
+    "load_snapshot_catalog",
+    "is_snapshot",
+    "read_manifest",
+    "write_segment",
+    "read_segment",
+    "segment_view",
+    "segment_bytes",
+    "segment_to_bytes",
+]

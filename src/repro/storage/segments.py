@@ -1,0 +1,130 @@
+"""Binary segment files: one predicate's sorted columns on disk.
+
+A segment file is the columnar backend's sealed per-predicate layout
+(see :class:`~repro.graph.backends.base.Segment`) written out as raw
+``array('q')`` bytes:
+
+========  =======================================================
+offset    contents
+========  =======================================================
+0         magic ``b"REPROSEG"`` (8 bytes)
+8         six little-endian ``u64`` element counts — ``subs``,
+          ``offs``, ``objs``, ``robjs``, ``roffs``, ``rsubs``
+56        the six columns back-to-back, native-endian 8-byte
+          signed integers, in the same order
+========  =======================================================
+
+The 56-byte header keeps every column 8-byte aligned, which lets the
+warm-start path :func:`segment_view` hand back ``memoryview('q')``
+casts **directly over a mapped file** — no parse, no copy, no sort;
+the operating system pages column bytes in on first touch. The eager
+:func:`read_segment` path materializes owned ``array('q')`` columns
+instead (any backend can consume those). Column *byte order* is native
+(the snapshot manifest records it and the loader refuses a mismatch);
+the header counts are fixed little-endian so a mismatched snapshot is
+still recognized and rejected with a clear error.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from array import array
+from typing import BinaryIO
+
+from repro.errors import SnapshotError
+from repro.graph.backends.base import Segment
+
+MAGIC = b"REPROSEG"
+
+#: Segment header: magic + six u64 column element counts.
+_HEADER = struct.Struct("<8s6Q")
+
+HEADER_BYTES = _HEADER.size  # 56: keeps the columns 8-byte aligned
+
+#: Element width of every column (``array('q')``); the manifest pins it.
+ITEMSIZE = array("q").itemsize
+
+
+def segment_bytes(segment: Segment) -> int:
+    """On-disk size of ``segment`` (header plus all column bytes)."""
+    return HEADER_BYTES + ITEMSIZE * sum(len(col) for col in segment)
+
+
+def write_segment(out: BinaryIO, segment: Segment) -> int:
+    """Serialize one segment; returns the number of bytes written.
+
+    Columns that are live ``memoryview`` casts (a store that was itself
+    warm-started from a snapshot and is being re-saved) serialize the
+    same as owned arrays.
+    """
+    out.write(_HEADER.pack(MAGIC, *(len(col) for col in segment)))
+    written = HEADER_BYTES
+    for col in segment:
+        if isinstance(col, array):
+            data = col.tobytes()
+        else:
+            data = bytes(memoryview(col))
+        out.write(data)
+        written += len(data)
+    return written
+
+
+def _parse_header(buf, size: int, where: str) -> tuple[int, ...]:
+    if size < HEADER_BYTES:
+        raise SnapshotError(f"{where}: truncated segment header")
+    magic, *counts = _HEADER.unpack_from(buf, 0)
+    if magic != MAGIC:
+        raise SnapshotError(f"{where}: not a segment file (bad magic)")
+    if size != HEADER_BYTES + ITEMSIZE * sum(counts):
+        raise SnapshotError(
+            f"{where}: segment size {size} does not match its header counts"
+        )
+    return tuple(counts)
+
+
+def read_segment(src: "BinaryIO | bytes", where: str = "segment") -> Segment:
+    """Deserialize a segment into owned ``array('q')`` columns (eager)."""
+    blob = src if isinstance(src, bytes) else src.read()
+    counts = _parse_header(blob, len(blob), where)
+    cols = []
+    pos = HEADER_BYTES
+    for count in counts:
+        col = array("q")
+        col.frombytes(blob[pos : pos + count * ITEMSIZE])
+        cols.append(col)
+        pos += count * ITEMSIZE
+    return _checked(Segment(*cols), where)
+
+
+def segment_view(buf: memoryview, where: str = "segment") -> Segment:
+    """A zero-copy segment over mapped file bytes.
+
+    Each column is a read-only ``memoryview`` cast to 8-byte signed
+    integers pointing straight into ``buf``. The returned views keep
+    the underlying buffer (and its ``mmap``) alive for as long as any
+    column is referenced, so no explicit lifetime management is needed.
+    """
+    counts = _parse_header(buf, len(buf), where)
+    cols = []
+    pos = HEADER_BYTES
+    for count in counts:
+        end = pos + count * ITEMSIZE
+        cols.append(buf[pos:end].cast("q"))
+        pos = end
+    return _checked(Segment(*cols), where)
+
+
+def _checked(segment: Segment, where: str) -> Segment:
+    try:
+        segment.check()
+    except (ValueError, IndexError) as exc:
+        raise SnapshotError(f"{where}: {exc}") from exc
+    return segment
+
+
+def segment_to_bytes(segment: Segment) -> bytes:
+    """Convenience: the exact bytes :func:`write_segment` would emit."""
+    out = io.BytesIO()
+    write_segment(out, segment)
+    return out.getvalue()

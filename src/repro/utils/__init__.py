@@ -1,7 +1,8 @@
-"""Small shared utilities: deadlines, RNG handling, text tables."""
+"""Small shared utilities: deadlines, RNG handling, batching, tables."""
 
+from repro.utils.batching import BATCH_SIZE, batched
 from repro.utils.deadline import Deadline
 from repro.utils.rng import make_rng, spawn_rng
 from repro.utils.tables import TextTable
 
-__all__ = ["Deadline", "make_rng", "spawn_rng", "TextTable"]
+__all__ = ["Deadline", "make_rng", "spawn_rng", "TextTable", "BATCH_SIZE", "batched"]

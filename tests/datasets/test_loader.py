@@ -59,3 +59,59 @@ def test_queries_identical_after_reload(tmp_path):
     before = WireframeEngine(store).evaluate(figure1_query())
     after = WireframeEngine(restored, catalog).evaluate(figure1_query())
     assert sorted(before.rows) == sorted(after.rows)
+
+
+# ----------------------------------------------------------------------
+# Snapshot-aware loading & streaming batches
+# ----------------------------------------------------------------------
+
+
+def test_load_dataset_detects_snapshot(tmp_path):
+    from repro.storage import save_snapshot
+
+    store = figure1_graph()
+    catalog = build_catalog(store)
+    save_snapshot(store, str(tmp_path / "snap"), catalog=catalog)
+    restored, restored_catalog = load_dataset(str(tmp_path / "snap"))
+    assert set(restored.triples()) == set(store.triples())
+    assert list(restored.dictionary) == list(store.dictionary)
+    assert restored_catalog.unigrams == catalog.unigrams
+    assert restored.frozen
+
+
+def test_load_dataset_snapshot_without_catalog_rebuilds(tmp_path):
+    from repro.storage import save_snapshot
+
+    store = figure1_graph()
+    save_snapshot(store, str(tmp_path / "snap"), include_catalog=False)
+    restored, catalog = load_dataset(str(tmp_path / "snap"))
+    assert catalog.unigrams == build_catalog(store).unigrams
+
+
+def test_load_dataset_snapshot_backend_choice(tmp_path):
+    from repro.storage import save_snapshot
+
+    store = figure1_graph()
+    save_snapshot(store, str(tmp_path / "snap"))
+    for backend in ("hashdict", "columnar"):
+        restored, _ = load_dataset(str(tmp_path / "snap"), backend=backend)
+        assert restored.backend_name == backend
+        assert set(restored.triples()) == set(store.triples())
+
+
+def test_text_load_batched_matches_default(tmp_path):
+    store = figure1_graph()
+    save_dataset(store, str(tmp_path))
+    tiny, _ = load_dataset(str(tmp_path), batch_size=2)
+    full, _ = load_dataset(str(tmp_path))
+    assert set(tiny.triples()) == set(full.triples())
+    assert list(tiny.dictionary) == list(full.dictionary)
+
+
+def test_batched_helper_shapes():
+    from repro.utils.batching import batched
+
+    assert list(batched(range(7), 3)) == [[0, 1, 2], [3, 4, 5], [6]]
+    assert list(batched([], 3)) == []
+    with pytest.raises(ValueError):
+        list(batched(range(3), 0))

@@ -76,3 +76,67 @@ def test_repr_shows_size_and_state():
     assert "1 terms" in repr(d)
     d.freeze()
     assert "frozen" in repr(d)
+
+
+# ----------------------------------------------------------------------
+# Binary dump/load (the snapshot layer's term file)
+# ----------------------------------------------------------------------
+
+
+def test_dump_load_round_trip():
+    import io
+
+    d = Dictionary()
+    terms = ["plain", "", "with\nnewline", "tab\tand \"quotes\"", "ünïcødé 🎈",
+             "with\x00nul"]
+    for term in terms:
+        d.encode(term)
+    buf = io.BytesIO()
+    assert d.dump(buf) == len(terms)
+    restored = Dictionary.load(io.BytesIO(buf.getvalue()), count=len(terms))
+    assert list(restored) == terms
+    assert all(restored.lookup(t) == d.lookup(t) for t in terms)
+    assert not restored.frozen  # caller decides when to freeze
+
+
+def test_dump_is_byte_stable():
+    import io
+
+    d = Dictionary()
+    d.encode_many(["a", "b", "c"])
+    one, two = io.BytesIO(), io.BytesIO()
+    d.dump(one)
+    d.dump(two)
+    assert one.getvalue() == two.getvalue()
+
+
+def test_load_rejects_truncated_header():
+    import io
+
+    with pytest.raises(DictionaryError, match="truncated"):
+        Dictionary.load(io.BytesIO(b"\x05\x00"))
+
+
+def test_load_rejects_truncated_body():
+    import io
+
+    with pytest.raises(DictionaryError, match="truncated"):
+        Dictionary.load(io.BytesIO(b"\x05\x00\x00\x00ab"))
+
+
+def test_load_rejects_count_mismatch():
+    import io
+
+    d = Dictionary()
+    d.encode("only")
+    buf = io.BytesIO()
+    d.dump(buf)
+    with pytest.raises(DictionaryError, match="expected 2"):
+        Dictionary.load(io.BytesIO(buf.getvalue()), count=2)
+
+
+def test_load_rejects_invalid_utf8():
+    import io
+
+    with pytest.raises(DictionaryError, match="corrupt"):
+        Dictionary.load(io.BytesIO(b"\x02\x00\x00\x00\xff\xfe"))

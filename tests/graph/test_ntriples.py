@@ -118,3 +118,73 @@ def test_file_roundtrip(tmp_path):
         tuple(reloaded.dictionary.decode(x) for x in t) for t in reloaded.triples()
     }
     assert original == restored
+
+
+def test_carriage_return_escaped_and_restored():
+    value = "line1\r\nline2"
+    surface = escape_literal(value)
+    assert "\r" not in surface and "\n" not in surface
+    assert unescape_literal(surface) == value
+
+
+def test_unicode_escapes_decoded():
+    assert unescape_literal('"\\u0041\\u00e9"') == "Aé"
+    assert unescape_literal('"\\U0001F600"') == "\U0001f600"
+
+
+@pytest.mark.parametrize("bad", ['"\\u12"', '"\\uXYZW"', '"\\U0001F6"'])
+def test_malformed_unicode_escape_raises(bad):
+    with pytest.raises(ParseError):
+        unescape_literal(bad)
+
+
+def test_load_streams_in_batches(tmp_path):
+    from repro.graph.ntriples import load_ntriples_file
+
+    path = tmp_path / "many.nt"
+    path.write_text(
+        "".join(f"<s{i}> <p> <o{i % 7}> .\n" for i in range(100)),
+        encoding="utf-8",
+    )
+    # A tiny batch size exercises the chunked add_many path; contents
+    # must be identical to a single-shot load.
+    store_small = load_ntriples_file(str(path), batch_size=3)
+    store_default = load_ntriples_file(str(path))
+    decode_a = store_small.dictionary.decode
+    decode_b = store_default.dictionary.decode
+    assert {
+        tuple(decode_a(x) for x in t) for t in store_small.triples()
+    } == {tuple(decode_b(x) for x in t) for t in store_default.triples()}
+    assert store_small.num_triples == 100
+
+
+def test_load_accepts_backend(tmp_path):
+    from repro.graph.ntriples import load_ntriples_file
+
+    path = tmp_path / "one.nt"
+    path.write_text("<a> <p> <b> .\n", encoding="utf-8")
+    store = load_ntriples_file(str(path), backend="columnar")
+    assert store.backend_name == "columnar"
+    assert store.num_triples == 1
+
+
+def test_dump_batched_matches_unbatched(tmp_path):
+    from repro.graph.builder import GraphBuilder
+
+    store = GraphBuilder().edge("<a>", "<p>", "<b>").edge("<b>", "<p>", "<c>").build()
+    one = tmp_path / "one.nt"
+    two = tmp_path / "two.nt"
+    assert dump_ntriples_file(store, str(one), batch_size=1) == 2
+    assert dump_ntriples_file(store, str(two)) == 2
+    assert one.read_text() == two.read_text()
+
+
+@pytest.mark.parametrize(
+    "sneaky",
+    ['"\\u 041"', '"\\u+041"', '"\\u1_23"', '"\\U 0001F600"', '"\\U-001F600"'],
+)
+def test_lenient_int_parses_rejected_in_unicode_escapes(sneaky):
+    # int(x, 16) accepts signs/whitespace/underscores; the escape
+    # decoder must not.
+    with pytest.raises(ParseError):
+        unescape_literal(sneaky)

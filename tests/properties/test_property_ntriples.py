@@ -1,0 +1,110 @@
+"""Property tests: N-Triples literal escaping round-trips losslessly.
+
+The satellite contract for the persistence PR: for arbitrary literal
+values — quotes, backslashes, newlines, carriage returns, tabs, any
+unicode — ``parse(serialize(t)) == t`` at the surface-string level and
+``unescape(escape(v)) == v`` at the lexical level, plus explicit
+malformed-input error cases (truncated/non-hex numeric escapes).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.graph.ntriples import (
+    escape_literal,
+    parse_ntriples,
+    serialize_ntriples,
+    unescape_literal,
+)
+
+SETTINGS = settings(max_examples=200, deadline=None)
+
+#: Arbitrary lexical values, emphatically including the escape-relevant
+#: characters and astral-plane code points (surrogates are not valid in
+#: UTF-8 interchange and are excluded, as in real RDF data).
+literal_values = st.text(
+    alphabet=st.one_of(
+        st.sampled_from(list('\\"\n\r\t')),
+        st.characters(exclude_categories=("Cs",)),
+    ),
+    max_size=40,
+)
+
+iris = st.text(
+    alphabet=st.characters(
+        min_codepoint=0x21, max_codepoint=0x7E, exclude_characters="<>\\\"{}|^`"
+    ),
+    min_size=1,
+    max_size=20,
+).map(lambda body: f"<{body}>")
+
+
+@SETTINGS
+@given(value=literal_values)
+def test_escape_unescape_round_trip(value):
+    assert unescape_literal(escape_literal(value)) == value
+
+
+@SETTINGS
+@given(value=literal_values)
+def test_escaped_literal_stays_on_one_line(value):
+    # The escaped surface form must survive line-oriented storage:
+    # no raw newline or carriage return may remain.
+    surface = escape_literal(value)
+    assert "\n" not in surface and "\r" not in surface
+
+
+@SETTINGS
+@given(s=iris, p=iris, value=literal_values)
+def test_parse_serialize_round_trip(s, p, value):
+    triple = (s, p, escape_literal(value))
+    lines = list(serialize_ntriples([triple]))
+    assert list(parse_ntriples(lines)) == [triple]
+    # and the literal's lexical value survives the full cycle
+    (_, _, o) = next(iter(parse_ntriples(lines)))
+    assert unescape_literal(o) == value
+
+
+@SETTINGS
+@given(cp=st.integers(min_value=0, max_value=0x10FFFF))
+def test_numeric_escapes_decode(cp):
+    if 0xD800 <= cp <= 0xDFFF:  # surrogates cannot appear decoded
+        return
+    assert unescape_literal(f'"\\u{cp:04X}"' if cp <= 0xFFFF else f'"\\U{cp:08X}"') == chr(cp)
+
+
+def test_numeric_escape_case_matters():
+    assert unescape_literal('"\\u0041"') == "A"
+    assert unescape_literal('"\\U0001F600"') == "\U0001f600"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        '"\\u12"',  # truncated \u
+        '"\\uZZZZ"',  # non-hex \u
+        '"\\U0001F60"',  # truncated \U
+        '"\\U00XX0000"',  # non-hex \U
+    ],
+)
+def test_malformed_numeric_escapes_raise(bad):
+    with pytest.raises(ParseError):
+        unescape_literal(bad)
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        '<a> <p> "\\u00" .',  # malformed escape inside a parsed line
+        '<a> <p> "x .',  # unterminated literal
+        "<a> <p> .",  # missing object
+        '"lit" <p> "lit"',  # missing dot
+    ],
+)
+def test_malformed_lines_raise(line):
+    with pytest.raises(ParseError):
+        [unescape_literal(o) for (_, _, o) in parse_ntriples([line])]

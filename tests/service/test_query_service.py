@@ -346,3 +346,69 @@ class TestBackendSurfacing:
                 assert got.count == expected.count
                 assert sorted(got.rows) == sorted(expected.rows)
                 assert got.stats["backend"] == "columnar"
+
+
+class TestPersistence:
+    """persist() / from_snapshot(): the durable-service lifecycle."""
+
+    def test_persist_then_from_snapshot_round_trip(self, tmp_path, mini_yago,
+                                                   mini_yago_catalog,
+                                                   mined_queries):
+        with QueryService(mini_yago, catalog=mini_yago_catalog) as service:
+            live = [service.evaluate(q) for q in mined_queries]
+            manifest = service.persist(tmp_path / "snap")
+        assert manifest["num_triples"] == mini_yago.num_triples
+        assert manifest["epoch"] == mini_yago.epoch
+
+        with QueryService.from_snapshot(tmp_path / "snap") as warm:
+            assert warm.store.frozen
+            assert warm.store.num_triples == mini_yago.num_triples
+            for query, expect in zip(mined_queries, live):
+                got = warm.evaluate(query)
+                assert got.count == expect.count
+                assert sorted(got.rows) == sorted(expect.rows)
+
+    def test_from_snapshot_backend_and_mmap(self, tmp_path, mini_yago,
+                                            mined_queries):
+        with QueryService(mini_yago) as service:
+            expect = service.evaluate(mined_queries[0])
+            service.persist(tmp_path / "snap")
+        with QueryService.from_snapshot(
+            tmp_path / "snap", backend="columnar", use_mmap=True
+        ) as warm:
+            assert warm.store.backend_name == "columnar"
+            got = warm.evaluate(mined_queries[0])
+            assert sorted(got.rows) == sorted(expect.rows)
+
+    def test_from_snapshot_uses_stored_catalog(self, tmp_path, mini_yago):
+        with QueryService(mini_yago) as service:
+            service.persist(tmp_path / "snap")
+        with QueryService.from_snapshot(tmp_path / "snap") as warm:
+            # catalog arrived from disk: identical statistics without a
+            # rebuild against the loaded store
+            assert warm.engine.catalog == mini_yago.catalog()
+
+    def test_persist_without_catalog(self, tmp_path, mini_yago):
+        from repro.storage import load_snapshot_catalog
+
+        with QueryService(mini_yago) as service:
+            service.persist(tmp_path / "snap", include_catalog=False)
+        assert load_snapshot_catalog(tmp_path / "snap") is None
+
+    def test_persist_after_mutation_stores_fresh_catalog(self, tmp_path):
+        from repro.graph.store import TripleStore
+        from repro.storage import load_snapshot_catalog, read_manifest
+
+        store = TripleStore()
+        store.add_term_triple("a", "p", "b")
+        service = QueryService(store)
+        try:
+            store.add_term_triple("b", "p", "c")  # mutate after engine built
+            service.persist(tmp_path / "snap")
+        finally:
+            service.close()
+        manifest = read_manifest(tmp_path / "snap")
+        assert manifest["num_triples"] == 2
+        catalog = load_snapshot_catalog(tmp_path / "snap")
+        p = store.dictionary.lookup("p")
+        assert catalog.unigram(p).count == 2  # not the stale epoch-1 count

@@ -259,3 +259,84 @@ def test_dataset_loads_into_any_backend(tmp_path, capsys):
 def test_unknown_backend_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["stats", "--scale", "0.05", "--backend", "parquet"])
+
+
+# ----------------------------------------------------------------------
+# Snapshot persistence commands (save / dump / --snapshot)
+# ----------------------------------------------------------------------
+
+
+def test_save_then_stats_from_snapshot(tmp_path, capsys):
+    snap = str(tmp_path / "snap")
+    assert main(["save", snap, "--scale", "0.05", "--backend", "columnar"]) == 0
+    out = capsys.readouterr().out
+    assert "snapshot" in out and "segments" in out
+
+    assert main(["stats", "--snapshot", snap, "--top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "predicates: 104" in out
+
+
+def test_save_from_dataset_and_query_snapshot(tmp_path, capsys):
+    ds = str(tmp_path / "ds")
+    snap = str(tmp_path / "snap")
+    assert main(["generate", ds, "--scale", "0.05"]) == 0
+    capsys.readouterr()
+    assert main(["save", snap, "--dataset", ds]) == 0
+    capsys.readouterr()
+    query = "select ?x, ?m where { ?x actedIn ?m }"
+    assert main(["query", "--snapshot", snap, "--sparql", query,
+                 "--limit", "0"]) == 0
+    from_snap = capsys.readouterr().out.split(" rows")[0]
+    assert main(["query", "--dataset", ds, "--sparql", query,
+                 "--limit", "0"]) == 0
+    from_ds = capsys.readouterr().out.split(" rows")[0]
+    assert from_snap == from_ds  # identical row counts
+
+
+def test_save_no_overwrite_refuses(tmp_path, capsys):
+    snap = str(tmp_path / "snap")
+    assert main(["save", snap, "--scale", "0.05"]) == 0
+    capsys.readouterr()
+    assert main(["save", snap, "--scale", "0.05", "--no-overwrite"]) == 1
+    assert "already exists" in capsys.readouterr().err
+
+
+def test_dump_writes_ntriples(tmp_path, capsys):
+    out = str(tmp_path / "out.nt")
+    assert main(["dump", out, "--scale", "0.05"]) == 0
+    assert "wrote" in capsys.readouterr().out
+    with open(out, encoding="utf-8") as handle:
+        first = handle.readline()
+    assert first.rstrip().endswith(".")
+
+
+def test_dump_stdout(capsys):
+    assert main(["dump", "-", "--scale", "0.05"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert len(lines) > 100
+    assert all(line.endswith(" .") for line in lines[:10])
+
+
+def test_dump_round_trips_through_parser(tmp_path):
+    from repro.graph.ntriples import load_ntriples_file
+
+    out = str(tmp_path / "out.nt")
+    assert main(["dump", out, "--scale", "0.05"]) == 0
+    # The YAGO-like generator's terms are bare labels, which the parser
+    # does not accept back — but the file must be structurally sound
+    # line-per-triple; verify a wrapped IRI file parses.
+    wrapped = str(tmp_path / "wrapped.nt")
+    with open(out, encoding="utf-8") as src, \
+            open(wrapped, "w", encoding="utf-8") as dst:
+        for line in src:
+            s, p, o = line.rsplit(" .", 1)[0].split(" ", 2)
+            dst.write(f"<{s}> <{p}> <{o}> .\n")
+    store = load_ntriples_file(wrapped)
+    with open(out, encoding="utf-8") as handle:
+        assert store.num_triples == sum(1 for _ in handle)
+
+
+def test_snapshot_and_dataset_flags_conflict(capsys):
+    with pytest.raises(SystemExit):
+        main(["stats", "--dataset", "x", "--snapshot", "y"])
