@@ -1,0 +1,334 @@
+"""Snapshot-open latency: lazy mmap dictionary vs eager term parse.
+
+PR 4 made triple segments zero-copy, which left ``terms.dict`` —
+parsed term-by-term into a Python dict on every open — as the dominant
+cost of ``QueryService.from_snapshot()`` on large vocabularies. Format
+v2 snapshots carry a ``terms.idx`` offset table, and memory-mapped
+opens default to the lazy
+:class:`~repro.storage.termdict.MmapDictionary`, which decodes terms
+on demand straight out of the mapped file. This benchmark quantifies
+that on a **vocabulary-heavy snowflake** workload (the kernel-gate
+layered digraph at low degree, so the term count — ten node namespaces
+per layer size — dominates the triple count):
+
+* **eager open** — ``load_snapshot(lazy_terms=False)``: mmap'd
+  columns, but the whole dictionary is parsed up front;
+* **lazy open** — ``load_snapshot(lazy_terms=True)``: the dictionary
+  is two ``mmap`` calls and an O(1) structural check.
+
+Both opens run with ``verify=False`` (the trusted-local-snapshot mode)
+so the comparison isolates dictionary materialization — with
+``verify=True`` both paths pay the same sha256 streaming pass, which
+is I/O-bound and size-proportional by design.
+
+The gate asserts, at the large size:
+
+1. lazy open is at least :data:`LAZY_FLOOR` (5x) faster than the
+   eager v2 open, and
+2. lazy open time is **O(1) in term count**: growing the vocabulary
+   10^4 → 10^5 terms may slow the open by at most
+   :data:`FLATNESS_CEILING` (3x) — i.e. near-flat, while the eager
+   open grows linearly;
+
+and, before any timing, that query results are **bit-identical**
+across eager/lazy dictionaries under both storage backends (answer
+graphs on integer ids plus decoded result rows).
+
+Two entry points:
+
+* ``pytest benchmarks/bench_warm_start.py [--smoke]`` —
+  pytest-benchmark timings (CI's bench-smoke job);
+* ``python benchmarks/bench_warm_start.py [--smoke] [--output F]
+  [--baseline F]`` — the CI warm-start gate: prints the table, writes
+  ``BENCH_warm_start.json``, exits non-zero on a missed floor, a
+  parity mismatch, or a >25% lazy-speedup regression vs the committed
+  baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+# benchmarks/ is not a package; the layered-store builder lives in
+# bench_kernels so every gate measures the same graph family.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_kernels import SNOWFLAKE_LAYERS, _best_of, _layered_store
+
+from repro.core.engine import WireframeEngine
+from repro.core.generation import generate_answer_graph
+from repro.graph.backends import available_backends
+from repro.query.parser import parse_sparql
+from repro.query.templates import snowflake_template
+from repro.storage import MmapDictionary, load_snapshot, save_snapshot
+from repro.utils.deadline import Deadline
+
+#: Minimum eager-open / lazy-open speedup the gate enforces (large size).
+LAZY_FLOOR = 5.0
+
+#: Maximum allowed lazy-open slowdown across the 10^4 -> 10^5 term
+#: decade — the O(1)-open assertion, with room for ms-scale timer noise.
+FLATNESS_CEILING = 3.0
+
+#: Allowed relative drop of the lazy speedup vs the committed baseline
+#: (wider than the kernel gate's 20%: the lazy open is ~1 ms, so the
+#: ratio carries more scheduler noise).
+REGRESSION_TOLERANCE = 0.25
+
+REPEATS = 5
+
+#: Layer size per vocabulary target: terms ~= 10 namespaces * n + 9
+#: predicates. Full mode spans the 10^4 -> 10^5 decade from the
+#: tentpole gate; smoke keeps the decade but shrinks both ends.
+SIZES = {"small": 1_000, "large": 10_000}
+SMOKE_SIZES = {"small": 250, "large": 2_500}
+
+#: Low degree keeps triples from dominating the build while the
+#: vocabulary scales: ~2 edges per node per layer.
+DEGREE = 2
+
+
+def _vocab_store(n: int):
+    return _layered_store(SNOWFLAKE_LAYERS, n, DEGREE, seed=7, backend="columnar")
+
+
+def _fingerprint(store) -> tuple:
+    """Results over ``store``, decoded — identical across dictionary
+    implementations iff the lazy decode path is bit-faithful.
+
+    Combines the snowflake query's full answer graph (integer ids —
+    the factorized result) with the decoded, materialized rows of a
+    single-edge query (term strings through ``decode_many``), so both
+    the id layer and the string layer must agree.
+    """
+    engine = WireframeEngine(store)
+    query = snowflake_template().instantiate(list("ABCDEFGHI"), name="snowflake")
+    bound, plan, chordification = engine.plan(query)
+    ag, stats = generate_answer_graph(
+        bound, plan, chordification=chordification, deadline=Deadline(300)
+    )
+    flat = parse_sparql("select ?s, ?o where { ?s A ?o }")
+    rows = engine.evaluate(flat, deadline=Deadline(300), materialize=True)
+    decoded = sorted(rows.decoded_rows(store.dictionary))
+    return (ag.snapshot(), stats.edge_walks, rows.count, decoded)
+
+
+def check_parity(snap_path: str) -> dict:
+    """Eager/lazy dictionary parity under every backend (must all agree)."""
+    expect = None
+    parity = {}
+    for backend in available_backends():
+        for lazy in (False, True):
+            store = load_snapshot(
+                snap_path, backend=backend, lazy_terms=lazy, verify=False
+            )
+            if lazy:
+                assert isinstance(store.dictionary, MmapDictionary)
+                assert not hasattr(store.dictionary, "_term_to_id")
+            fingerprint = _fingerprint(store)
+            key = f"{backend}-{'lazy' if lazy else 'eager'}"
+            if expect is None:
+                expect = fingerprint
+                parity[key] = True
+            else:
+                parity[key] = fingerprint == expect
+    return parity
+
+
+def measure_size(workdir: str, label: str, n: int, repeats: int) -> dict:
+    """Open-latency record for one vocabulary size."""
+    store = _vocab_store(n)
+    snap_path = os.path.join(workdir, f"vocab-{label}.snap")
+    save_snapshot(store, snap_path)
+
+    eager_seconds = _best_of(
+        lambda: load_snapshot(
+            snap_path, backend="columnar", lazy_terms=False, verify=False
+        ),
+        repeats,
+    )
+    lazy_seconds = _best_of(
+        lambda: load_snapshot(
+            snap_path, backend="columnar", lazy_terms=True, verify=False
+        ),
+        repeats,
+    )
+    return {
+        "n": n,
+        "terms": len(store.dictionary),
+        "triples": store.num_triples,
+        "eager_open_seconds": eager_seconds,
+        "lazy_open_seconds": lazy_seconds,
+        "lazy_speedup": eager_seconds / lazy_seconds,
+        "snap_path": snap_path,
+    }
+
+
+def run_warm_start_benchmark(
+    workdir: str, sizes: dict, repeats: int = REPEATS
+) -> dict:
+    """Parity check + per-size open timings + the two gate ratios."""
+    records = {}
+    for label, n in sizes.items():
+        records[label] = measure_size(workdir, label, n, repeats)
+    parity = check_parity(records["small"]["snap_path"])
+    for record in records.values():
+        record.pop("snap_path")
+    large, small = records["large"], records["small"]
+    return {
+        "workload": "snowflake-vocab",
+        "degree": DEGREE,
+        "repeats": repeats,
+        "sizes": records,
+        "parity": parity,
+        "lazy_speedup": large["lazy_speedup"],
+        "flatness": large["lazy_open_seconds"] / small["lazy_open_seconds"],
+        "lazy_floor": LAZY_FLOOR,
+        "flatness_ceiling": FLATNESS_CEILING,
+    }
+
+
+def gate_failures(results: dict) -> list[str]:
+    """Floor/parity violations in ``results`` (empty = pass)."""
+    failures = []
+    for key, same in results["parity"].items():
+        if not same:
+            failures.append(f"parity: {key} results differ from the baseline open")
+    if results["lazy_speedup"] < LAZY_FLOOR:
+        failures.append(
+            f"lazy open only {results['lazy_speedup']:.1f}x faster than the "
+            f"eager v2 open (floor {LAZY_FLOOR:.0f}x)"
+        )
+    if results["flatness"] > FLATNESS_CEILING:
+        failures.append(
+            f"lazy open grew {results['flatness']:.1f}x across the term "
+            f"decade (ceiling {FLATNESS_CEILING:.0f}x — open must be O(1) "
+            f"in term count)"
+        )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (CI bench-smoke job)
+# ----------------------------------------------------------------------
+
+
+def test_lazy_open_fast_flat_and_faithful(benchmark, tmp_path, request):
+    """Lazy open >= 5x the eager v2 open, near-flat in term count, with
+    bit-identical results across dictionaries and backends."""
+    sizes = SMOKE_SIZES if request.config.getoption("--smoke") else SIZES
+    results = benchmark.pedantic(
+        lambda: run_warm_start_benchmark(str(tmp_path), sizes, repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "terms_large": results["sizes"]["large"]["terms"],
+            "lazy_open_seconds": round(
+                results["sizes"]["large"]["lazy_open_seconds"], 5
+            ),
+            "eager_open_seconds": round(
+                results["sizes"]["large"]["eager_open_seconds"], 5
+            ),
+            "lazy_speedup": round(results["lazy_speedup"], 2),
+            "flatness": round(results["flatness"], 2),
+        }
+    )
+    failures = gate_failures(results)
+    assert not failures, "; ".join(failures)
+
+
+# ----------------------------------------------------------------------
+# script entry point (CI warm-start gate + BENCH_warm_start.json)
+# ----------------------------------------------------------------------
+
+
+def _regression(results: dict, baseline_path: Path) -> list[str]:
+    """Lazy-speedup regression vs the committed baseline (empty = pass).
+
+    The speedup scales with vocabulary size (the eager side is linear
+    in it), so the comparison only runs between same-size measurements
+    — a ``--smoke`` run against the committed full-size baseline skips
+    the check rather than failing it spuriously.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    if baseline["sizes"]["large"]["terms"] != results["sizes"]["large"]["terms"]:
+        print(
+            f"warm-start gate: baseline measured "
+            f"{baseline['sizes']['large']['terms']} terms, this run "
+            f"{results['sizes']['large']['terms']} — regression check skipped"
+        )
+        return []
+    floor = baseline["lazy_speedup"] * (1.0 - REGRESSION_TOLERANCE)
+    if results["lazy_speedup"] < floor:
+        return [
+            f"lazy speedup {results['lazy_speedup']:.1f}x fell below "
+            f"{floor:.1f}x (baseline {baseline['lazy_speedup']:.1f}x - "
+            f"{REGRESSION_TOLERANCE:.0%})"
+        ]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller vocabularies (CI)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write results JSON here")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="fail if the lazy speedup regresses >25%% vs "
+                             "this file")
+    args = parser.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else SIZES
+    with tempfile.TemporaryDirectory(prefix="bench-warm-start-") as workdir:
+        results = {
+            "benchmark": "bench_warm_start",
+            "schema": 1,
+            "python": sys.version.split()[0],
+            **run_warm_start_benchmark(workdir, sizes),
+        }
+
+    for label in ("small", "large"):
+        record = results["sizes"][label]
+        print(
+            f"{label:5s} {record['terms']:>7} terms  "
+            f"eager open {record['eager_open_seconds'] * 1e3:8.2f} ms   "
+            f"lazy open {record['lazy_open_seconds'] * 1e3:8.2f} ms   "
+            f"x{record['lazy_speedup']:.1f}"
+        )
+    print(f"parity: {results['parity']}")
+    print(f"gate: lazy >= {LAZY_FLOOR:.0f}x eager "
+          f"-> x{results['lazy_speedup']:.1f}; "
+          f"flatness <= {FLATNESS_CEILING:.0f}x across the term decade "
+          f"-> x{results['flatness']:.2f}")
+
+    failures = gate_failures(results)
+    if args.baseline is not None and args.baseline.exists():
+        regression = _regression(results, args.baseline)
+        failures += regression
+        if not regression:
+            print(f"warm-start gate: no regression vs {args.baseline}")
+    elif args.baseline is not None:
+        print(f"warm-start gate: baseline {args.baseline} missing, "
+              f"regression check skipped")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,6 +49,7 @@ from repro.errors import (
 from repro.graph import (
     ColumnarBackend,
     Dictionary,
+    DictionaryView,
     GraphBuilder,
     HashDictBackend,
     StorageBackend,
@@ -107,6 +108,7 @@ from repro.core import (
 )
 from repro.engine_api import Engine, EngineResult, resolve_catalog
 from repro.storage import (
+    MmapDictionary,
     is_snapshot,
     load_snapshot,
     load_snapshot_catalog,
@@ -151,6 +153,7 @@ __all__ = [
     "SnapshotError",
     # graph substrate
     "Dictionary",
+    "DictionaryView",
     "Triple",
     "TriplePattern",
     "TripleStore",
@@ -213,6 +216,7 @@ __all__ = [
     "resolve_catalog",
     # persistence
     "save_snapshot",
+    "MmapDictionary",
     "load_snapshot",
     "load_snapshot_catalog",
     "is_snapshot",

@@ -71,17 +71,26 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
         help="storage backend for the triple indexes "
         "(default: $REPRO_BACKEND or 'hashdict')",
     )
+    parser.add_argument(
+        "--eager-terms", action="store_true",
+        help="when opening a snapshot (--snapshot, or --dataset pointing "
+        "at a snapshot directory): parse the whole term dictionary up "
+        "front instead of the lazy mmap dictionary (format v2 default)",
+    )
 
 
 def _load(args) -> tuple[TripleStore, Catalog]:
     backend = getattr(args, "backend", None)
     snapshot = getattr(args, "snapshot", None)
+    # --dataset also auto-detects snapshot directories, so the term
+    # policy must flow through both branches.
+    lazy_terms = False if getattr(args, "eager_terms", False) else None
     if snapshot:
-        store = load_snapshot(snapshot, backend=backend)
+        store = load_snapshot(snapshot, backend=backend, lazy_terms=lazy_terms)
         catalog = load_snapshot_catalog(snapshot)
         return store, catalog if catalog is not None else store.catalog()
     if args.dataset:
-        return load_dataset(args.dataset, backend=backend)
+        return load_dataset(args.dataset, backend=backend, lazy_terms=lazy_terms)
     store = generate_yago_like(scale=args.scale, seed=args.seed, backend=backend)
     return store, build_catalog(store)
 
@@ -211,16 +220,17 @@ def _cmd_stats(args) -> int:
     print(f"predicates: {len(store.predicates())}")
     print(f"backend:    {store.backend_name} "
           f"({store.index_bytes() / 1024:.0f} KiB of indexes)")
-    decode = store.dictionary.decode
     by_count = sorted(
         ((catalog.unigram(p).count, p) for p in store.predicates()),
         reverse=True,
     )
+    shown = by_count[: args.top]
+    labels = store.dictionary.decode_many([p for _, p in shown])
     print(f"top {args.top} predicates:")
-    for count, p in by_count[: args.top]:
+    for (count, p), label in zip(shown, labels):
         stat = catalog.unigram(p)
         print(
-            f"  {decode(p):32} {count:>8} edges  "
+            f"  {label:32} {count:>8} edges  "
             f"avg-out {stat.avg_out:5.2f}  avg-in {stat.avg_in:5.2f}"
         )
     return 0
@@ -270,11 +280,12 @@ def _cmd_query(args) -> int:
         print(f"|AG| = {result.stats['ag_size']}, "
               f"edge walks = {result.stats.get('edge_walks')}")
     if result.rows:
-        decode = store.dictionary.decode
         header = "\t".join(f"?{v.name}" for v in query.projection)
         print(header)
-        for row in result.rows[: args.limit]:
-            print("\t".join(decode(v) for v in row))
+        # One batched decode_many for everything shown — flat per-row
+        # cost on the eager and the lazy (mmap) dictionary alike.
+        for row in result.decoded_rows(store.dictionary, limit=args.limit):
+            print("\t".join(row))
         if result.count > args.limit:
             print(f"... ({result.count - args.limit} more)")
     return 0

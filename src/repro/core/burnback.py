@@ -39,13 +39,17 @@ def node_burnback(
     ag: AnswerGraph,
     removals: Iterable[tuple[int, int]],
     deadline: Deadline,
+    changed_rels: "set[RelKey] | None" = None,
 ) -> int:
     """Cascade (variable, node) removals to fixpoint.
 
     ``removals`` seeds the worklist: nodes already deleted from their
     variable's node set whose incident AG pairs must now be chased.
     Returns the total number of distinct (variable, node) removals
-    processed.
+    processed. ``changed_rels``, when given, accumulates the relation
+    keys whose indexes this cascade actually shrank — the edge-burnback
+    fixpoint uses it to skip re-pruning triangles whose relations are
+    untouched since their last prune.
     """
     pending: dict[int, set[int]] = {}
     for var, node in removals:
@@ -75,6 +79,8 @@ def node_burnback(
                     touched |= partners
             if not touched:
                 continue
+            if changed_rels is not None:
+                changed_rels.add(rel)
             emptied = subtract_from_buckets(other_index, touched, batch)
             s_var, o_var = ag.rel_vars[rel]
             other_var = o_var if pos == "s" else s_var
@@ -149,17 +155,30 @@ def _prune_side(
     side_x = other1 if x in (other1.a, other1.b) else other2
     side_y = other2 if side_x is other1 else other1
     from_x = _adj_from(ag, side_x, x)
-    from_y = _adj_from(ag, side_y, y)
+    # Both directions of the y—z side are already maintained by the AG:
+    # ``from_y`` keys it by y (o -> {z partners}), ``inv_y`` by z
+    # (z -> {o partners}). The inverse turns the per-object membership
+    # probe into one C-level union per source (below).
+    rel_y = _rel_of(side_y)
+    if side_y.a == y:
+        from_y, inv_y = ag.src[rel_y], ag.dst[rel_y]
+    else:
+        from_y, inv_y = ag.dst[rel_y], ag.src[rel_y]
 
     rel = _rel_of(side)
     fwd, bwd = ag.src[rel], ag.dst[rel]
 
-    # Pass 1 (read-only): per source node, the surviving object set.
-    # Objects with no y—z partner at all are cut by one C-level key
-    # intersection; the rest take one ``isdisjoint`` probe each.
+    # Pass 1 (read-only): per source node, the surviving object set —
+    # ``keep = objs ∩ ⋃_{z ∈ from_x[s]} inv_y[z]`` (an object survives
+    # iff some shared z completes the triangle). The union form does
+    # one bulk ``set.union`` per source instead of one ``isdisjoint``
+    # probe per object; when a source's mid set dwarfs its object
+    # bucket (union would visit far more pairs than probing), it falls
+    # back to the per-object probe with a C-level key prefilter.
     removed = 0
     shrunk: list[tuple[int, set[int], set[int]]] = []  # (s, keep, gone)
     y_keys = from_y.keys()
+    inv_get = inv_y.get
     for s, objs in fwd.items():
         deadline.check_every(len(objs))
         mids_s = from_x.get(s)
@@ -167,8 +186,17 @@ def _prune_side(
             removed += len(objs)
             shrunk.append((s, set(), set(objs)))
             continue
-        candidates = objs & y_keys
-        keep = {o for o in candidates if not mids_s.isdisjoint(from_y[o])}
+        if len(mids_s) <= 2 * len(objs):
+            targets = [t for mid in mids_s if (t := inv_get(mid))]
+            if not targets:
+                keep = set()
+            elif len(targets) == 1:
+                keep = objs & targets[0]
+            else:
+                keep = objs.intersection(set().union(*targets))
+        else:
+            candidates = objs & y_keys
+            keep = {o for o in candidates if not mids_s.isdisjoint(from_y[o])}
         if len(keep) != len(objs):
             removed += len(objs) - len(keep)
             shrunk.append((s, keep, objs - keep))
@@ -222,24 +250,70 @@ def edge_burnback(
     what needs to be removed on cascade", §4.I). All relations shrink
     monotonically, so the fixpoint terminates.
 
+    The fixpoint tracks a **version counter per relation** (bumped on
+    every prune or cascade that shrinks it) and stamps each side with
+    the versions of its triangle's three relations *as the prune
+    validated them* (post its own removals, pre any cascade): a side
+    whose relations are all unchanged since that stamp would be a
+    guaranteed no-op (pruning is a deterministic, idempotent function
+    of those three indexes) and is skipped outright. The sequence of
+    *mutating* prunes — and therefore every removal, the per-round
+    ``changed`` flag, and the round count — is identical to the
+    unversioned reference fixpoint; what disappears is the re-probe of
+    every surviving pair in already-settled rounds, which previously
+    dominated the fixpoint's cost (the final verification round alone
+    re-probed the entire answer graph).
+
     Returns (rounds executed, total pairs removed).
     """
     triangle_list = list(triangles)
     rounds = 0
     total_removed = 0
+    #: rel -> generation, bumped whenever the relation's indexes shrink.
+    version: dict[RelKey, int] = {}
+    #: (triangle idx, side idx) -> the three relation versions at the
+    #: side's last prune (self, then the triangle's other two sides).
+    pruned_at: dict[tuple[int, int], tuple[int, int, int]] = {}
     changed = True
     while changed:
         deadline.check_now()
         changed = False
         rounds += 1
-        for triangle in triangle_list:
-            for side in triangle.sides:
-                if _rel_of(side) not in ag.src:
+        for t_idx, triangle in enumerate(triangle_list):
+            for s_idx, side in enumerate(triangle.sides):
+                rel = _rel_of(side)
+                if rel not in ag.src:
+                    continue
+                other1, other2 = triangle.sides_excluding(side.ref)
+                rels = (rel, _rel_of(other1), _rel_of(other2))
+                stamp = (
+                    version.get(rels[0], 0),
+                    version.get(rels[1], 0),
+                    version.get(rels[2], 0),
+                )
+                key = (t_idx, s_idx)
+                if pruned_at.get(key) == stamp:
                     continue
                 removed, removals = _prune_side(ag, triangle, side, deadline)
                 if removed:
                     total_removed += removed
                     changed = True
+                    version[rel] = version.get(rel, 0) + 1
+                # Stamp BEFORE applying the cascade's version bumps: the
+                # prune validated the pre-cascade state of the three
+                # relations (its own removals included — pruning is
+                # idempotent over its own output), so a cascade that
+                # shrinks any of them, even one triggered by this very
+                # prune through relations outside the triangle, must
+                # leave the stamp stale and force a re-prune.
+                pruned_at[key] = (
+                    version.get(rels[0], 0),
+                    version.get(rels[1], 0),
+                    version.get(rels[2], 0),
+                )
                 if removals:
-                    node_burnback(ag, removals, deadline)
+                    cascaded: set[RelKey] = set()
+                    node_burnback(ag, removals, deadline, cascaded)
+                    for touched_rel in cascaded:
+                        version[touched_rel] = version.get(touched_rel, 0) + 1
     return rounds, total_removed

@@ -71,6 +71,7 @@ def load_dataset(
     freeze: bool = True,
     backend: str | None = None,
     batch_size: int = BATCH_SIZE,
+    lazy_terms: bool | None = None,
 ) -> tuple[TripleStore, Catalog]:
     """Load a saved (store, catalog) pair with identical term ids.
 
@@ -79,10 +80,16 @@ def load_dataset(
     from the files present. ``backend`` selects the physical layout of
     the reloaded store (``None`` = ``REPRO_BACKEND``/default); both
     on-disk formats are backend-independent, so any saved dataset loads
-    into any backend.
+    into any backend. ``lazy_terms`` (snapshots only) follows
+    :func:`repro.storage.load_snapshot`: ``None`` defaults
+    memory-mapped columnar opens of a format-v2 snapshot to the lazy
+    mmap dictionary, ``False`` forces the eager in-memory dictionary,
+    and ``True`` insists on the lazy one (v1 snapshots raise).
     """
     if is_snapshot(directory):
-        store = load_snapshot(directory, backend=backend, freeze=freeze)
+        store = load_snapshot(
+            directory, backend=backend, freeze=freeze, lazy_terms=lazy_terms
+        )
         catalog = load_snapshot_catalog(directory)
         if catalog is None:
             catalog = store.catalog()

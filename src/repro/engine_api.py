@@ -54,6 +54,30 @@ class EngineResult:
     rows: list[tuple] | None = None
     stats: dict = field(default_factory=dict)
 
+    def decoded_rows(
+        self, dictionary, limit: "int | None" = None
+    ) -> "list[tuple[str, ...]] | None":
+        """Materialize ``rows`` as term-string tuples, batched.
+
+        All row ids are decoded through **one**
+        :meth:`~repro.graph.dictionary.DictionaryView.decode_many`
+        call (per-row ``decode`` dispatch would dominate large result
+        sets, especially on the lazy mmap dictionary). ``limit`` caps
+        how many rows are decoded — display paths never pay for rows
+        they will not show. Returns ``None`` when the result was not
+        materialized.
+        """
+        if self.rows is None:
+            return None
+        rows = self.rows if limit is None else self.rows[:limit]
+        if not rows:
+            return []
+        width = len(rows[0])
+        flat = dictionary.decode_many([v for row in rows for v in row])
+        return [
+            tuple(flat[i : i + width]) for i in range(0, len(flat), width)
+        ]
+
 
 class Engine(abc.ABC):
     """Evaluate conjunctive queries over one fixed triple store."""

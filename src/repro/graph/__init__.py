@@ -15,7 +15,7 @@ from repro.graph.backends import (
     default_backend_name,
     register_backend,
 )
-from repro.graph.dictionary import Dictionary
+from repro.graph.dictionary import Dictionary, DictionaryView
 from repro.graph.triples import Triple, TriplePattern
 from repro.graph.store import TripleStore
 from repro.graph.ntriples import parse_ntriples, serialize_ntriples
@@ -23,6 +23,7 @@ from repro.graph.builder import GraphBuilder
 
 __all__ = [
     "Dictionary",
+    "DictionaryView",
     "Triple",
     "TriplePattern",
     "TripleStore",

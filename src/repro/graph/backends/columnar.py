@@ -361,6 +361,10 @@ class ColumnarBackend(StorageBackend):
         self._seal_lock = threading.Lock()
         self._size = 0
         self._nodes: set[int] = set()
+        #: Endpoint columns adopted by :meth:`import_segments` whose
+        #: union into ``_nodes`` is deferred to the first :meth:`nodes`
+        #: call — a snapshot warm start stays O(1) in node count.
+        self._pending_nodes: list = []
         self._epoch = 0
 
     # -- construction ---------------------------------------------------
@@ -451,11 +455,13 @@ class ColumnarBackend(StorageBackend):
 
         This is the snapshot warm-start fast path — a segment *is* this
         backend's physical layout, so installing it is one reference
-        assignment plus the node-set union (C-level set updates over the
-        distinct-endpoint columns, far smaller than the pair count).
-        A predicate that already has sealed or staged triples falls back
-        to the deduplicating add path; already-materialized secondary
-        permutations are patched pair-by-pair to stay consistent.
+        assignment. The node-set union over the distinct-endpoint
+        columns is **deferred** to the first :meth:`nodes` call (the
+        serving path never asks for it), keeping a warm start O(1) in
+        node count. A predicate that already has sealed or staged
+        triples falls back to the deduplicating add path;
+        already-materialized secondary permutations are patched
+        pair-by-pair to stay consistent.
         """
         added = 0
         with self._perms.lock:
@@ -471,8 +477,8 @@ class ColumnarBackend(StorageBackend):
                     self._size += n
                     self._epoch += n
                     added += n
-                    self._nodes.update(seg.subs)
-                    self._nodes.update(seg.robjs)
+                    self._pending_nodes.append(seg.subs)
+                    self._pending_nodes.append(seg.robjs)
                     if self._perms.materialized:
                         for s, o in seg.pairs():
                             self._perms.insert(s, p, o)
@@ -489,6 +495,21 @@ class ColumnarBackend(StorageBackend):
         return self._size
 
     def nodes(self) -> set[int]:
+        """All endpoint ids; drains any import-deferred column unions.
+
+        The drain runs under the seal lock and the emptied pending list
+        is published only *after* ``_nodes`` is fully updated, so a
+        concurrent reader either joins the drain or sees the finished
+        set — never a half-built one.
+        """
+        while self._pending_nodes:
+            with self._seal_lock:
+                pending = self._pending_nodes
+                if pending:
+                    nodes = self._nodes
+                    for column in pending:
+                        nodes.update(column)
+                    self._pending_nodes = []
         return self._nodes
 
     def predicates(self) -> list[int]:

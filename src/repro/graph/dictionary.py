@@ -14,11 +14,66 @@ directly usable as array indexes in the columnar baseline.
 from __future__ import annotations
 
 import struct
-from typing import BinaryIO, Iterable, Iterator
+from typing import BinaryIO, Iterable, Iterator, Protocol, runtime_checkable
 
 from repro.errors import DictionaryError
 
-_LEN = struct.Struct("<I")
+#: Dictionary record framing: each term is stored as ``<u32 little-
+#: endian byte length><UTF-8 bytes>``. Shared with the offset-table
+#: index (:mod:`repro.storage.termdict`), which validates record
+#: lengths against it on every lazy decode.
+RECORD_LEN = struct.Struct("<I")
+
+_LEN = RECORD_LEN
+
+
+@runtime_checkable
+class DictionaryView(Protocol):
+    """The read-side dictionary API every consumer codes against.
+
+    :class:`~repro.graph.store.TripleStore`, the engines, the
+    N-Triples dump, and :class:`~repro.service.QueryService` only ever
+    *read* terms once a dataset is loaded, so they accept any object
+    with this surface — the eager in-memory :class:`Dictionary` or the
+    zero-materialization :class:`~repro.storage.termdict.MmapDictionary`
+    that decodes straight out of a mapped snapshot file. ``encode`` on
+    a view of an immutable dictionary resolves *existing* terms and
+    raises :class:`~repro.errors.DictionaryError` for new ones.
+    """
+
+    def __len__(self) -> int:
+        """Number of interned terms."""
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate every term in id order."""
+
+    def __contains__(self, term: str) -> bool:
+        """Whether ``term`` was interned."""
+
+    @property
+    def frozen(self) -> bool:
+        """Whether insertions are disallowed."""
+
+    def freeze(self) -> None:
+        """Disallow further insertions (decode/lookup keep working)."""
+
+    def encode(self, term: str) -> int:
+        """The id of ``term``; frozen views refuse new terms."""
+
+    def encode_many(self, terms: Iterable[str]) -> list[int]:
+        """Encode every term in ``terms``, in order."""
+
+    def lookup(self, term: str) -> "int | None":
+        """The id of ``term``, or ``None`` if never interned."""
+
+    def decode(self, term_id: int) -> str:
+        """The string for ``term_id``."""
+
+    def decode_many(self, ids: Iterable[int]) -> list[str]:
+        """Decode every id in ``ids``, in order (the batched path)."""
+
+    def dump(self, out: BinaryIO) -> int:
+        """Write the byte-stable binary form; returns the term count."""
 
 
 class Dictionary:
@@ -91,8 +146,16 @@ class Dictionary:
             raise DictionaryError(f"unknown term id {term_id!r}") from exc
 
     def decode_many(self, ids: Iterable[int]) -> list[str]:
-        """Decode every id in ``ids``, in order."""
-        return [self.decode(i) for i in ids]
+        """Decode every id in ``ids``, in order — one C-level map call.
+
+        The batched decode path shared by the N-Triples dump and result
+        materialization; the mmap dictionary implements the same method
+        over its offset table, so callers never decode row-by-row.
+        """
+        try:
+            return list(map(self._id_to_term.__getitem__, ids))
+        except (IndexError, TypeError) as exc:
+            raise DictionaryError(f"unknown term id in batch: {exc}") from exc
 
     # ------------------------------------------------------------------
     # Stable binary persistence (the snapshot layer's term file)
@@ -104,14 +167,33 @@ class Dictionary:
     # format is byte-stable: the same dictionary always produces the
     # same bytes, which the snapshot manifest checksums.
 
-    def dump(self, out: BinaryIO) -> int:
-        """Write every term in id order; returns the number written."""
+    def dump(
+        self, out: BinaryIO, record_offsets: "list[int] | None" = None
+    ) -> int:
+        """Write every term in id order; returns the number written.
+
+        ``record_offsets``, when supplied, receives the byte offset of
+        every record start plus a final total-bytes entry (``n + 1``
+        values) — the snapshot writer feeds them straight into the
+        format-v2 offset table so each term is UTF-8-encoded exactly
+        once per save.
+        """
         pack = _LEN.pack
         write = out.write
-        for term in self._id_to_term:
-            data = term.encode("utf-8")
-            write(pack(len(data)))
-            write(data)
+        if record_offsets is None:
+            for term in self._id_to_term:
+                data = term.encode("utf-8")
+                write(pack(len(data)))
+                write(data)
+        else:
+            pos = 0
+            for term in self._id_to_term:
+                data = term.encode("utf-8")
+                record_offsets.append(pos)
+                write(pack(len(data)))
+                write(data)
+                pos += _LEN.size + len(data)
+            record_offsets.append(pos)
         return len(self._id_to_term)
 
     @classmethod

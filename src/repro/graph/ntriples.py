@@ -234,11 +234,16 @@ def dump_ntriples_file(store, path: str, batch_size: int = BATCH_SIZE) -> int:
 
 
 def _dump_lines(store, handle, batch_size: int) -> int:
-    decode = store.dictionary.decode
+    # One decode_many call per chunk: the shared batched decode path
+    # keeps per-row cost flat for the eager dictionary and lets the
+    # lazy mmap dictionary amortize its record slicing over the batch
+    # instead of paying three method dispatches per triple.
+    decode_many = store.dictionary.decode_many
     n = 0
     for chunk in batched(store.triples(), batch_size):
+        terms = iter(decode_many([x for t in chunk for x in t]))
         handle.writelines(
-            f"{decode(t.s)} {decode(t.p)} {decode(t.o)} .\n" for t in chunk
+            f"{s} {p} {o} .\n" for s, p, o in zip(terms, terms, terms)
         )
         n += len(chunk)
     return n

@@ -26,7 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle (stats imports store)
     from repro.stats.catalog import Catalog
 from repro.graph.backends import StorageBackend, create_backend
 from repro.graph.backends.base import PredicateSummary
-from repro.graph.dictionary import Dictionary
+from repro.graph.dictionary import Dictionary, DictionaryView
 from repro.graph.triples import Triple, TriplePattern
 
 
@@ -36,7 +36,13 @@ class TripleStore:
     Parameters
     ----------
     dictionary:
-        Shared term dictionary; a fresh one is created when omitted.
+        Shared term dictionary; a fresh (eager, mutable)
+        :class:`~repro.graph.dictionary.Dictionary` is created when
+        omitted. Any :class:`~repro.graph.dictionary.DictionaryView`
+        is accepted — a snapshot warm start hands in the lazy
+        :class:`~repro.storage.termdict.MmapDictionary`, which decodes
+        terms on demand and refuses new interning (the store arrives
+        frozen anyway).
     backend:
         Physical layout: a registered backend name (``"hashdict"``,
         ``"columnar"``), a ready :class:`StorageBackend` instance, or
@@ -51,10 +57,12 @@ class TripleStore:
 
     def __init__(
         self,
-        dictionary: Dictionary | None = None,
+        dictionary: DictionaryView | None = None,
         backend: StorageBackend | str | None = None,
     ):
-        self.dictionary = dictionary if dictionary is not None else Dictionary()
+        self.dictionary: DictionaryView = (
+            dictionary if dictionary is not None else Dictionary()
+        )
         if isinstance(backend, StorageBackend):
             self._backend = backend
         else:

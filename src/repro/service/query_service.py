@@ -165,6 +165,7 @@ class QueryService:
         *,
         backend=None,
         use_mmap: bool | None = None,
+        lazy_terms: bool | None = None,
         verify: bool = True,
         **service_kwargs,
     ) -> "QueryService":
@@ -174,14 +175,21 @@ class QueryService:
         :func:`repro.storage.load_snapshot` (zero-copy mmap onto the
         columnar backend by default) and arrives frozen; the snapshot's
         stored catalog, when present, is used instead of rebuilding
-        statistics. Remaining keyword arguments are forwarded to the
-        constructor — this is the millisecond cold-start path for a
-        serving process: no parsing, no dictionary encoding, no sort.
+        statistics. On a format-v2 snapshot a memory-mapped open also
+        defaults to the **lazy mmap dictionary** (``lazy_terms``), so
+        the term vocabulary is never parsed either — the cold-start
+        cost is O(1) in both triple and term count: no parsing, no
+        dictionary materialization, no sort. Remaining keyword
+        arguments are forwarded to the constructor.
         """
         from repro.storage import load_snapshot, load_snapshot_catalog
 
         store = load_snapshot(
-            path, backend=backend, use_mmap=use_mmap, verify=verify
+            path,
+            backend=backend,
+            use_mmap=use_mmap,
+            lazy_terms=lazy_terms,
+            verify=verify,
         )
         catalog = load_snapshot_catalog(path, verify=verify)
         return cls(store, catalog=catalog, **service_kwargs)

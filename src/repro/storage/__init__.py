@@ -9,6 +9,10 @@ The persistence subsystem behind ``repro save`` / ``--snapshot`` and
 * :func:`load_snapshot` — reconstruct the store either eagerly (any
   backend) or **zero-copy via mmap** into the columnar backend, so a
   warm start skips parsing, dictionary encoding, and sorting entirely;
+  format v2 snapshots additionally default memory-mapped opens to a
+  lazy :class:`MmapDictionary` (``lazy_terms=``) that decodes terms
+  straight out of the mapped ``terms.dict``/``terms.idx`` pair — the
+  open cost is O(1) in vocabulary size;
 * :func:`is_snapshot` / :func:`read_manifest` /
   :func:`load_snapshot_catalog` — introspection helpers used by the
   dataset loader and the CLI.
@@ -32,11 +36,17 @@ from repro.storage.snapshot import (
     MANIFEST_FILE,
     SEGMENTS_DIR,
     TERMS_FILE,
+    TERMS_IDX_FILE,
     is_snapshot,
     load_snapshot,
     load_snapshot_catalog,
     read_manifest,
     save_snapshot,
+)
+from repro.storage.termdict import (
+    MmapDictionary,
+    parse_term_index,
+    write_term_index,
 )
 
 __all__ = [
@@ -44,8 +54,12 @@ __all__ = [
     "FORMAT_VERSION",
     "MANIFEST_FILE",
     "TERMS_FILE",
+    "TERMS_IDX_FILE",
     "CATALOG_FILE",
     "SEGMENTS_DIR",
+    "MmapDictionary",
+    "write_term_index",
+    "parse_term_index",
     "save_snapshot",
     "load_snapshot",
     "load_snapshot_catalog",

@@ -56,15 +56,15 @@ def write_segment(out: BinaryIO, segment: Segment) -> int:
 
     Columns that are live ``memoryview`` casts (a store that was itself
     warm-started from a snapshot and is being re-saved) serialize the
-    same as owned arrays.
+    same as owned arrays — and without an intermediate ``bytes`` copy:
+    every column is written through a flat ``memoryview`` cast, so
+    re-persisting a mapped store streams column bytes straight from
+    the page cache to the new file.
     """
     out.write(_HEADER.pack(MAGIC, *(len(col) for col in segment)))
     written = HEADER_BYTES
     for col in segment:
-        if isinstance(col, array):
-            data = col.tobytes()
-        else:
-            data = bytes(memoryview(col))
+        data = memoryview(col).cast("B")
         out.write(data)
         written += len(data)
     return written

@@ -7,6 +7,9 @@ A snapshot is a directory::
                            epoch, and a sha256 checksum per data file
         terms.dict         the term dictionary (length-prefixed UTF-8,
                            id order — see Dictionary.dump)
+        terms.idx          format v2: the offset table + sorted-id
+                           permutation making terms.dict randomly
+                           addressable (see repro.storage.termdict)
         catalog.json       the statistics catalog (optional)
         segments/p<id>.seg one binary segment per non-empty predicate
                            (see repro.storage.segments)
@@ -18,6 +21,15 @@ backend): segment files are mapped and their columns handed to the
 store as zero-copy ``memoryview('q')`` casts, so a warm start skips
 N-Triples parsing, dictionary encoding, deduplication, and sorting
 entirely; the OS pages column bytes in on first touch.
+
+The term dictionary follows the same split: **eager** loads parse
+``terms.dict`` into an in-memory :class:`Dictionary`, while **lazy**
+loads (``lazy_terms=True``, the default for memory-mapped opens of a
+v2 snapshot) hand the mapped ``terms.dict``/``terms.idx`` pair to a
+:class:`~repro.storage.termdict.MmapDictionary` that decodes terms on
+demand — no ``_term_to_id`` / ``_id_to_term`` materialization, so the
+open cost is O(1) in vocabulary size. Format v1 snapshots (no
+``terms.idx``) remain fully loadable through the eager path.
 
 Saves are **atomic**: everything is written into a ``<dir>.tmp-<pid>``
 sibling (manifest last, each file fsynced), renamed to a
@@ -55,17 +67,20 @@ from repro.storage.segments import (
     segment_view,
     write_segment,
 )
+from repro.storage.termdict import MmapDictionary, write_term_index
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.stats.catalog import Catalog
 
-#: Current snapshot format. Bumped on any incompatible layout change;
-#: the loader refuses snapshots from a *newer* format outright and
-#: (once versions > 1 exist) routes older ones through upgrade shims.
-FORMAT_VERSION = 1
+#: Current snapshot format. v2 adds the ``terms.idx`` offset table
+#: behind the lazy mmap dictionary; v1 snapshots (no index) are still
+#: fully readable through the eager dictionary path. The loader
+#: refuses snapshots from a *newer* format outright.
+FORMAT_VERSION = 2
 
 MANIFEST_FILE = "MANIFEST.json"
 TERMS_FILE = "terms.dict"
+TERMS_IDX_FILE = "terms.idx"
 CATALOG_FILE = "catalog.json"
 SEGMENTS_DIR = "segments"
 
@@ -184,7 +199,29 @@ def save_snapshot(
     os.makedirs(os.path.join(tmp, SEGMENTS_DIR))
     try:
         files: dict[str, dict] = {}
-        _write_file(tmp, TERMS_FILE, store.dictionary.dump, files)
+        # The eager dictionary reports each record's offset while the
+        # dict file streams out, so the v2 offset table costs no second
+        # encode pass; other views (notably MmapDictionary, which dumps
+        # its mapped index verbatim) take the plain path.
+        dictionary = store.dictionary
+        record_offsets: "list[int] | None" = (
+            [] if isinstance(dictionary, Dictionary) else None
+        )
+        if record_offsets is not None:
+            _write_file(
+                tmp,
+                TERMS_FILE,
+                lambda out: dictionary.dump(out, record_offsets),
+                files,
+            )
+        else:
+            _write_file(tmp, TERMS_FILE, dictionary.dump, files)
+        _write_file(
+            tmp,
+            TERMS_IDX_FILE,
+            lambda out: write_term_index(out, dictionary, record_offsets),
+            files,
+        )
 
         predicates = []
         for p, segment in store.backend.export_segments():
@@ -359,6 +396,7 @@ def load_snapshot(
     *,
     backend: "StorageBackend | str | None" = None,
     use_mmap: bool | None = None,
+    lazy_terms: bool | None = None,
     verify: bool = True,
     freeze: bool = True,
 ) -> TripleStore:
@@ -370,7 +408,15 @@ def load_snapshot(
     resolves to ``True`` exactly when the chosen backend is columnar
     (whose sealed layout the segment bytes *are*); forcing it on for
     other backends still works but buys nothing, since they rebuild
-    their own indexes from the mapped pairs. ``verify=False`` skips the
+    their own indexes from the mapped pairs. ``lazy_terms=None``
+    resolves to ``True`` exactly when the open is memory-mapped, the
+    snapshot carries a ``terms.idx`` (format v2), *and* the store is
+    being frozen (an unfrozen load must keep interning): the store's
+    dictionary is then a zero-materialization
+    :class:`~repro.storage.termdict.MmapDictionary` over the mapped
+    term files. ``lazy_terms=True`` on a v1 snapshot raises
+    :class:`SnapshotError` (re-save to upgrade); ``lazy_terms=False``
+    forces the eager in-memory dictionary. ``verify=False`` skips the
     sha256 pass for trusted local snapshots; structural gates (format
     version, byte layout, counts, offset-column invariants) always run.
     """
@@ -385,15 +431,19 @@ def load_snapshot(
         raise SnapshotError("load_snapshot() requires an empty backend")
     if use_mmap is None:
         use_mmap = backend_impl.name == "columnar"
-
-    terms = _checked_read(directory, TERMS_FILE, manifest, verify)
-    try:
-        dictionary = Dictionary.load(
-            io.BytesIO(terms), count=manifest["num_terms"]
+    has_term_index = TERMS_IDX_FILE in manifest["files"]
+    if lazy_terms is None:
+        # Only a *frozen* open defaults to the mapped dictionary: an
+        # unfrozen load exists to keep adding triples, which needs a
+        # dictionary that can intern new terms.
+        lazy_terms = use_mmap and has_term_index and freeze
+    elif lazy_terms and not has_term_index:
+        raise SnapshotError(
+            "snapshot has no term index (format v1); re-save it to "
+            "enable lazy_terms"
         )
-    except Exception as exc:
-        raise SnapshotError(f"corrupt snapshot dictionary: {exc}") from exc
 
+    dictionary = _load_dictionary(directory, manifest, lazy_terms, verify)
     store = TripleStore(dictionary=dictionary, backend=backend_impl)
     backend_impl.import_segments(
         _load_segments(directory, manifest, use_mmap, verify)
@@ -406,6 +456,36 @@ def load_snapshot(
     if freeze:
         store.freeze()
     return store
+
+
+def _load_dictionary(
+    directory: str, manifest: dict, lazy_terms: bool, verify: bool
+):
+    """The snapshot's term dictionary, eager or mapped.
+
+    The lazy path maps ``terms.dict`` and ``terms.idx`` and hands them
+    to :class:`MmapDictionary` — O(1) in term count (``verify=True``
+    still streams both files once through sha256, which is the only
+    size-proportional cost left on that path). The eager path parses
+    every record into an in-memory :class:`Dictionary`, which is also
+    the only path a v1 snapshot (no index file) can take.
+    """
+    if lazy_terms:
+        dict_view = _mapped_view(directory, TERMS_FILE, manifest, verify)
+        idx_view = _mapped_view(directory, TERMS_IDX_FILE, manifest, verify)
+        try:
+            return MmapDictionary(
+                dict_view, idx_view, count=manifest["num_terms"]
+            )
+        except SnapshotError:
+            raise
+        except Exception as exc:
+            raise SnapshotError(f"corrupt snapshot dictionary: {exc}") from exc
+    terms = _checked_read(directory, TERMS_FILE, manifest, verify)
+    try:
+        return Dictionary.load(io.BytesIO(terms), count=manifest["num_terms"])
+    except Exception as exc:
+        raise SnapshotError(f"corrupt snapshot dictionary: {exc}") from exc
 
 
 def load_snapshot_catalog(

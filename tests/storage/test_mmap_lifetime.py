@@ -1,0 +1,142 @@
+"""Mmap lifetime: served views must stay valid or fail cleanly.
+
+The contract for every memory-mapped snapshot resource (columnar
+segment views and the lazy term dictionary): deleting or replacing the
+snapshot directory under a live store, dropping the store before its
+views, and double-``close()`` must either keep served data valid (POSIX
+keeps unlinked pages alive until the last mapping goes away) or raise
+:class:`~repro.errors.SnapshotError` cleanly — never segfault, never
+return garbage.
+"""
+
+import gc
+import os
+import shutil
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.graph.store import TripleStore
+from repro.storage import MmapDictionary, load_snapshot, save_snapshot
+
+from tests.storage.test_snapshot import assert_same_contents, small_store
+
+
+def _snapshot(tmp_path, name="snap"):
+    store = small_store("columnar")
+    save_snapshot(store, tmp_path / name)
+    return store, tmp_path / name
+
+
+def _payload_dir(path) -> str:
+    """The real payload directory behind the snapshot symlink."""
+    return os.path.realpath(path)
+
+
+def test_deleting_snapshot_under_live_store_keeps_views_valid(tmp_path):
+    store, path = _snapshot(tmp_path)
+    live = load_snapshot(path, backend="columnar")
+    assert isinstance(live.dictionary, MmapDictionary)
+    payload = _payload_dir(path)
+    os.unlink(path)
+    shutil.rmtree(payload)
+    assert not os.path.exists(path)
+    # Every mapped resource still serves: triples, kernel views, terms.
+    assert_same_contents(store, live)
+    p = live.dictionary.lookup("knows")
+    assert sorted(live.edges(p)) == sorted(store.edges(p))
+    assert list(live.dictionary) == list(store.dictionary)
+
+
+def test_replacing_snapshot_under_live_store_keeps_old_data(tmp_path):
+    store, path = _snapshot(tmp_path)
+    live = load_snapshot(path, backend="columnar")
+    replacement = TripleStore(backend="columnar")
+    replacement.add_term_triples([("x", "p", "y"), ("y", "p", "z")])
+    replacement.freeze()
+    save_snapshot(replacement, path)  # reclaims the old payload dir
+    # The already-open store still serves the *old* snapshot verbatim.
+    assert_same_contents(store, live)
+    # A fresh open serves the new one.
+    assert_same_contents(replacement, load_snapshot(path, backend="columnar"))
+
+
+def test_store_gc_before_views_keeps_views_valid(tmp_path):
+    store, path = _snapshot(tmp_path)
+    live = load_snapshot(path, backend="columnar")
+    p = live.dictionary.lookup("knows")
+    run = live.successors(p, live.dictionary.lookup("alice"))
+    dictionary = live.dictionary
+    expected_edges = sorted(store.edges(p))
+    del live
+    gc.collect()
+    # The surviving views pin their mappings on their own.
+    assert sorted(run) == sorted(
+        o for s, o in expected_edges if s == dictionary.lookup("alice")
+    )
+    assert dictionary.decode(0) == store.dictionary.decode(0)
+
+
+def test_dictionary_close_is_idempotent_and_fails_cleanly(tmp_path):
+    _, path = _snapshot(tmp_path)
+    live = load_snapshot(path, backend="columnar")
+    dictionary = live.dictionary
+    served = dictionary.decode(0)  # decoded strings are owned copies
+    assert not dictionary.closed
+    dictionary.close()
+    dictionary.close()  # double close: no-op, no BufferError, no crash
+    assert dictionary.closed
+    assert "closed" in repr(dictionary)
+    # Previously served values stay valid; new decodes fail cleanly.
+    assert isinstance(served, str)
+    with pytest.raises(SnapshotError, match="closed"):
+        dictionary.decode(0)
+    with pytest.raises(SnapshotError, match="closed"):
+        dictionary.lookup("alice")
+    with pytest.raises(SnapshotError, match="closed"):
+        list(dictionary)
+    with pytest.raises(SnapshotError, match="closed"):
+        dictionary.dump(open(os.devnull, "wb"))
+    with pytest.raises(SnapshotError, match="closed"):
+        dictionary.dump_index(open(os.devnull, "wb"))
+    gc.collect()  # closed dictionary + dropped buffers: clean teardown
+
+
+def test_close_racing_decodes_never_breaks_the_contract(tmp_path):
+    """A close() concurrent with decodes/lookups yields only valid terms
+    or SnapshotError — never TypeError/AttributeError from a half-torn
+    instance (each operation snapshots the buffers into locals once)."""
+    import threading
+
+    _, path = _snapshot(tmp_path)
+    errors = []
+
+    def hammer(dictionary, n_terms):
+        try:
+            for i in range(10_000):
+                try:
+                    term = dictionary.decode(i % n_terms)
+                    assert isinstance(term, str)
+                    dictionary.lookup(term)
+                except SnapshotError:
+                    return  # the documented post-close outcome
+        except BaseException as exc:  # anything else breaks the contract
+            errors.append(exc)
+
+    for _ in range(20):
+        live = load_snapshot(path, backend="columnar")
+        dictionary = live.dictionary
+        n_terms = len(dictionary)
+        thread = threading.Thread(target=hammer, args=(dictionary, n_terms))
+        thread.start()
+        dictionary.close()
+        thread.join()
+    assert not errors, errors
+
+
+def test_closed_dictionary_does_not_break_gc_ordering(tmp_path):
+    _, path = _snapshot(tmp_path)
+    live = load_snapshot(path, backend="columnar")
+    live.dictionary.close()
+    del live
+    gc.collect()  # must not raise BufferError or crash

@@ -1,0 +1,79 @@
+"""The committed format-v1 fixture must keep loading, forever.
+
+``tests/storage/fixtures/v1-snapshot`` is a real v1 snapshot (no
+``terms.idx``, ``format_version: 1``) committed to the repository; CI's
+persistence job round-trips it on every run so a format change can
+never silently orphan pre-v2 snapshots. The v1 compatibility policy:
+v1 loads eagerly under every backend (there is no offset table to map),
+explicit ``lazy_terms=True`` is a clear error, and a re-save upgrades
+to the current format.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.graph.backends import available_backends
+from repro.graph.dictionary import Dictionary
+from repro.storage import (
+    FORMAT_VERSION,
+    MmapDictionary,
+    load_snapshot,
+    load_snapshot_catalog,
+    read_manifest,
+    save_snapshot,
+)
+
+FIXTURE = Path(__file__).parent / "fixtures" / "v1-snapshot"
+
+EXPECTED_TRIPLES = {
+    ("<http://example.org/alice>", "<http://example.org/knows>",
+     "<http://example.org/bob>"),
+    ("<http://example.org/bob>", "<http://example.org/knows>",
+     "<http://example.org/carol>"),
+    ("<http://example.org/carol>", "<http://example.org/knows>",
+     "<http://example.org/alice>"),
+    ("<http://example.org/alice>", "<http://example.org/likes>",
+     '"pancakes"'),
+    ("<http://example.org/dave>", "<http://example.org/knows>",
+     "<http://example.org/alice>"),
+}
+
+pytestmark = pytest.mark.skipif(
+    sys.byteorder != "little",
+    reason="fixture was written on a little-endian platform",
+)
+
+
+def _surface_triples(store):
+    decode = store.dictionary.decode
+    return {tuple(decode(x) for x in t) for t in store.triples()}
+
+
+def test_fixture_is_v1():
+    assert read_manifest(FIXTURE)["format_version"] == 1
+    assert not (FIXTURE / "terms.idx").exists()
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_v1_fixture_loads_under_every_backend(backend):
+    store = load_snapshot(FIXTURE, backend=backend)
+    assert isinstance(store.dictionary, Dictionary)  # eager path
+    assert _surface_triples(store) == EXPECTED_TRIPLES
+    assert load_snapshot_catalog(FIXTURE) is not None
+
+
+def test_v1_fixture_refuses_lazy_terms():
+    with pytest.raises(SnapshotError, match="no term index"):
+        load_snapshot(FIXTURE, backend="columnar", lazy_terms=True)
+
+
+def test_v1_fixture_resave_upgrades_to_current_format(tmp_path):
+    store = load_snapshot(FIXTURE, backend="columnar")
+    manifest = save_snapshot(store, tmp_path / "upgraded")
+    assert manifest["format_version"] == FORMAT_VERSION
+    upgraded = load_snapshot(tmp_path / "upgraded", backend="columnar")
+    assert isinstance(upgraded.dictionary, MmapDictionary)
+    assert _surface_triples(upgraded) == EXPECTED_TRIPLES
