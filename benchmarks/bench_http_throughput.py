@@ -1,0 +1,353 @@
+"""HTTP serving throughput: the /v1 front end under closed-loop load.
+
+The serving tentpole's acceptance scenario: several keep-alive clients
+drive the mixed chain/diamond/snowflake workload (the same one
+``bench_service_throughput`` batches in-process) through a real
+``POST /v1/query`` socket, one request outstanding per client. Two
+passes over a fresh :class:`~repro.service.QueryService`:
+
+* **cold** — empty plan/result caches, every query plans and runs;
+* **warm** — the identical workload again, so literal repeats short-
+  circuit in the result cache and templates reuse cached plans.
+
+Before any timing, the harness asserts **parity**: every distinct
+query's HTTP-reported count equals the in-process
+``QueryService.evaluate`` count. The HTTP layer must be a transport,
+not a different engine.
+
+The gate asserts:
+
+1. warm throughput >= :data:`WARM_QPS_FLOOR` requests/second,
+2. warm per-request p99 <= :data:`P99_CEILING` seconds, and
+3. the warm pass is >= :data:`WARM_SPEEDUP_FLOOR` x the cold pass —
+   the cache hierarchy must survive the wire.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_http_throughput.py [--smoke]`` —
+  pytest-benchmark timings (CI's bench-smoke job);
+* ``python benchmarks/bench_http_throughput.py [--smoke] [--output F]
+  [--baseline F]`` — the CI serving gate: prints the table, writes
+  ``BENCH_http_throughput.json``, exits non-zero on a missed floor, a
+  parity mismatch, or a >25% warm-QPS regression vs the committed
+  baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.datasets.paper_queries import paper_diamond_queries, paper_snowflake_queries
+from repro.query.miner import QueryMiner
+from repro.query.templates import chain_template
+from repro.server import serve_in_background
+from repro.service import QueryService
+
+#: Minimum warm-pass throughput the gate enforces. Conservative: local
+#: runs measure thousands of req/s; CI containers are slower and
+#: shared, so the floor only catches order-of-magnitude collapses
+#: (e.g. an accidental per-request engine rebuild or a lost cache).
+WARM_QPS_FLOOR = 150.0
+
+#: Maximum warm-pass per-request p99, in seconds. Warm requests are
+#: cache hits plus JSON + socket overhead — tens of milliseconds even
+#: on a loaded runner.
+P99_CEILING = 0.25
+
+#: Minimum warm/cold throughput ratio: the service's cache hierarchy
+#: (plan cache, result cache) must still pay off through the wire.
+WARM_SPEEDUP_FLOOR = 1.3
+
+#: Allowed relative drop of warm QPS vs the committed baseline.
+REGRESSION_TOLERANCE = 0.25
+
+#: Total closed-loop requests per pass and concurrent keep-alive clients.
+WORKLOAD_SIZE = 100
+CLIENTS = 4
+
+
+def build_workload(store):
+    """~100 mixed queries: distinct templates, anchored variants, literal
+    repeats — the same traffic shape as ``bench_service_throughput``."""
+    from bench_service_throughput import anchored_variants
+
+    miner = QueryMiner(store, seed=11, forbidden_labels=["rdf:type"])
+    chains = miner.mine(chain_template(3), count=4)
+    distinct = (
+        chains
+        + list(paper_diamond_queries())[:3]
+        + list(paper_snowflake_queries())[:3]
+    )
+    anchored = [
+        variant
+        for chain in chains
+        for variant in anchored_variants(store, chain, 5)
+    ]
+    queries = list(distinct) + anchored
+    while len(queries) < WORKLOAD_SIZE:
+        queries += distinct
+    queries = queries[:WORKLOAD_SIZE]
+    queries.sort(key=lambda q: sum(map(ord, q.name or "q")) % 97)
+    return distinct, queries
+
+
+def _encode(query) -> bytes:
+    """The request body: canonical wire form, count-only evaluation."""
+    return json.dumps({"query": query.to_dict(), "materialize": False}).encode()
+
+
+def run_pass(address, bodies: list[bytes], clients: int) -> dict:
+    """One closed-loop pass: ``clients`` threads, one request in flight
+    each, keep-alive connections, until the workload is drained."""
+    shares = [bodies[i::clients] for i in range(clients)]
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    failures: list[str] = []
+    host, port = address
+
+    def worker(idx: int) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=120)
+        try:
+            for body in shares[idx]:
+                t0 = time.perf_counter()
+                conn.request("POST", "/v1/query", body=body)
+                response = conn.getresponse()
+                raw = response.read()
+                latencies[idx].append(time.perf_counter() - t0)
+                if response.status != 200:
+                    failures.append(raw.decode(errors="replace")[:200])
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+
+    flat = sorted(lat for share in latencies for lat in share)
+    return {
+        "requests": len(flat),
+        "wall_seconds": wall,
+        "qps": len(flat) / wall,
+        "p50_seconds": statistics.quantiles(flat, n=100)[49],
+        "p99_seconds": statistics.quantiles(flat, n=100)[98],
+        "errors": len(failures),
+        "first_error": failures[0] if failures else None,
+    }
+
+
+def check_parity(address, service, distinct) -> dict:
+    """HTTP counts == in-process counts for every distinct query."""
+    host, port = address
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+    parity = {}
+    try:
+        for query in distinct:
+            expected = service.evaluate(query, materialize=False).count
+            conn.request("POST", "/v1/query", body=_encode(query))
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            got = payload["result"]["count"] if response.status == 200 else None
+            parity[query.name or "q"] = (got == expected)
+    finally:
+        conn.close()
+    return parity
+
+
+def run_http_benchmark(store, catalog, clients: int = CLIENTS) -> dict:
+    """Parity check + cold/warm closed-loop passes over a fresh service."""
+    distinct, workload = build_workload(store)
+    bodies = [_encode(q) for q in workload]
+    with QueryService(store, catalog=catalog) as service:
+        with serve_in_background(service, max_pending=4 * clients) as handle:
+            cold = run_pass(handle.address, bodies, clients)
+            warm = run_pass(handle.address, bodies, clients)
+            parity = check_parity(handle.address, service, distinct)
+            snapshot = service.snapshot()
+            http_stats = handle.server.http_stats()
+    return {
+        "workload": "chain-diamond-snowflake-http",
+        "workload_size": len(workload),
+        "clients": clients,
+        "backend": store.backend_name,
+        "cold": cold,
+        "warm": warm,
+        "warm_speedup": warm["qps"] / cold["qps"],
+        "parity": parity,
+        "plan_cache_hit_rate": snapshot["plan_cache"]["hit_rate"],
+        "result_cache_hit_rate": snapshot["result_cache"]["hit_rate"],
+        "shed": http_stats["shed"],
+        "warm_qps_floor": WARM_QPS_FLOOR,
+        "p99_ceiling": P99_CEILING,
+        "warm_speedup_floor": WARM_SPEEDUP_FLOOR,
+    }
+
+
+def gate_failures(results: dict) -> list[str]:
+    """Floor/parity violations in ``results`` (empty = pass)."""
+    failures = []
+    for name, same in results["parity"].items():
+        if not same:
+            failures.append(f"parity: {name} differs between HTTP and in-process")
+    for label in ("cold", "warm"):
+        if results[label]["errors"]:
+            failures.append(
+                f"{label} pass had {results[label]['errors']} non-200 "
+                f"responses (first: {results[label]['first_error']})"
+            )
+    if results["warm"]["qps"] < WARM_QPS_FLOOR:
+        failures.append(
+            f"warm throughput {results['warm']['qps']:.0f} req/s below the "
+            f"{WARM_QPS_FLOOR:.0f} req/s floor"
+        )
+    if results["warm"]["p99_seconds"] > P99_CEILING:
+        failures.append(
+            f"warm p99 {results['warm']['p99_seconds'] * 1e3:.1f} ms above "
+            f"the {P99_CEILING * 1e3:.0f} ms ceiling"
+        )
+    if results["warm_speedup"] < WARM_SPEEDUP_FLOOR:
+        failures.append(
+            f"warm pass only {results['warm_speedup']:.2f}x the cold pass "
+            f"(floor {WARM_SPEEDUP_FLOOR:.1f}x — cache hierarchy lost over "
+            f"the wire)"
+        )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (CI bench-smoke job)
+# ----------------------------------------------------------------------
+
+
+def test_http_throughput_gate(benchmark, store, catalog):
+    """Warm HTTP serving meets the QPS floor, p99 ceiling, and warm
+    speedup, with HTTP/in-process parity on every distinct query."""
+    results = benchmark.pedantic(
+        lambda: run_http_benchmark(store, catalog),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "warm_qps": round(results["warm"]["qps"], 1),
+            "cold_qps": round(results["cold"]["qps"], 1),
+            "warm_p99_ms": round(results["warm"]["p99_seconds"] * 1e3, 2),
+            "warm_speedup": round(results["warm_speedup"], 2),
+            "clients": results["clients"],
+        }
+    )
+    failures = gate_failures(results)
+    assert not failures, "; ".join(failures)
+
+
+# ----------------------------------------------------------------------
+# script entry point (CI serving gate + BENCH_http_throughput.json)
+# ----------------------------------------------------------------------
+
+
+def _regression(results: dict, baseline_path: Path) -> list[str]:
+    """Warm-QPS regression vs the committed baseline (empty = pass).
+
+    Throughput scales with dataset size and backend, so the comparison
+    only runs between same-shape measurements — a full-size run against
+    the committed smoke baseline skips the check rather than failing it
+    spuriously.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    for key in ("mode", "backend", "workload_size", "clients"):
+        if baseline.get(key) != results.get(key):
+            print(
+                f"http gate: baseline {key}={baseline.get(key)!r} vs this "
+                f"run {results.get(key)!r} — regression check skipped"
+            )
+            return []
+    floor = baseline["warm"]["qps"] * (1.0 - REGRESSION_TOLERANCE)
+    if results["warm"]["qps"] < floor:
+        return [
+            f"warm throughput {results['warm']['qps']:.0f} req/s fell below "
+            f"{floor:.0f} req/s (baseline {baseline['warm']['qps']:.0f} "
+            f"req/s - {REGRESSION_TOLERANCE:.0%})"
+        ]
+    print(f"http gate: no regression vs {baseline_path}")
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny dataset (CI)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write results JSON here")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="fail if warm QPS regresses >25%% vs this file")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        os.environ.setdefault("REPRO_BENCH_SCALE", "0.25")
+
+    from repro.bench.workloads import benchmark_catalog, make_benchmark_store
+
+    store = make_benchmark_store()
+    catalog = benchmark_catalog()
+    results = {
+        "benchmark": "bench_http_throughput",
+        "schema": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "python": sys.version.split()[0],
+        **run_http_benchmark(store, catalog),
+    }
+
+    for label in ("cold", "warm"):
+        record = results[label]
+        print(
+            f"{label:4s} {record['requests']:>4} requests  "
+            f"{record['qps']:8.1f} req/s   "
+            f"p50 {record['p50_seconds'] * 1e3:7.2f} ms   "
+            f"p99 {record['p99_seconds'] * 1e3:7.2f} ms   "
+            f"errors {record['errors']}"
+        )
+    print(
+        f"parity: {sum(results['parity'].values())}/{len(results['parity'])} "
+        f"queries identical over HTTP"
+    )
+    print(
+        f"gate: warm >= {WARM_QPS_FLOOR:.0f} req/s -> "
+        f"{results['warm']['qps']:.0f}; p99 <= {P99_CEILING * 1e3:.0f} ms -> "
+        f"{results['warm']['p99_seconds'] * 1e3:.1f}; warm speedup >= "
+        f"{WARM_SPEEDUP_FLOOR:.1f}x -> {results['warm_speedup']:.2f}x"
+    )
+
+    failures = gate_failures(results)
+    if args.baseline is not None and args.baseline.exists():
+        failures += _regression(results, args.baseline)
+    elif args.baseline is not None:
+        print(f"http gate: baseline {args.baseline} missing, "
+              f"regression check skipped")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,7 @@ then prints the service's own telemetry.
 
 import time
 
-from repro import QueryService, WireframeEngine, generate_yago_like, parse_sparql
+from repro import QueryService, WireframeEngine, generate_yago_like, parse_query
 from repro.service.stats import format_stats
 
 # ----------------------------------------------------------------------
@@ -27,13 +27,13 @@ print(f"data graph: {store}")
 # ----------------------------------------------------------------------
 # 2. A repeat-heavy workload: one template, many entities, many repeats.
 # ----------------------------------------------------------------------
-probe = parse_sparql("select ?actor, ?movie where { ?actor actedIn ?movie }")
+probe = parse_query("select ?actor, ?movie where { ?actor actedIn ?movie }")
 rows = WireframeEngine(store).evaluate(probe).rows
 decode = store.dictionary.decode
 movies = sorted({decode(r[1]) for r in rows})[:8]
 
 workload = [
-    parse_sparql(f"select ?actor where {{ ?actor actedIn {movie} }}")
+    parse_query(f"select ?actor where {{ ?actor actedIn {movie} }}")
     for movie in movies
 ] * 10  # 80 queries, 8 distinct
 print(f"workload: {len(workload)} queries over {len(movies)} templates")

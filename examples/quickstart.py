@@ -9,7 +9,7 @@ but its *answer graph* — the factorized representation Wireframe
 computes first — has only 8 labeled node pairs.
 """
 
-from repro import GraphBuilder, WireframeEngine, parse_sparql
+from repro import GraphBuilder, WireframeEngine, parse_query
 
 # ----------------------------------------------------------------------
 # 1. Build a data graph (the paper's Fig. 1 / Fig. 2 example).
@@ -26,7 +26,7 @@ print(f"data graph: {store}")
 # ----------------------------------------------------------------------
 # 2. Write the conjunctive query in SPARQL.
 # ----------------------------------------------------------------------
-query = parse_sparql(
+query = parse_query(
     "select ?w, ?x, ?y, ?z where { ?w :A ?x . ?x :B ?y . ?y :C ?z . }"
 )
 print(f"\nquery:\n{query.to_sparql()}")

@@ -5,7 +5,7 @@ Reproduction of *Answer Graph: Factorization Matters in Large Graphs*
 
 Quickstart::
 
-    from repro import GraphBuilder, WireframeEngine, parse_sparql
+    from repro import GraphBuilder, WireframeEngine, parse_query
 
     store = (
         GraphBuilder()
@@ -13,7 +13,7 @@ Quickstart::
         .edge("bob", "knows", "carol")
         .build(freeze=True)
     )
-    query = parse_sparql("select ?a, ?b, ?c where { ?a knows ?b . ?b knows ?c }")
+    query = parse_query("select ?a, ?b, ?c where { ?a knows ?b . ?b knows ?c }")
     result = WireframeEngine(store).evaluate(query)
     print(result.count, "embeddings")
 
@@ -30,9 +30,24 @@ store changes::
         results = service.evaluate_many([query] * 100, deadlines=1.0)
         print(service.snapshot()["plan_cache"]["hit_rate"])
 
+To take traffic over the network, put the HTTP front end in front of
+the same service (``repro serve`` on the command line, or
+:func:`~repro.server.serve` in code) — it speaks the versioned
+``/v1`` JSON wire API built on :meth:`ConjunctiveQuery.to_dict
+<repro.query.model.ConjunctiveQuery.to_dict>` and
+:meth:`EngineResult.to_dict <repro.engine_api.EngineResult.to_dict>`.
+
 See README.md for the quickstart, DESIGN.md for the system inventory,
 and EXPERIMENTS.md for the paper-versus-measured record.
+
+This module is the package's supported surface: everything in
+``__all__`` is covered by the public-API tests and follows
+deprecation policy (renamed names keep working for one minor release
+behind a ``DeprecationWarning`` shim — currently ``parse_sparql`` →
+:func:`parse_query`).
 """
+
+import warnings as _warnings
 
 from repro.errors import (
     DatasetError,
@@ -75,7 +90,7 @@ from repro.query import (
     diamond_template,
     find_cycles,
     is_acyclic,
-    parse_sparql,
+    parse_query,
     snowflake_template,
     star_template,
 )
@@ -135,9 +150,45 @@ from repro.datasets import (
     paper_queries,
     paper_snowflake_queries,
 )
+from repro.datasets.loader import load_dataset, save_dataset
+from repro.server import (
+    HTTPQueryServer,
+    WireError,
+    serve,
+    serve_in_background,
+)
 from repro.utils import Deadline
 
-__version__ = "1.0.0"
+try:
+    # The single source of truth for the version is the installed
+    # package metadata (pyproject.toml). The fallback covers
+    # PYTHONPATH=src usage of an uninstalled checkout and must be kept
+    # in sync with pyproject.toml by hand.
+    from importlib.metadata import PackageNotFoundError as _PkgNotFound
+    from importlib.metadata import version as _pkg_version
+
+    __version__ = _pkg_version("repro-answer-graph")
+except _PkgNotFound:  # pragma: no cover — uninstalled checkout
+    __version__ = "1.2.0"
+
+#: Deprecated top-level names: old name -> (replacement name, object).
+#: Accessing one still works for a minor release but warns.
+_DEPRECATED_ALIASES = {
+    "parse_sparql": ("parse_query", parse_query),
+}
+
+
+def __getattr__(name: str):
+    """Resolve deprecated aliases with a :class:`DeprecationWarning`."""
+    if name in _DEPRECATED_ALIASES:
+        replacement, obj = _DEPRECATED_ALIASES[name]
+        _warnings.warn(
+            f"repro.{name} is deprecated; use repro.{replacement} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return obj
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     # errors
@@ -151,6 +202,7 @@ __all__ = [
     "EvaluationTimeout",
     "DatasetError",
     "SnapshotError",
+    "WireError",
     # graph substrate
     "Dictionary",
     "DictionaryView",
@@ -171,7 +223,7 @@ __all__ = [
     "ConjunctiveQuery",
     "BoundQuery",
     "bind_query",
-    "parse_sparql",
+    "parse_query",
     "QueryShape",
     "classify_shape",
     "find_cycles",
@@ -220,6 +272,12 @@ __all__ = [
     "load_snapshot",
     "load_snapshot_catalog",
     "is_snapshot",
+    "load_dataset",
+    "save_dataset",
+    # serving (HTTP front end)
+    "HTTPQueryServer",
+    "serve",
+    "serve_in_background",
     # service
     "QueryService",
     "PlanCache",

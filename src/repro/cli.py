@@ -6,10 +6,16 @@ Commands
 ``stats``      summarize a dataset and its catalog
 ``query``      evaluate a SPARQL CQ with any of the five engines
 ``batch``      serve many queries through the concurrent QueryService
+``serve``      expose the QueryService over HTTP (the /v1 JSON API)
 ``mine``       mine non-empty template queries from a dataset
 ``table1``     regenerate the paper's Table 1
 ``save``       write a dataset as a durable binary snapshot
 ``dump``       export a dataset as an N-Triples file
+
+JSON output (``query --json``, ``batch --json``) and the HTTP wire
+format share one canonical serialization:
+:meth:`repro.query.model.ConjunctiveQuery.to_dict` for queries and
+:meth:`repro.engine_api.EngineResult.to_dict` for results.
 
 Every command accepts ``--dataset DIR`` (a directory written by
 ``generate``), ``--snapshot DIR`` (a durable snapshot written by
@@ -33,7 +39,7 @@ from repro.graph.backends import available_backends
 from repro.graph.store import TripleStore
 from repro.graph.ntriples import dump_ntriples_file
 from repro.query.miner import QueryMiner
-from repro.query.parser import parse_sparql
+from repro.query.parser import parse_query
 from repro.storage import load_snapshot, load_snapshot_catalog, save_snapshot
 from repro.query.templates import (
     chain_template,
@@ -129,6 +135,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="enable edge burnback (WF only)")
     p_query.add_argument("--explain", action="store_true",
                          help="print the Wireframe plans")
+    p_query.add_argument("--json", action="store_true",
+                         help="emit the canonical wire-form query and result "
+                         "as JSON (the same shapes the /v1 HTTP API serves)")
 
     p_batch = sub.add_parser(
         "batch",
@@ -156,6 +165,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable the service result cache")
     p_batch.add_argument("--json", action="store_true",
                          help="emit per-query results and stats as JSON")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="expose the QueryService over HTTP (versioned /v1 JSON API)",
+    )
+    _add_dataset_args(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="bind port (default 8080; 0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="service thread-pool width (default min(8, cpus))")
+    p_serve.add_argument("--max-pending", type=int, default=64,
+                         help="in-flight query bound before 503 load shedding")
+    p_serve.add_argument("--max-body-kib", type=int, default=1024,
+                         help="request body cap in KiB (default 1024)")
+    p_serve.add_argument("--timeout", type=float, default=300.0,
+                         help="default per-query budget in seconds for "
+                         "requests without an explicit timeout (0 = none)")
+    p_serve.add_argument("--limit", type=int, default=100,
+                         help="default decoded-row cap per response")
 
     p_mine = sub.add_parser("mine", help="mine non-empty template queries")
     _add_dataset_args(p_mine)
@@ -243,7 +273,7 @@ def _cmd_query(args) -> int:
             text = handle.read()
     else:
         text = args.sparql
-    query = parse_sparql(text)
+    query = parse_query(text)
 
     engine = default_engines(store, catalog, names=(args.engine,))[0]
     if args.edge_burnback:
@@ -269,10 +299,35 @@ def _cmd_query(args) -> int:
         result = engine.evaluate(
             query, deadline=deadline, materialize=args.limit > 0
         )
-    except EvaluationTimeout:
-        print(f"* (timed out after {args.timeout:.0f}s)")
+    except EvaluationTimeout as exc:
+        if args.json:
+            import json
+
+            print(json.dumps({
+                "query": query.to_dict(),
+                "error": {"code": "timeout", "message": str(exc)},
+            }, indent=2))
+        else:
+            print(f"* (timed out after {args.timeout:.0f}s)")
         return 1
     elapsed = time.perf_counter() - start
+
+    if args.json:
+        import json
+
+        # The same canonical forms the /v1 HTTP API serves: the query
+        # as its wire document, the result through EngineResult.to_dict.
+        payload = {
+            "query": query.to_dict(),
+            "columns": [v.name for v in query.projection],
+            "elapsed_seconds": elapsed,
+            "backend": store.backend_name,
+            "result": result.to_dict(
+                store.dictionary, limit=args.limit if args.limit > 0 else None
+            ),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
 
     print(f"{result.count} rows in {elapsed:.3f}s [{engine.name}] "
           f"(backend {store.backend_name})")
@@ -294,7 +349,7 @@ def _cmd_query(args) -> int:
 def _parse_query_file(text: str):
     """Split a workload file into queries on blank lines."""
     blocks = [b.strip() for b in text.split("\n\n")]
-    return [parse_sparql(b) for b in blocks if b]
+    return [parse_query(b) for b in blocks if b]
 
 
 def _cmd_batch(args) -> int:
@@ -342,20 +397,23 @@ def _cmd_batch(args) -> int:
         snapshot = service.snapshot()
 
     if args.json:
+        # One canonical serialization, shared with the /v1 HTTP API:
+        # queries as their wire documents, results via
+        # EngineResult.to_dict, errors via the wire's exception map.
+        from repro.server.wire import map_exception
+
+        entries = []
+        for q, r in zip(queries, results):
+            entry: dict = {"query": q.to_dict()}
+            if isinstance(r, _ReproError):
+                _status, code, message = map_exception(r)
+                entry["error"] = {"code": code, "message": message}
+            else:
+                entry["result"] = r.to_dict(store.dictionary)
+            entries.append(entry)
         payload = {
             "elapsed_seconds": elapsed,
-            "queries": [
-                {"query": q.name or q.to_sparql(), "timed_out": True}
-                if isinstance(r, _Timeout)
-                else {"query": q.name or q.to_sparql(), "error": str(r)}
-                if isinstance(r, _ReproError)
-                else {
-                    "query": q.name or q.to_sparql(),
-                    "count": r.count,
-                    "service": r.stats.get("service", {}),
-                }
-                for q, r in zip(queries, results)
-            ],
+            "queries": entries,
             "stats": snapshot,
         }
         print(json.dumps(payload, indent=2))
@@ -377,6 +435,44 @@ def _cmd_batch(args) -> int:
           f"({len(queries) / elapsed:.1f} q/s)")
     print("service stats:")
     print(format_stats(snapshot))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.server import serve
+    from repro.service import QueryService
+
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    store, catalog = _load(args)
+    with QueryService(
+        store,
+        catalog=catalog,
+        max_workers=args.workers,
+        freeze=True,
+    ) as service:
+
+        def on_ready(address):
+            host, port = address
+            print(
+                f"serving {store.num_triples} triples "
+                f"(backend {store.backend_name}) on http://{host}:{port} "
+                f"— POST /v1/query, /v1/batch; GET /v1/health, /v1/stats; "
+                f"Ctrl-C drains and exits",
+                flush=True,
+            )
+
+        serve(
+            service,
+            host=args.host,
+            port=args.port,
+            on_ready=on_ready,
+            max_pending=args.max_pending,
+            max_body_bytes=args.max_body_kib * 1024,
+            default_timeout=args.timeout if args.timeout > 0 else None,
+            default_row_limit=args.limit,
+        )
     return 0
 
 
@@ -444,6 +540,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "query": _cmd_query,
     "batch": _cmd_batch,
+    "serve": _cmd_serve,
     "mine": _cmd_mine,
     "table1": _cmd_table1,
     "save": _cmd_save,

@@ -38,6 +38,36 @@ def resolve_catalog(
     return store.catalog()
 
 
+def json_safe(value):
+    """Recursively coerce ``value`` into JSON-encodable primitives.
+
+    Engine ``stats`` dicts carry tuples (plan orders), numpy scalars
+    (estimator outputs), and occasionally richer objects; every wire
+    consumer (HTTP responses, ``--json`` CLI output, benchmark
+    artifacts) needs them as plain JSON. Tuples/sets become lists,
+    numpy scalars unwrap through ``.item()``, non-finite floats become
+    ``None`` (JSON has no ``inf``/``nan``), and anything else falls
+    back to ``str`` rather than failing the whole response.
+    """
+    if value is None or isinstance(value, (str, bool, int)):
+        return value
+    if isinstance(value, float):
+        return value if value == value and abs(value) != float("inf") else None
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((json_safe(v) for v in value), key=repr)
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        try:
+            return json_safe(item())
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
 @dataclass
 class EngineResult:
     """Outcome of one query evaluation.
@@ -77,6 +107,28 @@ class EngineResult:
         return [
             tuple(flat[i : i + width]) for i in range(0, len(flat), width)
         ]
+
+    def to_dict(self, dictionary, limit: "int | None" = None) -> dict:
+        """The canonical JSON-safe wire form of this result.
+
+        The single serialization every consumer shares — the HTTP
+        ``/v1`` responses, ``repro query --json``, and ``repro batch
+        --json`` all emit exactly this dict instead of formatting ad
+        hoc. ``rows`` holds decoded term-string rows (through one
+        batched :meth:`decoded_rows` call), capped at ``limit`` when
+        given; a non-materialized result writes ``rows: null``.
+        ``truncated`` flags a ``limit`` that actually dropped rows, so
+        clients can distinguish "10 rows" from "first 10 of 10_000".
+        ``stats`` is passed through :func:`json_safe`.
+        """
+        decoded = self.decoded_rows(dictionary, limit=limit)
+        return {
+            "engine": self.engine,
+            "count": self.count,
+            "rows": None if decoded is None else [list(row) for row in decoded],
+            "truncated": decoded is not None and len(decoded) < len(self.rows),
+            "stats": json_safe(self.stats),
+        }
 
 
 class Engine(abc.ABC):

@@ -9,7 +9,7 @@ non-empty queries over a dataset.
 
 from repro.query.model import Var, Const, QueryEdge, ConjunctiveQuery
 from repro.query.algebra import BoundEdge, BoundQuery, bind_query
-from repro.query.parser import parse_sparql
+from repro.query.parser import parse_query, parse_sparql
 from repro.query.shapes import QueryShape, classify_shape, find_cycles, is_acyclic
 from repro.query.templates import (
     QueryTemplate,
@@ -29,6 +29,7 @@ __all__ = [
     "BoundEdge",
     "BoundQuery",
     "bind_query",
+    "parse_query",
     "parse_sparql",
     "QueryShape",
     "classify_shape",

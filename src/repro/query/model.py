@@ -34,6 +34,44 @@ class Const(NamedTuple):
 
 QueryTerm = Union[Var, Const]
 
+#: Wire-schema version accepted by :meth:`ConjunctiveQuery.from_dict`.
+#: Bumped only on a breaking change to the JSON layout; additive,
+#: backward-compatible evolution keeps the number (the ``/v1`` HTTP API
+#: is pinned to it).
+WIRE_VERSION = 1
+
+
+def _term_to_wire(term: QueryTerm) -> dict:
+    """The tagged JSON form of one query term.
+
+    Variables and constants are tagged explicitly (``{"var": "x"}`` /
+    ``{"const": "Tom_Hanks"}``) instead of reusing the ``"?x"`` surface
+    convention — a constant whose text happens to start with ``?`` must
+    survive the round trip unambiguously.
+    """
+    if isinstance(term, Var):
+        return {"var": term.name}
+    return {"const": term.term}
+
+
+def _term_from_wire(obj: object, where: str) -> QueryTerm:
+    """Parse one tagged term dict; raises :class:`QueryError` on junk."""
+    if not isinstance(obj, dict) or len(obj) != 1:
+        raise QueryError(
+            f"{where}: term must be a one-key dict "
+            f'{{"var": name}} or {{"const": text}}, got {obj!r}'
+        )
+    (tag, value), = obj.items()
+    if not isinstance(value, str):
+        raise QueryError(f"{where}: term value must be a string, got {value!r}")
+    if tag == "var":
+        if not value:
+            raise QueryError(f"{where}: variable name cannot be empty")
+        return Var(value)
+    if tag == "const":
+        return Const(value)
+    raise QueryError(f"{where}: unknown term tag {tag!r} (expected var/const)")
+
 
 def _coerce_term(value: Union[QueryTerm, str]) -> QueryTerm:
     """Accept ``"?x"``-style strings as a convenience in constructors."""
@@ -221,6 +259,108 @@ class ConjunctiveQuery:
                 f"query {self.name or ''} is disconnected; "
                 "engines require a connected query graph"
             )
+
+    # ------------------------------------------------------------------
+    # Canonical wire form (JSON-safe, round-trippable)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The canonical JSON-safe wire form of this query (schema v1).
+
+        This single form is what ``POST /v1/query`` accepts, what
+        ``repro query --json`` echoes, and what :meth:`from_dict`
+        parses — every value is a JSON scalar, list, or dict, and
+        ``from_dict(q.to_dict()) == q`` holds for every constructible
+        query (property-tested). The projection is always written out
+        explicitly, so the wire form never depends on the reader
+        recomputing first-appearance order.
+        """
+        doc: dict = {
+            "version": WIRE_VERSION,
+            "edges": [
+                {
+                    "s": _term_to_wire(e.subject),
+                    "p": e.predicate,
+                    "o": _term_to_wire(e.object),
+                }
+                for e in self.edges
+            ],
+            "projection": [v.name for v in self.projection],
+            "distinct": self.distinct,
+        }
+        if self.name is not None:
+            doc["name"] = self.name
+        return doc
+
+    _WIRE_FIELDS = frozenset({"version", "edges", "projection", "distinct", "name"})
+
+    @classmethod
+    def from_dict(cls, doc: object) -> "ConjunctiveQuery":
+        """Parse the canonical wire form written by :meth:`to_dict`.
+
+        Validation is strict — wrong shapes, wrong types, a missing
+        ``edges`` list, and *unknown fields* all raise
+        :class:`~repro.errors.QueryError` (the HTTP layer maps that to
+        a 400 rather than silently ignoring a misspelled field). An
+        absent ``version`` is read as the current schema; any other
+        version than :data:`WIRE_VERSION` is rejected.
+        """
+        if not isinstance(doc, dict):
+            raise QueryError(f"query document must be a JSON object, got {doc!r}")
+        unknown = set(doc) - cls._WIRE_FIELDS
+        if unknown:
+            raise QueryError(
+                f"unknown query field(s): {', '.join(sorted(map(str, unknown)))}"
+            )
+        version = doc.get("version", WIRE_VERSION)
+        if version != WIRE_VERSION:
+            raise QueryError(
+                f"unsupported query wire version {version!r} "
+                f"(this build speaks version {WIRE_VERSION})"
+            )
+        edges_doc = doc.get("edges")
+        if not isinstance(edges_doc, list) or not edges_doc:
+            raise QueryError("'edges' must be a non-empty list of edge objects")
+        edges = []
+        for i, edge in enumerate(edges_doc):
+            where = f"edges[{i}]"
+            if not isinstance(edge, dict) or set(edge) != {"s", "p", "o"}:
+                raise QueryError(
+                    f"{where}: edge must be a dict with exactly s/p/o keys, "
+                    f"got {edge!r}"
+                )
+            predicate = edge["p"]
+            if not isinstance(predicate, str) or not predicate:
+                raise QueryError(
+                    f"{where}: predicate must be a non-empty string, "
+                    f"got {predicate!r}"
+                )
+            edges.append(
+                QueryEdge(
+                    _term_from_wire(edge["s"], f"{where}.s"),
+                    predicate,
+                    _term_from_wire(edge["o"], f"{where}.o"),
+                )
+            )
+        projection_doc = doc.get("projection")
+        projection: tuple[Var, ...] | None
+        if projection_doc is None:
+            projection = None
+        else:
+            if not isinstance(projection_doc, list) or not all(
+                isinstance(v, str) and v for v in projection_doc
+            ):
+                raise QueryError(
+                    "'projection' must be a list of non-empty variable names"
+                )
+            projection = tuple(Var(v) for v in projection_doc)
+        distinct = doc.get("distinct", False)
+        if not isinstance(distinct, bool):
+            raise QueryError(f"'distinct' must be a boolean, got {distinct!r}")
+        name = doc.get("name")
+        if name is not None and not isinstance(name, str):
+            raise QueryError(f"'name' must be a string, got {name!r}")
+        return cls(edges, projection=projection, distinct=distinct, name=name)
 
     # ------------------------------------------------------------------
     # Rendering / identity

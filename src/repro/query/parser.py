@@ -235,13 +235,18 @@ class _Parser:
         raise ParseError(f"expected a predicate, got {token.value!r}", token.pos)
 
 
-def parse_sparql(text: str) -> ConjunctiveQuery:
+def parse_query(text: str) -> ConjunctiveQuery:
     """Parse SPARQL CQ text into a :class:`ConjunctiveQuery`.
 
-    >>> q = parse_sparql("select ?w, ?x where { ?w :A ?x . ?x :B ?y . }")
+    >>> q = parse_query("select ?w, ?x where { ?w :A ?x . ?x :B ?y . }")
     >>> [str(v) for v in q.projection]
     ['?w', '?x']
     >>> q.edges[0].predicate
     'A'
     """
     return _Parser(text).parse()
+
+
+#: Historical name for :func:`parse_query`; the top-level facade
+#: (``repro.parse_sparql``) additionally emits a ``DeprecationWarning``.
+parse_sparql = parse_query

@@ -1,0 +1,46 @@
+"""Async HTTP serving front end: the network edge over QueryService.
+
+This package turns the in-process serving layer into something that
+can take real traffic, with no dependencies beyond the stdlib:
+
+* :mod:`repro.server.http` — a minimal HTTP/1.1 transport over
+  asyncio streams (keep-alive, bounded heads and bodies);
+* :mod:`repro.server.wire` — the versioned ``/v1`` JSON wire
+  protocol: strict request documents over the canonical
+  ``Query.to_dict``/``from_dict`` form, and the single
+  exception-to-status mapping;
+* :mod:`repro.server.app` — :class:`HTTPQueryServer` (routing,
+  bounded-admission backpressure, client-deadline propagation,
+  graceful drain) plus the :func:`serve` blocking entry point and
+  :func:`serve_in_background` for tests/benchmarks.
+
+Quickstart::
+
+    from repro import QueryService, serve
+    from repro.datasets import generate_yago_like
+
+    service = QueryService(generate_yago_like(scale=0.5), freeze=True)
+    serve(service, host="127.0.0.1", port=8080)   # Ctrl-C drains & exits
+
+then::
+
+    curl -s localhost:8080/v1/query -d \\
+      '{"sparql": "select ?a, ?b where { ?a created ?b }", "limit": 3}'
+"""
+
+from repro.server.app import (
+    HTTPQueryServer,
+    ServerHandle,
+    serve,
+    serve_in_background,
+)
+from repro.server.wire import API_VERSION, WireError
+
+__all__ = [
+    "API_VERSION",
+    "HTTPQueryServer",
+    "ServerHandle",
+    "WireError",
+    "serve",
+    "serve_in_background",
+]

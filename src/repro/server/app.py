@@ -1,0 +1,535 @@
+"""The asyncio HTTP front end over :class:`~repro.service.QueryService`.
+
+:class:`HTTPQueryServer` binds the versioned JSON wire API
+(:mod:`repro.server.wire`) to a running service:
+
+* ``POST /v1/query``  — evaluate one conjunctive query;
+* ``POST /v1/batch``  — evaluate many, order-preserving, per-query
+  error isolation;
+* ``GET  /v1/health`` — liveness (503 while draining, so load
+  balancers rotate the instance out);
+* ``GET  /v1/stats``  — the service snapshot (cache hit rates, latency
+  percentiles, queue depth, in-flight count) plus HTTP-level gauges.
+
+The event loop only parses and routes; evaluation runs on the
+service's thread pool and is awaited through
+:func:`asyncio.wrap_future`, so slow queries never stall the accept
+loop. **Backpressure** is a bounded admission count: once
+``max_pending`` queries are in flight HTTP-side, further submissions
+are shed immediately with ``503`` + ``Retry-After`` instead of
+building an unbounded queue. **Deadlines** start at admission — the
+``X-Repro-Timeout`` header (or the ``timeout_seconds`` body field)
+becomes a running :class:`~repro.utils.deadline.Deadline`, so time
+spent queued counts against the client's budget exactly as it does
+for in-process callers. **Graceful shutdown** stops accepting, answers
+new requests with ``503 draining``, waits for every in-flight request
+to finish, then closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+
+from repro.errors import ReproError
+from repro.service.query_service import QueryService
+from repro.server.http import (
+    HttpError,
+    Request,
+    read_request,
+    render_response,
+)
+from repro.server.wire import (
+    API_VERSION,
+    WireError,
+    error_payload,
+    map_exception,
+    parse_batch_request,
+    parse_header_timeout,
+    parse_json_body,
+    parse_query_request,
+)
+from repro.utils.deadline import Deadline
+
+#: Default cap on decoded rows per response; clients raise it per
+#: request with the ``limit`` field (the count is always exact).
+DEFAULT_ROW_LIMIT = 100
+
+#: Default request-body cap (1 MiB holds ~thousands of wire queries).
+DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+
+class _Response:
+    """One rendered application response (status + JSON body + headers)."""
+
+    __slots__ = ("status", "body", "extra_headers")
+
+    def __init__(self, status: int, payload: dict,
+                 extra_headers: dict | None = None):
+        self.status = status
+        self.body = json.dumps(payload).encode("utf-8")
+        self.extra_headers = extra_headers
+
+
+class HTTPQueryServer:
+    """Serve the ``/v1`` JSON query API over one :class:`QueryService`.
+
+    Parameters
+    ----------
+    service:
+        The query service to serve. The server never closes it — the
+        owner that constructed it does (or use :func:`serve`, which
+        manages both).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (the bound
+        address is available as :attr:`address` after :meth:`start`).
+    max_pending:
+        Admission bound: the maximum number of queries in flight
+        HTTP-side (a batch counts as its length). Submissions beyond
+        it are shed with ``503`` + ``Retry-After``.
+    max_body_bytes:
+        Request-body cap; larger uploads are refused with ``413``.
+    default_timeout:
+        Deadline budget, in seconds, applied to requests that carry
+        neither the header nor the body field (``None`` = unlimited).
+    default_row_limit:
+        Decoded-row cap applied when a request does not set ``limit``.
+    retry_after_seconds:
+        The ``Retry-After`` hint attached to shed responses.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pending: int = 64,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        default_timeout: float | None = 300.0,
+        default_row_limit: int | None = DEFAULT_ROW_LIMIT,
+        retry_after_seconds: int = 1,
+    ):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending!r}")
+        self.service = service
+        self.host = host
+        self.port = port
+        self.max_pending = max_pending
+        self.max_body_bytes = max_body_bytes
+        self.default_timeout = default_timeout
+        self.default_row_limit = default_row_limit
+        self.retry_after_seconds = retry_after_seconds
+        self._server: asyncio.AbstractServer | None = None
+        self._in_flight = 0
+        self._shed = 0
+        self._requests = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._server is None:
+            return (self.host, self.port)
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return (host, port)
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting connections; returns the address."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful shutdown: drain in-flight requests, then stop.
+
+        New work arriving on kept-alive connections while draining is
+        answered ``503 draining``; requests already admitted run to
+        completion and get their full responses.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._idle.wait()
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+
+    def _admit(self, n: int) -> None:
+        """Reserve ``n`` in-flight slots or raise the shed/drain error."""
+        if self._draining:
+            raise WireError(
+                "draining", "server is shutting down", status=503
+            )
+        if self._in_flight + n > self.max_pending:
+            self._shed += 1
+            raise WireError(
+                "overloaded",
+                f"{self._in_flight} queries in flight (limit "
+                f"{self.max_pending}); retry shortly",
+                status=503,
+            )
+        self._in_flight += n
+        self._idle.clear()
+
+    def _release(self, n: int) -> None:
+        self._in_flight -= n
+        if self._in_flight == 0:
+            self._idle.set()
+
+    def http_stats(self) -> dict:
+        """HTTP-level gauges and counters (the ``/v1/stats`` ``http`` key)."""
+        return {
+            "in_flight": self._in_flight,
+            "max_pending": self.max_pending,
+            "requests": self._requests,
+            "shed": self._shed,
+            "draining": self._draining,
+        }
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve requests on one connection until close/drain/error."""
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, self.max_body_bytes)
+                except HttpError as exc:
+                    status, code, message = map_exception(exc)
+                    writer.write(
+                        render_response(
+                            status,
+                            json.dumps(error_payload(code, message)).encode(),
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                self._requests += 1
+                response = await self._dispatch(request)
+                keep_alive = request.keep_alive and not self._draining
+                writer.write(
+                    render_response(
+                        response.status,
+                        response.body,
+                        keep_alive=keep_alive,
+                        extra_headers=response.extra_headers,
+                    )
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # CancelledError: the loop is tearing down (asyncio.run
+                # cancels lingering tasks); the socket is gone either way.
+                pass
+
+    async def _dispatch(self, request: Request) -> _Response:
+        """Route one request; every failure becomes the JSON envelope."""
+        try:
+            route = (request.method, request.path)
+            if route == ("POST", "/v1/query"):
+                return await self._handle_query(request)
+            if route == ("POST", "/v1/batch"):
+                return await self._handle_batch(request)
+            if route == ("GET", "/v1/health"):
+                return self._handle_health()
+            if route == ("GET", "/v1/stats"):
+                return self._handle_stats()
+            if request.path in ("/v1/query", "/v1/batch", "/v1/health", "/v1/stats"):
+                return _Response(
+                    405,
+                    error_payload(
+                        "method_not_allowed",
+                        f"{request.method} is not supported on {request.path}",
+                    ),
+                )
+            return _Response(
+                404,
+                error_payload(
+                    "not_found",
+                    f"no such endpoint: {request.path} (this build serves "
+                    f"/{API_VERSION}/query, /{API_VERSION}/batch, "
+                    f"/{API_VERSION}/health, /{API_VERSION}/stats)",
+                ),
+            )
+        except Exception as exc:  # noqa: BLE001 — single wire mapping
+            status, code, message = map_exception(exc)
+            if status == 500:
+                print(f"repro.server: {message}", file=sys.stderr)
+            extra = None
+            if status == 503:
+                extra = {"Retry-After": str(self.retry_after_seconds)}
+            return _Response(status, error_payload(code, message), extra)
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def _deadline_for(self, timeout_seconds: float | None) -> Deadline | None:
+        """A *running* deadline for one admitted query.
+
+        Constructed at admission so that time spent queued — in the
+        service pool or behind the event loop — counts against the
+        client's budget, mirroring in-process ``Deadline`` semantics.
+        """
+        budget = (
+            timeout_seconds if timeout_seconds is not None else self.default_timeout
+        )
+        return None if budget is None else Deadline(budget)
+
+    async def _handle_query(self, request: Request) -> _Response:
+        header_timeout = parse_header_timeout(
+            request.headers.get("x-repro-timeout")
+        )
+        parsed = parse_query_request(
+            parse_json_body(request.body),
+            header_timeout=header_timeout,
+            default_limit=self.default_row_limit,
+        )
+        self._admit(1)
+        try:
+            deadline = self._deadline_for(parsed.timeout_seconds)
+            future = self.service.submit(
+                parsed.query, deadline, parsed.materialize
+            )
+            result = await asyncio.wrap_future(future)
+        finally:
+            self._release(1)
+        payload = {
+            "api_version": API_VERSION,
+            "query": parsed.query.name,
+            "columns": [v.name for v in parsed.query.projection],
+            "result": result.to_dict(
+                self.service.store.dictionary, limit=parsed.limit
+            ),
+        }
+        return _Response(200, payload)
+
+    async def _handle_batch(self, request: Request) -> _Response:
+        header_timeout = parse_header_timeout(
+            request.headers.get("x-repro-timeout")
+        )
+        parsed = parse_batch_request(
+            parse_json_body(request.body),
+            header_timeout=header_timeout,
+            default_limit=self.default_row_limit,
+        )
+        self._admit(len(parsed))
+        try:
+            futures = [
+                self.service.submit(
+                    req.query,
+                    self._deadline_for(req.timeout_seconds),
+                    req.materialize,
+                )
+                for req in parsed
+            ]
+            dictionary = self.service.store.dictionary
+            results = []
+            for req, future in zip(parsed, futures):
+                entry: dict = {"query": req.query.name}
+                try:
+                    result = await asyncio.wrap_future(future)
+                except ReproError as exc:
+                    # Same per-query isolation as evaluate_many(
+                    # return_exceptions=True): one bad query marks its
+                    # slot, the rest of the batch still answers.
+                    _status, code, message = map_exception(exc)
+                    entry["error"] = {"code": code, "message": message}
+                else:
+                    entry["columns"] = [v.name for v in req.query.projection]
+                    entry["result"] = result.to_dict(dictionary, limit=req.limit)
+                results.append(entry)
+        finally:
+            self._release(len(parsed))
+        return _Response(200, {"api_version": API_VERSION, "results": results})
+
+    def _handle_health(self) -> _Response:
+        store = self.service.store
+        status = 503 if self._draining else 200
+        payload = {
+            "api_version": API_VERSION,
+            "status": "draining" if self._draining else "ok",
+            "backend": store.backend_name,
+            "triples": store.num_triples,
+            "epoch": self.service.epoch,
+        }
+        return _Response(status, payload)
+
+    def _handle_stats(self) -> _Response:
+        payload = {
+            "api_version": API_VERSION,
+            "service": self.service.snapshot(),
+            "http": self.http_stats(),
+        }
+        return _Response(200, payload)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def serve(
+    service: QueryService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    on_ready=None,
+    **server_kwargs,
+) -> None:
+    """Run the HTTP front end until SIGINT/SIGTERM; then drain and exit.
+
+    The blocking entry point behind ``repro serve`` and
+    ``examples/http_server.py``. ``on_ready`` (if given) is called with
+    the bound ``(host, port)`` once the socket is listening. Shutdown
+    is always graceful: in-flight requests finish before the process
+    returns.
+    """
+    import signal
+
+    async def _main() -> None:
+        server = HTTPQueryServer(service, host=host, port=port, **server_kwargs)
+        await server.start()
+        if on_ready is not None:
+            on_ready(server.address)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover — non-POSIX
+                pass
+        try:
+            await stop.wait()
+        finally:
+            await server.shutdown()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover — non-POSIX fallback
+        pass
+
+
+class ServerHandle:
+    """A server running on a background thread (tests, benchmarks).
+
+    Use as a context manager or call :meth:`shutdown` explicitly; both
+    perform the same graceful drain as a signal-triggered shutdown.
+    """
+
+    def __init__(self, address: tuple[str, int], thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop, stop: asyncio.Event,
+                 server: HTTPQueryServer):
+        self.address = address
+        self._thread = thread
+        self._loop = loop
+        self._stop = stop
+        self.server = server
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server, e.g. ``http://127.0.0.1:8123``."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Drain in-flight requests, stop the loop, join the thread."""
+        if not self._thread.is_alive():
+            return
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover — drain stuck
+            raise RuntimeError("server thread did not shut down in time")
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def serve_in_background(
+    service: QueryService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **server_kwargs,
+) -> ServerHandle:
+    """Start a server on its own thread and return a :class:`ServerHandle`.
+
+    The thread owns its own event loop; the handle's
+    :meth:`~ServerHandle.shutdown` triggers the same graceful drain as
+    a signal would. The default ``port=0`` binds an ephemeral port, so
+    parallel test sessions never collide.
+    """
+    started = threading.Event()
+    box: dict = {}
+
+    def _thread_main() -> None:
+        async def _run() -> None:
+            server = HTTPQueryServer(
+                service, host=host, port=port, **server_kwargs
+            )
+            try:
+                address = await server.start()
+            except OSError as exc:
+                box["error"] = exc
+                started.set()
+                return
+            box["address"] = address
+            box["loop"] = asyncio.get_running_loop()
+            box["stop"] = asyncio.Event()
+            box["server"] = server
+            started.set()
+            try:
+                await box["stop"].wait()
+            finally:
+                await server.shutdown()
+
+        asyncio.run(_run())
+
+    thread = threading.Thread(
+        target=_thread_main, name="repro-http", daemon=True
+    )
+    thread.start()
+    started.wait()
+    if "error" in box:
+        raise box["error"]
+    return ServerHandle(
+        box["address"], thread, box["loop"], box["stop"], box["server"]
+    )

@@ -1,0 +1,175 @@
+"""Minimal HTTP/1.1 transport over asyncio streams.
+
+The serving front end deliberately avoids web frameworks (the
+container ships only the stdlib + numpy): this module implements just
+enough of HTTP/1.1 for a JSON API — request-line + header parsing,
+``Content-Length`` bodies with a hard size cap, keep-alive, and
+response rendering. Anything fancier (chunked transfer, multipart,
+upgrades) is rejected with the appropriate status instead of being
+half-supported.
+
+Transport-level failures raise :class:`HttpError`, which carries the
+HTTP status and a machine-readable error code; the application layer
+renders it as the standard JSON error envelope.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+#: Upper bound on the request line + headers block, in bytes.
+MAX_HEAD_BYTES = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A malformed or unserveable HTTP request (transport layer).
+
+    ``status`` is the HTTP status to answer with, ``code`` the stable
+    machine-readable identifier surfaced in the JSON error envelope.
+    """
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query_string: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    http_version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should stay open after the response."""
+        connection = self.headers.get("connection", "").lower()
+        if self.http_version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Request | None:
+    """Read and parse one request; ``None`` on clean end-of-stream.
+
+    Raises :class:`HttpError` on a malformed head, an oversized head
+    (431) or body (413), or an unsupported transfer encoding (501).
+    The 413 path drains nothing — the connection is closed by the
+    caller, which is the correct backpressure for an oversized upload.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "malformed_request", "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(
+            431, "headers_too_large",
+            f"request head exceeds {MAX_HEAD_BYTES} bytes",
+        ) from exc
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(
+            431, "headers_too_large",
+            f"request head exceeds {MAX_HEAD_BYTES} bytes",
+        )
+
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise HttpError(400, "malformed_request", "bad request line") from exc
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, "malformed_request", f"unsupported {version!r}")
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise HttpError(400, "malformed_request", f"bad header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpError(
+            501, "unsupported_transfer_encoding",
+            "chunked request bodies are not supported; send Content-Length",
+        )
+
+    path, _, query_string = target.partition("?")
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+            if length < 0:
+                raise ValueError
+        except ValueError as exc:
+            raise HttpError(
+                400, "malformed_request",
+                f"bad Content-Length {length_header!r}",
+            ) from exc
+        if length > max_body_bytes:
+            raise HttpError(
+                413, "body_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"{max_body_bytes}-byte limit",
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(
+                400, "malformed_request", "request body shorter than declared"
+            ) from exc
+    return Request(
+        method=method,
+        path=path,
+        query_string=query_string,
+        headers=headers,
+        body=body,
+        http_version=version,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """Serialize one HTTP/1.1 response (head + body) to bytes."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

@@ -160,11 +160,22 @@ class ServiceStats:
     # -- reporting -----------------------------------------------------
 
     def snapshot(self) -> dict:
-        """A JSON-compatible point-in-time view of every statistic."""
+        """A JSON-compatible point-in-time view of every statistic.
+
+        Alongside the monotonic counters and latency digests, the two
+        *live gauges* are reported under their serving-layer names —
+        ``queue_depth`` (submitted, not yet picked up by a worker) and
+        ``in_flight`` (currently evaluating) — so backpressure is
+        observable from ``/v1/stats`` while load is applied, not only
+        after requests complete. ``queued``/``running`` remain as
+        aliases for existing consumers.
+        """
         with self._lock:
             counters = {
                 "queued": self.queued,
                 "running": self.running,
+                "queue_depth": self.queued,
+                "in_flight": self.running,
                 "completed": self.completed,
                 "timeouts": self.timeouts,
                 "failures": self.failures,

@@ -1,0 +1,38 @@
+"""A tiny JSON-over-HTTP test client shared by the serving tests."""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+
+class Client:
+    """Keep-alive JSON client over a single ``http.client`` socket."""
+
+    def __init__(self, address):
+        host, port = address
+        self.conn = http.client.HTTPConnection(host, port, timeout=30)
+
+    def request(self, method, path, body=None, headers=None):
+        """Issue one request; returns ``(status, parsed-JSON, headers)``."""
+        if isinstance(body, (dict, list)):
+            body = json.dumps(body)
+        self.conn.request(method, path, body=body, headers=headers or {})
+        response = self.conn.getresponse()
+        raw = response.read()
+        payload = json.loads(raw) if raw else None
+        return response.status, payload, dict(response.getheaders())
+
+    def get(self, path):
+        return self.request("GET", path)
+
+    def post(self, path, body, headers=None):
+        return self.request("POST", path, body=body, headers=headers)
+
+    def close(self):
+        self.conn.close()
+
+
+def make_client(handle) -> Client:
+    """A fresh connection to a ``ServerHandle`` (multi-connection tests)."""
+    return Client(handle.address)

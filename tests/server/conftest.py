@@ -1,0 +1,37 @@
+"""Shared fixtures for the HTTP serving tests.
+
+Every test runs against a *real* server: an
+:func:`~repro.server.serve_in_background` instance on an ephemeral
+port, spoken to over a real TCP socket through
+:class:`http.client.HTTPConnection`. Nothing is mocked below the
+application layer — the suite exercises the same bytes a curl client
+would send.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import serve_in_background
+from repro.service import QueryService
+
+from _http_client import Client
+
+
+@pytest.fixture(scope="module")
+def service(mini_yago, mini_yago_catalog):
+    with QueryService(mini_yago, catalog=mini_yago_catalog) as svc:
+        yield svc
+
+
+@pytest.fixture(scope="module")
+def server(service):
+    with serve_in_background(service) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(server):
+    c = Client(server.address)
+    yield c
+    c.close()

@@ -1,0 +1,195 @@
+"""End-to-end tests for the ``/v1`` endpoints against a live server.
+
+The parity tests assert that ``POST /v1/query`` answers paper queries
+with exactly the rows an in-process ``QueryService.evaluate`` returns —
+the HTTP layer must be a transport, never a different engine. The
+whole suite runs under both backends via the ``REPRO_BACKEND``
+environment variable (see CI), so parity is checked on hashdict and
+columnar alike.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.paper_queries import (
+    paper_diamond_queries,
+    paper_snowflake_queries,
+)
+from repro.query.parser import parse_query
+from repro.server.wire import API_VERSION
+
+PAPER_QUERIES = paper_snowflake_queries()[:3] + paper_diamond_queries()[:3]
+
+
+def test_health_ok(client, service):
+    status, payload, headers = client.get("/v1/health")
+    assert status == 200
+    assert payload["status"] == "ok"
+    assert payload["api_version"] == API_VERSION
+    assert payload["backend"] == service.store.backend_name
+    assert payload["triples"] == service.store.num_triples
+    assert headers["Content-Type"] == "application/json"
+
+
+@pytest.mark.parametrize("query", PAPER_QUERIES, ids=lambda q: q.name)
+def test_query_parity_with_in_process_service(client, service, query):
+    """HTTP answers == in-process answers, row for row."""
+    expected = service.evaluate(query)
+    status, payload, _ = client.post(
+        "/v1/query", {"query": query.to_dict(), "limit": None}
+    )
+    assert status == 200
+    assert payload["api_version"] == API_VERSION
+    assert payload["query"] == query.name
+    assert payload["columns"] == [v.name for v in query.projection]
+    result = payload["result"]
+    assert result["count"] == expected.count
+    expected_rows = [
+        list(row) for row in expected.decoded_rows(service.store.dictionary)
+    ]
+    assert sorted(map(tuple, result["rows"])) == sorted(map(tuple, expected_rows))
+    assert result["truncated"] is False
+
+
+def test_query_via_sparql_text(client, service):
+    sparql = "select ?a, ?b where { ?a created ?b }"
+    expected = service.evaluate(parse_query(sparql))
+    status, payload, _ = client.post("/v1/query", {"sparql": sparql, "limit": None})
+    assert status == 200
+    assert payload["result"]["count"] == expected.count
+    assert len(payload["result"]["rows"]) == expected.count
+
+
+def test_query_row_limit_truncates_not_count(client, service):
+    sparql = "select ?a, ?b where { ?a created ?b }"
+    expected = service.evaluate(parse_query(sparql))
+    assert expected.count > 3
+    status, payload, _ = client.post("/v1/query", {"sparql": sparql, "limit": 3})
+    assert status == 200
+    assert len(payload["result"]["rows"]) == 3
+    assert payload["result"]["truncated"] is True
+    assert payload["result"]["count"] == expected.count
+
+
+def test_query_unmaterialized_counts_only(client, service):
+    sparql = "select ?a, ?b where { ?a created ?b }"
+    expected = service.evaluate(parse_query(sparql))
+    status, payload, _ = client.post(
+        "/v1/query", {"sparql": sparql, "materialize": False}
+    )
+    assert status == 200
+    assert payload["result"]["rows"] is None
+    assert payload["result"]["count"] == expected.count
+
+
+def test_batch_mixed_forms_order_preserved(client, service):
+    """A batch mixing SPARQL text and wire dicts answers in input order."""
+    q0 = PAPER_QUERIES[0]
+    sparql = "select ?a, ?b where { ?a created ?b }"
+    status, payload, _ = client.post(
+        "/v1/batch", {"queries": [q0.to_dict(), sparql], "limit": None}
+    )
+    assert status == 200
+    assert payload["api_version"] == API_VERSION
+    results = payload["results"]
+    assert len(results) == 2
+    assert results[0]["query"] == q0.name
+    assert results[0]["result"]["count"] == service.evaluate(q0).count
+    assert results[1]["result"]["count"] == service.evaluate(parse_query(sparql)).count
+
+
+def test_batch_isolates_per_query_errors(client):
+    """One failing query marks its slot; the others still answer."""
+    good = "select ?a, ?b where { ?a created ?b }"
+    status, payload, _ = client.post(
+        "/v1/batch",
+        {"queries": [good, good]},
+    )
+    assert status == 200
+    assert all("result" in entry for entry in payload["results"])
+    # A deadline no queue hop can meet times out one slot. The query
+    # must be fresh (not yet in the result cache — cached answers are
+    # returned without spending the deadline budget).
+    doomed = parse_query(
+        "select ?a where { ?a actedIn ?b . ?b locatedIn ?c }"
+    ).to_dict()
+    status, payload, _ = client.post(
+        "/v1/batch",
+        {"queries": [doomed, good], "timeout_seconds": 1e-6},
+    )
+    assert status == 200
+    first, second = payload["results"]
+    assert first["error"]["code"] == "timeout"
+    assert "result" not in first
+    # 'good' is cached from the first batch, so it answers even under
+    # the impossible budget — proving error isolation per slot.
+    assert "result" in second
+
+
+def test_stats_expose_queue_depth_and_http_gauges(client, server):
+    client.post("/v1/query", {"sparql": "select ?a, ?b where { ?a created ?b }"})
+    status, payload, _ = client.get("/v1/stats")
+    assert status == 200
+    service_snap = payload["service"]
+    # the fixed satellite: snapshot() reports backpressure gauges
+    assert "queue_depth" in service_snap
+    assert "in_flight" in service_snap
+    assert service_snap["queue_depth"] >= 0
+    http = payload["http"]
+    assert http["max_pending"] == server.server.max_pending
+    assert http["requests"] >= 2
+    assert http["draining"] is False
+    assert http["in_flight"] == 0
+
+
+def test_unknown_endpoint_404(client):
+    status, payload, _ = client.get("/v2/query")
+    assert status == 404
+    assert payload["error"]["code"] == "not_found"
+    assert "/v1/query" in payload["error"]["message"]
+
+
+def test_wrong_method_405(client):
+    status, payload, _ = client.get("/v1/query")
+    assert status == 405
+    assert payload["error"]["code"] == "method_not_allowed"
+
+
+def test_keep_alive_reuses_one_connection(client):
+    """Several requests on the same socket all answer (HTTP/1.1 keep-alive)."""
+    for _ in range(3):
+        status, payload, _ = client.get("/v1/health")
+        assert status == 200
+    assert client.conn.sock is not None
+
+
+def test_header_timeout_maps_to_504(client):
+    """X-Repro-Timeout becomes a Deadline; an impossible budget -> 504.
+
+    The queries here are unique to these tests: a result-cache hit
+    answers without spending the budget, so a repeated signature would
+    not time out deterministically.
+    """
+    status, payload, _ = client.post(
+        "/v1/query",
+        {"sparql": "select ?a where { ?a hasWonPrize ?b . ?a diedIn ?c }"},
+        headers={"X-Repro-Timeout": "0.000001"},
+    )
+    assert status == 504
+    assert payload["error"]["code"] == "timeout"
+
+
+def test_body_timeout_wins_over_header(client):
+    """timeout_seconds in the body overrides the header (generous header,
+    impossible body budget -> still 504)."""
+    status, payload, _ = client.post(
+        "/v1/query",
+        {
+            "sparql": "select ?a where { ?a wasBornIn ?b . ?a diedIn ?c }",
+            "timeout_seconds": 1e-6,
+        },
+        headers={"X-Repro-Timeout": "30"},
+    )
+    assert status == 504
+    assert payload["error"]["code"] == "timeout"

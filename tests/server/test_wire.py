@@ -1,0 +1,185 @@
+"""Canonical wire schema: round-trip properties and strict validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import WireframeEngine
+from repro.engine_api import json_safe
+from repro.errors import QueryError
+from repro.query.model import ConjunctiveQuery, Const, Var
+from repro.query.parser import parse_query
+
+# ----------------------------------------------------------------------
+# Query strategy: arbitrary constructible queries, including constants
+# whose text looks like a variable ("?x") — the tagged wire form must
+# never confuse the two.
+# ----------------------------------------------------------------------
+
+_VARS = tuple(Var(name) for name in ("a", "b", "c", "d"))
+_TERM_TEXT = st.text(min_size=1, max_size=12)
+
+
+@st.composite
+def queries(draw):
+    n_edges = draw(st.integers(min_value=1, max_value=4))
+    edges = []
+    used_vars: list[Var] = []
+    for i in range(n_edges):
+        # Guarantee at least one variable overall (edge 0's subject).
+        subject = (
+            draw(st.sampled_from(_VARS))
+            if i == 0
+            else draw(
+                st.one_of(st.sampled_from(_VARS), st.builds(Const, _TERM_TEXT))
+            )
+        )
+        obj = draw(
+            st.one_of(st.sampled_from(_VARS), st.builds(Const, _TERM_TEXT))
+        )
+        predicate = draw(st.text(min_size=1, max_size=8))
+        edges.append((subject, predicate, obj))
+        for term in (subject, obj):
+            if isinstance(term, Var) and term not in used_vars:
+                used_vars.append(term)
+    projection = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.sampled_from(used_vars),
+                min_size=1,
+                max_size=len(used_vars),
+            ),
+        )
+    )
+    distinct = draw(st.booleans())
+    name = draw(st.none() | st.text(max_size=16))
+    return ConjunctiveQuery(
+        edges, projection=projection, distinct=distinct, name=name
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(query=queries())
+def test_query_wire_round_trip(query):
+    """from_dict(to_dict(q)) reproduces q exactly — including through an
+    actual JSON encode/decode cycle."""
+    doc = query.to_dict()
+    json_doc = json.loads(json.dumps(doc))
+    restored = ConjunctiveQuery.from_dict(json_doc)
+    assert restored == query
+    assert restored.name == query.name
+    assert restored.to_dict() == doc
+
+
+@settings(max_examples=50, deadline=None)
+@given(query=queries())
+def test_query_wire_is_json_scalars_only(query):
+    json.dumps(query.to_dict())  # raises on any non-JSON value
+
+
+def test_ambiguous_constant_survives():
+    """A constant whose text is '?x' must not come back as a variable."""
+    q = ConjunctiveQuery([(Var("a"), "knows", Const("?x"))])
+    restored = ConjunctiveQuery.from_dict(q.to_dict())
+    assert restored.edges[0].object == Const("?x")
+    assert restored == q
+
+
+def test_parsed_query_round_trips():
+    q = parse_query(
+        "select distinct ?a, ?c where { ?a knows ?b . ?b knows ?c . ?a likes Tom }"
+    )
+    assert ConjunctiveQuery.from_dict(q.to_dict()) == q
+
+
+@pytest.mark.parametrize(
+    "mutate, fragment",
+    [
+        (lambda d: d.update(bogus=1), "unknown"),
+        (lambda d: d.update(version=99), "version"),
+        (lambda d: d.update(edges=[]), "edges"),
+        (lambda d: d.update(edges="nope"), "edges"),
+        (lambda d: d.update(distinct="yes"), "distinct"),
+        (lambda d: d.update(projection=[1]), "projection"),
+        (lambda d: d.update(name=7), "name"),
+        (lambda d: d["edges"][0].pop("p"), "edge"),
+        (lambda d: d["edges"][0].update(p=""), "predicate"),
+        (lambda d: d["edges"][0].update(s={"var": "x", "const": "y"}), "term"),
+        (lambda d: d["edges"][0].update(s={"thing": "x"}), "term tag"),
+        (lambda d: d["edges"][0].update(s={"var": 3}), "string"),
+    ],
+)
+def test_from_dict_rejects_junk(mutate, fragment):
+    doc = parse_query("select ?a where { ?a knows ?b }").to_dict()
+    mutate(doc)
+    with pytest.raises(QueryError):
+        ConjunctiveQuery.from_dict(doc)
+
+
+def test_from_dict_rejects_non_dict():
+    with pytest.raises(QueryError):
+        ConjunctiveQuery.from_dict(["not", "a", "dict"])
+
+
+# ----------------------------------------------------------------------
+# EngineResult.to_dict
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def engine_and_result(mini_yago, mini_yago_catalog):
+    engine = WireframeEngine(mini_yago, mini_yago_catalog)
+    query = parse_query("select ?a, ?b where { ?a created ?b }")
+    return engine, engine.evaluate(query)
+
+
+def test_result_to_dict_matches_decoded_rows(mini_yago, engine_and_result):
+    _engine, result = engine_and_result
+    doc = result.to_dict(mini_yago.dictionary)
+    assert doc["engine"] == result.engine
+    assert doc["count"] == result.count == len(doc["rows"])
+    assert doc["truncated"] is False
+    assert doc["rows"] == [
+        list(row) for row in result.decoded_rows(mini_yago.dictionary)
+    ]
+    json.dumps(doc)  # fully JSON-safe, stats included
+
+
+def test_result_to_dict_limit_truncates(mini_yago, engine_and_result):
+    _engine, result = engine_and_result
+    assert result.count > 2
+    doc = result.to_dict(mini_yago.dictionary, limit=2)
+    assert len(doc["rows"]) == 2
+    assert doc["truncated"] is True
+    assert doc["count"] == result.count  # the count stays exact
+
+
+def test_result_to_dict_unmaterialized(mini_yago, mini_yago_catalog):
+    engine = WireframeEngine(mini_yago, mini_yago_catalog)
+    query = parse_query("select ?a, ?b where { ?a created ?b }")
+    result = engine.evaluate(query, materialize=False)
+    doc = result.to_dict(mini_yago.dictionary)
+    assert doc["rows"] is None
+    assert doc["truncated"] is False
+    assert doc["count"] == result.count
+
+
+def test_json_safe_coerces_engine_stat_shapes():
+    coerced = json_safe(
+        {
+            "order": (0, 1, 2),
+            "nested": {"chords": {3, 1}},
+            "inf": float("inf"),
+            "nan": float("nan"),
+            "obj": Var("x"),
+        }
+    )
+    assert coerced["order"] == [0, 1, 2]
+    assert coerced["nested"]["chords"] == [1, 3]
+    assert coerced["inf"] is None and coerced["nan"] is None
+    json.dumps(coerced)

@@ -175,7 +175,10 @@ def test_batch_json_output(capsys):
     assert code == 0
     payload = json.loads(capsys.readouterr().out)
     assert len(payload["queries"]) == 2
-    assert all("count" in q for q in payload["queries"])
+    # entries carry the canonical wire forms (same shapes as /v1/batch)
+    for entry in payload["queries"]:
+        assert entry["query"]["version"] == 1
+        assert "count" in entry["result"]
     assert payload["stats"]["completed"] == 2
     assert "plan_cache" in payload["stats"]
 

@@ -1,6 +1,9 @@
 """Public-API surface tests: exports resolve and are documented."""
 
 import inspect
+import warnings
+
+import pytest
 
 import repro
 
@@ -12,6 +15,60 @@ def test_all_exports_resolve():
 
 def test_version_present():
     assert repro.__version__
+
+
+def test_version_matches_package_metadata():
+    """__version__ is sourced from installed package metadata when present."""
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        expected = version("repro-answer-graph")
+    except PackageNotFoundError:
+        pytest.skip("package not installed (PYTHONPATH checkout)")
+    assert repro.__version__ == expected
+
+
+SUPPORTED_SURFACE = [
+    # the names the facade contract (ISSUE 6) pins explicitly
+    "TripleStore",
+    "QueryService",
+    "parse_query",
+    "load_dataset",
+    "load_snapshot",
+    "serve",
+    "HTTPQueryServer",
+    "serve_in_background",
+    "ReproError",
+    "ParseError",
+    "QueryError",
+    "EvaluationTimeout",
+    "SnapshotError",
+    "WireError",
+]
+
+
+def test_supported_surface_is_exported():
+    for name in SUPPORTED_SURFACE:
+        assert name in repro.__all__, f"{name!r} missing from repro.__all__"
+
+
+def test_parse_sparql_shim_warns_and_resolves():
+    """The renamed parser keeps working behind a DeprecationWarning."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shim = repro.parse_sparql
+    assert shim is repro.parse_query
+    assert any(
+        issubclass(w.category, DeprecationWarning) and "parse_query" in str(w.message)
+        for w in caught
+    )
+    # the deprecated name is not advertised as supported surface
+    assert "parse_sparql" not in repro.__all__
+
+
+def test_unknown_attribute_still_raises():
+    with pytest.raises(AttributeError):
+        repro.definitely_not_a_name  # noqa: B018
 
 
 def test_every_public_item_has_a_docstring():
@@ -73,7 +130,7 @@ def test_engines_share_the_interface():
 
 def test_quickstart_from_module_docstring_runs():
     """The usage example in repro's module docstring must stay valid."""
-    from repro import GraphBuilder, WireframeEngine, parse_sparql
+    from repro import GraphBuilder, WireframeEngine, parse_query
 
     store = (
         GraphBuilder()
@@ -81,6 +138,6 @@ def test_quickstart_from_module_docstring_runs():
         .edge("bob", "knows", "carol")
         .build(freeze=True)
     )
-    query = parse_sparql("select ?a, ?b, ?c where { ?a knows ?b . ?b knows ?c }")
+    query = parse_query("select ?a, ?b, ?c where { ?a knows ?b . ?b knows ?c }")
     result = WireframeEngine(store).evaluate(query)
     assert result.count == 1
