@@ -1,0 +1,272 @@
+"""Per-batch durability: WAL append vs. whole-store snapshot — the gate.
+
+Before the write-ahead log, making an acknowledged batch durable meant
+``save_snapshot`` — rewriting every segment, cost proportional to the
+whole store. With the WAL (:mod:`repro.storage.wal`) the same guarantee
+is one appended, fsync'd record — cost proportional to the *batch*.
+This benchmark quantifies that on a populated store:
+
+* **wal append** — ``add_term_triples`` through the journaled facade
+  under the default ``fsync="batch"`` policy (encode + write + fsync
+  per batch, the full durability cost of one acknowledged write);
+* **full save** — ``save_snapshot`` of the same store, the per-batch
+  durability cost of the pre-WAL write path.
+
+Correctness is asserted before timing: after all batches, a reopen
+(snapshot + WAL replay) must recover the exact live fingerprint under
+every backend. The gate asserts WAL append is at least
+:data:`WAL_SPEEDUP_FLOOR` (5x) cheaper per batch than a full save, and
+``--baseline`` enforces a :data:`REGRESSION_TOLERANCE` (25%) bound on
+speedup regressions vs. the committed ``BENCH_wal.json``.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_wal.py [--smoke]`` — pytest-benchmark
+  timings for CI's bench-smoke job;
+* ``python benchmarks/bench_wal.py [--smoke] [--output F]
+  [--baseline F]`` — the CI crash-recovery gate: prints the table,
+  writes ``BENCH_wal.json``, exits non-zero on a missed floor, a
+  regression, or a recovery mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.graph.backends import available_backends
+from repro.storage import (
+    close_store,
+    open_store,
+    save_snapshot,
+    store_fingerprint,
+)
+
+#: Minimum full-save / WAL-append per-batch cost ratio the gate enforces.
+WAL_SPEEDUP_FLOOR = 5.0
+
+#: Allowed relative drop of the WAL speedup vs the committed baseline
+#: (hardware-independent: both sides are measured on the same machine).
+REGRESSION_TOLERANCE = 0.25
+
+REPEATS = 5
+
+
+def _sizes() -> tuple[int, int, int]:
+    """(base_triples, batch_size, batches), shrunk by REPRO_BENCH_SCALE."""
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    base = max(2_000, int(20_000 * scale))
+    return base, 16, max(8, int(32 * min(scale, 1.0)))
+
+
+def _base_triples(n: int):
+    # A star-ish labeled digraph: enough distinct terms that the
+    # snapshot's dictionary and segments carry realistic weight.
+    return [
+        (f"node-{i}", f"rel-{i % 17}", f"node-{(i * 7 + 1) % n}")
+        for i in range(n)
+    ]
+
+
+def _batch(i: int, size: int):
+    # Every batch interns fresh terms (journaled alongside the triples)
+    # and removes one earlier edge — the interleaved write mix the
+    # recovery property suite exercises.
+    return [
+        (f"new-{i}-{j}", f"rel-{j % 17}", f"node-{j}") for j in range(size)
+    ]
+
+
+def _median(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
+def run_wal_benchmark(
+    workdir: str, base: int, batch_size: int, batches: int,
+    repeats: int = REPEATS,
+) -> dict:
+    """Per-batch append vs. save timings + recovery parity, per backend."""
+    results: dict = {
+        "workload": "journaled-batches",
+        "base_triples": base,
+        "batch_size": batch_size,
+        "batches": batches,
+        "repeats": repeats,
+        "backends": {},
+    }
+    seed_triples = _base_triples(base)
+    for backend in available_backends():
+        snap = os.path.join(workdir, f"snap-{backend}")
+        store = open_store(snap, backend=backend)
+        store.add_term_triples(seed_triples)
+
+        # Full-save cost: what durability per batch cost pre-WAL.
+        save_samples = []
+        for r in range(repeats):
+            target = os.path.join(workdir, f"full-{backend}-{r}")
+            start = time.perf_counter()
+            save_snapshot(store, target)
+            save_samples.append(time.perf_counter() - start)
+
+        # WAL-append cost: one journaled batch, fsync included.
+        append_samples = []
+        for i in range(batches):
+            adds = _batch(i, batch_size)
+            start = time.perf_counter()
+            store.add_term_triples(adds)
+            append_samples.append(time.perf_counter() - start)
+            store.remove_term_triple(
+                f"node-{i}", f"rel-{i % 17}", f"node-{(i * 7 + 1) % base}"
+            )
+
+        live = store_fingerprint(store)
+        close_store(store)
+        recovered = open_store(snap, backend=backend)
+        identical = store_fingerprint(recovered) == live
+        close_store(recovered)
+        if not identical:
+            raise AssertionError(
+                f"recovery differs from the live store under {backend!r}"
+            )
+
+        save_seconds = min(save_samples)
+        append_seconds = _median(append_samples)
+        results["backends"][backend] = {
+            "full_save_seconds": save_seconds,
+            "wal_append_seconds_per_batch": append_seconds,
+            "wal_speedup": save_seconds / append_seconds,
+            "recovery_identical": identical,
+        }
+
+    results["wal_speedup"] = min(
+        entry["wal_speedup"] for entry in results["backends"].values()
+    )
+    results["wal_speedup_floor"] = WAL_SPEEDUP_FLOOR
+    return results
+
+
+# ----------------------------------------------------------------------
+# pytest entry point
+# ----------------------------------------------------------------------
+
+
+def test_wal_append_beats_full_save(benchmark, tmp_path):
+    """One fsync'd WAL append >= 5x cheaper than a full snapshot save,
+    with recovery parity under every backend."""
+    base, batch_size, batches = _sizes()
+    results = benchmark.pedantic(
+        lambda: run_wal_benchmark(
+            str(tmp_path), base, batch_size, batches, repeats=2
+        ),
+        rounds=1, iterations=1,
+    )
+    worst = min(r["wal_speedup"] for r in results["backends"].values())
+    benchmark.extra_info.update(
+        {
+            "wal_speedup": round(worst, 1),
+            "base_triples": base,
+        }
+    )
+    assert all(
+        r["recovery_identical"] for r in results["backends"].values()
+    )
+    assert worst >= WAL_SPEEDUP_FLOOR, (
+        f"WAL append only {worst:.1f}x cheaper than a full save "
+        f"(floor {WAL_SPEEDUP_FLOOR:.0f}x)"
+    )
+
+
+# ----------------------------------------------------------------------
+# script entry point (CI crash-recovery gate + BENCH_wal.json)
+# ----------------------------------------------------------------------
+
+
+def _regression(results: dict, baseline_path: Path) -> list[str]:
+    """WAL-speedup regression vs the committed baseline (empty = pass).
+
+    Skipped with a notice when the run and the baseline measured
+    different store sizes — only like-for-like ratios are compared.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    if baseline["base_triples"] != results["base_triples"]:
+        return [
+            f"wal gate: baseline measured {baseline['base_triples']} base "
+            f"triples, this run {results['base_triples']} — regression "
+            f"check skipped (size mismatch)"
+        ]
+    floor = baseline["wal_speedup"] * (1.0 - REGRESSION_TOLERANCE)
+    if results["wal_speedup"] < floor:
+        return [
+            f"wal gate: speedup {results['wal_speedup']:.1f}x fell below "
+            f"{floor:.1f}x (baseline {baseline['wal_speedup']:.1f}x - "
+            f"{REGRESSION_TOLERANCE:.0%})"
+        ]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller base store (CI)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write results JSON here")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed BENCH_wal.json to compare against")
+    args = parser.parse_args(argv)
+
+    base, batch_size, batches = (4_000, 16, 16) if args.smoke else (20_000, 16, 32)
+    with tempfile.TemporaryDirectory(prefix="bench-wal-") as workdir:
+        results = {
+            "benchmark": "bench_wal",
+            "schema": 1,
+            "python": sys.version.split()[0],
+            **run_wal_benchmark(workdir, base, batch_size, batches),
+        }
+
+    print(f"base store {base} triples, {batches} batches of {batch_size}")
+    for backend, entry in sorted(results["backends"].items()):
+        print(
+            f"{backend:9s}  full save {entry['full_save_seconds'] * 1e3:8.1f} ms"
+            f"   wal append {entry['wal_append_seconds_per_batch'] * 1e3:7.2f} ms"
+            f"   ({entry['wal_speedup']:6.1f}x)"
+        )
+    ok = results["wal_speedup"] >= WAL_SPEEDUP_FLOOR
+    print(f"gate: wal append >= {WAL_SPEEDUP_FLOOR:.0f}x cheaper than a "
+          f"full save -> {'ok' if ok else 'FAIL'}")
+
+    failures: list[str] = []
+    if not ok:
+        failures.append(
+            f"FAIL: wal speedup {results['wal_speedup']:.1f}x below the "
+            f"{WAL_SPEEDUP_FLOOR:.0f}x floor"
+        )
+    if args.baseline is not None and args.baseline.exists():
+        notices = _regression(results, args.baseline)
+        for notice in notices:
+            print(notice)
+        failures.extend(n for n in notices if "skipped" not in n)
+        if not notices:
+            print(f"wal gate: no regression vs {args.baseline}")
+    elif args.baseline is not None:
+        print(f"wal gate: baseline {args.baseline} not found; skipping compare")
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    for failure in failures:
+        print(failure)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

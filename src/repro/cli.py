@@ -11,6 +11,8 @@ Commands
 ``table1``     regenerate the paper's Table 1
 ``save``       write a dataset as a durable binary snapshot
 ``dump``       export a dataset as an N-Triples file
+``compact``    fold a snapshot's write-ahead log into a new generation
+``wal-inspect``  print a write-ahead log's health and replay horizon
 
 JSON output (``query --json``, ``batch --json``) and the HTTP wire
 format share one canonical serialization:
@@ -83,6 +85,12 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
         "at a snapshot directory): parse the whole term dictionary up "
         "front instead of the lazy mmap dictionary (format v2 default)",
     )
+    parser.add_argument(
+        "--wal", action="store_true",
+        help="with --snapshot: open crash-safe — replay the snapshot's "
+        "write-ahead log over it and journal every further mutation "
+        "(the store stays writable instead of frozen)",
+    )
 
 
 def _load(args) -> tuple[TripleStore, Catalog]:
@@ -92,6 +100,20 @@ def _load(args) -> tuple[TripleStore, Catalog]:
     # policy must flow through both branches.
     lazy_terms = False if getattr(args, "eager_terms", False) else None
     if snapshot:
+        if getattr(args, "wal", False):
+            from repro.storage import is_snapshot, open_store, scan_wal, wal_path_for
+
+            replayed = len(scan_wal(wal_path_for(snapshot)).records)
+            had_snapshot = is_snapshot(snapshot)
+            store = open_store(snapshot, backend=backend)
+            # The stored catalog describes the snapshot alone; replayed
+            # log records make it stale, so rebuild in that case.
+            catalog = (
+                load_snapshot_catalog(snapshot)
+                if had_snapshot and replayed == 0
+                else None
+            )
+            return store, catalog if catalog is not None else store.catalog()
         store = load_snapshot(snapshot, backend=backend, lazy_terms=lazy_terms)
         catalog = load_snapshot_catalog(snapshot)
         return store, catalog if catalog is not None else store.catalog()
@@ -223,6 +245,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dataset_args(p_dump)
     p_dump.add_argument("out", help="N-Triples file to write ('-' = stdout)")
+
+    p_compact = sub.add_parser(
+        "compact",
+        help="fold a snapshot's write-ahead log into a new snapshot "
+        "generation and truncate the log",
+    )
+    p_compact.add_argument("snapshot", help="snapshot directory (its .wal "
+                           "sibling is the log being folded in)")
+    p_compact.add_argument(
+        "--backend", choices=available_backends(), default=None,
+        help="storage backend used for the fold-in "
+        "(default: $REPRO_BACKEND or 'hashdict')",
+    )
+    p_compact.add_argument(
+        "--no-catalog", action="store_true",
+        help="skip persisting the statistics catalog",
+    )
+
+    p_walinspect = sub.add_parser(
+        "wal-inspect",
+        help="print a write-ahead log's record count, committed sequence "
+        "horizon, byte size, and — when damaged — where replay stops",
+    )
+    p_walinspect.add_argument(
+        "path", help="a .wal file or the snapshot directory it belongs to",
+    )
+    p_walinspect.add_argument("--json", action="store_true",
+                              help="emit the summary as JSON")
     return parser
 
 
@@ -387,7 +437,8 @@ def _cmd_batch(args) -> int:
         catalog=catalog,
         max_workers=args.workers,
         result_cache_size=0 if args.no_result_cache else 256,
-        freeze=True,
+        # A WAL-attached store must stay writable (journaled mutations).
+        freeze=store.write_log is None,
     ) as service:
         results = service.evaluate_many(
             queries, deadlines=args.timeout, materialize=False,
@@ -450,7 +501,8 @@ def _cmd_serve(args) -> int:
         store,
         catalog=catalog,
         max_workers=args.workers,
-        freeze=True,
+        # A WAL-attached store must stay writable (journaled mutations).
+        freeze=store.write_log is None,
     ) as service:
 
         def on_ready(address):
@@ -535,6 +587,51 @@ def _cmd_dump(args) -> int:
     return 0
 
 
+def _cmd_compact(args) -> int:
+    from repro.storage import (
+        close_store,
+        compact,
+        open_store,
+        scan_wal,
+        wal_path_for,
+    )
+
+    start = time.time()
+    wal_file = wal_path_for(args.snapshot)
+    before = scan_wal(wal_file)
+    store = open_store(args.snapshot, backend=args.backend, create=False)
+    try:
+        manifest = compact(
+            store, args.snapshot, include_catalog=not args.no_catalog
+        )
+    finally:
+        close_store(store)
+    print(
+        f"compacted {args.snapshot}: folded {len(before.records)} WAL "
+        f"records ({before.size_bytes} bytes) into generation "
+        f"{manifest['generation']} ({manifest['num_triples']} triples) "
+        f"in {time.time() - start:.1f}s"
+    )
+    return 0
+
+
+def _cmd_wal_inspect(args) -> int:
+    from repro.storage import wal_inspect
+
+    summary = wal_inspect(args.path)
+    if args.json:
+        import json
+
+        print(json.dumps(summary, indent=2))
+    else:
+        width = max(len(k) for k in summary)
+        for key, value in summary.items():
+            print(f"{key:<{width}}  {value}")
+    # A torn tail is recoverable by construction; only pre-horizon
+    # corruption (status "corrupt") is a failing condition.
+    return 1 if summary.get("status") == "corrupt" else 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -545,6 +642,8 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "save": _cmd_save,
     "dump": _cmd_dump,
+    "compact": _cmd_compact,
+    "wal-inspect": _cmd_wal_inspect,
 }
 
 

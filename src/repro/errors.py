@@ -71,3 +71,17 @@ class SnapshotError(ReproError):
     mismatches (on-disk corruption), unsupported format versions, and
     snapshots whose byte layout does not match the running platform.
     """
+
+
+class WalError(SnapshotError):
+    """The write-ahead log is damaged *before* its committed horizon.
+
+    A torn or truncated **tail** — the expected wreckage of a crash
+    mid-append — is *not* an error: recovery stops cleanly at the last
+    intact record. This exception is reserved for damage that per-batch
+    ``fsync`` promised could not happen: a record that fails its CRC or
+    framing while *later* records are still intact, a foreign or
+    mangled log header, or a replayed record that contradicts the store
+    it is being replayed onto. It means acknowledged writes may be
+    lost, so recovery refuses to guess.
+    """

@@ -202,6 +202,33 @@ class StorageBackend(abc.ABC):
                 added += 1
         return added
 
+    def remove(self, s: int, p: int, o: int) -> bool:
+        """Delete ⟨s, p, o⟩; ``False`` if it was not stored.
+
+        Must bump :attr:`epoch` exactly when a triple is deleted (the
+        counter ticks once per *mutation*, not per net growth) and keep
+        every already-materialized secondary permutation consistent.
+        The default raises: a layout without physical deletion support
+        simply does not override it.
+        """
+        from repro.errors import StoreError
+
+        raise StoreError(
+            f"backend {self.name!r} does not support triple removal"
+        )
+
+    def remove_many(self, triples: Iterable[tuple[int, int, int]]) -> int:
+        """Bulk-delete; returns the number of triples actually removed.
+
+        Backends override this to amortize locking (and, for columnar
+        layouts, per-predicate rebuilds) over the whole batch.
+        """
+        removed = 0
+        for s, p, o in triples:
+            if self.remove(s, p, o):
+                removed += 1
+        return removed
+
     @abc.abstractmethod
     def freeze(self) -> None:
         """Make the layout immutable; further :meth:`add` is rejected
@@ -244,7 +271,8 @@ class StorageBackend(abc.ABC):
     @property
     @abc.abstractmethod
     def epoch(self) -> int:
-        """Monotonic mutation counter (one tick per stored triple)."""
+        """Monotonic mutation counter (one tick per stored or removed
+        triple — additions and deletions both advance it)."""
 
     @property
     @abc.abstractmethod

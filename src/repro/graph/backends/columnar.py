@@ -361,6 +361,7 @@ class ColumnarBackend(StorageBackend):
         self._seal_lock = threading.Lock()
         self._size = 0
         self._nodes: set[int] = set()
+        self._nodes_dirty = False
         #: Endpoint columns adopted by :meth:`import_segments` whose
         #: union into ``_nodes`` is deferred to the first :meth:`nodes`
         #: call — a snapshot warm start stays O(1) in node count.
@@ -408,6 +409,68 @@ class ColumnarBackend(StorageBackend):
         self._nodes.add(o)
         self._perms.insert(s, p, o)
         return True
+
+    def remove(self, s: int, p: int, o: int) -> bool:
+        with self._perms.lock:
+            with self._seal_lock:
+                return self._remove_batch_locked(p, [(s, o)]) == 1
+
+    def remove_many(self, triples) -> int:
+        # Group by predicate first: a removal touching a sealed run
+        # rebuilds that predicate's columns, so the rebuild must be
+        # paid once per predicate, not once per triple.
+        by_p: dict[int, list[tuple[int, int]]] = {}
+        for s, p, o in triples:
+            by_p.setdefault(p, []).append((s, o))
+        removed = 0
+        with self._perms.lock:
+            with self._seal_lock:
+                for p, pairs in by_p.items():
+                    removed += self._remove_batch_locked(p, pairs)
+        return removed
+
+    def _remove_batch_locked(self, p: int, pairs: list[tuple[int, int]]) -> int:
+        """Delete ``pairs`` from predicate ``p``; both locks held.
+
+        Staged pairs are discarded in place; sealed pairs are filtered
+        out in one `_Columns` rebuild (a pair is never in both — the
+        add path checks both before staging).
+        """
+        staged = self._staged.get(p)
+        cols = self._cols.get(p)
+        hit_staged: list[tuple[int, int]] = []
+        hit_sealed: set[tuple[int, int]] = set()
+        for s, o in pairs:
+            if staged is not None and o in staged.get(s, ()):
+                hit_staged.append((s, o))
+            elif cols is not None:
+                run = cols.run_of(s)
+                if run is not None and o in run:
+                    hit_sealed.add((s, o))
+        for s, o in hit_staged:
+            objs = staged[s]
+            objs.discard(o)
+            if not objs:
+                del staged[s]
+                if not staged:
+                    del self._staged[p]
+                    staged = None
+        if hit_sealed:
+            survivors = [pair for pair in cols.pairs() if pair not in hit_sealed]
+            if survivors:
+                self._cols[p] = _Columns(survivors)
+            else:
+                del self._cols[p]
+        removed = len(hit_staged) + len(hit_sealed)
+        if removed:
+            self._size -= removed
+            self._epoch += removed
+            self._nodes_dirty = True
+            for s, o in hit_staged:
+                self._perms.discard(s, p, o)
+            for s, o in hit_sealed:
+                self._perms.discard(s, p, o)
+        return removed
 
     def freeze(self) -> None:
         """Seal every predicate so reads are lock-free from here on."""
@@ -502,12 +565,26 @@ class ColumnarBackend(StorageBackend):
         concurrent reader either joins the drain or sees the finished
         set — never a half-built one.
         """
-        while self._pending_nodes:
+        while self._pending_nodes or self._nodes_dirty:
             with self._seal_lock:
-                pending = self._pending_nodes
-                if pending:
+                if self._nodes_dirty:
+                    # Removals invalidate the incremental endpoint set;
+                    # rebuild from the live columns and staging (which
+                    # also covers anything still in the pending list).
+                    nodes = set()
+                    for cols in self._cols.values():
+                        nodes.update(cols.subs)
+                        nodes.update(cols.robjs)
+                    for staged in self._staged.values():
+                        nodes.update(staged.keys())
+                        for objs in staged.values():
+                            nodes.update(objs)
+                    self._nodes = nodes
+                    self._pending_nodes = []
+                    self._nodes_dirty = False
+                elif self._pending_nodes:
                     nodes = self._nodes
-                    for column in pending:
+                    for column in self._pending_nodes:
                         nodes.update(column)
                     self._pending_nodes = []
         return self._nodes

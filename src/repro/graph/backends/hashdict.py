@@ -36,6 +36,7 @@ class HashDictBackend(StorageBackend):
         self._perms = LazyPermutations()
         self._size = 0
         self._nodes: set[int] = set()
+        self._nodes_dirty = False
         self._epoch = 0
 
     # -- construction ---------------------------------------------------
@@ -72,6 +73,45 @@ class HashDictBackend(StorageBackend):
         self._perms.insert(s, p, o)
         return True
 
+    def remove(self, s: int, p: int, o: int) -> bool:
+        with self._perms.lock:
+            return self._remove_locked(s, p, o)
+
+    def remove_many(self, triples) -> int:
+        removed = 0
+        with self._perms.lock:
+            for s, p, o in triples:
+                if self._remove_locked(s, p, o):
+                    removed += 1
+        return removed
+
+    def _remove_locked(self, s: int, p: int, o: int) -> bool:
+        by_s = self._pso.get(p)
+        if by_s is None:
+            return False
+        objs = by_s.get(s)
+        if objs is None or o not in objs:
+            return False
+        objs.discard(o)
+        if not objs:
+            del by_s[s]
+            if not by_s:
+                del self._pso[p]
+        by_o = self._pos[p]
+        subs = by_o[o]
+        subs.discard(s)
+        if not subs:
+            del by_o[o]
+            if not by_o:
+                del self._pos[p]
+        self._size -= 1
+        self._epoch += 1
+        # The endpoint may still appear elsewhere; membership is only
+        # decidable by a full rescan, so defer it (see nodes()).
+        self._nodes_dirty = True
+        self._perms.discard(s, p, o)
+        return True
+
     def freeze(self) -> None:
         """No compaction step: hash indexes are already final."""
 
@@ -86,6 +126,18 @@ class HashDictBackend(StorageBackend):
         return self._size
 
     def nodes(self) -> set[int]:
+        if self._nodes_dirty:
+            # Removals invalidate the incrementally-grown endpoint set;
+            # rebuild it from the primary index under the write lock.
+            with self._perms.lock:
+                if self._nodes_dirty:
+                    nodes: set[int] = set()
+                    for by_s in self._pso.values():
+                        nodes.update(by_s.keys())
+                        for objs in by_s.values():
+                            nodes.update(objs)
+                    self._nodes = nodes
+                    self._nodes_dirty = False
         return self._nodes
 
     def predicates(self) -> list[int]:

@@ -118,6 +118,33 @@ class LazyPermutations:
                 k1, k2, k3 = PERMUTATION_EXTRACTORS[name](triple)
                 index.setdefault(k1, {}).setdefault(k2, set()).add(k3)
 
+    def discard(self, s: int, p: int, o: int) -> None:
+        """Remove one triple from every already-built permutation.
+
+        The write-path mirror of :meth:`insert`, with the same locking
+        rationale: a build in progress may have scanned the triple
+        already, so the discard must wait for the build to publish.
+        Empty inner containers are pruned so a removed node disappears
+        from node-first scans rather than lingering as a dead key.
+        """
+        with self._lock:
+            if not self._indexes:
+                return
+            triple = Triple(s, p, o)
+            for name, index in self._indexes.items():
+                k1, k2, k3 = PERMUTATION_EXTRACTORS[name](triple)
+                inner = index.get(k1)
+                if inner is None:
+                    continue
+                leaf = inner.get(k2)
+                if leaf is None:
+                    continue
+                leaf.discard(k3)
+                if not leaf:
+                    del inner[k2]
+                    if not inner:
+                        del index[k1]
+
     def materialize_all(
         self, triples: Callable[[], Iterator[Triple]]
     ) -> None:

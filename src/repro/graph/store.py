@@ -18,6 +18,7 @@ ignored (RDF set semantics).
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, AbstractSet, Iterable, Iterator, Mapping
 
 from repro.errors import StoreError
@@ -69,6 +70,12 @@ class TripleStore:
             self._backend = create_backend(backend)
         self._frozen = False
         self._catalog_cache: "tuple[int, Catalog] | None" = None
+        # Serializes the whole logical write path (journal + backend
+        # mutation) across threads; also what persist()/compaction take
+        # for an epoch-stable view. Reentrant so a caller may pin an
+        # epoch across several batches.
+        self._write_lock = threading.RLock()
+        self._write_log = None
 
     @property
     def backend(self) -> StorageBackend:
@@ -81,6 +88,45 @@ class TripleStore:
         return self._backend.name
 
     # ------------------------------------------------------------------
+    # Write-path plumbing (durability hook + cross-thread serialization)
+    # ------------------------------------------------------------------
+
+    @property
+    def write_lock(self) -> threading.RLock:
+        """The lock every mutation runs under.
+
+        Holding it pins the :attr:`epoch`: no add/remove can interleave,
+        which is how ``persist()`` and WAL compaction obtain an
+        epoch-stable view without racing writers.
+        """
+        return self._write_lock
+
+    @property
+    def write_log(self):
+        """The attached write-log hook, or ``None`` (see
+        :class:`~repro.storage.wal.WalWriteHook`)."""
+        return self._write_log
+
+    def attach_write_log(self, hook) -> None:
+        """Journal every subsequent add/remove batch through ``hook``.
+
+        The hook's ``journal(adds, removes)`` runs under
+        :attr:`write_lock` *before* the backend mutates — write-ahead
+        ordering: a batch the backend applied is always already durable
+        (or in flight) in the log, never the other way round.
+        """
+        with self._write_lock:
+            if self._write_log is not None:
+                raise StoreError("store already has a write log attached")
+            self._write_log = hook
+
+    def detach_write_log(self):
+        """Stop journaling; returns the previously attached hook."""
+        with self._write_lock:
+            hook, self._write_log = self._write_log, None
+            return hook
+
+    # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
 
@@ -88,31 +134,79 @@ class TripleStore:
         """Insert the triple ⟨s, p, o⟩; returns ``False`` if already present."""
         if self._frozen:
             raise StoreError("store is frozen; cannot add triples")
-        return self._backend.add(s, p, o)
+        with self._write_lock:
+            if self._write_log is not None:
+                self._write_log.journal(((s, p, o),), ())
+            return self._backend.add(s, p, o)
 
     def add_triples(self, triples: Iterable[tuple[int, int, int]]) -> int:
         """Bulk-insert; returns the number of *new* triples.
 
         Prefer this (or :meth:`add_term_triples`) for bulk loads: the
-        backend amortizes its write locking over the whole batch.
+        backend amortizes its write locking over the whole batch, and a
+        write log journals the batch as one record (one fsync).
         """
         if self._frozen:
             raise StoreError("store is frozen; cannot add triples")
-        return self._backend.add_many(triples)
+        with self._write_lock:
+            if self._write_log is not None:
+                batch = [tuple(t) for t in triples]
+                self._write_log.journal(batch, ())
+                return self._backend.add_many(batch)
+            return self._backend.add_many(triples)
 
     def add_term_triple(self, s: str, p: str, o: str) -> bool:
         """Insert a triple of raw strings, interning them first."""
-        enc = self.dictionary.encode
-        return self.add(enc(s), enc(p), enc(o))
+        if self._frozen:
+            raise StoreError("store is frozen; cannot add triples")
+        with self._write_lock:
+            enc = self.dictionary.encode
+            return self.add(enc(s), enc(p), enc(o))
 
     def add_term_triples(self, triples: Iterable[tuple[str, str, str]]) -> int:
         """Bulk string-triple insert; returns the number of new triples."""
         if self._frozen:
             raise StoreError("store is frozen; cannot add triples")
-        enc = self.dictionary.encode
-        return self._backend.add_many(
-            (enc(s), enc(p), enc(o)) for s, p, o in triples
-        )
+        with self._write_lock:
+            enc = self.dictionary.encode
+            if self._write_log is not None:
+                batch = [(enc(s), enc(p), enc(o)) for s, p, o in triples]
+                self._write_log.journal(batch, ())
+                return self._backend.add_many(batch)
+            return self._backend.add_many(
+                (enc(s), enc(p), enc(o)) for s, p, o in triples
+            )
+
+    def remove(self, s: int, p: int, o: int) -> bool:
+        """Delete the triple ⟨s, p, o⟩; ``False`` if it was not stored."""
+        if self._frozen:
+            raise StoreError("store is frozen; cannot remove triples")
+        with self._write_lock:
+            if self._write_log is not None:
+                self._write_log.journal((), ((s, p, o),))
+            return self._backend.remove(s, p, o)
+
+    def remove_triples(self, triples: Iterable[tuple[int, int, int]]) -> int:
+        """Bulk-delete; returns the number of triples actually removed."""
+        if self._frozen:
+            raise StoreError("store is frozen; cannot remove triples")
+        with self._write_lock:
+            if self._write_log is not None:
+                batch = [tuple(t) for t in triples]
+                self._write_log.journal((), batch)
+                return self._backend.remove_many(batch)
+            return self._backend.remove_many(triples)
+
+    def remove_term_triple(self, s: str, p: str, o: str) -> bool:
+        """Delete a triple of raw strings; ``False`` if any term is
+        unknown or the triple was not stored (nothing is interned)."""
+        if self._frozen:
+            raise StoreError("store is frozen; cannot remove triples")
+        lookup = self.dictionary.lookup
+        ids = (lookup(s), lookup(p), lookup(o))
+        if None in ids:
+            return False
+        return self.remove(*ids)
 
     def freeze(self) -> None:
         """Make the store (and its dictionary) immutable.
@@ -130,7 +224,7 @@ class TripleStore:
 
     @property
     def epoch(self) -> int:
-        """Mutation counter: increases by one per successfully added triple.
+        """Mutation counter: one tick per added *or* removed triple.
 
         Two reads returning the same epoch guarantee the store content
         did not change in between, which is what plan/result caches key

@@ -153,6 +153,14 @@ class QueryService:
             max_workers=self.max_workers, thread_name_prefix="repro-query"
         )
         self._closed = False
+        # Crash-safe write-path state (see from_snapshot(wal=True) and
+        # start_compactor): whether this service owns the store's WAL
+        # handle, and the background-compaction gauges.
+        self._owns_wal = False
+        self._compactions = 0
+        self._last_compaction_generation: "int | None" = None
+        self._compactor_thread: "threading.Thread | None" = None
+        self._compactor_stop = threading.Event()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -167,6 +175,8 @@ class QueryService:
         use_mmap: bool | None = None,
         lazy_terms: bool | None = None,
         verify: bool = True,
+        wal: bool = False,
+        fsync: str = "batch",
         **service_kwargs,
     ) -> "QueryService":
         """Construct a service straight from a durable snapshot.
@@ -181,8 +191,35 @@ class QueryService:
         cost is O(1) in both triple and term count: no parsing, no
         dictionary materialization, no sort. Remaining keyword
         arguments are forwarded to the constructor.
+
+        ``wal=True`` opens the **crash-safe writable path** instead
+        (:func:`repro.storage.open_store`): the store arrives unfrozen
+        with its write-ahead log replayed and attached, every mutation
+        journals durably (``fsync`` policy per
+        :class:`~repro.storage.wal.WriteAheadLog`), and the snapshot
+        need not exist yet (an empty store is started). The snapshot's
+        stored catalog is reused only when the log replayed nothing —
+        replayed batches would make it stale. ``use_mmap``/
+        ``lazy_terms`` do not apply (a writable store needs owned
+        arrays and an internable dictionary).
         """
         from repro.storage import load_snapshot, load_snapshot_catalog
+
+        if wal:
+            from repro.storage import is_snapshot, open_store, scan_wal
+            from repro.storage.recovery import wal_path_for
+
+            replayed = len(scan_wal(wal_path_for(path)).records)
+            had_snapshot = is_snapshot(path)
+            store = open_store(path, backend=backend, fsync=fsync, verify=verify)
+            catalog = (
+                load_snapshot_catalog(path, verify=verify)
+                if had_snapshot and replayed == 0
+                else None
+            )
+            service = cls(store, catalog=catalog, **service_kwargs)
+            service._owns_wal = True
+            return service
 
         store = load_snapshot(
             path,
@@ -194,31 +231,117 @@ class QueryService:
         catalog = load_snapshot_catalog(path, verify=verify)
         return cls(store, catalog=catalog, **service_kwargs)
 
-    def persist(self, path, *, include_catalog: bool = True,
-                overwrite: bool = True) -> dict:
-        """Snapshot the store at its current epoch; returns the manifest.
+    def persist(self, path=None, *, include_catalog: bool = True,
+                overwrite: bool = True, full: bool = False) -> dict:
+        """Make the store durable at its current state.
 
-        A convenience over :func:`repro.storage.save_snapshot` using
-        the store's memoized catalog *at the current epoch* (the
-        service is re-synchronized first, so a store mutated since the
-        last query never persists stale statistics next to fresh
-        triples), so the written snapshot warm-starts (via
-        :meth:`from_snapshot`) with zero statistics rebuild. Safe to
-        call while queries are in flight — evaluation is read-only; a
-        concurrent *mutation* of an unfrozen store is detected through
-        the epoch counter and aborts the save instead of persisting a
-        torn state.
+        With a write-ahead log attached (``from_snapshot(wal=True)`` /
+        :func:`repro.storage.open_store`) and no foreign ``path``, this
+        is **cheap**: every batch is already journaled, so persisting is
+        one ``fsync`` sealing the log — no store rewrite, cost
+        independent of store size. The returned dict carries the log
+        gauges (``{"sealed": True, "wal": ...}``). Pass ``full=True``
+        to force a whole-store snapshot anyway (equivalent to
+        :meth:`compact` minus the log truncation).
+
+        Without a log (or with an explicit foreign ``path``), the full
+        snapshot is written via :func:`repro.storage.save_snapshot`
+        under the store's ``write_lock`` — the save serializes with the
+        write path instead of racing it, so the historical
+        mutated-during-save :class:`~repro.errors.SnapshotError` cannot
+        occur here, and the memoized catalog persisted next to the
+        triples is exactly the persisted epoch's.
         """
         from repro.storage import save_snapshot
 
+        hook = self.store.write_log
+        if path is not None:
+            target = os.fspath(path)
+        elif hook is not None and hook.snapshot_path is not None:
+            target = hook.snapshot_path
+        else:
+            raise ValueError(
+                "persist() needs a path: this service has no attached "
+                "write-ahead log to seal"
+            )
+        if hook is not None and not full and target == hook.snapshot_path:
+            hook.wal.sync()
+            return {
+                "sealed": True,
+                "snapshot": hook.snapshot_path,
+                "wal": hook.wal.stats(),
+            }
+
         self._refresh_if_stale()
-        return save_snapshot(
-            self.store,
-            path,
-            catalog=None,  # resolved to store.catalog() at this epoch
-            include_catalog=include_catalog,
-            overwrite=overwrite,
+        # Holding the write lock pins the epoch: writers queue behind
+        # the save instead of aborting it (readers are unaffected).
+        with self.store.write_lock:
+            return save_snapshot(
+                self.store,
+                target,
+                catalog=None,  # resolved to store.catalog() at this epoch
+                include_catalog=include_catalog,
+                overwrite=overwrite,
+            )
+
+    # ------------------------------------------------------------------
+    # WAL compaction
+    # ------------------------------------------------------------------
+
+    def compact(self) -> dict:
+        """Fold the attached WAL into a new snapshot generation now.
+
+        Runs :func:`repro.storage.compact` (off the write path; the log
+        truncation is the only step under the write lock) and updates
+        the service's compaction gauges. Returns the new manifest.
+        """
+        from repro.storage import compact as compact_store
+
+        manifest = compact_store(self.store)
+        self._compactions += 1
+        self._last_compaction_generation = manifest.get("generation")
+        # A fold-in does not change the epoch, but re-sync defensively:
+        # the snapshot may have raced final writes (compact retried).
+        self._refresh_if_stale()
+        return manifest
+
+    def start_compactor(
+        self, interval: float = 30.0, min_bytes: int = 1 << 20
+    ) -> None:
+        """Start the opt-in background compaction thread.
+
+        Every ``interval`` seconds, if the log holds at least
+        ``min_bytes`` of records, the WAL is folded into a new snapshot
+        generation. Daemonized and stopped by :meth:`close`.
+        """
+        if self.store.write_log is None:
+            raise ValueError(
+                "store has no write-ahead log; open it via "
+                "from_snapshot(wal=True) first"
+            )
+        if self._compactor_thread is not None:
+            raise RuntimeError("compactor already running")
+        from repro.storage.wal import HEADER_BYTES
+
+        def loop() -> None:
+            while not self._compactor_stop.wait(interval):
+                hook = self.store.write_log
+                if hook is None:
+                    break
+                if hook.wal.size_bytes - HEADER_BYTES < min_bytes:
+                    continue
+                try:
+                    self.compact()
+                except Exception:  # noqa: BLE001 - keep the thread alive
+                    # Failed compactions leave the log intact (still
+                    # fully recoverable); retry next tick.
+                    continue
+
+        self._compactor_stop.clear()
+        self._compactor_thread = threading.Thread(
+            target=loop, name="repro-wal-compactor", daemon=True
         )
+        self._compactor_thread.start()
 
     @property
     def engine(self) -> WireframeEngine:
@@ -231,9 +354,24 @@ class QueryService:
         return self._epoch
 
     def close(self, wait: bool = True) -> None:
-        """Shut the worker pool down; the service cannot be reused."""
+        """Shut the worker pool down; the service cannot be reused.
+
+        Also stops the background compactor (if started) and, when this
+        service opened the store's write-ahead log itself
+        (``from_snapshot(wal=True)``), seals and closes it.
+        """
         self._closed = True
+        if self._compactor_thread is not None:
+            self._compactor_stop.set()
+            if wait:
+                self._compactor_thread.join(timeout=30.0)
+            self._compactor_thread = None
         self._pool.shutdown(wait=wait)
+        if self._owns_wal:
+            from repro.storage import close_store
+
+            close_store(self.store)
+            self._owns_wal = False
 
     def __enter__(self) -> "QueryService":
         return self
@@ -545,6 +683,23 @@ class QueryService:
         snap["backend"] = self._backend_name
         snap["max_workers"] = self.max_workers
         snap["store_triples"] = self.store.num_triples
+        hook = self.store.write_log
+        if hook is not None:
+            from repro.storage import snapshot_generation
+
+            wal_stats = hook.wal.stats()
+            wal_stats["compactions"] = self._compactions
+            wal_stats["compactor_running"] = self._compactor_thread is not None
+            wal_stats["generation"] = (
+                self._last_compaction_generation
+                if self._last_compaction_generation is not None
+                else (
+                    snapshot_generation(hook.snapshot_path)
+                    if hook.snapshot_path is not None
+                    else 0
+                )
+            )
+            snap["wal"] = wal_stats
         return snap
 
     @staticmethod

@@ -15,14 +15,38 @@ The persistence subsystem behind ``repro save`` / ``--snapshot`` and
   open cost is O(1) in vocabulary size;
 * :func:`is_snapshot` / :func:`read_manifest` /
   :func:`load_snapshot_catalog` — introspection helpers used by the
-  dataset loader and the CLI.
+  dataset loader and the CLI;
+* the **crash-safe write path**: :func:`open_store` loads a snapshot,
+  replays its paired write-ahead log (:mod:`repro.storage.wal`), and
+  attaches the journaling hook so every acknowledged batch survives
+  ``kill -9``; :func:`compact` folds the log into the next snapshot
+  generation off the write path; :func:`store_fingerprint` is the
+  content-equality oracle the recovery guarantees are stated in.
 
 Format details live in :mod:`repro.storage.snapshot` (directory layout,
-atomicity, corruption detection) and :mod:`repro.storage.segments`
-(the binary segment encoding).
+atomicity, corruption detection), :mod:`repro.storage.segments` (the
+binary segment encoding), and :mod:`repro.storage.wal` (the log record
+framing and torn-tail semantics).
 """
 
-from repro.errors import SnapshotError
+from repro.errors import SnapshotError, WalError
+from repro.storage.recovery import (
+    close_store,
+    compact,
+    open_store,
+    replay_wal,
+    snapshot_generation,
+    store_fingerprint,
+    wal_inspect,
+    wal_path_for,
+)
+from repro.storage.wal import (
+    WalRecord,
+    WalScan,
+    WalWriteHook,
+    WriteAheadLog,
+    scan_wal,
+)
 from repro.storage.segments import (
     read_segment,
     segment_bytes,
@@ -51,6 +75,20 @@ from repro.storage.termdict import (
 
 __all__ = [
     "SnapshotError",
+    "WalError",
+    "WalRecord",
+    "WalScan",
+    "WalWriteHook",
+    "WriteAheadLog",
+    "scan_wal",
+    "open_store",
+    "close_store",
+    "replay_wal",
+    "compact",
+    "snapshot_generation",
+    "store_fingerprint",
+    "wal_inspect",
+    "wal_path_for",
     "FORMAT_VERSION",
     "MANIFEST_FILE",
     "TERMS_FILE",

@@ -174,6 +174,8 @@ def save_snapshot(
     catalog: "Catalog | None" = None,
     include_catalog: bool = True,
     overwrite: bool = True,
+    generation: int = 0,
+    wal: "str | None" = None,
 ) -> dict:
     """Serialize ``store`` (and optionally its catalog) under ``path``.
 
@@ -184,7 +186,15 @@ def save_snapshot(
     workflow — so a later :func:`~repro.datasets.loader.load_dataset`
     needs no statistics rebuild. The store need not be frozen, but a
     *mutation racing the save* is detected through the epoch counter
-    and aborts it rather than renaming a torn snapshot into place.
+    and aborts it rather than renaming a torn snapshot into place
+    (callers that must not race hold the store's ``write_lock`` — see
+    ``QueryService.persist`` — or go through the WAL compactor's
+    retry loop instead).
+
+    ``generation`` is the compaction counter stamped into the manifest
+    (each WAL fold-in bumps it); ``wal`` records the basename of the
+    paired write-ahead log so tooling can find the delta file that
+    accompanies this snapshot.
     """
     target = os.fspath(path)
     if os.path.exists(target) and not os.path.isdir(target):
@@ -241,7 +251,8 @@ def save_snapshot(
 
         if store.epoch != epoch:
             raise SnapshotError(
-                "store mutated during save_snapshot(); snapshot aborted"
+                f"store mutated during save_snapshot() (epoch {epoch} at "
+                f"start, {store.epoch} now); snapshot aborted"
             )
 
         manifest = {
@@ -252,10 +263,13 @@ def save_snapshot(
             "num_triples": store.num_triples,
             "num_terms": len(store.dictionary),
             "epoch": epoch,
+            "generation": generation,
             "has_catalog": include_catalog,
             "predicates": predicates,
             "files": files,
         }
+        if wal is not None:
+            manifest["wal"] = wal
         # The manifest is written last: a snapshot without one is, by
         # definition, not loadable, so a crash anywhere above leaves
         # only an inert .tmp directory behind.

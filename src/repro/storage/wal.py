@@ -1,0 +1,603 @@
+"""Append-only, fsync'd write-ahead log for cheap durable writes.
+
+Snapshots (:mod:`repro.storage.snapshot`) are whole-store: persisting a
+mutated store rewrites every segment. The WAL turns an acknowledged
+write into one *appended record* instead — the LSM-shaped lifecycle the
+ROADMAP asks for: mutable staging → WAL → sealed mmap segments. A WAL
+lives **beside** its snapshot (``<snapshot>.wal`` — see
+:func:`repro.storage.recovery.wal_path_for`) and is replayed over it on
+open; a background compaction folds the log into the next snapshot
+generation and truncates it.
+
+File layout::
+
+    file   := header record*
+    header := magic b"REPROWAL" · u32 version · u32 flags   (16 bytes)
+    record := u32 record-magic "WREC" · u32 payload-length
+              · u64 sequence · u32 crc32                    (20 bytes)
+              · payload
+
+The CRC covers the sequence number and the payload, so a record is
+accepted only when its framing, checksum, and (strictly increasing)
+sequence all validate. Each record journals one **add/remove batch**:
+
+* the terms newly interned by the batch (id-ordered, so replay assigns
+  the same dense ids) plus the id of the first one (``term_base``),
+* the added triples, and the removed triples, as flat native-endian
+  ``array('q')`` columns (the header ``flags`` pin the byte order, as
+  the snapshot manifest does for segments).
+
+Durability policy is configurable per log: ``fsync="batch"`` (the safe
+default — every :meth:`WriteAheadLog.append` is flushed and fsynced
+before it returns, so an acknowledged write survives ``kill -9``) or
+``fsync="none"`` (leave scheduling to the OS; an explicit
+:meth:`~WriteAheadLog.sync` — e.g. ``QueryService.persist()`` — makes
+everything appended so far durable at once).
+
+Torn-write tolerance is **by construction**: a crash mid-append leaves
+a truncated or CRC-failing *tail*, which :func:`scan_wal` stops at
+cleanly — the store recovers to the last acknowledged batch boundary.
+Damage *before* that horizon (an invalid record with intact records
+after it, which per-batch fsync promised could not happen) raises
+:class:`~repro.errors.WalError` instead of silently dropping
+acknowledged writes. Replay itself lives in
+:mod:`repro.storage.recovery`.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from array import array
+from typing import TYPE_CHECKING, Iterable, NamedTuple, Sequence
+
+from repro.errors import WalError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.dictionary import DictionaryView
+
+FILE_MAGIC = b"REPROWAL"
+
+#: Log format version; bumped on incompatible record-layout changes.
+WAL_VERSION = 1
+
+#: Header flag bit: the triple columns are little-endian.
+_FLAG_LITTLE_ENDIAN = 1
+
+_FILE_HEADER = struct.Struct("<8sII")
+HEADER_BYTES = _FILE_HEADER.size  # 16
+
+#: Per-record framing: magic, payload length, sequence, crc32.
+RECORD_MAGIC = b"WREC"
+_REC_HEADER = struct.Struct("<4sIQI")
+RECORD_HEADER_BYTES = _REC_HEADER.size  # 20
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+_ITEMSIZE = array("q").itemsize
+
+#: Supported fsync policies (see module docstring).
+FSYNC_POLICIES = ("batch", "none")
+
+
+def _header_bytes() -> bytes:
+    import sys
+
+    flags = _FLAG_LITTLE_ENDIAN if sys.byteorder == "little" else 0
+    return _FILE_HEADER.pack(FILE_MAGIC, WAL_VERSION, flags)
+
+
+class WalRecord(NamedTuple):
+    """One decoded batch record plus its byte extent in the log."""
+
+    seq: int
+    term_base: int
+    terms: tuple[str, ...]
+    adds: list[tuple[int, int, int]]
+    removes: list[tuple[int, int, int]]
+    offset: int
+    end: int
+
+
+class WalScan(NamedTuple):
+    """Outcome of one full validation pass over a log file.
+
+    ``stop_offset`` is where replay stops: the end of the last intact
+    record (the committed horizon), or the end of the header for an
+    empty/unreadable log. ``torn`` is true when bytes past that horizon
+    failed to validate — the expected wreckage of a crash mid-append —
+    with ``reason`` saying why the first bad record was rejected.
+    """
+
+    records: list[WalRecord]
+    committed_seq: int
+    stop_offset: int
+    size_bytes: int
+    torn: bool
+    reason: "str | None"
+
+
+def _encode_payload(
+    term_base: int,
+    terms: Sequence[str],
+    adds: Iterable[tuple[int, int, int]],
+    removes: Iterable[tuple[int, int, int]],
+) -> bytes:
+    parts = [_U64.pack(term_base), _U32.pack(len(terms))]
+    for term in terms:
+        data = term.encode("utf-8")
+        parts.append(_U32.pack(len(data)))
+        parts.append(data)
+    for triples in (adds, removes):
+        flat = array("q")
+        for s, p, o in triples:
+            flat.append(s)
+            flat.append(p)
+            flat.append(o)
+        parts.append(_U32.pack(len(flat) // 3))
+        parts.append(flat.tobytes())
+    return b"".join(parts)
+
+
+def _decode_payload(
+    payload: bytes,
+) -> tuple[int, tuple[str, ...], list, list]:
+    """Inverse of :func:`_encode_payload`; raises ``ValueError`` when the
+    payload does not parse (the caller maps that to a record failure)."""
+    view = memoryview(payload)
+    size = len(view)
+    if size < _U64.size + _U32.size:
+        raise ValueError("payload shorter than its fixed prelude")
+    (term_base,) = _U64.unpack_from(view, 0)
+    pos = _U64.size
+    (n_terms,) = _U32.unpack_from(view, pos)
+    pos += _U32.size
+    terms = []
+    for _ in range(n_terms):
+        if pos + _U32.size > size:
+            raise ValueError("truncated term record")
+        (length,) = _U32.unpack_from(view, pos)
+        pos += _U32.size
+        if pos + length > size:
+            raise ValueError("truncated term bytes")
+        terms.append(bytes(view[pos : pos + length]).decode("utf-8"))
+        pos += length
+    batches = []
+    for _ in range(2):
+        if pos + _U32.size > size:
+            raise ValueError("truncated triple count")
+        (n,) = _U32.unpack_from(view, pos)
+        pos += _U32.size
+        nbytes = n * 3 * _ITEMSIZE
+        if pos + nbytes > size:
+            raise ValueError("truncated triple column")
+        flat = array("q")
+        flat.frombytes(view[pos : pos + nbytes])
+        pos += nbytes
+        batches.append(
+            [
+                (flat[i], flat[i + 1], flat[i + 2])
+                for i in range(0, len(flat), 3)
+            ]
+        )
+    if pos != size:
+        raise ValueError(f"{size - pos} trailing payload bytes")
+    return term_base, tuple(terms), batches[0], batches[1]
+
+
+def encode_record(
+    seq: int,
+    term_base: int,
+    terms: Sequence[str],
+    adds: Iterable[tuple[int, int, int]],
+    removes: Iterable[tuple[int, int, int]],
+) -> bytes:
+    """The exact on-disk bytes of one record (framing + payload)."""
+    payload = _encode_payload(term_base, terms, adds, removes)
+    crc = zlib.crc32(_U64.pack(seq) + payload) & 0xFFFFFFFF
+    return _REC_HEADER.pack(RECORD_MAGIC, len(payload), seq, crc) + payload
+
+
+def _try_record(buf, offset: int, size: int, min_seq: int):
+    """Parse and validate one record at ``offset``.
+
+    Returns ``(WalRecord, None)`` on success or ``(None, reason)`` on
+    any framing, checksum, sequence, or payload failure.
+    """
+    if offset + RECORD_HEADER_BYTES > size:
+        return None, "truncated record header"
+    magic, length, seq, crc = _REC_HEADER.unpack_from(buf, offset)
+    if magic != RECORD_MAGIC:
+        return None, "bad record magic"
+    end = offset + RECORD_HEADER_BYTES + length
+    if end > size:
+        return None, "truncated record payload"
+    payload = bytes(buf[offset + RECORD_HEADER_BYTES : end])
+    if zlib.crc32(_U64.pack(seq) + payload) & 0xFFFFFFFF != crc:
+        return None, "record checksum mismatch"
+    if seq <= min_seq:
+        return None, f"non-monotonic sequence {seq} (after {min_seq})"
+    try:
+        term_base, terms, adds, removes = _decode_payload(payload)
+    except ValueError as exc:
+        return None, f"undecodable record payload: {exc}"
+    return WalRecord(seq, term_base, terms, adds, removes, offset, end), None
+
+
+def _scan_buffer(buf: bytes, size: int, where: str) -> WalScan:
+    if size < HEADER_BYTES:
+        # A crash during log *creation* can leave a short header; no
+        # record was ever acknowledged against it, so recover as empty.
+        return WalScan([], 0, 0, size, torn=size > 0, reason="torn header")
+    magic, version, flags = _FILE_HEADER.unpack_from(buf, 0)
+    if magic != FILE_MAGIC:
+        raise WalError(f"{where}: not a write-ahead log (bad magic)")
+    if version > WAL_VERSION:
+        raise WalError(
+            f"{where}: log format v{version} is newer than this library "
+            f"supports (v{WAL_VERSION})"
+        )
+    import sys
+
+    little = bool(flags & _FLAG_LITTLE_ENDIAN)
+    if little != (sys.byteorder == "little"):
+        raise WalError(
+            f"{where}: log was written {'little' if little else 'big'}-endian; "
+            f"this platform is {sys.byteorder}-endian"
+        )
+
+    records: list[WalRecord] = []
+    offset = HEADER_BYTES
+    committed = 0
+    while offset < size:
+        record, reason = _try_record(buf, offset, size, committed)
+        if record is None:
+            # The horizon check: a valid record *after* the damage means
+            # this was not a torn tail — appends were acknowledged past
+            # it, so their loss is corruption, not a crash artifact.
+            resync = _find_valid_record_after(buf, offset, size, committed)
+            if resync is not None:
+                raise WalError(
+                    f"{where}: {reason} at offset {offset}, but an intact "
+                    f"record (seq {resync.seq}) follows at offset "
+                    f"{resync.offset} — the log is corrupt before its "
+                    f"committed horizon"
+                )
+            return WalScan(
+                records, committed, offset, size, torn=True, reason=reason
+            )
+        records.append(record)
+        committed = record.seq
+        offset = record.end
+    return WalScan(records, committed, offset, size, torn=False, reason=None)
+
+
+def _find_valid_record_after(buf, failed_at: int, size: int, min_seq: int):
+    """First fully-valid record strictly past a failed one, if any.
+
+    Resynchronizes on the record magic: framing is length-prefixed, so
+    a corrupt length tears the frame chain — scanning for the magic and
+    re-validating (checksum + sequence) is what distinguishes mid-log
+    corruption from an ordinary torn tail.
+    """
+    data = bytes(buf[:size]) if not isinstance(buf, bytes) else buf
+    pos = data.find(RECORD_MAGIC, failed_at + 1, size)
+    while pos != -1:
+        record, _reason = _try_record(data, pos, size, min_seq)
+        if record is not None:
+            return record
+        pos = data.find(RECORD_MAGIC, pos + 1, size)
+    return None
+
+
+def scan_wal(path: "str | os.PathLike") -> WalScan:
+    """Validate a log file end to end without applying anything.
+
+    Stops cleanly at a torn tail; raises :class:`WalError` for a
+    foreign/mangled header or corruption before the committed horizon.
+    A missing file scans as an empty, untorn log.
+    """
+    target = os.fspath(path)
+    try:
+        with open(target, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return WalScan([], 0, 0, 0, torn=False, reason=None)
+    except OSError as exc:
+        raise WalError(f"cannot read write-ahead log {target!r}: {exc}") from exc
+    return _scan_buffer(data, len(data), target)
+
+
+def _fsync_dir(path: str) -> None:
+    fd = os.open(path or ".", os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class WriteAheadLog:
+    """One open, appendable write-ahead log file.
+
+    Use :meth:`open` (which recovers from a torn tail by physically
+    truncating it, after :func:`scan_wal` proved nothing intact follows)
+    rather than constructing directly. All methods are thread-safe; the
+    append path additionally serializes with
+    :attr:`~repro.graph.store.TripleStore.write_lock` when attached via
+    :class:`WalWriteHook`.
+    """
+
+    def __init__(self, path: str, handle, *, fsync: str,
+                 records: list[tuple[int, int, int]], end_offset: int):
+        self.path = path
+        self.fsync_policy = fsync
+        self._handle = handle
+        #: (seq, offset, end) per live record — the truncation index.
+        self._index = records
+        #: High-water sequence ever seen through this handle; survives
+        #: truncation so sequences never move backwards.
+        self._last_seq = records[-1][0] if records else 0
+        self._end = end_offset
+        self._lock = threading.RLock()
+        self._closed = False
+        #: Total appends acknowledged through this handle (gauge).
+        self.appended = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: "str | os.PathLike", *, fsync: str = "batch",
+             ) -> "WriteAheadLog":
+        """Open (creating if missing) a log for appending.
+
+        An existing log is scanned first: a torn tail is truncated away
+        (its bytes were never acknowledged), corruption before the
+        committed horizon raises :class:`WalError`. The caller replays
+        the scanned records *before* appending — see
+        :func:`repro.storage.recovery.open_store`.
+        """
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r}; expected one of "
+                f"{FSYNC_POLICIES}"
+            )
+        target = os.fspath(path)
+        scan = scan_wal(target)
+        if scan.size_bytes < HEADER_BYTES:
+            # New log (or torn creation): write a fresh, durable header.
+            with open(target, "wb") as handle:
+                handle.write(_header_bytes())
+                handle.flush()
+                os.fsync(handle.fileno())
+            _fsync_dir(os.path.dirname(os.path.abspath(target)))
+            scan = WalScan([], 0, HEADER_BYTES, HEADER_BYTES, False, None)
+        handle = open(target, "r+b")
+        try:
+            if scan.torn:
+                handle.truncate(scan.stop_offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+            handle.seek(scan.stop_offset)
+        except BaseException:
+            handle.close()
+            raise
+        return cls(
+            target,
+            handle,
+            fsync=fsync,
+            records=[(r.seq, r.offset, r.end) for r in scan.records],
+            end_offset=scan.stop_offset,
+        )
+
+    def close(self) -> None:
+        """Flush, fsync, and close the underlying file (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            finally:
+                self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Gauges
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence ever committed (0 = never appended).
+
+        Monotonic across :meth:`truncate_through` — compaction folds
+        records away but never rewinds the sequence clock.
+        """
+        with self._lock:
+            return self._last_seq
+
+    @property
+    def record_count(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    @property
+    def size_bytes(self) -> int:
+        with self._lock:
+            return self._end
+
+    def stats(self) -> dict:
+        """JSON-compatible gauges (the ``/v1/stats`` ``wal`` payload)."""
+        with self._lock:
+            return {
+                "path": self.path,
+                "records": len(self._index),
+                "last_seq": self._last_seq,
+                "size_bytes": self._end,
+                "fsync": self.fsync_policy,
+                "appended": self.appended,
+            }
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(
+        self,
+        *,
+        term_base: int = 0,
+        terms: Sequence[str] = (),
+        adds: Iterable[tuple[int, int, int]] = (),
+        removes: Iterable[tuple[int, int, int]] = (),
+    ) -> int:
+        """Append one batch record; returns its sequence number.
+
+        Under the default ``fsync="batch"`` policy the record is on
+        stable storage when this returns — the batch is *committed* and
+        will survive any crash after this point.
+        """
+        with self._lock:
+            if self._closed:
+                raise WalError(f"write-ahead log {self.path!r} is closed")
+            seq = self._last_seq + 1
+            blob = encode_record(seq, term_base, terms, adds, removes)
+            self._handle.seek(self._end)
+            self._handle.write(blob)
+            self._handle.flush()
+            if self.fsync_policy == "batch":
+                os.fsync(self._handle.fileno())
+            offset = self._end
+            self._end = offset + len(blob)
+            self._index.append((seq, offset, self._end))
+            self._last_seq = seq
+            self.appended += 1
+            return seq
+
+    def sync(self) -> None:
+        """Force everything appended so far onto stable storage.
+
+        The *seal* operation: under ``fsync="none"`` this is the one
+        durability point; under ``fsync="batch"`` it is a cheap no-op
+        confirmation.
+        """
+        with self._lock:
+            if self._closed:
+                raise WalError(f"write-ahead log {self.path!r} is closed")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def truncate_through(self, seq: int) -> int:
+        """Drop every record with sequence ``<= seq``; returns how many.
+
+        The compaction step: records folded into a snapshot generation
+        are removed from the log **atomically** (tail records are
+        rewritten into a sibling file that is fsynced and renamed over
+        the log), so a crash mid-truncation leaves either the old log
+        or the new one — never a half-truncated file. Sequence numbers
+        of surviving records are preserved (the scanner only requires
+        strict monotonicity, not density).
+        """
+        with self._lock:
+            if self._closed:
+                raise WalError(f"write-ahead log {self.path!r} is closed")
+            keep = [entry for entry in self._index if entry[0] > seq]
+            dropped = len(self._index) - len(keep)
+            if dropped == 0:
+                return 0
+            tmp = f"{self.path}.tmp-{os.getpid()}"
+            header = _header_bytes()
+            with open(tmp, "wb") as out:
+                out.write(header)
+                for _seq, offset, end in keep:
+                    self._handle.seek(offset)
+                    out.write(self._handle.read(end - offset))
+                out.flush()
+                os.fsync(out.fileno())
+            os.replace(tmp, self.path)
+            _fsync_dir(os.path.dirname(os.path.abspath(self.path)))
+            self._handle.close()
+            self._handle = open(self.path, "r+b")
+            new_index = []
+            pos = len(header)
+            for entry_seq, offset, end in keep:
+                length = end - offset
+                new_index.append((entry_seq, pos, pos + length))
+                pos += length
+            self._index = new_index
+            self._end = pos
+            self._handle.seek(pos)
+            return dropped
+
+
+class WalWriteHook:
+    """The store-side journaling hook: WAL first, then the backend.
+
+    Attached via :meth:`TripleStore.attach_write_log
+    <repro.graph.store.TripleStore.attach_write_log>`, it receives every
+    add/remove batch *before* the backend mutates (both shipped
+    backends — journaling lives above the physical layout). Newly
+    interned dictionary terms ride along automatically: the hook keeps
+    a watermark of how many terms are already durable (snapshot terms
+    plus previously journaled ones) and journals the delta with each
+    batch, so replay re-interns them at identical ids.
+    """
+
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        dictionary: "DictionaryView",
+        terms_logged: "int | None" = None,
+        snapshot_path: "str | None" = None,
+    ):
+        self.wal = wal
+        self._dictionary = dictionary
+        self._terms_logged = (
+            len(dictionary) if terms_logged is None else terms_logged
+        )
+        #: The snapshot target this log belongs to (compaction folds
+        #: into it); ``None`` for a free-standing log.
+        self.snapshot_path = snapshot_path
+
+    @property
+    def terms_logged(self) -> int:
+        """Dictionary watermark: ids below this are durable already."""
+        return self._terms_logged
+
+    def journal(
+        self,
+        adds: Sequence[tuple[int, int, int]],
+        removes: Sequence[tuple[int, int, int]],
+    ) -> "int | None":
+        """Make one batch durable; returns its sequence (None if empty).
+
+        Fully-empty batches (no triples, no new terms) are not
+        journaled — replay would no-op on them anyway, and skipping
+        them keeps an idle writer from growing the log.
+        """
+        total = len(self._dictionary)
+        base = self._terms_logged
+        if total > base:
+            new_terms = self._dictionary.decode_many(range(base, total))
+        else:
+            new_terms = ()
+        if not adds and not removes and not new_terms:
+            return None
+        seq = self.wal.append(
+            term_base=base, terms=new_terms, adds=adds, removes=removes
+        )
+        self._terms_logged = total
+        return seq

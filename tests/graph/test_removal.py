@@ -1,0 +1,183 @@
+"""Triple removal: backend semantics + the TripleStore facade.
+
+Removal landed with the WAL write path (journaled batches may carry
+removes), so both shipped backends must delete from every index they
+maintain — forward/reverse adjacency, lazy permutations, the node set —
+and keep the epoch ticking so plan/result caches invalidate.
+"""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.graph.backends import available_backends
+from repro.graph.backends.base import StorageBackend
+from repro.graph.store import TripleStore
+from repro.graph.triples import TriplePattern
+
+BACKENDS = available_backends()
+
+EDGES = [
+    ("alice", "knows", "bob"),
+    ("bob", "knows", "carol"),
+    ("carol", "knows", "alice"),
+    ("alice", "likes", "carol"),
+]
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request):
+    s = TripleStore(backend=request.param)
+    s.add_term_triples(EDGES)
+    return s
+
+
+def ids(store, *terms):
+    return tuple(store.dictionary.lookup(t) for t in terms)
+
+
+def term_triples(store):
+    decode = store.dictionary.decode
+    return {tuple(decode(v) for v in t) for t in store.triples()}
+
+
+def test_remove_deletes_exactly_one_triple(store):
+    a, k, b = ids(store, "alice", "knows", "bob")
+    assert store.remove(a, k, b)
+    assert len(store) == len(EDGES) - 1
+    assert (a, k, b) not in store
+    assert term_triples(store) == set(EDGES) - {("alice", "knows", "bob")}
+    # Removing it again is a no-op reported as such.
+    assert not store.remove(a, k, b)
+    assert len(store) == len(EDGES) - 1
+
+
+def test_remove_ticks_the_epoch_only_when_something_went(store):
+    a, k, b = ids(store, "alice", "knows", "bob")
+    before = store.epoch
+    assert store.remove(a, k, b)
+    assert store.epoch == before + 1
+    assert not store.remove(a, k, b)
+    assert store.epoch == before + 1
+
+
+def test_adjacency_views_shrink(store):
+    a, k, b = ids(store, "alice", "knows", "bob")
+    assert b in store.successors(k, a)
+    assert store.remove(a, k, b)
+    assert b not in store.successors(k, a)
+    assert a not in store.predecessors(k, b)
+    assert store.count(k) == 2
+    assert a not in store.subject_set(k)  # alice has no "knows" edge left
+
+
+def test_match_consistent_after_removal(store):
+    a, k, b = ids(store, "alice", "knows", "bob")
+    # Materialize the lazy permutation indexes first, so removal must
+    # update them rather than rebuild from scratch.
+    assert list(store.match(TriplePattern(None, None, o=b)))
+    store.materialize_all_indexes()
+    assert store.remove(a, k, b)
+    assert list(store.match(TriplePattern(a, k, b))) == []
+    assert [t for t in store.match(TriplePattern(s=a, p=None, o=None))
+            ] == [(a, *ids(store, "likes", "carol"))]
+    assert all(t.s != a for t in store.match(TriplePattern(None, k, None)))
+
+
+def test_nodes_rebuilt_after_removal(store):
+    a, k, b = ids(store, "alice", "knows", "bob")
+    assert b in store.nodes()
+    # bob still appears as a subject of its own edge after this one:
+    assert store.remove(a, k, b)
+    assert b in store.nodes()
+    bc = ids(store, "bob", "knows", "carol")
+    assert store.remove(*bc)
+    assert ids(store, "bob")[0] not in store.nodes()
+    assert a in store.nodes()  # alice keeps other edges
+
+
+def test_remove_triples_bulk_counts_hits_only(store):
+    batch = [
+        ids(store, "alice", "knows", "bob"),
+        ids(store, "bob", "knows", "carol"),
+        ids(store, "alice", "knows", "carol"),  # never stored
+    ]
+    assert store.remove_triples(batch) == 2
+    assert len(store) == len(EDGES) - 2
+    assert store.remove_triples(batch) == 0
+
+
+def test_remove_whole_predicate(store):
+    k = ids(store, "knows")[0]
+    gone = store.remove_triples(
+        [t for t in store.triples() if t.p == k]
+    )
+    assert gone == 3
+    assert not store.has_predicate(k) or store.count(k) == 0
+    assert store.predicates() == ids(store, "likes") or store.predicates() == [
+        p for p in store.predicates() if store.count(p)
+    ]
+    assert term_triples(store) == {("alice", "likes", "carol")}
+
+
+def test_remove_term_triple_never_interns(store):
+    terms_before = len(store.dictionary)
+    assert not store.remove_term_triple("alice", "knows", "stranger")
+    assert len(store.dictionary) == terms_before
+    assert store.remove_term_triple("alice", "knows", "bob")
+    assert len(store) == len(EDGES) - 1
+
+
+def test_frozen_store_refuses_removal(store):
+    a, k, b = ids(store, "alice", "knows", "bob")
+    store.freeze()
+    for op in (
+        lambda: store.remove(a, k, b),
+        lambda: store.remove_triples([(a, k, b)]),
+        lambda: store.remove_term_triple("alice", "knows", "bob"),
+    ):
+        with pytest.raises(StoreError, match="frozen"):
+            op()
+
+
+def test_add_remove_add_roundtrip(store):
+    a, k, b = ids(store, "alice", "knows", "bob")
+    assert store.remove(a, k, b)
+    assert store.add(a, k, b)
+    assert (a, k, b) in store
+    assert len(store) == len(EDGES)
+    assert term_triples(store) == set(EDGES)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_interleaved_staged_and_sealed_removal(backend):
+    # Sealing (columnar) happens on first read; removes must hit both
+    # the staged overlay and the sealed columns.
+    store = TripleStore(backend=backend)
+    store.add_term_triples(EDGES)
+    k = store.dictionary.lookup("knows")
+    assert store.count(k) == 3  # read → seals the columnar groups
+    store.add_term_triples([("dave", "knows", "alice")])  # staged again
+    assert store.remove_term_triple("dave", "knows", "alice")  # staged hit
+    assert store.remove_term_triple("alice", "knows", "bob")  # sealed hit
+    assert store.count(k) == 2
+    decode = store.dictionary.decode
+    assert {tuple(decode(v) for v in t) for t in store.triples()} == {
+        ("bob", "knows", "carol"),
+        ("carol", "knows", "alice"),
+        ("alice", "likes", "carol"),
+    }
+
+
+def test_base_backend_removal_default_is_a_clear_refusal():
+    # A backend that never overrides remove()/remove_many() inherits a
+    # loud refusal, not silent data loss.
+    class _Immutable:
+        name = "immutable"
+        remove = StorageBackend.remove
+        remove_many = StorageBackend.remove_many
+
+    backend = _Immutable()
+    with pytest.raises(StoreError, match="does not support triple removal"):
+        backend.remove(1, 2, 3)
+    with pytest.raises(StoreError, match="does not support triple removal"):
+        backend.remove_many([(1, 2, 3)])

@@ -143,6 +143,32 @@ def test_stats_expose_queue_depth_and_http_gauges(client, server):
     assert http["in_flight"] == 0
 
 
+def test_stats_expose_wal_gauges_for_journaled_service(tmp_path):
+    """A server over a crash-safe (wal=True) service surfaces the log
+    gauges straight through ``/v1/stats`` — no wire change needed."""
+    from _http_client import Client
+
+    from repro.server import serve_in_background
+    from repro.service import QueryService
+
+    with QueryService.from_snapshot(tmp_path / "snap", wal=True) as svc:
+        svc.store.add_term_triples([("alice", "knows", "bob")])
+        with serve_in_background(svc) as handle:
+            wal_client = Client(handle.address)
+            try:
+                status, payload, _ = wal_client.get("/v1/stats")
+            finally:
+                wal_client.close()
+    assert status == 200
+    gauges = payload["service"]["wal"]
+    assert gauges["records"] == 1
+    assert gauges["last_seq"] == 1
+    assert gauges["fsync"] == "batch"
+    assert gauges["compactions"] == 0
+    assert gauges["generation"] == 0
+    assert gauges["size_bytes"] > 0
+
+
 def test_unknown_endpoint_404(client):
     status, payload, _ = client.get("/v2/query")
     assert status == 404

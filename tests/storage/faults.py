@@ -1,0 +1,80 @@
+"""Shared fault-injection helpers for the durability test suites.
+
+One place for the byte-level mutilation every crash/corruption test
+needs: truncation at an exact offset, single-byte bit flips, and
+torn-tail copies of whole directories (simulating the observable state
+after a crash that lost un-fsynced tail bytes). The snapshot corruption
+tests and the WAL crash-point enumeration both build on these so the
+injected faults are identical across suites.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+
+def truncate_at(path, offset: int) -> None:
+    """Cut the file at ``path`` to exactly ``offset`` bytes."""
+    with open(path, "r+b") as handle:
+        handle.truncate(offset)
+
+
+def truncate_tail(path, nbytes: int) -> None:
+    """Drop the final ``nbytes`` bytes of the file at ``path``."""
+    size = os.path.getsize(path)
+    truncate_at(path, max(0, size - nbytes))
+
+
+def bit_flip(path, offset: int, mask: int = 0xFF) -> int:
+    """XOR one byte of the file at ``path``; returns the original byte.
+
+    Negative offsets index from the end, as with Python slicing.
+    """
+    with open(path, "r+b") as handle:
+        if offset < 0:
+            handle.seek(offset, os.SEEK_END)
+        else:
+            handle.seek(offset)
+        original = handle.read(1)[0]
+        handle.seek(-1, os.SEEK_CUR)
+        handle.write(bytes([original ^ mask]))
+    return original
+
+
+def restore_byte(path, offset: int, value: int) -> None:
+    """Undo a :func:`bit_flip` by writing ``value`` back at ``offset``."""
+    with open(path, "r+b") as handle:
+        if offset < 0:
+            handle.seek(offset, os.SEEK_END)
+        else:
+            handle.seek(offset)
+        handle.write(bytes([value]))
+
+
+def torn_tail_copy(src, dst, *, drop: dict | None = None) -> None:
+    """Copy a directory tree as a crash would have left it.
+
+    ``drop`` maps *relative* file paths to the number of tail bytes
+    that "never reached the disk" — those files are copied truncated;
+    everything else is copied verbatim (symlinks preserved, so a
+    snapshot's atomic-install link survives the copy). Simulates the
+    partial-fsync crash: data written but not synced may be lost from
+    the tail while every synced prefix survives.
+    """
+    src = os.fspath(src)
+    dst = os.fspath(dst)
+    drop = drop or {}
+    shutil.copytree(src, dst, symlinks=True)
+    for rel, nbytes in drop.items():
+        truncate_tail(os.path.join(dst, *rel.split("/")), nbytes)
+
+
+def overwrite_range(path, offset: int, data: bytes) -> bytes:
+    """Replace ``len(data)`` bytes at ``offset``; returns the originals."""
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        original = handle.read(len(data))
+        handle.seek(offset)
+        handle.write(data)
+    return original

@@ -1,0 +1,342 @@
+"""Crash-safety proof: fault-injection over the WAL + snapshot pair.
+
+The contract under test (repro.storage.recovery): after a crash at ANY
+byte boundary, :func:`open_store` recovers to an acknowledged batch
+boundary — the pre-batch or post-batch store, never a partial batch —
+and raises :class:`WalError` only when bytes *before* the committed
+horizon are damaged. Fingerprints (:func:`store_fingerprint`) are the
+equality oracle throughout.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.errors import SnapshotError, StoreError, WalError
+from repro.graph.backends import available_backends
+from repro.storage import (
+    close_store,
+    compact,
+    open_store,
+    replay_wal,
+    scan_wal,
+    snapshot_generation,
+    store_fingerprint,
+    wal_inspect,
+    wal_path_for,
+)
+
+from tests.storage import faults
+
+BACKENDS = available_backends()
+
+BATCH_ONE = [
+    ("alice", "knows", "bob"),
+    ("bob", "knows", "carol"),
+    ("term with spaces", "likes", 'weird "term"\nnewline'),
+]
+BATCH_TWO = [
+    ("carol", "likes", "dave"),
+    ("dave", "knows", "alice"),
+]
+
+
+def open_at(base, backend, **kwargs):
+    return open_store(base / "snap", backend=backend, **kwargs)
+
+
+def crash_copy(tmp_path, base, name, *, drop=None):
+    """A post-crash image of the snapshot+WAL pair (symlinks intact)."""
+    dst = tmp_path / name
+    faults.torn_tail_copy(base, dst, drop=drop)
+    return dst
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+# ----------------------------------------------------------------------
+# The happy path: journal, close, replay
+# ----------------------------------------------------------------------
+
+
+def test_roundtrip_and_idempotent_replay(tmp_path, backend):
+    base = tmp_path / "base"
+    base.mkdir()
+    store = open_at(base, backend)
+    store.add_term_triples(BATCH_ONE)
+    assert store.remove_term_triple("bob", "knows", "carol")
+    assert not store.remove_term_triple("bob", "knows", "nobody")
+    live = store_fingerprint(store)
+    close_store(store)
+
+    recovered = open_at(base, backend)
+    assert store_fingerprint(recovered) == live
+    # Replaying the log a second time over the already-replayed store
+    # must be a no-op (set semantics + verified term re-interning).
+    applied, last_seq = replay_wal(recovered, wal_path_for(base / "snap"))
+    assert applied == 2 and last_seq == 2
+    assert store_fingerprint(recovered) == live
+    close_store(recovered)
+
+    # ... and so must a third open (replay over snapshot is idempotent
+    # regardless of how many times recovery ran).
+    again = open_at(base, backend)
+    assert store_fingerprint(again) == live
+    close_store(again)
+
+
+def test_recovery_crosses_backends(tmp_path):
+    base = tmp_path / "base"
+    base.mkdir()
+    store = open_at(base, BACKENDS[0])
+    store.add_term_triples(BATCH_ONE)
+    fp = store_fingerprint(store)
+    close_store(store)
+    for other in BACKENDS:
+        recovered = open_at(base, other)
+        assert store_fingerprint(recovered) == fp
+        close_store(recovered)
+
+
+def test_open_store_create_false_requires_a_snapshot(tmp_path, backend):
+    with pytest.raises(SnapshotError, match="create=False"):
+        open_store(tmp_path / "missing", backend=backend, create=False)
+
+
+def test_open_store_create_false_accepts_a_wal_only_store(tmp_path, backend):
+    """A journal with no snapshot generation yet is durable state:
+    ``create=False`` (the `repro compact` path) must open it, and the
+    first fold must produce generation 1."""
+    base = tmp_path / "snap"
+    store = open_store(base, backend=backend)
+    store.add_term_triples(BATCH_ONE)
+    fp = store_fingerprint(store)
+    close_store(store)
+
+    reopened = open_store(base, backend=backend, create=False)
+    assert store_fingerprint(reopened) == fp
+    manifest = compact(reopened, base)
+    assert manifest["generation"] == 1
+    close_store(reopened)
+
+
+def test_open_store_refuses_a_foreign_directory(tmp_path):
+    foreign = tmp_path / "stuff"
+    foreign.mkdir()
+    (foreign / "junk.txt").write_text("hi")
+    with pytest.raises(SnapshotError, match="not a snapshot"):
+        open_store(foreign)
+
+
+# ----------------------------------------------------------------------
+# Crash-point enumeration: every byte boundary of the final record
+# ----------------------------------------------------------------------
+
+
+def committed_batches(tmp_path, backend):
+    """Build a 3-record WAL; return (base, fingerprint-per-horizon).
+
+    Record 1 = BATCH_ONE adds, record 2 = BATCH_TWO adds, record 3 =
+    one remove. The returned list holds the store fingerprint at each
+    acknowledged batch boundary, index = committed record count.
+    """
+    base = tmp_path / "base"
+    base.mkdir()
+    store = open_at(base, backend)
+    boundaries = [store_fingerprint(store)]
+    store.add_term_triples(BATCH_ONE)
+    boundaries.append(store_fingerprint(store))
+    store.add_term_triples(BATCH_TWO)
+    boundaries.append(store_fingerprint(store))
+    store.remove_term_triple("alice", "knows", "bob")
+    boundaries.append(store_fingerprint(store))
+    close_store(store)
+    assert len(set(boundaries)) == 4  # every batch moved the state
+    return base, boundaries
+
+
+def test_truncation_at_every_byte_boundary(tmp_path, backend):
+    base, boundaries = committed_batches(tmp_path, backend)
+    records = scan_wal(wal_path_for(base / "snap")).records
+    assert [r.seq for r in records] == [1, 2, 3]
+    size = records[-1].end
+    for cut in range(0, size + 1):
+        crash = crash_copy(tmp_path, base, f"crash-{cut}")
+        faults.truncate_at(crash / "snap.wal", cut)
+        store = open_at(crash, backend)
+        fp = store_fingerprint(store)
+        close_store(store)
+        shutil.rmtree(crash)
+        # Exactly the records whose final byte survived the cut are
+        # recovered — the state is the matching batch boundary, never
+        # anything in between.
+        committed = sum(1 for r in records if r.end <= cut)
+        assert fp == boundaries[committed], f"non-boundary state at cut={cut}"
+
+
+def test_bit_flip_anywhere_in_final_record_recovers_prior_state(
+    tmp_path, backend
+):
+    base, boundaries = committed_batches(tmp_path, backend)
+    wal_file = wal_path_for(base / "snap")
+    records = scan_wal(wal_file).records
+    final = records[-1]
+
+    for offset in range(final.offset, final.end):
+        original = faults.bit_flip(wal_file, offset)
+        try:
+            scan = scan_wal(wal_file)
+            assert scan.torn, f"flip at {offset} went undetected"
+            assert scan.committed_seq == records[-2].seq
+            store = open_at(crash_copy(tmp_path, base, f"flip-{offset}"),
+                            backend)
+            fp = store_fingerprint(store)
+            close_store(store)
+            shutil.rmtree(tmp_path / f"flip-{offset}")
+            assert fp == boundaries[-2]
+        finally:
+            faults.restore_byte(wal_file, offset, original)
+    # The pristine log still recovers the final state.
+    store = open_at(base, backend)
+    assert store_fingerprint(store) == boundaries[-1]
+    close_store(store)
+
+
+def test_damage_before_the_horizon_is_corruption(tmp_path, backend):
+    base, _boundaries = committed_batches(tmp_path, backend)
+    wal_file = wal_path_for(base / "snap")
+    first = scan_wal(wal_file).records[0]
+    faults.bit_flip(wal_file, first.offset + 25)  # inside record 1 payload
+    with pytest.raises(WalError, match="committed horizon"):
+        open_at(base, backend)
+    report = wal_inspect(base / "snap")
+    assert report["status"] == "corrupt"
+    assert "committed horizon" in report["error"]
+
+
+def test_partial_fsync_crash_recovers_a_batch_boundary(tmp_path, backend):
+    # fsync="none": appended bytes may be lost from the tail in any
+    # amount. Simulate by torn-tail-copying the directory with
+    # progressively more of the un-synced log dropped.
+    base = tmp_path / "base"
+    base.mkdir()
+    store = open_at(base, backend, fsync="none")
+    fingerprints = [store_fingerprint(store)]
+    store.add_term_triples(BATCH_ONE)
+    fingerprints.append(store_fingerprint(store))
+    store.add_term_triples(BATCH_TWO)
+    fingerprints.append(store_fingerprint(store))
+    hook = store.write_log
+    hook.wal.sync()  # data reached the file; the *tail* may still tear
+    size = hook.wal.size_bytes
+    close_store(store)
+
+    for lost in range(0, size + 1, 7):
+        crash = crash_copy(tmp_path, base, f"lost-{lost}",
+                           drop={"snap.wal": lost})
+        recovered = open_store(crash / "snap", backend=backend)
+        fp = store_fingerprint(recovered)
+        close_store(recovered)
+        shutil.rmtree(crash)
+        assert fp in fingerprints, f"non-boundary state after losing {lost}B"
+
+
+# ----------------------------------------------------------------------
+# Compaction: fold, truncate, and the crash window between them
+# ----------------------------------------------------------------------
+
+
+def test_compaction_folds_and_truncates(tmp_path, backend):
+    base = tmp_path / "base"
+    base.mkdir()
+    store = open_at(base, backend)
+    store.add_term_triples(BATCH_ONE)
+    store.add_term_triples(BATCH_TWO)
+    fp = store_fingerprint(store)
+
+    manifest = compact(store)
+    assert manifest["generation"] == 1
+    assert manifest["wal"] == "snap.wal"
+    assert snapshot_generation(base / "snap") == 1
+    assert store.write_log.wal.record_count == 0
+    # Sequences survive compaction: the next batch does not reuse one.
+    store.add_term_triples([("post", "compaction", "write")])
+    assert scan_wal(wal_path_for(base / "snap")).records[0].seq == 3
+    fp2 = store_fingerprint(store)
+    close_store(store)
+
+    recovered = open_at(base, backend)
+    assert store_fingerprint(recovered) == fp2
+    assert fp2 != fp
+    close_store(recovered)
+
+
+def test_crash_between_install_and_truncate_is_harmless(tmp_path, backend):
+    # The compaction crash window: new generation installed, log NOT
+    # yet truncated. Replay idempotency makes the stale log a no-op.
+    base = tmp_path / "base"
+    base.mkdir()
+    store = open_at(base, backend)
+    store.add_term_triples(BATCH_ONE)
+    store.remove_term_triple("alice", "knows", "bob")
+    fp = store_fingerprint(store)
+    wal_file = wal_path_for(base / "snap")
+    pre_truncate = (base / "snap.wal").read_bytes()
+    compact(store)
+    close_store(store)
+
+    # "Crash": the full pre-compaction log reappears over the new
+    # generation, as if truncate_through never ran.
+    (base / "snap.wal").write_bytes(pre_truncate)
+    assert scan_wal(wal_file).committed_seq == 2
+    recovered = open_at(base, backend)
+    assert store_fingerprint(recovered) == fp
+    close_store(recovered)
+
+
+def test_repeated_compactions_advance_generations(tmp_path, backend):
+    base = tmp_path / "base"
+    base.mkdir()
+    store = open_at(base, backend)
+    for generation, batch in enumerate((BATCH_ONE, BATCH_TWO), start=1):
+        store.add_term_triples(batch)
+        assert compact(store)["generation"] == generation
+    fp = store_fingerprint(store)
+    close_store(store)
+    recovered = open_at(base, backend)
+    assert store_fingerprint(recovered) == fp
+    close_store(recovered)
+
+
+def test_compact_without_a_write_log_is_refused(tmp_path, backend):
+    from repro.graph.store import TripleStore
+
+    with pytest.raises(StoreError, match="no write log"):
+        compact(TripleStore(backend=backend))
+
+
+def test_wal_inspect_reports_clean_torn_and_missing(tmp_path, backend):
+    base = tmp_path / "base"
+    base.mkdir()
+    assert wal_inspect(base / "snap")["status"] == "clean"
+
+    store = open_at(base, backend)
+    store.add_term_triples(BATCH_ONE)
+    close_store(store)
+    report = wal_inspect(base / "snap")
+    assert report["status"] == "clean"
+    assert report["records"] == 1
+    assert report["adds"] == len(BATCH_ONE)
+    assert report["new_terms"] == len(
+        {t for triple in BATCH_ONE for t in triple}
+    )
+
+    faults.truncate_tail(base / "snap.wal", 3)
+    report = wal_inspect(base / "snap")
+    assert report["status"] == "torn-tail"
+    assert report["records"] == 0
+    assert report["torn_bytes"] > 0

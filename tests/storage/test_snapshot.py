@@ -24,6 +24,8 @@ from repro.storage import (
 )
 from repro.storage import snapshot as snapshot_mod
 
+from tests.storage import faults
+
 BACKENDS = available_backends()
 
 
@@ -317,9 +319,7 @@ def test_foreign_byte_layout_refused(tmp_path, key, value):
 def test_flipped_segment_byte_is_detected(tmp_path, use_mmap):
     save_snapshot(small_store("columnar"), tmp_path / "snap")
     victim = _segment_files(tmp_path / "snap")[0]
-    blob = bytearray(victim.read_bytes())
-    blob[-1] ^= 0xFF
-    victim.write_bytes(blob)
+    faults.bit_flip(victim, -1)
     with pytest.raises(SnapshotError, match="checksum mismatch"):
         load_snapshot(tmp_path / "snap", backend="columnar", use_mmap=use_mmap)
 
@@ -327,9 +327,7 @@ def test_flipped_segment_byte_is_detected(tmp_path, use_mmap):
 def test_corrupt_terms_file_detected(tmp_path):
     save_snapshot(small_store(), tmp_path / "snap")
     victim = tmp_path / "snap" / TERMS_FILE
-    blob = bytearray(victim.read_bytes())
-    blob[0] ^= 0xFF
-    victim.write_bytes(blob)
+    faults.bit_flip(victim, 0)
     with pytest.raises(SnapshotError, match="checksum mismatch"):
         load_snapshot(tmp_path / "snap")
 
@@ -337,7 +335,7 @@ def test_corrupt_terms_file_detected(tmp_path):
 def test_truncated_segment_detected_even_without_verify(tmp_path):
     save_snapshot(small_store("columnar"), tmp_path / "snap")
     victim = _segment_files(tmp_path / "snap")[0]
-    victim.write_bytes(victim.read_bytes()[:-8])
+    faults.truncate_tail(victim, 8)
     with pytest.raises(SnapshotError):
         load_snapshot(tmp_path / "snap", verify=False)
 

@@ -19,6 +19,7 @@ from repro.storage import (
     save_snapshot,
 )
 
+from tests.storage import faults
 from tests.storage.test_snapshot import assert_same_contents, small_store
 
 
@@ -132,9 +133,7 @@ def test_resave_of_lazy_store_is_byte_identical(tmp_path):
 def test_corrupt_term_index_detected(tmp_path):
     save_snapshot(small_store("columnar"), tmp_path / "snap")
     victim = tmp_path / "snap" / TERMS_IDX_FILE
-    blob = bytearray(victim.read_bytes())
-    blob[-1] ^= 0xFF
-    victim.write_bytes(bytes(blob))
+    faults.bit_flip(victim, -1)
     with pytest.raises(SnapshotError, match="checksum mismatch"):
         load_snapshot(tmp_path / "snap", backend="columnar", lazy_terms=True)
 

@@ -1,0 +1,312 @@
+"""Unit tests for the write-ahead log (repro.storage.wal)."""
+
+import os
+import struct
+
+import pytest
+
+from repro.errors import WalError
+from repro.graph.dictionary import Dictionary
+from repro.storage import WalWriteHook, WriteAheadLog, scan_wal
+from repro.storage.wal import (
+    FILE_MAGIC,
+    HEADER_BYTES,
+    RECORD_HEADER_BYTES,
+    RECORD_MAGIC,
+    WAL_VERSION,
+    encode_record,
+)
+
+from tests.storage import faults
+
+
+def wal_at(tmp_path, name="log.wal", **kwargs):
+    return WriteAheadLog.open(tmp_path / name, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# File + record format
+# ----------------------------------------------------------------------
+
+
+def test_open_creates_header_only_file(tmp_path):
+    with wal_at(tmp_path) as wal:
+        assert wal.record_count == 0
+        assert wal.last_seq == 0
+        assert wal.size_bytes == HEADER_BYTES
+    data = (tmp_path / "log.wal").read_bytes()
+    assert len(data) == HEADER_BYTES
+    assert data.startswith(FILE_MAGIC)
+
+
+def test_append_roundtrips_through_scan(tmp_path):
+    adds = [(1, 2, 3), (4, 5, 6)]
+    removes = [(7, 8, 9)]
+    terms = ("alice", 'weird "term"\nnewline', "")
+    with wal_at(tmp_path) as wal:
+        seq = wal.append(term_base=11, terms=terms, adds=adds, removes=removes)
+        assert seq == 1
+        assert wal.append() == 2  # empty batch is still a valid record
+
+    scan = scan_wal(tmp_path / "log.wal")
+    assert not scan.torn
+    assert scan.committed_seq == 2
+    assert len(scan.records) == 2
+    first = scan.records[0]
+    assert (first.seq, first.term_base) == (1, 11)
+    assert first.terms == terms
+    assert first.adds == adds
+    assert first.removes == removes
+    assert first.offset == HEADER_BYTES
+    assert scan.stop_offset == scan.records[-1].end == scan.size_bytes
+
+
+def test_encode_record_matches_on_disk_bytes(tmp_path):
+    with wal_at(tmp_path) as wal:
+        wal.append(term_base=3, terms=("x",), adds=[(1, 2, 3)])
+    data = (tmp_path / "log.wal").read_bytes()
+    assert data[HEADER_BYTES:] == encode_record(1, 3, ("x",), [(1, 2, 3)], [])
+
+
+def test_negative_ids_survive_the_codec(tmp_path):
+    # ids are signed 64-bit on disk, same as the snapshot segments
+    adds = [(-1, -(2**62), 2**62)]
+    with wal_at(tmp_path) as wal:
+        wal.append(adds=adds)
+    assert scan_wal(tmp_path / "log.wal").records[0].adds == adds
+
+
+def test_unknown_fsync_policy_rejected(tmp_path):
+    with pytest.raises(ValueError, match="unknown fsync policy"):
+        wal_at(tmp_path, fsync="always")
+
+
+def test_fsync_none_appends_then_sync(tmp_path):
+    with wal_at(tmp_path, fsync="none") as wal:
+        wal.append(adds=[(1, 2, 3)])
+        wal.sync()
+        assert wal.stats()["fsync"] == "none"
+    assert scan_wal(tmp_path / "log.wal").committed_seq == 1
+
+
+# ----------------------------------------------------------------------
+# Scan semantics: missing, torn, corrupt
+# ----------------------------------------------------------------------
+
+
+def test_scan_missing_file_is_empty_and_untorn(tmp_path):
+    scan = scan_wal(tmp_path / "nope.wal")
+    assert scan == ([], 0, 0, 0, False, None)
+
+
+def test_short_header_scans_as_torn_creation(tmp_path):
+    (tmp_path / "log.wal").write_bytes(FILE_MAGIC[:5])
+    scan = scan_wal(tmp_path / "log.wal")
+    assert scan.torn and scan.reason == "torn header"
+    assert scan.records == [] and scan.stop_offset == 0
+
+
+def test_bad_file_magic_raises(tmp_path):
+    (tmp_path / "log.wal").write_bytes(b"NOTAWAL!" + b"\0" * 8)
+    with pytest.raises(WalError, match="bad magic"):
+        scan_wal(tmp_path / "log.wal")
+
+
+def test_newer_version_refused(tmp_path):
+    path = tmp_path / "log.wal"
+    with wal_at(tmp_path):
+        pass
+    faults.overwrite_range(
+        path, len(FILE_MAGIC), struct.pack("<I", WAL_VERSION + 1)
+    )
+    with pytest.raises(WalError, match="newer than this library"):
+        scan_wal(path)
+
+
+def test_truncated_tail_record_stops_cleanly(tmp_path):
+    path = tmp_path / "log.wal"
+    with wal_at(tmp_path) as wal:
+        wal.append(adds=[(1, 2, 3)])
+        horizon = wal.size_bytes
+        wal.append(adds=[(4, 5, 6)])
+    faults.truncate_tail(path, 4)
+    scan = scan_wal(path)
+    assert scan.torn and scan.reason == "truncated record payload"
+    assert scan.committed_seq == 1
+    assert scan.stop_offset == horizon
+
+
+def test_bitflipped_tail_record_stops_cleanly(tmp_path):
+    path = tmp_path / "log.wal"
+    with wal_at(tmp_path) as wal:
+        wal.append(adds=[(1, 2, 3)])
+        wal.append(adds=[(4, 5, 6)])
+    faults.bit_flip(path, -1)
+    scan = scan_wal(path)
+    assert scan.torn and scan.reason == "record checksum mismatch"
+    assert scan.committed_seq == 1
+
+
+def test_damage_before_the_horizon_raises(tmp_path):
+    path = tmp_path / "log.wal"
+    with wal_at(tmp_path) as wal:
+        wal.append(adds=[(1, 2, 3)])
+        wal.append(adds=[(4, 5, 6)])
+    # Flip a payload byte of the *first* record: an intact record
+    # follows, so this is corruption, not a torn tail.
+    faults.bit_flip(path, HEADER_BYTES + RECORD_HEADER_BYTES)
+    with pytest.raises(WalError, match="corrupt before its committed horizon"):
+        scan_wal(path)
+
+
+def test_garbage_after_last_record_is_a_torn_tail(tmp_path):
+    path = tmp_path / "log.wal"
+    with wal_at(tmp_path) as wal:
+        wal.append(adds=[(1, 2, 3)])
+        horizon = wal.size_bytes
+    with open(path, "ab") as handle:
+        handle.write(b"\xde\xad\xbe\xef")
+    scan = scan_wal(path)
+    assert scan.torn and scan.committed_seq == 1
+    assert scan.stop_offset == horizon
+
+
+def test_stale_record_copy_does_not_count_as_horizon(tmp_path):
+    # A resync hit whose sequence does not advance past the committed
+    # horizon (e.g. a re-appearing copy of an old record) is not proof
+    # of corruption — the scan still stops cleanly.
+    path = tmp_path / "log.wal"
+    with wal_at(tmp_path) as wal:
+        wal.append(adds=[(1, 2, 3)])
+        horizon = wal.size_bytes
+    blob = path.read_bytes()[HEADER_BYTES:]
+    with open(path, "ab") as handle:
+        handle.write(blob)  # duplicate of seq 1: fails the seq check
+    scan = scan_wal(path)
+    assert scan.torn and scan.committed_seq == 1
+    assert scan.stop_offset == horizon
+    assert "non-monotonic sequence" in scan.reason
+
+
+# ----------------------------------------------------------------------
+# Reopen + truncation
+# ----------------------------------------------------------------------
+
+
+def test_open_truncates_torn_tail_physically(tmp_path):
+    path = tmp_path / "log.wal"
+    with wal_at(tmp_path) as wal:
+        wal.append(adds=[(1, 2, 3)])
+        horizon = wal.size_bytes
+        wal.append(adds=[(4, 5, 6)])
+    faults.truncate_tail(path, 4)
+    with wal_at(tmp_path) as wal:
+        assert wal.record_count == 1
+        assert wal.last_seq == 1
+        assert wal.size_bytes == horizon
+        assert os.path.getsize(path) == horizon
+        assert wal.append(adds=[(7, 8, 9)]) == 2
+    assert scan_wal(path).committed_seq == 2
+
+
+def test_truncate_through_preserves_surviving_sequences(tmp_path):
+    path = tmp_path / "log.wal"
+    with wal_at(tmp_path) as wal:
+        for i in range(4):
+            wal.append(adds=[(i, i, i)])
+        assert wal.truncate_through(2) == 2
+        assert wal.record_count == 2
+        assert wal.last_seq == 4
+        # The log stays appendable after the rewrite.
+        assert wal.append(adds=[(9, 9, 9)]) == 5
+    scan = scan_wal(path)
+    assert [r.seq for r in scan.records] == [3, 4, 5]
+    assert not scan.torn
+
+
+def test_truncate_through_zero_matches_is_a_noop(tmp_path):
+    with wal_at(tmp_path) as wal:
+        wal.append(adds=[(1, 2, 3)])
+        before = (tmp_path / "log.wal").read_bytes()
+        assert wal.truncate_through(0) == 0
+    assert (tmp_path / "log.wal").read_bytes() == before
+
+
+def test_truncate_through_everything_leaves_header_only(tmp_path):
+    with wal_at(tmp_path) as wal:
+        wal.append(adds=[(1, 2, 3)])
+        wal.append(adds=[(4, 5, 6)])
+        assert wal.truncate_through(wal.last_seq) == 2
+        assert wal.size_bytes == HEADER_BYTES
+        # Sequences keep climbing: truncation never resets the clock
+        # below what a concurrent scan may already have observed.
+        assert wal.append(adds=[(7, 8, 9)]) == 3
+
+
+def test_closed_log_refuses_every_operation(tmp_path):
+    wal = wal_at(tmp_path)
+    wal.close()
+    wal.close()  # idempotent
+    assert wal.closed
+    for op in (
+        lambda: wal.append(adds=[(1, 2, 3)]),
+        wal.sync,
+        lambda: wal.truncate_through(1),
+    ):
+        with pytest.raises(WalError, match="is closed"):
+            op()
+
+
+def test_stats_shape(tmp_path):
+    with wal_at(tmp_path) as wal:
+        wal.append(adds=[(1, 2, 3)])
+        stats = wal.stats()
+    assert stats["records"] == 1
+    assert stats["last_seq"] == 1
+    assert stats["appended"] == 1
+    assert stats["fsync"] == "batch"
+    assert stats["size_bytes"] == wal.size_bytes
+    assert stats["path"].endswith("log.wal")
+
+
+# ----------------------------------------------------------------------
+# WalWriteHook: the dictionary watermark
+# ----------------------------------------------------------------------
+
+
+def test_hook_journals_only_the_term_delta(tmp_path):
+    dictionary = Dictionary()
+    base = [dictionary.encode(t) for t in ("alice", "knows")]
+    with wal_at(tmp_path) as wal:
+        hook = WalWriteHook(wal, dictionary)
+        assert hook.terms_logged == 2  # snapshot terms are durable already
+
+        bob = dictionary.encode("bob")
+        assert hook.journal([(base[0], base[1], bob)], []) == 1
+        assert hook.terms_logged == 3
+
+        # No new terms the second time around.
+        assert hook.journal([], [(base[0], base[1], bob)]) == 2
+
+    records = scan_wal(tmp_path / "log.wal").records
+    assert records[0].term_base == 2
+    assert records[0].terms == ("bob",)
+    assert records[1].terms == ()
+
+
+def test_hook_skips_fully_empty_batches(tmp_path):
+    with wal_at(tmp_path) as wal:
+        hook = WalWriteHook(wal, Dictionary())
+        assert hook.journal([], []) is None
+        assert wal.record_count == 0
+
+
+def test_hook_journals_interned_terms_even_without_triples(tmp_path):
+    dictionary = Dictionary()
+    with wal_at(tmp_path) as wal:
+        hook = WalWriteHook(wal, dictionary)
+        dictionary.encode("orphan")
+        assert hook.journal([], []) == 1
+    record = scan_wal(tmp_path / "log.wal").records[0]
+    assert record.terms == ("orphan",)
+    assert record.adds == [] and record.removes == []
