@@ -73,6 +73,24 @@ class SnapshotError(ReproError):
     """
 
 
+class SnapshotMutatedError(SnapshotError):
+    """``save_snapshot`` aborted because a mutation raced it.
+
+    The one *retryable* snapshot failure: the store is intact and a
+    later attempt may succeed — unlike permission, disk, or corruption
+    errors, which fail again identically. Carries both epochs so the
+    caller can see how far the store moved during the save.
+    """
+
+    def __init__(self, epoch_at_start: int, epoch_now: int):
+        super().__init__(
+            f"store mutated during save_snapshot() (epoch {epoch_at_start} "
+            f"at start, {epoch_now} now); snapshot aborted"
+        )
+        self.epoch_at_start = epoch_at_start
+        self.epoch_now = epoch_now
+
+
 class WalError(SnapshotError):
     """The write-ahead log is damaged *before* its committed horizon.
 

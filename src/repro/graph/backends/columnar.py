@@ -434,15 +434,17 @@ class ColumnarBackend(StorageBackend):
 
         Staged pairs are discarded in place; sealed pairs are filtered
         out in one `_Columns` rebuild (a pair is never in both — the
-        add path checks both before staging).
+        add path checks both before staging). Both hit collections are
+        sets so a pair duplicated within one batch counts (and is
+        discarded) once.
         """
         staged = self._staged.get(p)
         cols = self._cols.get(p)
-        hit_staged: list[tuple[int, int]] = []
+        hit_staged: set[tuple[int, int]] = set()
         hit_sealed: set[tuple[int, int]] = set()
         for s, o in pairs:
             if staged is not None and o in staged.get(s, ()):
-                hit_staged.append((s, o))
+                hit_staged.add((s, o))
             elif cols is not None:
                 run = cols.run_of(s)
                 if run is not None and o in run:

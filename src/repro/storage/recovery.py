@@ -25,7 +25,12 @@ from __future__ import annotations
 import hashlib
 import os
 
-from repro.errors import SnapshotError, StoreError, WalError
+from repro.errors import (
+    SnapshotError,
+    SnapshotMutatedError,
+    StoreError,
+    WalError,
+)
 from repro.graph.dictionary import Dictionary
 from repro.graph.store import TripleStore
 from repro.storage.snapshot import (
@@ -222,12 +227,16 @@ def compact(
         if last:
             store.write_lock.acquire()
         try:
-            # Horizon first, then the write: every record <= horizon was
-            # journaled *and* applied under the write lock before this
-            # read, so the snapshot that survives an un-aborted save
-            # contains all of them (later batches may abort the save,
-            # never silently extend it).
-            horizon = wal.last_seq
+            # Horizon first, then the write — read under the write lock
+            # (reentrant on the stop-the-world attempt) so it can never
+            # include a record a mid-batch writer has journaled but not
+            # yet applied to the backend. Every record <= horizon was
+            # journaled *and* applied before this read, so the snapshot
+            # that survives an un-aborted save contains all of them
+            # (later batches may abort the save, never silently extend
+            # it).
+            with store.write_lock:
+                horizon = wal.last_seq
             try:
                 manifest = save_snapshot(
                     store,
@@ -237,8 +246,10 @@ def compact(
                     wal=os.path.basename(wal.path),
                 )
                 break
-            except SnapshotError:
-                if last or not _is_mutation_abort_retryable(store):
+            except SnapshotMutatedError:
+                # The one retryable abort; anything else (permissions,
+                # disk, corruption) would fail again identically.
+                if last:
                     raise
         finally:
             if last:
@@ -246,12 +257,6 @@ def compact(
     with store.write_lock:
         wal.truncate_through(horizon)
     return manifest
-
-
-def _is_mutation_abort_retryable(store: TripleStore) -> bool:
-    """Only the mutated-during-save abort is worth retrying; anything
-    else (permissions, disk, corruption) will fail again identically."""
-    return not store.frozen
 
 
 def wal_inspect(path: "str | os.PathLike") -> dict:

@@ -56,7 +56,7 @@ import shutil
 import sys
 from typing import TYPE_CHECKING, Iterator
 
-from repro.errors import SnapshotError
+from repro.errors import SnapshotError, SnapshotMutatedError
 from repro.graph.backends import StorageBackend, create_backend
 from repro.graph.backends.base import Segment
 from repro.graph.dictionary import Dictionary
@@ -250,10 +250,7 @@ def save_snapshot(
             _write_file(tmp, CATALOG_FILE, lambda out: out.write(payload), files)
 
         if store.epoch != epoch:
-            raise SnapshotError(
-                f"store mutated during save_snapshot() (epoch {epoch} at "
-                f"start, {store.epoch} now); snapshot aborted"
-            )
+            raise SnapshotMutatedError(epoch, store.epoch)
 
         manifest = {
             "format_version": FORMAT_VERSION,

@@ -231,7 +231,11 @@ def _scan_buffer(buf: bytes, size: int, where: str) -> WalScan:
     if size < HEADER_BYTES:
         # A crash during log *creation* can leave a short header; no
         # record was ever acknowledged against it, so recover as empty.
-        return WalScan([], 0, 0, size, torn=size > 0, reason="torn header")
+        return WalScan(
+            [], 0, 0, size,
+            torn=size > 0,
+            reason="torn header" if size > 0 else None,
+        )
     magic, version, flags = _FILE_HEADER.unpack_from(buf, 0)
     if magic != FILE_MAGIC:
         raise WalError(f"{where}: not a write-ahead log (bad magic)")

@@ -106,6 +106,38 @@ def test_remove_triples_bulk_counts_hits_only(store):
     assert store.remove_triples(batch) == 0
 
 
+def test_remove_triples_duplicate_pairs_count_once(store):
+    t = ids(store, "alice", "knows", "bob")
+    assert store.remove_triples([t, t, t]) == 1
+    assert len(store) == len(EDGES) - 1
+    assert ("alice", "knows", "bob") not in term_triples(store)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_remove_duplicates_of_sole_staged_triple(backend):
+    # The duplicated pair being the predicate's only staged triple once
+    # emptied the columnar staging dict mid-batch and crashed on the
+    # next duplicate; it must count once and leave the store consistent.
+    store = TripleStore(backend=backend)
+    store.add_term_triples(EDGES)
+    t = ids(store, "alice", "likes", "carol")
+    assert store.remove_triples([t, t]) == 1
+    assert len(store) == len(EDGES) - 1
+    assert term_triples(store) == {e for e in EDGES if e[1] == "knows"}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_remove_duplicates_against_sealed_columns(backend):
+    store = TripleStore(backend=backend)
+    store.add_term_triples(EDGES)
+    k = store.dictionary.lookup("knows")
+    assert store.count(k) == 3  # read → seals the columnar groups
+    t = ids(store, "alice", "knows", "bob")
+    assert store.remove_triples([t, t]) == 1
+    assert store.count(k) == 2
+    assert len(store) == len(EDGES) - 1
+
+
 def test_remove_whole_predicate(store):
     k = ids(store, "knows")[0]
     gone = store.remove_triples(

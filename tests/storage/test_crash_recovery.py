@@ -312,6 +312,112 @@ def test_repeated_compactions_advance_generations(tmp_path, backend):
     close_store(recovered)
 
 
+def test_compact_beside_a_mid_batch_writer_loses_nothing(tmp_path, backend):
+    # The reviewer scenario for horizon reads: a writer holding the
+    # write lock has journaled a batch but not yet applied it to the
+    # backend. compact() must not read a horizon that includes that
+    # record — otherwise the snapshot excludes the batch while the
+    # truncation drops its record, losing an fsync-acknowledged write.
+    import threading
+
+    base = tmp_path / "base"
+    base.mkdir()
+    store = open_at(base, backend)
+    store.add_term_triples(BATCH_ONE)
+
+    journaled = threading.Event()
+    proceed = threading.Event()
+
+    def writer():
+        with store.write_lock:
+            encode = store.dictionary.encode
+            batch = [tuple(encode(t) for t in triple) for triple in BATCH_TWO]
+            store.write_log.journal(batch, ())
+            journaled.set()
+            proceed.wait(10)  # the mid-batch window, held open
+            store.backend.add_many(batch)
+
+    w = threading.Thread(target=writer)
+    w.start()
+    assert journaled.wait(10)
+
+    done = threading.Event()
+
+    def compactor():
+        compact(store)
+        done.set()
+
+    c = threading.Thread(target=compactor)
+    c.start()
+    # Mid-batch, compaction must be blocked (horizon read queues on the
+    # write lock), not snapshotting around the half-applied batch.
+    assert not done.wait(0.2)
+    proceed.set()
+    w.join(10)
+    c.join(10)
+    assert done.is_set()
+
+    fp = store_fingerprint(store)
+    close_store(store)
+    recovered = open_at(base, backend)
+    assert store_fingerprint(recovered) == fp
+    assert recovered.num_triples == len(BATCH_ONE) + len(BATCH_TWO)
+    close_store(recovered)
+
+
+def test_compact_retries_only_the_mutation_abort(tmp_path, backend, monkeypatch):
+    from repro.errors import SnapshotMutatedError
+    from repro.storage import recovery
+
+    base = tmp_path / "base"
+    base.mkdir()
+    store = open_at(base, backend)
+    store.add_term_triples(BATCH_ONE)
+
+    calls = {"n": 0}
+    real = recovery.save_snapshot
+
+    def flaky(store_arg, target, **kwargs):
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise SnapshotMutatedError(1, 2)
+        return real(store_arg, target, **kwargs)
+
+    monkeypatch.setattr(recovery, "save_snapshot", flaky)
+    assert compact(store)["generation"] == 1
+    assert calls["n"] == 3
+
+    # A non-mutation failure (disk, permissions, bad target) fails
+    # again identically — it must surface on the first attempt.
+    store.add_term_triples(BATCH_TWO)
+    calls["n"] = 0
+
+    def broken(store_arg, target, **kwargs):
+        calls["n"] += 1
+        raise SnapshotError("disk full")
+
+    monkeypatch.setattr(recovery, "save_snapshot", broken)
+    with pytest.raises(SnapshotError, match="disk full"):
+        compact(store)
+    assert calls["n"] == 1
+    # The log was not truncated on the failure path.
+    assert store.write_log.wal.record_count == 1
+
+    # A persistent mutation abort exhausts the retry budget, the final
+    # attempt running stop-the-world, then surfaces.
+    calls["n"] = 0
+
+    def always_mutated(store_arg, target, **kwargs):
+        calls["n"] += 1
+        raise SnapshotMutatedError(1, 2)
+
+    monkeypatch.setattr(recovery, "save_snapshot", always_mutated)
+    with pytest.raises(SnapshotMutatedError):
+        compact(store)
+    assert calls["n"] == recovery._COMPACT_RETRIES + 1
+    close_store(store)
+
+
 def test_compact_without_a_write_log_is_refused(tmp_path, backend):
     from repro.graph.store import TripleStore
 

@@ -5,7 +5,7 @@ import os
 
 import pytest
 
-from repro.errors import SnapshotError
+from repro.errors import SnapshotError, SnapshotMutatedError
 from repro.graph.backends import available_backends
 from repro.graph.backends.base import Segment
 from repro.graph.store import TripleStore
@@ -256,9 +256,16 @@ def test_save_detects_concurrent_mutation(tmp_path):
         store.add_term_triple("sneaky", "p", "b")
 
     store.backend.export_segments = mutate_then_export
-    with pytest.raises(SnapshotError, match="mutated during save"):
+    epoch_before = store.epoch
+    with pytest.raises(SnapshotMutatedError, match="mutated during save") as exc:
         save_snapshot(store, tmp_path / "snap", include_catalog=False)
     assert not (tmp_path / "snap").exists()
+    # The dedicated subtype reports both epochs so callers (the WAL
+    # compactor) can retry exactly this abort and nothing else.
+    assert exc.value.epoch_at_start == epoch_before
+    assert exc.value.epoch_now == store.epoch
+    assert exc.value.epoch_now > epoch_before
+    assert isinstance(exc.value, SnapshotError)
 
 
 def test_target_must_be_directory(tmp_path):

@@ -106,6 +106,14 @@ def test_short_header_scans_as_torn_creation(tmp_path):
     assert scan.records == [] and scan.stop_offset == 0
 
 
+def test_empty_existing_file_scans_untorn_with_no_reason(tmp_path):
+    # 0 bytes is indistinguishable from "never created" — not torn, so
+    # the invariant "reason is set iff torn" must hold here too.
+    (tmp_path / "log.wal").write_bytes(b"")
+    scan = scan_wal(tmp_path / "log.wal")
+    assert scan == ([], 0, 0, 0, False, None)
+
+
 def test_bad_file_magic_raises(tmp_path):
     (tmp_path / "log.wal").write_bytes(b"NOTAWAL!" + b"\0" * 8)
     with pytest.raises(WalError, match="bad magic"):
