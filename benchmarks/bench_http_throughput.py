@@ -31,6 +31,14 @@ Two entry points:
   ``BENCH_http_throughput.json``, exits non-zero on a missed floor, a
   parity mismatch, or a >25% warm-QPS regression vs the committed
   baseline.
+
+``--soak [--soak-seconds N]`` switches to the **soak mode** (the
+nightly, non-gating CI job): sustained closed-loop load for ``N``
+seconds, reported as per-window throughput/latency percentiles plus
+server RSS samples, so drift (leaks, cache bloat, latency creep)
+shows up as a trend across windows rather than a single average. Soak
+exits non-zero only on request errors — RSS growth and latency are
+reported, not gated.
 """
 
 from __future__ import annotations
@@ -149,6 +157,131 @@ def run_pass(address, bodies: list[bytes], clients: int) -> dict:
         "p99_seconds": statistics.quantiles(flat, n=100)[98],
         "errors": len(failures),
         "first_error": failures[0] if failures else None,
+    }
+
+
+def _rss_bytes() -> "int | None":
+    """Resident set size of this process (server + service live here)."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return None
+
+
+def run_soak(
+    store, catalog, seconds: float, clients: int = CLIENTS,
+    window_seconds: float = 5.0,
+) -> dict:
+    """Sustained closed-loop load, reported per time window.
+
+    ``clients`` keep-alive threads cycle the workload for ``seconds``
+    after one warmup pass. Latencies are bucketed into
+    ``window_seconds`` windows — each with qps/p50/p99 and an RSS
+    sample — so the nightly job surfaces *trends*: RSS that climbs
+    window over window, or p99 that creeps as caches fill.
+    """
+    _distinct, workload = build_workload(store)
+    bodies = [_encode(q) for q in workload]
+    stop = threading.Event()
+    samples: list[list[tuple[float, float]]] = [[] for _ in range(clients)]
+    failures: list[str] = []
+    rss_track: list[tuple[float, int]] = []
+
+    with QueryService(store, catalog=catalog) as service:
+        with serve_in_background(service, max_pending=4 * clients) as handle:
+            run_pass(handle.address, bodies, clients)  # warmup
+            host, port = handle.address
+
+            def worker(idx: int) -> None:
+                conn = http.client.HTTPConnection(host, port, timeout=120)
+                try:
+                    position = idx
+                    while not stop.is_set():
+                        body = bodies[position % len(bodies)]
+                        position += clients
+                        t0 = time.perf_counter()
+                        conn.request("POST", "/v1/query", body=body)
+                        response = conn.getresponse()
+                        raw = response.read()
+                        samples[idx].append(
+                            (t0, time.perf_counter() - t0)
+                        )
+                        if response.status != 200:
+                            failures.append(
+                                raw.decode(errors="replace")[:200]
+                            )
+                finally:
+                    conn.close()
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(clients)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            deadline = start + seconds
+            while time.perf_counter() < deadline:
+                rss = _rss_bytes()
+                if rss is not None:
+                    rss_track.append((time.perf_counter() - start, rss))
+                time.sleep(min(window_seconds, 1.0))
+            stop.set()
+            for thread in threads:
+                thread.join()
+            http_stats = handle.server.http_stats()
+            snapshot = service.snapshot()
+
+    flat = sorted(
+        (t0 - start, latency) for share in samples for t0, latency in share
+    )
+    windows = []
+    index = 0
+    while index < len(flat):
+        floor = flat[index][0] // window_seconds * window_seconds
+        bucket = []
+        while index < len(flat) and flat[index][0] < floor + window_seconds:
+            bucket.append(flat[index][1])
+            index += 1
+        bucket.sort()
+        rss_in_window = [
+            rss for offset, rss in rss_track
+            if floor <= offset < floor + window_seconds
+        ]
+        span = max(0.001, min(window_seconds, seconds - floor))
+        windows.append(
+            {
+                "start_seconds": floor,
+                "requests": len(bucket),
+                "qps": len(bucket) / span,
+                "p50_seconds": bucket[len(bucket) // 2],
+                "p99_seconds": bucket[min(len(bucket) - 1,
+                                          int(len(bucket) * 0.99))],
+                "rss_bytes": rss_in_window[-1] if rss_in_window else None,
+            }
+        )
+
+    tracked = [rss for _, rss in rss_track]
+    return {
+        "mode": "soak",
+        "seconds": seconds,
+        "window_seconds": window_seconds,
+        "clients": clients,
+        "requests": len(flat),
+        "errors": len(failures),
+        "first_error": failures[0] if failures else None,
+        "windows": windows,
+        "rss_first_bytes": tracked[0] if tracked else None,
+        "rss_last_bytes": tracked[-1] if tracked else None,
+        "rss_growth": (
+            tracked[-1] / tracked[0] if len(tracked) >= 2 else None
+        ),
+        "shed": http_stats["shed"],
+        "result_cache_hit_rate": snapshot["result_cache"]["hit_rate"],
     }
 
 
@@ -296,6 +429,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="write results JSON here")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="fail if warm QPS regresses >25%% vs this file")
+    parser.add_argument("--soak", action="store_true",
+                        help="sustained-load soak mode (non-gating)")
+    parser.add_argument("--soak-seconds", type=float, default=60.0,
+                        help="soak duration in seconds (default 60)")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -305,6 +442,40 @@ def main(argv: list[str] | None = None) -> int:
 
     store = make_benchmark_store()
     catalog = benchmark_catalog()
+
+    if args.soak:
+        results = {
+            "benchmark": "bench_http_throughput",
+            "schema": 1,
+            "python": sys.version.split()[0],
+            "backend": store.backend_name,
+            **run_soak(store, catalog, args.soak_seconds),
+        }
+        for window in results["windows"]:
+            rss = window["rss_bytes"]
+            print(
+                f"t={window['start_seconds']:6.1f}s  "
+                f"{window['qps']:8.1f} req/s   "
+                f"p50 {window['p50_seconds'] * 1e3:7.2f} ms   "
+                f"p99 {window['p99_seconds'] * 1e3:7.2f} ms   "
+                f"rss {rss / 1e6 if rss else 0:7.1f} MB"
+            )
+        growth = results["rss_growth"]
+        print(
+            f"soak: {results['requests']} requests over "
+            f"{results['seconds']:.0f}s, errors {results['errors']}, "
+            f"rss growth {growth:.3f}x" if growth is not None else
+            f"soak: {results['requests']} requests, rss not sampled"
+        )
+        if args.output is not None:
+            args.output.write_text(json.dumps(results, indent=2) + "\n")
+            print(f"wrote {args.output}")
+        if results["errors"]:
+            print(f"FAIL: soak saw {results['errors']} non-200 responses "
+                  f"(first: {results['first_error']})")
+            return 1
+        return 0
+
     results = {
         "benchmark": "bench_http_throughput",
         "schema": 1,

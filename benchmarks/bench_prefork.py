@@ -1,0 +1,368 @@
+"""Prefork scaling: worker processes vs. threads over one shared snapshot.
+
+The prefork tentpole's acceptance scenario. One mmap snapshot of the
+benchmark graph is served three ways — a pool of 1, 2, and 4 worker
+processes (``workers=1`` *is* the single-process threaded baseline:
+same four-thread service, same wire, same dispatcher) — under a
+CPU-bound snowflake workload with the result cache and coalescing
+disabled, so every request pays full evaluation. Python threads share
+one GIL; worker processes don't. On a multi-core machine the pool must
+therefore scale where threads cannot:
+
+1. **Scaling gate** — 4 workers reach >=
+   :data:`SCALING_FLOOR` x the warm throughput of the single-process
+   baseline. Enforced only when the machine has >=
+   :data:`MIN_CORES_FOR_GATE` cores (a 1-core container cannot
+   demonstrate parallel speedup; the run records ``cpus`` and the gate
+   is skipped with a notice).
+2. **Shared-RSS gate** — the snapshot's pages are *shared*, not
+   copied: across the 4-worker pool, the summed proportional set size
+   (Pss) of the snapshot mappings stays under
+   :data:`SHARED_PSS_CEILING` x the largest single worker's resident
+   snapshot bytes. Unshared copies would sum to ~4x. Measured from
+   ``/proc/<pid>/smaps`` after the timed pass (only faulted pages
+   count), and only on the mmap-capable columnar backend.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_prefork.py [--smoke]`` — pytest-benchmark
+  timings (CI's bench-smoke job);
+* ``python benchmarks/bench_prefork.py [--smoke] [--output F]
+  [--baseline F]`` — the CI prefork gate: prints the scaling curve,
+  writes ``BENCH_prefork.json``, exits non-zero on a missed gate or a
+  >25% regression of the scaling ratio vs the committed baseline
+  (skipped when the baseline was measured on a different core count).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.datasets.paper_queries import paper_snowflake_queries
+from repro.server.prefork import PreforkServer
+from repro.storage import save_snapshot
+
+from bench_http_throughput import _encode, run_pass
+
+#: Minimum 4-worker / single-process warm-throughput ratio, enforced
+#: only on machines with enough cores to show parallelism.
+SCALING_FLOOR = 2.0
+
+#: Cores needed before the scaling gate is enforced (CI runners have
+#: 4; a 1-core container records the curve but cannot gate on it).
+MIN_CORES_FOR_GATE = 4
+
+#: Max summed worker Pss over the largest single-worker Rss for the
+#: snapshot mappings of the 4-worker pool. Shared pages sum to ~1x
+#: (each physical page counted once across the pool); private copies
+#: would sum to ~4x.
+SHARED_PSS_CEILING = 2.0
+
+#: Resident snapshot bytes below which the sharing gate is skipped —
+#: too few faulted pages to measure sharing meaningfully.
+SHARING_MIN_RESIDENT = 512 << 10
+
+#: Allowed relative drop of the scaling ratio vs the committed
+#: baseline (compared only between same-core-count machines).
+REGRESSION_TOLERANCE = 0.25
+
+#: Closed-loop keep-alive clients and per-worker service threads.
+CLIENTS = 16
+THREADS = 4
+
+#: Worker counts measured, in order. ``1`` is the baseline.
+WORKER_COUNTS = (1, 2, 4)
+
+#: Every request must evaluate: no result cache, no coalescing.
+CPU_BOUND_OPTIONS = {"result_cache_size": 0, "coalesce": False}
+
+
+def build_bodies(requests: int) -> list[bytes]:
+    """``requests`` CPU-bound snowflake requests (count-only)."""
+    queries = list(paper_snowflake_queries())
+    return [_encode(queries[i % len(queries)]) for i in range(requests)]
+
+
+def _snapshot_residency(pid: int, payload_prefix: str) -> dict:
+    """Resident (Rss) and proportional (Pss) bytes of ``pid``'s
+    mappings under the snapshot payload directory."""
+    rss = pss = 0
+    current = False
+    try:
+        with open(f"/proc/{pid}/smaps", encoding="ascii",
+                  errors="replace") as handle:
+            for line in handle:
+                if "-" in line.split(" ", 1)[0] and ":" not in line.split(
+                    " ", 1
+                )[0]:
+                    current = line.rstrip("\n").endswith(
+                        payload_prefix
+                    ) or payload_prefix + os.sep in line
+                elif current and line.startswith("Rss:"):
+                    rss += int(line.split()[1]) * 1024
+                elif current and line.startswith("Pss:"):
+                    pss += int(line.split()[1]) * 1024
+    except OSError:
+        return {"rss_bytes": None, "pss_bytes": None}
+    return {"rss_bytes": rss, "pss_bytes": pss}
+
+
+def run_prefork_benchmark(
+    snapshot, bodies: list[bytes], clients: int = CLIENTS,
+) -> dict:
+    """The scaling curve: one timed closed-loop pass per worker count.
+
+    Each pool serves the identical workload after a quarter-length
+    warmup pass (plan caches fill; the result cache is off). Snapshot
+    residency is sampled per worker *after* the timed pass, when the
+    workload has faulted in every page it will ever touch.
+    """
+    payload = os.path.realpath(os.fspath(snapshot))
+    results: dict = {
+        "workload": "snowflake-cpu-bound-http",
+        "requests": len(bodies),
+        "clients": clients,
+        "threads_per_worker": THREADS,
+        "cpus": os.cpu_count(),
+        "configs": {},
+    }
+    for workers in WORKER_COUNTS:
+        with PreforkServer(
+            snapshot,
+            workers=workers,
+            threads=THREADS,
+            auto_reload=False,
+            service_options=dict(CPU_BOUND_OPTIONS),
+        ) as pool:
+            run_pass(pool.address, bodies[: max(1, len(bodies) // 4)],
+                     clients)
+            timed = run_pass(pool.address, bodies, clients)
+            stats = pool.pool_stats()
+            residency = [
+                {
+                    "pid": entry["pid"],
+                    **_snapshot_residency(entry["pid"], payload),
+                }
+                for entry in stats["workers"]
+            ]
+        results["configs"][f"workers-{workers}"] = {
+            "workers": workers,
+            "qps": timed["qps"],
+            "p50_seconds": timed["p50_seconds"],
+            "p99_seconds": timed["p99_seconds"],
+            "errors": timed["errors"],
+            "first_error": timed["first_error"],
+            "restarts": stats["pool"]["restarts"],
+            "snapshot_residency": residency,
+        }
+
+    base = results["configs"]["workers-1"]["qps"]
+    results["scaling"] = {
+        f"workers-{n}": results["configs"][f"workers-{n}"]["qps"] / base
+        for n in WORKER_COUNTS
+    }
+    results["scaling_ratio"] = results["scaling"]["workers-4"]
+
+    pool4 = results["configs"]["workers-4"]["snapshot_residency"]
+    rss = [r["rss_bytes"] for r in pool4 if r["rss_bytes"] is not None]
+    pss = [r["pss_bytes"] for r in pool4 if r["pss_bytes"] is not None]
+    results["sharing"] = {
+        "max_worker_rss_bytes": max(rss) if rss else None,
+        "summed_pss_bytes": sum(pss) if pss else None,
+        "pss_over_rss": (
+            sum(pss) / max(rss) if rss and pss and max(rss) else None
+        ),
+    }
+    results["scaling_floor"] = SCALING_FLOOR
+    results["shared_pss_ceiling"] = SHARED_PSS_CEILING
+    return results
+
+
+def gate_failures(results: dict, backend: str) -> tuple[list[str], list[str]]:
+    """(hard failures, skip notices) for one benchmark run."""
+    failures: list[str] = []
+    notices: list[str] = []
+    for name, config in results["configs"].items():
+        if config["errors"]:
+            failures.append(
+                f"{name} had {config['errors']} non-200 responses "
+                f"(first: {config['first_error']})"
+            )
+        if config["restarts"]:
+            failures.append(f"{name} needed {config['restarts']} respawns")
+
+    if results["cpus"] is not None and results["cpus"] >= MIN_CORES_FOR_GATE:
+        if results["scaling_ratio"] < SCALING_FLOOR:
+            failures.append(
+                f"4 workers only {results['scaling_ratio']:.2f}x the "
+                f"single-process baseline (floor {SCALING_FLOOR:.1f}x on "
+                f"{results['cpus']} cores)"
+            )
+    else:
+        notices.append(
+            f"scaling gate skipped: {results['cpus']} core(s) < "
+            f"{MIN_CORES_FOR_GATE} (curve recorded, not enforced)"
+        )
+
+    sharing = results["sharing"]
+    if backend != "columnar":
+        notices.append(
+            f"sharing gate skipped: backend {backend!r} does not mmap "
+            f"snapshots"
+        )
+    elif (
+        sharing["max_worker_rss_bytes"] is None
+        or sharing["max_worker_rss_bytes"] < SHARING_MIN_RESIDENT
+    ):
+        notices.append(
+            "sharing gate skipped: too few resident snapshot bytes "
+            f"({sharing['max_worker_rss_bytes']}) to measure"
+        )
+    elif sharing["pss_over_rss"] > SHARED_PSS_CEILING:
+        failures.append(
+            f"snapshot pages are not shared: summed worker Pss is "
+            f"{sharing['pss_over_rss']:.2f}x the largest worker's Rss "
+            f"(ceiling {SHARED_PSS_CEILING:.1f}x)"
+        )
+    return failures, notices
+
+
+def _prepare_snapshot(workdir: str):
+    """Benchmark store + catalog saved as a mmap-able snapshot."""
+    from repro.bench.workloads import benchmark_catalog, make_benchmark_store
+
+    store = make_benchmark_store()
+    catalog = benchmark_catalog()
+    path = os.path.join(workdir, "bench-snap")
+    save_snapshot(store, path, catalog=catalog, generation=1)
+    return path, store.backend_name
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (CI bench-smoke job)
+# ----------------------------------------------------------------------
+
+
+def test_prefork_scaling_curve(benchmark, tmp_path):
+    """The worker pool serves the CPU-bound workload error-free at
+    every size; scaling and sharing gates apply where measurable."""
+    os.environ.setdefault("REPRO_BENCH_SCALE", "0.25")
+    snapshot, backend = _prepare_snapshot(str(tmp_path))
+    bodies = build_bodies(96)
+    results = benchmark.pedantic(
+        lambda: run_prefork_benchmark(snapshot, bodies, clients=8),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "scaling_ratio": round(results["scaling_ratio"], 2),
+            "cpus": results["cpus"],
+        }
+    )
+    failures, _notices = gate_failures(results, backend)
+    assert not failures, "; ".join(failures)
+
+
+# ----------------------------------------------------------------------
+# script entry point (CI prefork gate + BENCH_prefork.json)
+# ----------------------------------------------------------------------
+
+
+def _regression(results: dict, baseline_path: Path) -> list[str]:
+    """Scaling-ratio regression vs the committed baseline.
+
+    Parallel speedup is a property of the core count, so the compare
+    only runs between measurements from same-size machines — anything
+    else prints a skip notice instead of failing spuriously.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    for key in ("cpus", "mode", "backend", "requests", "clients"):
+        if baseline.get(key) != results.get(key):
+            print(
+                f"prefork gate: baseline {key}={baseline.get(key)!r} vs "
+                f"this run {results.get(key)!r} — regression check skipped"
+            )
+            return []
+    floor = baseline["scaling_ratio"] * (1.0 - REGRESSION_TOLERANCE)
+    if results["scaling_ratio"] < floor:
+        return [
+            f"scaling ratio {results['scaling_ratio']:.2f}x fell below "
+            f"{floor:.2f}x (baseline {baseline['scaling_ratio']:.2f}x - "
+            f"{REGRESSION_TOLERANCE:.0%})"
+        ]
+    print(f"prefork gate: no regression vs {baseline_path}")
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny dataset + short passes (CI)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write results JSON here")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed BENCH_prefork.json to compare against")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        os.environ.setdefault("REPRO_BENCH_SCALE", "0.25")
+
+    with tempfile.TemporaryDirectory(prefix="bench-prefork-") as workdir:
+        snapshot, backend = _prepare_snapshot(workdir)
+        bodies = build_bodies(160 if args.smoke else 400)
+        results = {
+            "benchmark": "bench_prefork",
+            "schema": 1,
+            "mode": "smoke" if args.smoke else "full",
+            "python": sys.version.split()[0],
+            "backend": backend,
+            **run_prefork_benchmark(snapshot, bodies),
+        }
+
+    for n in WORKER_COUNTS:
+        config = results["configs"][f"workers-{n}"]
+        print(
+            f"workers={n}  {config['qps']:8.1f} req/s "
+            f"({results['scaling'][f'workers-{n}']:5.2f}x)   "
+            f"p50 {config['p50_seconds'] * 1e3:7.2f} ms   "
+            f"p99 {config['p99_seconds'] * 1e3:7.2f} ms   "
+            f"errors {config['errors']}"
+        )
+    sharing = results["sharing"]
+    if sharing["pss_over_rss"] is not None:
+        print(
+            f"sharing: summed Pss "
+            f"{sharing['summed_pss_bytes'] / 1e6:.1f} MB over max Rss "
+            f"{sharing['max_worker_rss_bytes'] / 1e6:.1f} MB = "
+            f"{sharing['pss_over_rss']:.2f}x across the 4-worker pool"
+        )
+
+    failures, notices = gate_failures(results, backend)
+    for notice in notices:
+        print(f"prefork gate: {notice}")
+    if args.baseline is not None and args.baseline.exists():
+        failures += _regression(results, args.baseline)
+    elif args.baseline is not None:
+        print(f"prefork gate: baseline {args.baseline} missing, "
+              f"regression check skipped")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,14 @@ every backend. The gate asserts WAL append is at least
 ``--baseline`` enforces a :data:`REGRESSION_TOLERANCE` (25%) bound on
 speedup regressions vs. the committed ``BENCH_wal.json``.
 
+A second scenario measures **group commit**: serial vs.
+:data:`CONTENDED_APPENDERS` contended appender threads on one
+``fsync="batch"`` log. The gate is gauge-based (hardware-independent):
+contended appenders must pay under
+:data:`GROUP_COMMIT_FSYNC_CEILING` fsyncs per acknowledged append —
+followers absorbed into a leader's fsync — while ``durable_seq`` still
+covers every append.
+
 Two entry points:
 
 * ``pytest benchmarks/bench_wal.py [--smoke]`` — pytest-benchmark
@@ -36,6 +44,7 @@ import json
 import os
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -52,6 +61,16 @@ from repro.storage import (
 
 #: Minimum full-save / WAL-append per-batch cost ratio the gate enforces.
 WAL_SPEEDUP_FLOOR = 5.0
+
+#: Maximum fsyncs per acknowledged append the contended group-commit
+#: scenario may spend. Serial appenders pay exactly 1.0 (every append
+#: leads its own commit); contended appenders must batch under a shared
+#: leader fsync, so anything at or above this ceiling means group
+#: commit stopped absorbing followers.
+GROUP_COMMIT_FSYNC_CEILING = 0.9
+
+#: Appender threads in the contended group-commit scenario.
+CONTENDED_APPENDERS = 4
 
 #: Allowed relative drop of the WAL speedup vs the committed baseline
 #: (hardware-independent: both sides are measured on the same machine).
@@ -154,6 +173,92 @@ def run_wal_benchmark(
     return results
 
 
+def _drive_appenders(path: str, threads: int, per_thread: int) -> dict:
+    """``threads`` appenders racing one ``fsync="batch"`` log; gauges."""
+    from repro.storage.wal import WriteAheadLog
+
+    wal = WriteAheadLog.open(path, fsync="batch")
+    barrier = threading.Barrier(threads)
+
+    def appender(tid: int) -> None:
+        barrier.wait()
+        for j in range(per_thread):
+            wal.append(adds=[(tid, j, tid * per_thread + j)])
+
+    workers = [
+        threading.Thread(target=appender, args=(tid,))
+        for tid in range(threads)
+    ]
+    start = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - start
+
+    stats = wal.stats()
+    wal.close()
+    total = threads * per_thread
+    return {
+        "threads": threads,
+        "appends": total,
+        "wall_seconds": wall,
+        "appends_per_second": total / wall,
+        "group_commits": stats["group_commits"],
+        "absorbed": stats["absorbed"],
+        "fsyncs_per_append": stats["group_commits"] / total,
+        "durable_seq": stats["durable_seq"],
+    }
+
+
+def run_group_commit_benchmark(
+    workdir: str, per_thread: int = 200, threads: int = CONTENDED_APPENDERS,
+) -> dict:
+    """Serial vs. contended appenders on one log: fsync absorption.
+
+    The gauges (not timings) are the gate: ``group_commits / appends``
+    is the number of fsyncs each acknowledged append actually paid.
+    Serial appends pay 1.0 by construction; contended appenders must
+    share leader fsyncs, and every append must still be durable
+    (``durable_seq`` covers the whole sequence) — group commit trades
+    no durability for the batching.
+    """
+    serial = _drive_appenders(
+        os.path.join(workdir, "gc-serial.wal"), 1, per_thread * threads
+    )
+    contended = _drive_appenders(
+        os.path.join(workdir, "gc-contended.wal"), threads, per_thread
+    )
+    for scenario in (serial, contended):
+        if scenario["durable_seq"] != scenario["appends"]:
+            raise AssertionError(
+                f"group commit lost durability: durable_seq "
+                f"{scenario['durable_seq']} != appends {scenario['appends']}"
+            )
+    return {
+        "serial": serial,
+        "contended": contended,
+        "fsync_ceiling": GROUP_COMMIT_FSYNC_CEILING,
+    }
+
+
+def group_commit_failures(group: dict) -> list[str]:
+    """Gauge-gate violations in a group-commit run (empty = pass)."""
+    contended = group["contended"]
+    failures = []
+    if contended["fsyncs_per_append"] >= GROUP_COMMIT_FSYNC_CEILING:
+        failures.append(
+            f"contended appenders paid {contended['fsyncs_per_append']:.2f} "
+            f"fsyncs/append (ceiling {GROUP_COMMIT_FSYNC_CEILING:.2f}) — "
+            f"group commit is not absorbing followers"
+        )
+    if contended["absorbed"] == 0:
+        failures.append(
+            "contended appenders absorbed zero follower fsyncs"
+        )
+    return failures
+
+
 # ----------------------------------------------------------------------
 # pytest entry point
 # ----------------------------------------------------------------------
@@ -183,6 +288,26 @@ def test_wal_append_beats_full_save(benchmark, tmp_path):
         f"WAL append only {worst:.1f}x cheaper than a full save "
         f"(floor {WAL_SPEEDUP_FLOOR:.0f}x)"
     )
+
+
+def test_group_commit_absorbs_contended_fsyncs(benchmark, tmp_path):
+    """Four contended appenders pay < 0.9 fsyncs per acknowledged
+    append (serial appenders pay 1.0), with full durability."""
+    results = benchmark.pedantic(
+        lambda: run_group_commit_benchmark(str(tmp_path), per_thread=100),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "contended_fsyncs_per_append": round(
+                results["contended"]["fsyncs_per_append"], 3
+            ),
+            "absorbed": results["contended"]["absorbed"],
+        }
+    )
+    assert results["serial"]["fsyncs_per_append"] == 1.0
+    failures = group_commit_failures(results)
+    assert not failures, "; ".join(failures)
 
 
 # ----------------------------------------------------------------------
@@ -227,10 +352,13 @@ def main(argv: list[str] | None = None) -> int:
     with tempfile.TemporaryDirectory(prefix="bench-wal-") as workdir:
         results = {
             "benchmark": "bench_wal",
-            "schema": 1,
+            "schema": 2,
             "python": sys.version.split()[0],
             **run_wal_benchmark(workdir, base, batch_size, batches),
         }
+        results["group_commit"] = run_group_commit_benchmark(
+            workdir, per_thread=100 if args.smoke else 200
+        )
 
     print(f"base store {base} triples, {batches} batches of {batch_size}")
     for backend, entry in sorted(results["backends"].items()):
@@ -243,12 +371,29 @@ def main(argv: list[str] | None = None) -> int:
     print(f"gate: wal append >= {WAL_SPEEDUP_FLOOR:.0f}x cheaper than a "
           f"full save -> {'ok' if ok else 'FAIL'}")
 
+    group = results["group_commit"]
+    for label in ("serial", "contended"):
+        entry = group[label]
+        print(
+            f"group commit {label:9s}  {entry['appends']:>4} appends x "
+            f"{entry['threads']} thread(s)  "
+            f"{entry['appends_per_second']:8.0f} appends/s   "
+            f"{entry['fsyncs_per_append']:.3f} fsyncs/append "
+            f"(absorbed {entry['absorbed']})"
+        )
+    print(
+        f"gate: contended fsyncs/append < "
+        f"{GROUP_COMMIT_FSYNC_CEILING:.2f} -> "
+        f"{group['contended']['fsyncs_per_append']:.3f}"
+    )
+
     failures: list[str] = []
     if not ok:
         failures.append(
             f"FAIL: wal speedup {results['wal_speedup']:.1f}x below the "
             f"{WAL_SPEEDUP_FLOOR:.0f}x floor"
         )
+    failures += [f"FAIL: {f}" for f in group_commit_failures(group)]
     if args.baseline is not None and args.baseline.exists():
         notices = _regression(results, args.baseline)
         for notice in notices:

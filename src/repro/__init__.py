@@ -153,9 +153,11 @@ from repro.datasets import (
 from repro.datasets.loader import load_dataset, save_dataset
 from repro.server import (
     HTTPQueryServer,
+    PreforkServer,
     WireError,
     serve,
     serve_in_background,
+    serve_prefork,
 )
 from repro.utils import Deadline
 
@@ -274,10 +276,12 @@ __all__ = [
     "is_snapshot",
     "load_dataset",
     "save_dataset",
-    # serving (HTTP front end)
+    # serving (HTTP front end + prefork pool)
     "HTTPQueryServer",
+    "PreforkServer",
     "serve",
     "serve_in_background",
+    "serve_prefork",
     # service
     "QueryService",
     "PlanCache",

@@ -197,8 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bind address (default 127.0.0.1)")
     p_serve.add_argument("--port", type=int, default=8080,
                          help="bind port (default 8080; 0 = ephemeral)")
-    p_serve.add_argument("--workers", type=int, default=None,
-                         help="service thread-pool width (default min(8, cpus))")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="worker processes (default 1; >= 2 serves a "
+                         "prefork pool over a shared mmap snapshot and "
+                         "requires --snapshot)")
+    p_serve.add_argument("--threads", type=int, default=None,
+                         help="service thread-pool width per process "
+                         "(default min(8, cpus))")
     p_serve.add_argument("--max-pending", type=int, default=64,
                          help="in-flight query bound before 503 load shedding")
     p_serve.add_argument("--max-body-kib", type=int, default=1024,
@@ -493,14 +498,19 @@ def _cmd_serve(args) -> int:
     from repro.server import serve
     from repro.service import QueryService
 
-    if args.workers is not None and args.workers < 1:
+    if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.threads is not None and args.threads < 1:
+        print("error: --threads must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers > 1:
+        return _serve_prefork(args)
     store, catalog = _load(args)
     with QueryService(
         store,
         catalog=catalog,
-        max_workers=args.workers,
+        max_workers=args.threads,
         # A WAL-attached store must stay writable (journaled mutations).
         freeze=store.write_log is None,
     ) as service:
@@ -525,6 +535,61 @@ def _cmd_serve(args) -> int:
             default_timeout=args.timeout if args.timeout > 0 else None,
             default_row_limit=args.limit,
         )
+    return 0
+
+
+def _serve_prefork(args) -> int:
+    """The multi-process branch of ``serve`` (``--workers N >= 2``).
+
+    Requires a durable ``--snapshot``: every worker process opens the
+    same mmap generation read-only, so there is nothing to fork from an
+    in-memory dataset, and a writable (``--wal``) store belongs to a
+    single owner, not a read-only pool.
+    """
+    from repro.server import serve_prefork
+
+    snapshot = getattr(args, "snapshot", None)
+    if not snapshot:
+        print(
+            "error: --workers >= 2 serves a prefork pool over a shared "
+            "mmap snapshot; pass --snapshot PATH (see `repro save`)",
+            file=sys.stderr,
+        )
+        return 2
+    if getattr(args, "wal", False):
+        print(
+            "error: --wal opens a writable store owned by one process; "
+            "a --workers pool is read-only (run the writer separately "
+            "and let the pool hand off on each compaction)",
+            file=sys.stderr,
+        )
+        return 2
+
+    def on_ready(address):
+        host, port = address
+        print(
+            f"serving snapshot {snapshot} with {args.workers} worker "
+            f"processes on http://{host}:{port} — POST /v1/query, "
+            f"/v1/batch; GET /v1/health, /v1/stats; new snapshot "
+            f"generations hand off live; Ctrl-C drains and exits",
+            flush=True,
+        )
+
+    serve_prefork(
+        snapshot,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        backend=getattr(args, "backend", None),
+        threads=args.threads,
+        on_ready=on_ready,
+        server_options={
+            "max_pending": args.max_pending,
+            "max_body_bytes": args.max_body_kib * 1024,
+            "default_timeout": args.timeout if args.timeout > 0 else None,
+            "default_row_limit": args.limit,
+        },
+    )
     return 0
 
 

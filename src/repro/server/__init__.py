@@ -11,8 +11,13 @@ can take real traffic, with no dependencies beyond the stdlib:
   exception-to-status mapping;
 * :mod:`repro.server.app` — :class:`HTTPQueryServer` (routing,
   bounded-admission backpressure, client-deadline propagation,
-  graceful drain) plus the :func:`serve` blocking entry point and
-  :func:`serve_in_background` for tests/benchmarks.
+  graceful drain, live service swap) plus the :func:`serve` blocking
+  entry point and :func:`serve_in_background` for tests/benchmarks;
+* :mod:`repro.server.prefork` — :class:`PreforkServer`, the
+  multi-process scale-out past the GIL: N worker processes accepting
+  from one shared socket, each over the same mmap snapshot, with
+  crash respawn and live snapshot-generation handoff
+  (``repro serve --snapshot S --workers N`` / :func:`serve_prefork`).
 
 Quickstart::
 
@@ -34,13 +39,16 @@ from repro.server.app import (
     serve,
     serve_in_background,
 )
+from repro.server.prefork import PreforkServer, serve_prefork
 from repro.server.wire import API_VERSION, WireError
 
 __all__ = [
     "API_VERSION",
     "HTTPQueryServer",
+    "PreforkServer",
     "ServerHandle",
     "WireError",
     "serve",
     "serve_in_background",
+    "serve_prefork",
 ]

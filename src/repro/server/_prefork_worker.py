@@ -1,0 +1,15 @@
+"""Executable entry point for one prefork worker process.
+
+Spawned by :class:`repro.server.prefork.PreforkServer` as
+``python -m repro.server._prefork_worker``. A separate module (rather
+than ``-m repro.server.prefork``) so runpy never re-executes a module
+the package facade already imported — all logic lives in
+:func:`repro.server.prefork.worker_main`.
+"""
+
+import sys
+
+from repro.server.prefork import worker_main
+
+if __name__ == "__main__":
+    sys.exit(worker_main())

@@ -24,6 +24,16 @@ spent queued counts against the client's budget exactly as it does
 for in-process callers. **Graceful shutdown** stops accepting, answers
 new requests with ``503 draining``, waits for every in-flight request
 to finish, then closes.
+
+The server also supports **live service handoff** (the prefork
+snapshot-swap path): every request captures the service it was
+admitted against and holds a *lease* on it until its response body is
+fully serialized, so :meth:`HTTPQueryServer.swap_service` can install
+a service over a new snapshot generation between requests and
+:meth:`HTTPQueryServer.drain_service` tells the caller exactly when
+the last in-flight :class:`~repro.engine_api.EngineResult` on the old
+generation has been rendered — the moment the old mmap is safe to
+close. Requests never block on a swap and none are dropped.
 """
 
 from __future__ import annotations
@@ -98,6 +108,10 @@ class HTTPQueryServer:
         Decoded-row cap applied when a request does not set ``limit``.
     retry_after_seconds:
         The ``Retry-After`` hint attached to shed responses.
+    extra_stats:
+        Optional zero-argument callable returning a dict merged into
+        the ``/v1/stats`` payload (the prefork worker adds its
+        ``worker`` gauges — id, generation, rss — through this).
     """
 
     def __init__(
@@ -111,6 +125,7 @@ class HTTPQueryServer:
         default_timeout: float | None = 300.0,
         default_row_limit: int | None = DEFAULT_ROW_LIMIT,
         retry_after_seconds: int = 1,
+        extra_stats=None,
     ):
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending!r}")
@@ -122,6 +137,7 @@ class HTTPQueryServer:
         self.default_timeout = default_timeout
         self.default_row_limit = default_row_limit
         self.retry_after_seconds = retry_after_seconds
+        self.extra_stats = extra_stats
         self._server: asyncio.AbstractServer | None = None
         self._in_flight = 0
         self._shed = 0
@@ -130,6 +146,11 @@ class HTTPQueryServer:
         self._idle = asyncio.Event()
         self._idle.set()
         self._stopped = asyncio.Event()
+        # Live-handoff bookkeeping (event-loop thread only, no locks):
+        # per-service lease counts plus the waiters drain_service parks.
+        self._leases: dict[int, int] = {}
+        self._drain_events: dict[int, asyncio.Event] = {}
+        self._swaps = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -144,11 +165,22 @@ class HTTPQueryServer:
         host, port = sock.getsockname()[:2]
         return (host, port)
 
-    async def start(self) -> tuple[str, int]:
-        """Bind and start accepting connections; returns the address."""
-        self._server = await asyncio.start_server(
-            self._on_connection, self.host, self.port
-        )
+    async def start(self, sock=None) -> tuple[str, int]:
+        """Bind and start accepting connections; returns the address.
+
+        ``sock`` — an already-bound, listening socket — overrides
+        ``host``/``port``: the prefork path, where the dispatcher binds
+        once and every worker accepts from the same kernel queue.
+        """
+        if sock is not None:
+            sock.setblocking(False)
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, self.host, self.port
+            )
         return self.address
 
     async def serve_forever(self) -> None:
@@ -197,6 +229,51 @@ class HTTPQueryServer:
         if self._in_flight == 0:
             self._idle.set()
 
+    # ------------------------------------------------------------------
+    # Live service handoff (snapshot swap)
+    # ------------------------------------------------------------------
+
+    def _lease(self, service: QueryService) -> QueryService:
+        """Pin ``service`` for one request (event-loop thread only)."""
+        key = id(service)
+        self._leases[key] = self._leases.get(key, 0) + 1
+        return service
+
+    def _unlease(self, service: QueryService) -> None:
+        key = id(service)
+        remaining = self._leases.get(key, 0) - 1
+        if remaining > 0:
+            self._leases[key] = remaining
+            return
+        self._leases.pop(key, None)
+        event = self._drain_events.pop(key, None)
+        if event is not None:
+            event.set()
+
+    def swap_service(self, service: QueryService) -> QueryService:
+        """Install a new service; returns the one it replaces.
+
+        Requests admitted before the swap keep running — and serialize
+        their responses — against the old service; requests admitted
+        after it see only the new one. The caller still owns the old
+        service: :meth:`drain_service` it, then close it.
+        """
+        old, self.service = self.service, service
+        self._swaps += 1
+        return old
+
+    async def drain_service(self, service: QueryService) -> None:
+        """Wait until no in-flight request holds a lease on ``service``.
+
+        Returns once the last response computed against it has been
+        fully serialized — the point where its mmap (and thread pool)
+        can be closed without yanking memory out from under a reader.
+        """
+        if self._leases.get(id(service), 0) == 0:
+            return
+        event = self._drain_events.setdefault(id(service), asyncio.Event())
+        await event.wait()
+
     def http_stats(self) -> dict:
         """HTTP-level gauges and counters (the ``/v1/stats`` ``http`` key)."""
         return {
@@ -205,6 +282,8 @@ class HTTPQueryServer:
             "requests": self._requests,
             "shed": self._shed,
             "draining": self._draining,
+            "service_swaps": self._swaps,
+            "services_draining": len(self._drain_events),
         }
 
     # ------------------------------------------------------------------
@@ -321,23 +400,28 @@ class HTTPQueryServer:
             default_limit=self.default_row_limit,
         )
         self._admit(1)
+        # Capture the service once: a swap between the await and the
+        # serialization below must not mix generations, and the lease
+        # keeps the captured one alive until the body is rendered.
+        service = self._lease(self.service)
         try:
             deadline = self._deadline_for(parsed.timeout_seconds)
-            future = self.service.submit(
+            future = service.submit(
                 parsed.query, deadline, parsed.materialize
             )
             result = await asyncio.wrap_future(future)
+            payload = {
+                "api_version": API_VERSION,
+                "query": parsed.query.name,
+                "columns": [v.name for v in parsed.query.projection],
+                "result": result.to_dict(
+                    service.store.dictionary, limit=parsed.limit
+                ),
+            }
+            return _Response(200, payload)
         finally:
+            self._unlease(service)
             self._release(1)
-        payload = {
-            "api_version": API_VERSION,
-            "query": parsed.query.name,
-            "columns": [v.name for v in parsed.query.projection],
-            "result": result.to_dict(
-                self.service.store.dictionary, limit=parsed.limit
-            ),
-        }
-        return _Response(200, payload)
 
     async def _handle_batch(self, request: Request) -> _Response:
         header_timeout = parse_header_timeout(
@@ -349,16 +433,17 @@ class HTTPQueryServer:
             default_limit=self.default_row_limit,
         )
         self._admit(len(parsed))
+        service = self._lease(self.service)
         try:
             futures = [
-                self.service.submit(
+                service.submit(
                     req.query,
                     self._deadline_for(req.timeout_seconds),
                     req.materialize,
                 )
                 for req in parsed
             ]
-            dictionary = self.service.store.dictionary
+            dictionary = service.store.dictionary
             results = []
             for req, future in zip(parsed, futures):
                 entry: dict = {"query": req.query.name}
@@ -374,19 +459,25 @@ class HTTPQueryServer:
                     entry["columns"] = [v.name for v in req.query.projection]
                     entry["result"] = result.to_dict(dictionary, limit=req.limit)
                 results.append(entry)
+            return _Response(
+                200, {"api_version": API_VERSION, "results": results}
+            )
         finally:
+            self._unlease(service)
             self._release(len(parsed))
-        return _Response(200, {"api_version": API_VERSION, "results": results})
 
     def _handle_health(self) -> _Response:
-        store = self.service.store
+        # One capture: health must describe a single service, not mix
+        # fields across a concurrent swap.
+        service = self.service
+        store = service.store
         status = 503 if self._draining else 200
         payload = {
             "api_version": API_VERSION,
             "status": "draining" if self._draining else "ok",
             "backend": store.backend_name,
             "triples": store.num_triples,
-            "epoch": self.service.epoch,
+            "epoch": service.epoch,
         }
         return _Response(status, payload)
 
@@ -396,6 +487,8 @@ class HTTPQueryServer:
             "service": self.service.snapshot(),
             "http": self.http_stats(),
         }
+        if self.extra_stats is not None:
+            payload.update(self.extra_stats())
         return _Response(200, payload)
 
 

@@ -1,0 +1,753 @@
+"""Prefork multi-process serving over shared mmap snapshots.
+
+The architectural step past the GIL: a parent **dispatcher**
+(:class:`PreforkServer`) binds the listening TCP socket once, then
+spawns N **worker** processes that each warm-start a read-only
+:class:`~repro.service.QueryService` over the *same* snapshot
+generation (``QueryService.from_snapshot`` — zero-copy mmap, so the
+page cache holds one physical copy of the store no matter how many
+workers map it) and accept connections straight off the shared socket.
+Accept distribution is kernel-level: the listening fd is passed to
+every worker over a Unix-domain control socket (``SCM_RIGHTS`` via
+:func:`socket.send_fds`), all workers sit in ``accept`` on the same
+queue, and no request is ever proxied through the parent.
+
+Control plane — one Unix socket per worker, JSON lines::
+
+    worker → parent   {"type": "hello", "worker": i, "pid": ...}
+    parent → worker   1 byte + the listening fd (SCM_RIGHTS)
+    parent → worker   {"type": "configure", "snapshot": ..., ...}
+    worker → parent   {"type": "ready", "generation": ...}
+    parent → worker   {"type": "reload"}          # new generation
+    worker → parent   {"type": "reloaded", ...}   # after swap + drain
+    parent → worker   {"type": "stats"}
+    worker → parent   {"type": "stats", "data": ...}
+    parent → worker   {"type": "shutdown"}        # graceful drain + exit
+
+Workers exit on control-socket EOF, so a dying dispatcher never leaves
+orphans. The dispatcher supervises: a crashed worker is respawned
+(with an exponential restart-storm backoff that resets once a worker
+stays healthy), and per-worker gauges are aggregated into a pool-level
+view (:meth:`PreforkServer.pool_stats`).
+
+**Live snapshot handoff**: the dispatcher polls the snapshot path with
+:class:`~repro.storage.generations.SnapshotWatcher` (one ``readlink``
+per tick). When the compactor installs generation N+1 via the atomic
+symlink flip, workers are told to reload *one at a time* — each builds
+a service over the new generation off the event loop, swaps it into
+its HTTP server between requests
+(:meth:`~repro.server.app.HTTPQueryServer.swap_service`), drains the
+in-flight queries still leased to the old mmap, and closes the old
+generation only after its last ``EngineResult`` was serialized. The
+rest of the pool keeps serving throughout, so compaction never drops
+or blocks traffic.
+
+Workers are spawned as ``python -m repro.server._prefork_worker``
+subprocesses (never forked from a threaded parent), which keeps the
+module import-safe under pytest and any embedding application.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.server.app import HTTPQueryServer
+from repro.service.query_service import QueryService
+from repro.storage.generations import SnapshotWatcher, generation_token
+
+__all__ = ["PreforkServer", "serve_prefork", "worker_main"]
+
+#: Handshake / RPC timeout for a healthy worker (seconds). Reloads get
+#: their own, longer budget — building a service can dwarf an RPC.
+CONTROL_TIMEOUT = 60.0
+
+#: How long a reload RPC may take end to end (load + swap + drain).
+RELOAD_TIMEOUT = 300.0
+
+
+def _rss_bytes() -> "int | None":
+    """Resident set size of this process, or ``None`` off-Linux."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return None
+
+
+def _send_line(sock_file, message: dict) -> None:
+    """Write one JSON control line and flush it."""
+    sock_file.write(json.dumps(message).encode("utf-8") + b"\n")
+    sock_file.flush()
+
+
+def _recv_line_raw(conn: socket.socket) -> bytes:
+    """Read one newline-terminated line byte-by-byte off a raw socket.
+
+    Used only during the worker handshake, *before* the socket is
+    handed to asyncio — byte-at-a-time reading guarantees nothing past
+    the newline is consumed into a buffer asyncio cannot see. Control
+    lines are tiny, and the parent never pipelines past the handshake.
+    """
+    chunks = []
+    while True:
+        byte = conn.recv(1)
+        if not byte:
+            raise ConnectionError("control socket closed during handshake")
+        if byte == b"\n":
+            return b"".join(chunks)
+        chunks.append(byte)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+class _WorkerRuntime:
+    """Mutable per-worker state shared by the HTTP and control tasks."""
+
+    def __init__(self, worker_id: int, config: dict):
+        self.worker_id = worker_id
+        self.config = config
+        self.service: "QueryService | None" = None
+        self.server: "HTTPQueryServer | None" = None
+        self.reloads = 0
+        self.started_at = time.time()
+
+    def build_service(self) -> QueryService:
+        """Open a fresh read-only service over the configured snapshot."""
+        config = self.config
+        return QueryService.from_snapshot(
+            config["snapshot"],
+            backend=config.get("backend"),
+            verify=config.get("verify", True),
+            read_only=True,
+            max_workers=config.get("threads"),
+            **(config.get("service_options") or {}),
+        )
+
+    @staticmethod
+    def close_service(service: QueryService) -> None:
+        """Release a drained service: thread pool first, then the mmap."""
+        service.close(wait=True)
+        dictionary = getattr(service.store, "dictionary", None)
+        close = getattr(dictionary, "close", None)
+        if close is not None:
+            close()
+
+    def worker_gauges(self) -> dict:
+        """The per-worker block merged into ``/v1/stats`` (and the pool)."""
+        service = self.service
+        source = (
+            service.snapshot()["snapshot"]
+            if service is not None
+            else {"path": None, "generation": None}
+        )
+        return {
+            "id": self.worker_id,
+            "pid": os.getpid(),
+            "generation": source["generation"],
+            "snapshot_path": source["path"],
+            "rss_bytes": _rss_bytes(),
+            "reloads": self.reloads,
+            "uptime_seconds": time.time() - self.started_at,
+        }
+
+
+async def _worker_reload(runtime: _WorkerRuntime) -> dict:
+    """Hot-swap to the latest installed generation without dropping work.
+
+    The new service is built off the event loop (snapshot verify can
+    take real time), swapped in between requests, and the old one is
+    closed only after :meth:`HTTPQueryServer.drain_service` reports its
+    last leased response fully serialized.
+    """
+    loop = asyncio.get_running_loop()
+    server = runtime.server
+    new_service = await loop.run_in_executor(None, runtime.build_service)
+    old_service = server.swap_service(new_service)
+    runtime.service = new_service
+    await server.drain_service(old_service)
+    await loop.run_in_executor(
+        None, runtime.close_service, old_service
+    )
+    runtime.reloads += 1
+    return {
+        "type": "reloaded",
+        "worker": runtime.worker_id,
+        "generation": runtime.worker_gauges()["generation"],
+    }
+
+
+async def _worker_serve(
+    conn: socket.socket, listen_sock: socket.socket, runtime: _WorkerRuntime
+) -> None:
+    """The worker's asyncio main: HTTP serving + the control loop."""
+    config = runtime.config
+    server = HTTPQueryServer(
+        runtime.service,
+        extra_stats=lambda: {"worker": runtime.worker_gauges()},
+        **(config.get("server_options") or {}),
+    )
+    runtime.server = server
+    await server.start(sock=listen_sock)
+    conn.setblocking(False)
+    reader, writer = await asyncio.open_unix_connection(sock=conn)
+
+    def reply(message: dict) -> None:
+        writer.write(json.dumps(message).encode("utf-8") + b"\n")
+
+    reply(
+        {
+            "type": "ready",
+            "worker": runtime.worker_id,
+            "pid": os.getpid(),
+            "generation": runtime.worker_gauges()["generation"],
+        }
+    )
+    await writer.drain()
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                # Parent died (EOF): exit rather than serve orphaned.
+                return
+            message = json.loads(line)
+            kind = message.get("type")
+            if kind == "shutdown":
+                return
+            if kind == "reload":
+                reply(await _worker_reload(runtime))
+            elif kind == "stats":
+                reply(
+                    {
+                        "type": "stats",
+                        "worker": runtime.worker_id,
+                        "data": {
+                            "worker": runtime.worker_gauges(),
+                            "http": server.http_stats(),
+                        },
+                    }
+                )
+            else:
+                reply({"type": "error", "message": f"unknown {kind!r}"})
+            await writer.drain()
+    finally:
+        await server.shutdown()
+
+
+def worker_main(argv: "list[str] | None" = None) -> int:
+    """Entry point of one worker process
+    (``python -m repro.server._prefork_worker``).
+
+    Connects to the dispatcher's control socket, receives the shared
+    listening fd and its configuration, warm-starts the service, and
+    serves until told to shut down (or the control socket closes).
+    """
+    parser = argparse.ArgumentParser(prog="repro.server.prefork")
+    parser.add_argument("--control", required=True,
+                        help="dispatcher control socket path")
+    parser.add_argument("--worker-id", type=int, required=True,
+                        help="slot index assigned by the dispatcher")
+    args = parser.parse_args(argv)
+
+    conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    conn.connect(args.control)
+    conn.settimeout(CONTROL_TIMEOUT)
+    with conn.makefile("wb") as out:
+        _send_line(
+            out,
+            {"type": "hello", "worker": args.worker_id, "pid": os.getpid()},
+        )
+    _data, fds, _flags, _addr = socket.recv_fds(conn, 1, 1)
+    if not fds:
+        print("repro.prefork: no listening fd received", file=sys.stderr)
+        return 1
+    listen_sock = socket.socket(fileno=fds[0])
+    config = json.loads(_recv_line_raw(conn))
+    conn.settimeout(None)
+
+    runtime = _WorkerRuntime(args.worker_id, config)
+    runtime.service = runtime.build_service()
+    try:
+        asyncio.run(_worker_serve(conn, listen_sock, runtime))
+    finally:
+        if runtime.service is not None:
+            runtime.close_service(runtime.service)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Dispatcher side
+# ----------------------------------------------------------------------
+
+
+class _WorkerSlot:
+    """One supervised worker: its process, control channel, and health."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.proc: "subprocess.Popen | None" = None
+        self.conn: "socket.socket | None" = None
+        self.file = None
+        self.lock = threading.Lock()
+        self.started_at = 0.0
+        self.failures = 0
+        self.generation = None
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    def close_channel(self) -> None:
+        """Drop the control connection (idempotent)."""
+        for resource in (self.file, self.conn):
+            if resource is not None:
+                try:
+                    resource.close()
+                except OSError:
+                    pass
+        self.file = None
+        self.conn = None
+
+
+class PreforkServer:
+    """A dispatcher plus N worker processes over one shared snapshot.
+
+    Parameters
+    ----------
+    snapshot:
+        Path of the snapshot the pool serves. Workers open it with
+        ``QueryService.from_snapshot(read_only=True)``; the dispatcher
+        watches it for newly installed generations.
+    workers:
+        Number of worker processes.
+    host / port:
+        Bind address of the shared listening socket (``port=0`` picks
+        an ephemeral port; see :attr:`address` after :meth:`start`).
+    backend / threads / verify:
+        Forwarded to each worker's ``from_snapshot`` (``threads`` is
+        the per-worker service pool width, ``max_workers``).
+    server_options / service_options:
+        Keyword dicts forwarded to each worker's
+        :class:`~repro.server.app.HTTPQueryServer` / service.
+    auto_reload:
+        Poll for new generations and hand workers off automatically
+        (disable to drive :meth:`reload` yourself).
+    watch_interval:
+        Supervision tick in seconds (crash detection + snapshot poll).
+    backoff_base / backoff_cap / healthy_seconds:
+        Restart-storm control: the k-th consecutive respawn of a slot
+        waits ``min(cap, base * 2**(k-1))`` seconds; the count resets
+        after a worker stays up ``healthy_seconds``.
+    """
+
+    def __init__(
+        self,
+        snapshot,
+        *,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backend: "str | None" = None,
+        threads: "int | None" = None,
+        verify: bool = True,
+        server_options: "dict | None" = None,
+        service_options: "dict | None" = None,
+        auto_reload: bool = True,
+        watch_interval: float = 0.25,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 5.0,
+        healthy_seconds: float = 5.0,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        self.snapshot = os.fspath(snapshot)
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.backend = backend
+        self.threads = threads
+        self.verify = verify
+        self.server_options = dict(server_options or {})
+        self.service_options = dict(service_options or {})
+        self.auto_reload = auto_reload
+        self.watch_interval = watch_interval
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.healthy_seconds = healthy_seconds
+        self._slots = [_WorkerSlot(i) for i in range(workers)]
+        self._listen_sock: "socket.socket | None" = None
+        self._control_dir: "str | None" = None
+        self._control_listener: "socket.socket | None" = None
+        self._watcher: "SnapshotWatcher | None" = None
+        self._stop = threading.Event()
+        self._supervisor: "threading.Thread | None" = None
+        self._reload_lock = threading.Lock()
+        self._started = False
+        self._restarts = 0
+        self._handoffs = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` of the shared listening socket."""
+        if self._listen_sock is None:
+            return (self.host, self.port)
+        host, port = self._listen_sock.getsockname()[:2]
+        return (host, port)
+
+    @property
+    def url(self) -> str:
+        """Base URL of the pool, e.g. ``http://127.0.0.1:8123``."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> tuple[str, int]:
+        """Bind the shared socket, spawn every worker, begin supervising.
+
+        Returns the bound address once all workers reported ready —
+        from that moment any of them can answer on it.
+        """
+        if self._started:
+            raise RuntimeError("PreforkServer already started")
+        self._listen_sock = socket.create_server(
+            (self.host, self.port), backlog=128, reuse_port=False
+        )
+        self._control_dir = tempfile.mkdtemp(prefix="repro-prefork-")
+        control_path = os.path.join(self._control_dir, "control.sock")
+        self._control_listener = socket.socket(
+            socket.AF_UNIX, socket.SOCK_STREAM
+        )
+        self._control_listener.bind(control_path)
+        self._control_listener.listen(self.workers * 2)
+        self._control_listener.settimeout(CONTROL_TIMEOUT)
+        self._control_path = control_path
+        try:
+            for slot in self._slots:
+                self._spawn(slot)
+        except BaseException:
+            self.stop(drain_timeout=1.0)
+            raise
+        self._watcher = SnapshotWatcher(self.snapshot)
+        self._started = True
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-prefork-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        return self.address
+
+    def stop(self, drain_timeout: float = 30.0) -> None:
+        """Gracefully stop the pool: drain workers, then tear down.
+
+        Each worker gets a ``shutdown`` message (graceful in-flight
+        drain); one that does not exit within ``drain_timeout`` seconds
+        is killed. Idempotent.
+        """
+        self._stop.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=CONTROL_TIMEOUT)
+            self._supervisor = None
+        for slot in self._slots:
+            if slot.alive and slot.file is not None:
+                with slot.lock:
+                    try:
+                        _send_line(slot.file, {"type": "shutdown"})
+                    except OSError:
+                        pass
+        deadline = time.time() + drain_timeout
+        for slot in self._slots:
+            if slot.proc is None:
+                continue
+            remaining = max(0.1, deadline - time.time())
+            try:
+                slot.proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                slot.proc.kill()
+                slot.proc.wait(timeout=CONTROL_TIMEOUT)
+            slot.close_channel()
+            slot.proc = None
+        for sock in (self._control_listener, self._listen_sock):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        self._control_listener = None
+        self._listen_sock = None
+        if self._control_dir is not None:
+            shutil.rmtree(self._control_dir, ignore_errors=True)
+            self._control_dir = None
+        self._started = False
+
+    def __enter__(self) -> "PreforkServer":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Spawning + supervision
+    # ------------------------------------------------------------------
+
+    def _configure_message(self) -> dict:
+        return {
+            "type": "configure",
+            "snapshot": self.snapshot,
+            "backend": self.backend,
+            "threads": self.threads,
+            "verify": self.verify,
+            "server_options": self.server_options,
+            "service_options": self.service_options,
+        }
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        """Start one worker process and complete its handshake."""
+        slot.close_channel()
+        # The worker must import the same repro package this dispatcher
+        # runs from, whatever the parent's cwd-relative sys.path was.
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing
+            else package_root + os.pathsep + existing
+        )
+        slot.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.server._prefork_worker",
+                "--control",
+                self._control_path,
+                "--worker-id",
+                str(slot.index),
+            ],
+            stdin=subprocess.DEVNULL,
+            env=env,
+        )
+        try:
+            conn, _addr = self._control_listener.accept()
+            conn.settimeout(CONTROL_TIMEOUT)
+            file = conn.makefile("rwb")
+            hello = json.loads(file.readline())
+            if hello.get("type") != "hello":
+                raise ConnectionError(f"bad hello from worker: {hello!r}")
+            socket.send_fds(conn, [b"F"], [self._listen_sock.fileno()])
+            _send_line(file, self._configure_message())
+            ready = json.loads(file.readline())
+            if ready.get("type") != "ready":
+                raise ConnectionError(f"worker never became ready: {ready!r}")
+        except BaseException:
+            if slot.proc.poll() is None:
+                slot.proc.kill()
+                slot.proc.wait(timeout=CONTROL_TIMEOUT)
+            raise
+        slot.conn = conn
+        slot.file = file
+        slot.started_at = time.time()
+        slot.generation = ready.get("generation")
+
+    def _supervise(self) -> None:
+        """Respawn crashed workers; watch the snapshot for handoffs."""
+        while not self._stop.wait(self.watch_interval):
+            for slot in self._slots:
+                if self._stop.is_set():
+                    return
+                if slot.proc is not None and slot.proc.poll() is not None:
+                    self._respawn(slot)
+            if self.auto_reload and self._watcher.poll():
+                try:
+                    self.reload()
+                except Exception as exc:  # noqa: BLE001 — keep supervising
+                    print(
+                        f"repro.prefork: handoff failed: {exc}",
+                        file=sys.stderr,
+                    )
+
+    def _respawn(self, slot: _WorkerSlot) -> None:
+        """Replace one dead worker, with restart-storm backoff."""
+        if time.time() - slot.started_at > self.healthy_seconds:
+            slot.failures = 0
+        delay = min(
+            self.backoff_cap, self.backoff_base * (2**slot.failures)
+        )
+        slot.failures += 1
+        slot.close_channel()
+        if self._stop.wait(delay):
+            return
+        try:
+            self._spawn(slot)
+        except Exception as exc:  # noqa: BLE001 — retried next tick
+            print(
+                f"repro.prefork: respawn of worker {slot.index} failed: {exc}",
+                file=sys.stderr,
+            )
+            return
+        self._restarts += 1
+
+    # ------------------------------------------------------------------
+    # Control-plane RPCs
+    # ------------------------------------------------------------------
+
+    def _rpc(self, slot: _WorkerSlot, message: dict,
+             timeout: float = CONTROL_TIMEOUT) -> "dict | None":
+        """One request/response on a worker's control channel.
+
+        Returns ``None`` when the worker is unreachable (dead, hung
+        past ``timeout``, or mid-respawn) — the supervisor deals with
+        the corpse; callers just skip it.
+        """
+        with slot.lock:
+            if slot.file is None or not slot.alive:
+                return None
+            try:
+                slot.conn.settimeout(timeout)
+                _send_line(slot.file, message)
+                line = slot.file.readline()
+                if not line:
+                    raise ConnectionError("control EOF")
+                return json.loads(line)
+            except (OSError, ValueError, ConnectionError):
+                # A worker that cannot answer its control channel is
+                # sick: kill it so supervision respawns a fresh one.
+                slot.close_channel()
+                if slot.proc is not None and slot.proc.poll() is None:
+                    slot.proc.kill()
+                return None
+
+    def reload(self) -> dict:
+        """Hand every worker off to the latest snapshot generation.
+
+        Rolling, one worker at a time: the rest of the pool keeps
+        answering on the old generation while each worker rebuilds,
+        swaps, and drains — zero dropped requests by construction.
+        Returns ``{worker_index: generation | None}``.
+        """
+        outcome: dict = {}
+        with self._reload_lock:
+            for slot in self._slots:
+                reply = self._rpc(
+                    slot, {"type": "reload"}, timeout=RELOAD_TIMEOUT
+                )
+                if reply is not None and reply.get("type") == "reloaded":
+                    slot.generation = reply.get("generation")
+                    outcome[slot.index] = slot.generation
+                else:
+                    outcome[slot.index] = None
+            self._handoffs += 1
+        return outcome
+
+    def pool_stats(self) -> dict:
+        """Aggregate per-worker gauges into the pool-level view.
+
+        Unreachable workers appear with ``"alive": False`` and no
+        gauges — the pool view never blocks on a corpse.
+        """
+        workers = []
+        in_flight = 0
+        requests = 0
+        generations = set()
+        for slot in self._slots:
+            reply = self._rpc(slot, {"type": "stats"})
+            entry: dict = {
+                "index": slot.index,
+                "alive": slot.alive,
+                "pid": slot.proc.pid if slot.proc is not None else None,
+            }
+            if reply is not None and reply.get("type") == "stats":
+                data = reply["data"]
+                entry.update(data["worker"])
+                entry["http"] = data["http"]
+                in_flight += data["http"]["in_flight"]
+                requests += data["http"]["requests"]
+                if data["worker"]["generation"] is not None:
+                    generations.add(data["worker"]["generation"])
+            workers.append(entry)
+        return {
+            "pool": {
+                "workers": self.workers,
+                "alive": sum(1 for s in self._slots if s.alive),
+                "restarts": self._restarts,
+                "handoffs": self._handoffs,
+                "in_flight": in_flight,
+                "requests": requests,
+                "generations": sorted(generations),
+                "snapshot": {
+                    "path": self.snapshot,
+                    "token": generation_token(self.snapshot),
+                },
+            },
+            "workers": workers,
+        }
+
+
+# ----------------------------------------------------------------------
+# Blocking entry point (the CLI's ``repro serve --workers N``)
+# ----------------------------------------------------------------------
+
+
+def serve_prefork(
+    snapshot,
+    *,
+    workers: int = 2,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    on_ready=None,
+    **pool_kwargs,
+) -> None:
+    """Run a prefork pool until SIGINT/SIGTERM; then drain and exit.
+
+    The multi-process sibling of :func:`repro.server.app.serve`:
+    ``on_ready`` (if given) is called with the bound address once every
+    worker is accepting. Shutdown drains each worker gracefully.
+    """
+    import signal
+
+    pool = PreforkServer(
+        snapshot, workers=workers, host=host, port=port, **pool_kwargs
+    )
+    stop = threading.Event()
+
+    def _on_signal(_signum, _frame):
+        stop.set()
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _on_signal)
+        except (ValueError, OSError):  # pragma: no cover — non-main thread
+            pass
+    try:
+        address = pool.start()
+        if on_ready is not None:
+            on_ready(address)
+        stop.wait()
+    finally:
+        pool.stop()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised as a subprocess
+    sys.exit(worker_main())

@@ -98,6 +98,12 @@ class QueryService:
         budget, followers are transparently resubmitted under theirs.
     freeze:
         Freeze the store (and its dictionary) at construction.
+    read_only:
+        Declare this service a pure reader (the prefork *worker* mode):
+        :meth:`persist`, :meth:`compact`, and :meth:`start_compactor`
+        refuse to run — in a multi-process pool exactly one owner (the
+        dispatcher-side writer) may fold or seal the shared snapshot,
+        and a worker accidentally compacting would race it.
     engine_options:
         Extra keyword arguments forwarded to
         :class:`~repro.core.engine.WireframeEngine` (``edge_burnback``,
@@ -127,6 +133,7 @@ class QueryService:
         latency_window: int = 2048,
         coalesce: bool = True,
         freeze: bool = False,
+        read_only: bool = False,
         engine_options: dict | None = None,
     ):
         if freeze and not store.frozen:
@@ -153,6 +160,11 @@ class QueryService:
             max_workers=self.max_workers, thread_name_prefix="repro-query"
         )
         self._closed = False
+        self.read_only = read_only
+        # Where this service's data came from (from_snapshot records
+        # it), so /v1/stats can say which generation is answering.
+        self._source_path: "str | None" = None
+        self._source_generation: "int | None" = None
         # Crash-safe write-path state (see from_snapshot(wal=True) and
         # start_compactor): whether this service owns the store's WAL
         # handle, and the background-compaction gauges.
@@ -219,6 +231,7 @@ class QueryService:
             )
             service = cls(store, catalog=catalog, **service_kwargs)
             service._owns_wal = True
+            service._record_source(path)
             return service
 
         store = load_snapshot(
@@ -229,7 +242,16 @@ class QueryService:
             verify=verify,
         )
         catalog = load_snapshot_catalog(path, verify=verify)
-        return cls(store, catalog=catalog, **service_kwargs)
+        service = cls(store, catalog=catalog, **service_kwargs)
+        service._record_source(path)
+        return service
+
+    def _record_source(self, path) -> None:
+        """Remember which snapshot path/generation this service serves."""
+        from repro.storage import snapshot_generation
+
+        self._source_path = os.fspath(path)
+        self._source_generation = snapshot_generation(self._source_path)
 
     def persist(self, path=None, *, include_catalog: bool = True,
                 overwrite: bool = True, full: bool = False) -> dict:
@@ -254,6 +276,7 @@ class QueryService:
         """
         from repro.storage import save_snapshot
 
+        self._require_writable("persist()")
         hook = self.store.write_log
         if path is not None:
             target = os.fspath(path)
@@ -297,9 +320,12 @@ class QueryService:
         """
         from repro.storage import compact as compact_store
 
+        self._require_writable("compact()")
         manifest = compact_store(self.store)
         self._compactions += 1
         self._last_compaction_generation = manifest.get("generation")
+        if self._source_path is not None:
+            self._source_generation = manifest.get("generation")
         # A fold-in does not change the epoch, but re-sync defensively:
         # the snapshot may have raced final writes (compact retried).
         self._refresh_if_stale()
@@ -314,6 +340,7 @@ class QueryService:
         ``min_bytes`` of records, the WAL is folded into a new snapshot
         generation. Daemonized and stopped by :meth:`close`.
         """
+        self._require_writable("start_compactor()")
         if self.store.write_log is None:
             raise ValueError(
                 "store has no write-ahead log; open it via "
@@ -342,6 +369,18 @@ class QueryService:
             target=loop, name="repro-wal-compactor", daemon=True
         )
         self._compactor_thread.start()
+
+    def _require_writable(self, operation: str) -> None:
+        """Refuse owner-only operations on a ``read_only`` service.
+
+        In a prefork pool only the dispatcher-side owner may seal or
+        fold the shared snapshot; a worker doing so would race it.
+        """
+        if self.read_only:
+            raise RuntimeError(
+                f"{operation} refused: this QueryService is read_only "
+                "(worker mode); only the pool owner persists or compacts"
+            )
 
     @property
     def engine(self) -> WireframeEngine:
@@ -683,6 +722,13 @@ class QueryService:
         snap["backend"] = self._backend_name
         snap["max_workers"] = self.max_workers
         snap["store_triples"] = self.store.num_triples
+        snap["read_only"] = self.read_only
+        # Which durable generation is answering (the handoff gauge):
+        # None/None for a service built over an in-memory store.
+        snap["snapshot"] = {
+            "path": self._source_path,
+            "generation": self._source_generation,
+        }
         hook = self.store.write_log
         if hook is not None:
             from repro.storage import snapshot_generation

@@ -21,7 +21,12 @@ The persistence subsystem behind ``repro save`` / ``--snapshot`` and
   attaches the journaling hook so every acknowledged batch survives
   ``kill -9``; :func:`compact` folds the log into the next snapshot
   generation off the write path; :func:`store_fingerprint` is the
-  content-equality oracle the recovery guarantees are stated in.
+  content-equality oracle the recovery guarantees are stated in;
+* **generation-change notification**: :func:`generation_token` /
+  :class:`SnapshotWatcher` turn the atomic symlink install into a
+  one-syscall change detector, which is how the prefork dispatcher
+  (:mod:`repro.server.prefork`) notices a compaction installed a new
+  generation and triggers the live worker handoff.
 
 Format details live in :mod:`repro.storage.snapshot` (directory layout,
 atomicity, corruption detection), :mod:`repro.storage.segments` (the
@@ -30,6 +35,7 @@ framing and torn-tail semantics).
 """
 
 from repro.errors import SnapshotError, WalError
+from repro.storage.generations import SnapshotWatcher, generation_token
 from repro.storage.recovery import (
     close_store,
     compact,
@@ -86,6 +92,8 @@ __all__ = [
     "replay_wal",
     "compact",
     "snapshot_generation",
+    "generation_token",
+    "SnapshotWatcher",
     "store_fingerprint",
     "wal_inspect",
     "wal_path_for",

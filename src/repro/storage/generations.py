@@ -1,0 +1,75 @@
+"""Generation-change notification on top of the atomic symlink install.
+
+:func:`repro.storage.snapshot.save_snapshot` installs every snapshot
+generation by renaming a *symlink* over the target path, and the
+payload directory the link points at gets a fresh, unique name per
+install (``<target>.data-<pid>-<seq>``). That makes the link text
+itself a cheap, race-free change token: one ``readlink`` syscall — no
+manifest parse, no directory walk — tells a watcher whether a new
+generation has been installed since it last looked.
+
+:class:`SnapshotWatcher` wraps that into the polling primitive the
+prefork dispatcher uses: ``poll()`` answers "did the snapshot under
+this path change since construction / the last poll?". Because an
+unlinked-but-still-mapped payload directory remains fully readable
+(the PR-5 mmap-lifetime guarantee), a watcher firing *after* the old
+payload was replaced is safe — readers on the old generation keep
+working until they are drained and closed.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.storage.snapshot import is_snapshot, read_manifest
+
+__all__ = ["generation_token", "SnapshotWatcher"]
+
+
+def generation_token(path: "str | os.PathLike") -> "str | None":
+    """Opaque token identifying the snapshot generation at ``path``.
+
+    Two calls return equal tokens iff no new generation was installed
+    in between. ``None`` means no snapshot exists there (yet). The
+    fast path is a single ``readlink``; a non-symlink snapshot (e.g.
+    one copied with ``cp -r``, which dereferences links) falls back to
+    the manifest's generation counter.
+    """
+    target = os.fspath(path)
+    try:
+        return "link:" + os.path.basename(os.readlink(target))
+    except OSError:
+        pass
+    if is_snapshot(target):
+        return "gen:" + str(read_manifest(target).get("generation", 0))
+    return None
+
+
+class SnapshotWatcher:
+    """Polls a snapshot path for newly installed generations.
+
+    Stateful: remembers the token seen at construction (or last
+    ``poll``) and reports only *changes*. A path with no snapshot yet
+    arms the watcher — the first install fires it.
+    """
+
+    def __init__(self, path: "str | os.PathLike"):
+        self.path = os.fspath(path)
+        self._token = generation_token(self.path)
+
+    @property
+    def token(self) -> "str | None":
+        """The most recently observed generation token."""
+        return self._token
+
+    def poll(self) -> bool:
+        """True iff a new generation appeared since the last look.
+
+        A snapshot *vanishing* (token ``None``) does not fire — there
+        is nothing new to hand off to; the next install will.
+        """
+        current = generation_token(self.path)
+        if current is None or current == self._token:
+            return False
+        self._token = current
+        return True

@@ -34,6 +34,16 @@ before it returns, so an acknowledged write survives ``kill -9``) or
 :meth:`~WriteAheadLog.sync` — e.g. ``QueryService.persist()`` — makes
 everything appended so far durable at once).
 
+Under ``fsync="batch"``, concurrent appenders **group-commit**: the
+record write happens under the log lock, but the fsync does not — one
+appender becomes the sync *leader* while the rest park on a condition
+variable, and a single ``fsync`` commits every record flushed before
+it was issued. Each appender still returns only once its own record is
+durable; contention turns N fsyncs into one without weakening the
+acknowledged-write guarantee. The ``group_commits`` / ``absorbed``
+gauges (and the contended scenario in ``benchmarks/bench_wal.py``)
+make the batching observable.
+
 Torn-write tolerance is **by construction**: a crash mid-append leaves
 a truncated or CRC-failing *tail*, which :func:`scan_wal` stops at
 cleanly — the store recovers to the last acknowledged batch boundary.
@@ -349,6 +359,20 @@ class WriteAheadLog:
         self._closed = False
         #: Total appends acknowledged through this handle (gauge).
         self.appended = 0
+        # Group-commit state. ``_sync_lock`` serializes the fsync
+        # itself (and, held *outer* to ``_lock``, fences the handle
+        # swap in truncate_through/close against an in-flight fsync);
+        # ``_sync_cond`` guards the durable horizon and leader flag.
+        self._sync_lock = threading.Lock()
+        self._sync_cond = threading.Condition()
+        self._syncing = False
+        #: Highest sequence known to be on stable storage. Everything
+        #: a fresh open scanned was fsynced before acknowledgement.
+        self._durable_seq = self._last_seq
+        #: Fsyncs issued by batch-mode appends (each may commit many).
+        self.group_commits = 0
+        #: Appends made durable by *another* appender's fsync.
+        self.absorbed = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -399,8 +423,12 @@ class WriteAheadLog:
         )
 
     def close(self) -> None:
-        """Flush, fsync, and close the underlying file (idempotent)."""
-        with self._lock:
+        """Flush, fsync, and close the underlying file (idempotent).
+
+        Takes ``_sync_lock`` first so an in-flight group-commit fsync
+        finishes against a live fd before the handle goes away.
+        """
+        with self._sync_lock, self._lock:
             if self._closed:
                 return
             self._closed = True
@@ -409,6 +437,9 @@ class WriteAheadLog:
                 os.fsync(self._handle.fileno())
             finally:
                 self._handle.close()
+        with self._sync_cond:
+            self._durable_seq = self._last_seq
+            self._sync_cond.notify_all()
 
     def __enter__(self) -> "WriteAheadLog":
         return self
@@ -454,6 +485,9 @@ class WriteAheadLog:
                 "size_bytes": self._end,
                 "fsync": self.fsync_policy,
                 "appended": self.appended,
+                "group_commits": self.group_commits,
+                "absorbed": self.absorbed,
+                "durable_seq": self._durable_seq,
             }
 
     # ------------------------------------------------------------------
@@ -472,7 +506,9 @@ class WriteAheadLog:
 
         Under the default ``fsync="batch"`` policy the record is on
         stable storage when this returns — the batch is *committed* and
-        will survive any crash after this point.
+        will survive any crash after this point. Concurrent appenders
+        share fsyncs (group commit): the write happens under the log
+        lock, the durability wait happens outside it.
         """
         with self._lock:
             if self._closed:
@@ -482,27 +518,77 @@ class WriteAheadLog:
             self._handle.seek(self._end)
             self._handle.write(blob)
             self._handle.flush()
-            if self.fsync_policy == "batch":
-                os.fsync(self._handle.fileno())
             offset = self._end
             self._end = offset + len(blob)
             self._index.append((seq, offset, self._end))
             self._last_seq = seq
             self.appended += 1
-            return seq
+        if self.fsync_policy == "batch":
+            self._sync_through(seq)
+        return seq
+
+    def _sync_through(self, seq: int) -> None:
+        """Block until record ``seq`` is on stable storage (group commit).
+
+        At most one thread fsyncs at a time (the *leader*); late
+        arrivals whose records were flushed before the leader's fsync
+        are absorbed by it and never touch the disk themselves. Records
+        are flushed to the OS under ``_lock`` before this is called, so
+        one fsync commits everything up to the ``last_seq`` the leader
+        observes when it starts.
+        """
+        with self._sync_cond:
+            led = False
+            while self._durable_seq < seq:
+                if not self._syncing:
+                    self._syncing = True
+                    led = True
+                    break
+                self._sync_cond.wait()
+            if not led:
+                if seq:
+                    self.absorbed += 1
+                return
+        try:
+            with self._sync_lock:
+                with self._lock:
+                    if self._closed:
+                        raise WalError(
+                            f"write-ahead log {self.path!r} is closed"
+                        )
+                    fd = self._handle.fileno()
+                    target = self._last_seq
+                # The fsync runs outside ``_lock`` so appenders keep
+                # writing (and queueing onto this commit's successor)
+                # while the disk works; ``_sync_lock`` keeps the fd
+                # alive against truncate_through's handle swap.
+                os.fsync(fd)
+        except BaseException:
+            with self._sync_cond:
+                self._syncing = False
+                self._sync_cond.notify_all()
+            raise
+        with self._sync_cond:
+            self._syncing = False
+            if target > self._durable_seq:
+                self._durable_seq = target
+            self.group_commits += 1
+            self._sync_cond.notify_all()
 
     def sync(self) -> None:
         """Force everything appended so far onto stable storage.
 
         The *seal* operation: under ``fsync="none"`` this is the one
         durability point; under ``fsync="batch"`` it is a cheap no-op
-        confirmation.
+        confirmation. Joins the group-commit queue, so a concurrent
+        appender's fsync can satisfy it for free.
         """
         with self._lock:
             if self._closed:
                 raise WalError(f"write-ahead log {self.path!r} is closed")
             self._handle.flush()
-            os.fsync(self._handle.fileno())
+            last = self._last_seq
+        self._sync_through(last)
 
     def truncate_through(self, seq: int) -> int:
         """Drop every record with sequence ``<= seq``; returns how many.
@@ -514,8 +600,12 @@ class WriteAheadLog:
         or the new one — never a half-truncated file. Sequence numbers
         of surviving records are preserved (the scanner only requires
         strict monotonicity, not density).
+
+        ``_sync_lock`` is taken *outer* to ``_lock`` — the one ordering
+        used everywhere both are held — so the handle swap below cannot
+        yank the fd out from under a group-commit leader's fsync.
         """
-        with self._lock:
+        with self._sync_lock, self._lock:
             if self._closed:
                 raise WalError(f"write-ahead log {self.path!r} is closed")
             keep = [entry for entry in self._index if entry[0] > seq]
@@ -544,7 +634,14 @@ class WriteAheadLog:
             self._index = new_index
             self._end = pos
             self._handle.seek(pos)
-            return dropped
+            last = self._last_seq
+        # The rewritten file was fsynced before the rename, so every
+        # surviving record is durable — release any parked appenders.
+        with self._sync_cond:
+            if last > self._durable_seq:
+                self._durable_seq = last
+            self._sync_cond.notify_all()
+        return dropped
 
 
 class WalWriteHook:

@@ -380,6 +380,41 @@ class TestPersistence:
             got = warm.evaluate(mined_queries[0])
             assert sorted(got.rows) == sorted(expect.rows)
 
+    def test_snapshot_reports_source_path_and_generation(
+        self, tmp_path, mini_yago
+    ):
+        """/v1/stats consumers see *which* snapshot is being served."""
+        with QueryService(mini_yago) as service:
+            assert service.snapshot()["snapshot"] == {
+                "path": None, "generation": None,
+            }
+            service.persist(tmp_path / "snap")
+        with QueryService.from_snapshot(tmp_path / "snap") as warm:
+            gauges = warm.snapshot()
+            assert gauges["snapshot"]["path"] == str(tmp_path / "snap")
+            assert gauges["snapshot"]["generation"] == 0
+            assert gauges["read_only"] is False
+
+    def test_read_only_service_refuses_writer_operations(
+        self, tmp_path, mini_yago, mined_queries
+    ):
+        """Worker mode: reads work, every owner-side mutation refuses."""
+        with QueryService(mini_yago) as service:
+            expect = service.evaluate(mined_queries[0])
+            service.persist(tmp_path / "snap")
+        with QueryService.from_snapshot(
+            tmp_path / "snap", read_only=True
+        ) as worker:
+            got = worker.evaluate(mined_queries[0])
+            assert sorted(got.rows) == sorted(expect.rows)
+            assert worker.snapshot()["read_only"] is True
+            with pytest.raises(RuntimeError, match="read_only"):
+                worker.persist(tmp_path / "other")
+            with pytest.raises(RuntimeError, match="read_only"):
+                worker.compact()
+            with pytest.raises(RuntimeError, match="read_only"):
+                worker.start_compactor()
+
     def test_from_snapshot_uses_stored_catalog(self, tmp_path, mini_yago):
         with QueryService(mini_yago) as service:
             service.persist(tmp_path / "snap")

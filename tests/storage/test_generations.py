@@ -1,0 +1,83 @@
+"""Generation-change notification (repro.storage.generations).
+
+The watcher must fire exactly once per installed generation, stay
+quiet otherwise, and keep working for the degenerate snapshot shapes
+(missing path, non-symlink copy).
+"""
+
+import shutil
+
+from repro.graph.store import TripleStore
+from repro.storage import (
+    SnapshotWatcher,
+    generation_token,
+    save_snapshot,
+    snapshot_generation,
+)
+
+
+def small_store() -> TripleStore:
+    store = TripleStore()
+    store.add_term_triples(
+        [
+            ("alice", "knows", "bob"),
+            ("bob", "knows", "carol"),
+        ]
+    )
+    return store
+
+
+def test_token_is_none_without_a_snapshot(tmp_path):
+    assert generation_token(tmp_path / "missing") is None
+
+
+def test_token_changes_per_install(tmp_path):
+    store = small_store()
+    target = tmp_path / "snap"
+    save_snapshot(store, target)
+    first = generation_token(target)
+    assert first is not None
+    store.add_term_triples([("carol", "knows", "dave")])
+    save_snapshot(store, target, overwrite=True, generation=2)
+    second = generation_token(target)
+    assert second is not None
+    assert second != first
+
+
+def test_token_falls_back_to_manifest_for_plain_directories(tmp_path):
+    store = small_store()
+    save_snapshot(store, tmp_path / "snap", generation=7)
+    # cp -r dereferences the install symlink; the token degrades to
+    # the manifest generation instead of vanishing.
+    copy = tmp_path / "copy"
+    shutil.copytree(tmp_path / "snap", copy, symlinks=False)
+    assert not copy.is_symlink()
+    assert generation_token(copy) == "gen:7"
+    assert snapshot_generation(copy) == 7
+
+
+def test_watcher_fires_once_per_generation(tmp_path):
+    store = small_store()
+    target = tmp_path / "snap"
+    save_snapshot(store, target)
+    watcher = SnapshotWatcher(target)
+    assert watcher.poll() is False
+    assert watcher.poll() is False
+    save_snapshot(store, target, overwrite=True, generation=2)
+    assert watcher.poll() is True
+    assert watcher.poll() is False
+    save_snapshot(store, target, overwrite=True, generation=3)
+    save_snapshot(store, target, overwrite=True, generation=4)
+    # Two installs between polls collapse into one notification — the
+    # handoff only ever needs the latest generation.
+    assert watcher.poll() is True
+    assert watcher.poll() is False
+
+
+def test_watcher_armed_on_missing_path_fires_on_first_install(tmp_path):
+    target = tmp_path / "snap"
+    watcher = SnapshotWatcher(target)
+    assert watcher.poll() is False
+    save_snapshot(small_store(), target)
+    assert watcher.poll() is True
+    assert watcher.poll() is False
