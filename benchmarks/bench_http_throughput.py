@@ -18,9 +18,14 @@ not a different engine.
 The gate asserts:
 
 1. warm throughput >= :data:`WARM_QPS_FLOOR` requests/second,
-2. warm per-request p99 <= :data:`P99_CEILING` seconds, and
+2. warm per-request p99 <= :data:`P99_CEILING` seconds,
 3. the warm pass is >= :data:`WARM_SPEEDUP_FLOOR` x the cold pass —
-   the cache hierarchy must survive the wire.
+   the cache hierarchy must survive the wire, and
+4. the observability layer (tracing + /metrics) costs <=
+   :data:`OVERHEAD_CEILING` of warm per-request serving time — its
+   per-dispatch cost vs an ``observability=False`` server (interleaved
+   request-level A/B), stated against the warm socket RTT — with a
+   live server's ``/metrics`` body strict-parsed mid-load.
 
 Two entry points:
 
@@ -44,9 +49,11 @@ reported, not gated.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import http.client
 import json
 import os
+import socket
 import statistics
 import sys
 import threading
@@ -80,6 +87,19 @@ WARM_SPEEDUP_FLOOR = 1.3
 
 #: Allowed relative drop of warm QPS vs the committed baseline.
 REGRESSION_TOLERANCE = 0.25
+
+#: Allowed relative per-request cost of the observability layer
+#: (request tracing + metrics) vs an ``observability=False`` server,
+#: measured over real sockets on the warm serving path. Warm requests
+#: are the worst case: a result-cache hit round-trips in a couple
+#: hundred microseconds, so fixed per-request instrumentation shows up
+#: here first.
+OVERHEAD_CEILING = 0.05
+
+#: Request-level interleaved timing passes when measuring that
+#: overhead (best time per request per mode is compared). Even, so
+#: the alternating on-first/off-first ordering is balanced.
+OVERHEAD_PASSES = 6
 
 #: Total closed-loop requests per pass and concurrent keep-alive clients.
 WORKLOAD_SIZE = 100
@@ -184,12 +204,37 @@ def run_soak(
     sample — so the nightly job surfaces *trends*: RSS that climbs
     window over window, or p99 that creeps as caches fill.
     """
+    from repro.obs.exposition import parse_exposition, render_registries
+    from repro.obs.metrics import MetricsRegistry
+
     _distinct, workload = build_workload(store)
     bodies = [_encode(q) for q in workload]
     stop = threading.Event()
     samples: list[list[tuple[float, float]]] = [[] for _ in range(clients)]
     failures: list[str] = []
     rss_track: list[tuple[float, int]] = []
+
+    # The soak's own measurements flow through the same metrics
+    # machinery the server exports — the nightly artifact is one
+    # exposition document covering both sides of the socket.
+    registry = MetricsRegistry()
+    request_seconds = registry.histogram(
+        "repro_soak_request_seconds",
+        "Client-observed request latency during the soak.",
+    )
+    errors_total = registry.counter(
+        "repro_soak_errors_total", "Non-200 responses during the soak."
+    )
+    rss_gauge = registry.gauge(
+        "repro_soak_rss_bytes", "Server-process RSS, sampled per second."
+    )
+    window_gauges = {
+        name: registry.gauge(
+            f"repro_soak_window_{name}",
+            f"Final soak window {name} (trend endpoint).",
+        )
+        for name in ("qps", "p50_seconds", "p99_seconds")
+    }
 
     with QueryService(store, catalog=catalog) as service:
         with serve_in_background(service, max_pending=4 * clients) as handle:
@@ -207,10 +252,11 @@ def run_soak(
                         conn.request("POST", "/v1/query", body=body)
                         response = conn.getresponse()
                         raw = response.read()
-                        samples[idx].append(
-                            (t0, time.perf_counter() - t0)
-                        )
+                        elapsed = time.perf_counter() - t0
+                        samples[idx].append((t0, elapsed))
+                        request_seconds.observe(elapsed)
                         if response.status != 200:
+                            errors_total.inc()
                             failures.append(
                                 raw.decode(errors="replace")[:200]
                             )
@@ -229,12 +275,21 @@ def run_soak(
                 rss = _rss_bytes()
                 if rss is not None:
                     rss_track.append((time.perf_counter() - start, rss))
+                    rss_gauge.set(rss)
                 time.sleep(min(window_seconds, 1.0))
             stop.set()
             for thread in threads:
                 thread.join()
             http_stats = handle.server.http_stats()
             snapshot = service.snapshot()
+            # Final server-side exposition, scraped over the socket like
+            # a real Prometheus would, while the server is still up.
+            conn = http.client.HTTPConnection(host, port, timeout=120)
+            try:
+                conn.request("GET", "/metrics")
+                server_text = conn.getresponse().read().decode("utf-8")
+            finally:
+                conn.close()
 
     flat = sorted(
         (t0 - start, latency) for share in samples for t0, latency in share
@@ -265,9 +320,18 @@ def run_soak(
             }
         )
 
+    if windows:
+        for name, gauge in window_gauges.items():
+            gauge.set(windows[-1][name])
+    # Soak-side names (repro_soak_*) are disjoint from the server's, so
+    # the two documents concatenate into one valid exposition.
+    metrics_text = server_text + render_registries(registry)
+    parse_exposition(metrics_text)  # artifact must strict-parse
+
     tracked = [rss for _, rss in rss_track]
     return {
         "mode": "soak",
+        "_metrics_text": metrics_text,
         "seconds": seconds,
         "window_seconds": window_seconds,
         "clients": clients,
@@ -282,6 +346,170 @@ def run_soak(
         ),
         "shed": http_stats["shed"],
         "result_cache_hit_rate": snapshot["result_cache"]["hit_rate"],
+    }
+
+
+def run_overhead_check(store, catalog, clients: int = CLIENTS) -> dict:
+    """Per-request cost of observability on the warm serving path.
+
+    Three measurements:
+
+    * **Scrape validity** — a socket server under the regular
+      closed-loop workload has its ``GET /metrics`` body scraped and
+      strict-parsed mid-load; a malformed exposition fails the gate by
+      raising here.
+    * **Warm request time** (the denominator) — serial warm RTT of the
+      full workload against that same server over a raw keep-alive
+      socket, best-of-3 per request: what one warm request costs a
+      client end to end, kernel I/O and HTTP parse included.
+    * **Added cost** (the numerator) — two in-process servers (the
+      default observability surface vs ``observability=False``)
+      dispatch the same warm workload *request-level interleaved* with
+      the timed-first mode alternating each pass,
+      best-of-:data:`OVERHEAD_PASSES` per request per mode; the delta
+      of the per-request means is what tracing + metrics add to the
+      serving path.
+
+    The gate is ``delta / warm_rtt``. The numerator is measured
+    in-process rather than over sockets because the effect is a few
+    microseconds per request: a *null* socket A/B (two identical
+    servers) in this one-process harness shows a ±2-5µs bias floor
+    from thread wakeups and event-loop scheduling — the same order as
+    the effect — while the in-process A/B's null floor is ~0.3µs. The
+    denominator stays on the socket so the overhead is stated against
+    what a warm request actually costs through the wire.
+    """
+    from repro.obs.exposition import parse_exposition
+
+    _distinct, workload = build_workload(store)
+    bodies = [_encode(q) for q in workload]
+
+    raw_requests = [
+        (
+            f"POST /v1/query HTTP/1.1\r\n"
+            f"content-length: {len(body)}\r\n\r\n"
+        ).encode("ascii") + body
+        for body in bodies
+    ]
+
+    def _roundtrip(sock, raw: bytes) -> None:
+        sock.sendall(raw)
+        buf = b""
+        while b"\r\n\r\n" not in buf:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed mid-response")
+            buf += chunk
+        head, _, body = buf.partition(b"\r\n\r\n")
+        status = head.split(None, 2)[1]
+        if status != b"200":
+            raise AssertionError(f"status {status.decode()}: {body[:200]!r}")
+        length = None
+        for line in head.split(b"\r\n")[1:]:
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                length = int(value)
+                break
+        while len(body) < length:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed mid-body")
+            body += chunk
+
+    # Scrape validity + the denominator: one real socket server under
+    # the regular closed-loop load, then serial warm RTT over a raw
+    # keep-alive connection against it.
+    with QueryService(store, catalog=catalog) as service:
+        with serve_in_background(
+            service, max_pending=4 * clients
+        ) as handle:
+            run_pass(handle.address, bodies, clients)
+            host, port = handle.address
+            conn = http.client.HTTPConnection(host, port, timeout=120)
+            try:
+                conn.request("GET", "/metrics")
+                text = conn.getresponse().read().decode("utf-8")
+            finally:
+                conn.close()
+            families = len(parse_exposition(text))  # raises if malformed
+
+            sock = socket.create_connection(handle.address, timeout=120)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                # One untimed serial pass settles the result cache into
+                # the all-hits steady state the timed passes should see.
+                for raw in raw_requests:
+                    _roundtrip(sock, raw)
+                best_rtt = [float("inf")] * len(raw_requests)
+                for _ in range(3):
+                    for i, raw in enumerate(raw_requests):
+                        t0 = time.perf_counter()
+                        _roundtrip(sock, raw)
+                        elapsed = time.perf_counter() - t0
+                        if elapsed < best_rtt[i]:
+                            best_rtt[i] = elapsed
+            finally:
+                sock.close()
+    warm_rtt = statistics.mean(best_rtt)
+
+    # The numerator: in-process dispatch A/B, on vs off.
+    from repro.server.app import HTTPQueryServer
+    from repro.server.http import Request
+
+    async def _dispatch_delta() -> tuple[float, float]:
+        with QueryService(store, catalog=catalog) as svc_on, \
+                QueryService(store, catalog=catalog) as svc_off:
+            on = HTTPQueryServer(svc_on)
+            off = HTTPQueryServer(svc_off, observability=False)
+
+            def request_for(body: bytes) -> Request:
+                return Request(
+                    method="POST", path="/v1/query", query_string="",
+                    headers={"content-length": str(len(body))}, body=body,
+                )
+
+            # Three untimed passes warm the plan and result caches.
+            for _ in range(3):
+                for body in bodies:
+                    for server in (on, off):
+                        response = await server._dispatch(request_for(body))
+                        assert response.status == 200, response.body
+            n = len(bodies)
+            best_on = [float("inf")] * n
+            best_off = [float("inf")] * n
+            clock = time.perf_counter
+            for passno in range(OVERHEAD_PASSES):
+                # Alternate which mode is timed first each pass: the
+                # first dispatch after any cold spot eats cache-refill
+                # cost that would otherwise bias one mode.
+                first, second = (on, off) if passno % 2 == 0 else (off, on)
+                best_first = best_on if passno % 2 == 0 else best_off
+                best_second = best_off if passno % 2 == 0 else best_on
+                for i, body in enumerate(bodies):
+                    for _ in range(3):
+                        t0 = clock()
+                        await first._dispatch(request_for(body))
+                        t1 = clock()
+                        t2 = clock()
+                        await second._dispatch(request_for(body))
+                        t3 = clock()
+                        if t1 - t0 < best_first[i]:
+                            best_first[i] = t1 - t0
+                        if t3 - t2 < best_second[i]:
+                            best_second[i] = t3 - t2
+            return statistics.mean(best_on), statistics.mean(best_off)
+
+    dispatch_on, dispatch_off = asyncio.run(_dispatch_delta())
+    delta = max(0.0, dispatch_on - dispatch_off)
+    return {
+        "dispatch_on_seconds": dispatch_on,
+        "dispatch_off_seconds": dispatch_off,
+        "dispatch_delta_seconds": delta,
+        "warm_rtt_seconds": warm_rtt,
+        "overhead": delta / warm_rtt,
+        "ceiling": OVERHEAD_CEILING,
+        "passes": OVERHEAD_PASSES,
+        "metrics_families": families,
     }
 
 
@@ -329,6 +557,7 @@ def run_http_benchmark(store, catalog, clients: int = CLIENTS) -> dict:
         "warm_qps_floor": WARM_QPS_FLOOR,
         "p99_ceiling": P99_CEILING,
         "warm_speedup_floor": WARM_SPEEDUP_FLOOR,
+        "observability": run_overhead_check(store, catalog, clients),
     }
 
 
@@ -360,6 +589,14 @@ def gate_failures(results: dict) -> list[str]:
             f"(floor {WARM_SPEEDUP_FLOOR:.1f}x — cache hierarchy lost over "
             f"the wire)"
         )
+    obs = results.get("observability")
+    if obs is not None and obs["overhead"] > OVERHEAD_CEILING:
+        failures.append(
+            f"observability adds "
+            f"{obs['dispatch_delta_seconds'] * 1e6:.1f} µs to a "
+            f"{obs['warm_rtt_seconds'] * 1e6:.0f} µs warm request "
+            f"({obs['overhead']:.1%}) — ceiling {OVERHEAD_CEILING:.0%}"
+        )
     return failures
 
 
@@ -383,6 +620,9 @@ def test_http_throughput_gate(benchmark, store, catalog):
             "warm_p99_ms": round(results["warm"]["p99_seconds"] * 1e3, 2),
             "warm_speedup": round(results["warm_speedup"], 2),
             "clients": results["clients"],
+            "obs_overhead": round(
+                results["observability"]["overhead"], 4
+            ),
         }
     )
     failures = gate_failures(results)
@@ -433,6 +673,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="sustained-load soak mode (non-gating)")
     parser.add_argument("--soak-seconds", type=float, default=60.0,
                         help="soak duration in seconds (default 60)")
+    parser.add_argument("--metrics-output", type=Path, default=None,
+                        help="with --soak: write the final /metrics "
+                        "exposition snapshot here (the nightly artifact)")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -451,6 +694,10 @@ def main(argv: list[str] | None = None) -> int:
             "backend": store.backend_name,
             **run_soak(store, catalog, args.soak_seconds),
         }
+        metrics_text = results.pop("_metrics_text")
+        if args.metrics_output is not None:
+            args.metrics_output.write_text(metrics_text)
+            print(f"wrote final /metrics snapshot to {args.metrics_output}")
         for window in results["windows"]:
             rss = window["rss_bytes"]
             print(
@@ -496,6 +743,13 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"parity: {sum(results['parity'].values())}/{len(results['parity'])} "
         f"queries identical over HTTP"
+    )
+    obs = results["observability"]
+    print(
+        f"observability: +{obs['dispatch_delta_seconds'] * 1e6:.1f} us "
+        f"on a {obs['warm_rtt_seconds'] * 1e6:.0f} us warm request -> "
+        f"{obs['overhead']:.1%} overhead (ceiling {OVERHEAD_CEILING:.0%}; "
+        f"/metrics scraped {obs['metrics_families']} families mid-load)"
     )
     print(
         f"gate: warm >= {WARM_QPS_FLOOR:.0f} req/s -> "

@@ -213,6 +213,19 @@ def build_parser() -> argparse.ArgumentParser:
                          "requests without an explicit timeout (0 = none)")
     p_serve.add_argument("--limit", type=int, default=100,
                          help="default decoded-row cap per response")
+    p_serve.add_argument("--slow-query-ms", type=float, default=None,
+                         help="log any request slower than this many "
+                         "milliseconds as a structured slow_query line "
+                         "with its per-stage spans")
+    p_serve.add_argument("--log-json", action="store_true",
+                         help="emit JSON-lines lifecycle events "
+                         "(server_start, worker_ready, handoff, ...) "
+                         "on stderr")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         help="with --workers >= 2: serve the pool's "
+                         "aggregated GET /metrics on this extra port "
+                         "(single-process servers expose /metrics on "
+                         "the main port already)")
 
     p_mine = sub.add_parser("mine", help="mine non-empty template queries")
     _add_dataset_args(p_mine)
@@ -277,7 +290,9 @@ def build_parser() -> argparse.ArgumentParser:
         "path", help="a .wal file or the snapshot directory it belongs to",
     )
     p_walinspect.add_argument("--json", action="store_true",
-                              help="emit the summary as JSON")
+                              help="emit a machine-readable JSON document "
+                              "(adds the decoded file header and "
+                              "per-record summaries)")
     return parser
 
 
@@ -504,8 +519,19 @@ def _cmd_serve(args) -> int:
     if args.threads is not None and args.threads < 1:
         print("error: --threads must be >= 1", file=sys.stderr)
         return 2
+    if args.slow_query_ms is not None and args.slow_query_ms <= 0:
+        print("error: --slow-query-ms must be positive", file=sys.stderr)
+        return 2
     if args.workers > 1:
         return _serve_prefork(args)
+    if args.metrics_port is not None:
+        print(
+            "error: --metrics-port only applies to a --workers >= 2 pool; "
+            "a single-process server already answers GET /metrics on its "
+            "main port",
+            file=sys.stderr,
+        )
+        return 2
     store, catalog = _load(args)
     with QueryService(
         store,
@@ -525,6 +551,8 @@ def _cmd_serve(args) -> int:
                 flush=True,
             )
 
+        from repro.obs.logging import JsonLogger
+
         serve(
             service,
             host=args.host,
@@ -534,6 +562,11 @@ def _cmd_serve(args) -> int:
             max_body_bytes=args.max_body_kib * 1024,
             default_timeout=args.timeout if args.timeout > 0 else None,
             default_row_limit=args.limit,
+            slow_query_seconds=(
+                args.slow_query_ms / 1000.0
+                if args.slow_query_ms is not None else None
+            ),
+            logger=JsonLogger() if args.log_json else None,
         )
     return 0
 
@@ -583,11 +616,17 @@ def _serve_prefork(args) -> int:
         backend=getattr(args, "backend", None),
         threads=args.threads,
         on_ready=on_ready,
+        metrics_port=args.metrics_port,
+        log_json=args.log_json,
         server_options={
             "max_pending": args.max_pending,
             "max_body_bytes": args.max_body_kib * 1024,
             "default_timeout": args.timeout if args.timeout > 0 else None,
             "default_row_limit": args.limit,
+            "slow_query_seconds": (
+                args.slow_query_ms / 1000.0
+                if args.slow_query_ms is not None else None
+            ),
         },
     )
     return 0
@@ -683,7 +722,7 @@ def _cmd_compact(args) -> int:
 def _cmd_wal_inspect(args) -> int:
     from repro.storage import wal_inspect
 
-    summary = wal_inspect(args.path)
+    summary = wal_inspect(args.path, include_records=args.json)
     if args.json:
         import json
 

@@ -33,6 +33,7 @@ from repro.core.generation import (
 )
 from repro.engine_api import Engine, EngineResult, resolve_catalog
 from repro.errors import QueryError
+from repro.obs.trace import current_trace
 from repro.graph.store import TripleStore
 from repro.planner.bushy import BushyPlan, bushy_embedding_plan
 from repro.planner.edgifier import Edgifier
@@ -222,6 +223,13 @@ class WireframeEngine(Engine):
                 rows = None
                 count = count_embeddings(ag, embedding_plan.order, deadline=deadline)
         t2 = time.perf_counter()
+
+        active = current_trace()
+        if active is not None:
+            # Reuse the phase timestamps already taken: generation is
+            # phase 1, defactorization (embedding plan + join) phase 2.
+            active.add_timed("generation", t0, t1)
+            active.add_timed("defactorize", t1, t2)
 
         return WireframeResult(
             rows=rows,

@@ -19,6 +19,7 @@ from repro.core.burnback import edge_burnback, intersect_node_set, node_burnback
 from repro.core.extension import extend_edge_bulk
 from repro.core.triangles import drop_chords, materialize_chords
 from repro.errors import PlanError
+from repro.obs.trace import trace_span
 from repro.planner.plan import AGPlan, Chordification, validate_connected_order
 from repro.query.algebra import BoundQuery
 from repro.utils.deadline import Deadline
@@ -112,7 +113,8 @@ def generate_answer_graph(
         if edge.o_var is not None:
             removals += intersect_node_set(ag, edge.o_var, ag.dst[rel].keys())
         if removals:
-            stats.burned_nodes += node_burnback(ag, removals, deadline)
+            with trace_span("burnback", nested=True):
+                stats.burned_nodes += node_burnback(ag, removals, deadline)
             if trace is not None:
                 trace.record("burnback", [r for r in removals], ag)
 
@@ -121,9 +123,10 @@ def generate_answer_graph(
         if trace is not None:
             trace.record("chords", None, ag)
         if edge_burnback_enabled and not ag.empty:
-            rounds, removed = edge_burnback(
-                ag, chordification.triangles, deadline
-            )
+            with trace_span("burnback", nested=True):
+                rounds, removed = edge_burnback(
+                    ag, chordification.triangles, deadline
+                )
             stats.edge_burnback_rounds = rounds
             stats.spurious_pairs_removed = removed
             if trace is not None:

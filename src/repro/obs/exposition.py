@@ -1,0 +1,342 @@
+"""Prometheus text exposition (0.0.4): rendering and a strict parser.
+
+:func:`render_dump` / :func:`render_registries` produce the body of
+``GET /metrics``; :func:`parse_exposition` is the strict line-grammar
+checker the tests, the CI scrape smoke test, and
+``examples/metrics_scrape.py`` validate that body with. The parser is
+deliberately stricter than real scrapers: every sample must be typed
+(``# TYPE`` before first use), label syntax and escapes must be exact,
+histogram buckets must be cumulative and closed by ``le="+Inf"``
+matching ``_count``, and duplicate series are rejected — our own
+output must hold to the letter of the format, not merely be ingestible.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+#: The Content-Type ``GET /metrics`` answers with.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+_NAME_RE = re.compile(f"^{_METRIC_NAME}$")
+_SAMPLE_RE = re.compile(
+    rf"^({_METRIC_NAME})(\{{(.*)\}})?\s+(\S+)(\s+(-?\d+))?$"
+)
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _format_labels(labels: dict, extra: "tuple | None" = None) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in labels.items()
+    ]
+    if extra is not None:
+        pairs.append(f'{extra[0]}="{extra[1]}"')
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def _render_metric(metric: dict, lines: list[str]) -> None:
+    name = metric["name"]
+    lines.append(f"# HELP {name} {_escape_help(metric['help'])}")
+    lines.append(f"# TYPE {name} {metric['kind']}")
+    if metric["kind"] == "histogram":
+        for sample in metric["samples"]:
+            labels = sample["labels"]
+            for bound, cumulative in sample["buckets"]:
+                le = _format_labels(labels, ("le", _format_value(bound)))
+                lines.append(f"{name}_bucket{le} {int(cumulative)}")
+            inf = _format_labels(labels, ("le", "+Inf"))
+            lines.append(f"{name}_bucket{inf} {int(sample['count'])}")
+            plain = _format_labels(labels)
+            lines.append(f"{name}_sum{plain} {_format_value(sample['sum'])}")
+            lines.append(f"{name}_count{plain} {int(sample['count'])}")
+    else:
+        for sample in metric["samples"]:
+            labels = _format_labels(sample["labels"])
+            lines.append(f"{name}{labels} {_format_value(sample['value'])}")
+
+
+def render_dump(dump: "list[dict]") -> str:
+    """Render one (possibly merged/aggregated) dump as exposition text."""
+    lines: list[str] = []
+    for metric in dump:
+        _render_metric(metric, lines)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_registries(*registries) -> str:
+    """Render several registries as one exposition document.
+
+    Metric names must be disjoint across the registries — the single
+    ``/metrics`` endpoint serves the server's own registry plus its
+    current service's, and a name collision there is a wiring bug.
+    """
+    from repro.obs.metrics import merged_dump
+
+    return render_dump(merged_dump(*registries))
+
+
+# ----------------------------------------------------------------------
+# Strict parsing
+# ----------------------------------------------------------------------
+
+
+class ExpositionError(ValueError):
+    """A line (or a cross-line invariant) violating the text format."""
+
+    def __init__(self, lineno: "int | None", message: str):
+        where = f"line {lineno}: " if lineno is not None else ""
+        super().__init__(f"{where}{message}")
+        self.lineno = lineno
+
+
+def _parse_label_block(body: str, lineno: int) -> dict:
+    """Parse the inside of ``{...}`` with exact quoting/escape rules."""
+    labels: dict[str, str] = {}
+    i, n = 0, len(body)
+    while i < n:
+        match = re.match(_LABEL_NAME, body[i:])
+        if not match:
+            raise ExpositionError(lineno, f"bad label name at {body[i:]!r}")
+        name = match.group(0)
+        i += len(name)
+        if not body.startswith('="', i):
+            raise ExpositionError(lineno, f'label {name!r} missing ="')
+        i += 2
+        value_chars: list[str] = []
+        while i < n and body[i] != '"':
+            if body[i] == "\\":
+                if i + 1 >= n or body[i + 1] not in ('\\', '"', 'n'):
+                    raise ExpositionError(
+                        lineno, f"bad escape in label {name!r}"
+                    )
+                value_chars.append(
+                    "\n" if body[i + 1] == "n" else body[i + 1]
+                )
+                i += 2
+            else:
+                value_chars.append(body[i])
+                i += 1
+        if i >= n:
+            raise ExpositionError(lineno, f"unterminated label {name!r}")
+        i += 1  # closing quote
+        if name in labels:
+            raise ExpositionError(lineno, f"duplicate label {name!r}")
+        labels[name] = "".join(value_chars)
+        if i < n:
+            if body[i] != ",":
+                raise ExpositionError(
+                    lineno, f"expected ',' between labels at {body[i:]!r}"
+                )
+            i += 1
+            if i >= n:
+                raise ExpositionError(lineno, "trailing comma in labels")
+    return labels
+
+
+def _parse_value(text: str, lineno: int) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise ExpositionError(lineno, f"bad sample value {text!r}") from exc
+
+
+def _family_of(name: str, families: dict) -> "tuple[str, str] | None":
+    """``(family, suffix)`` when ``name`` is a histogram series name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            family = name[: -len(suffix)]
+            if families.get(family, {}).get("type") == "histogram":
+                return family, suffix
+    return None
+
+
+def parse_exposition(text: str) -> dict:
+    """Strict-parse exposition text; raises :class:`ExpositionError`.
+
+    Returns ``{family_name: {"type", "help", "samples": [(labels, value),
+    ...]}}`` where histogram families carry their ``_bucket``/``_sum``/
+    ``_count`` series under the family entry. Beyond per-line grammar,
+    the cross-line invariants hold: ``# TYPE`` precedes every sample of
+    its family, no series repeats, buckets are cumulative and
+    non-decreasing, and ``le="+Inf"`` equals ``_count``.
+    """
+    families: dict[str, dict] = {}
+    seen_series: set = set()
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw.rstrip("\r")
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name, _, help_text = rest.partition(" ")
+            if not _NAME_RE.match(name):
+                raise ExpositionError(lineno, f"bad HELP name {name!r}")
+            entry = families.setdefault(
+                name, {"type": None, "help": None, "samples": []}
+            )
+            if entry["help"] is not None:
+                raise ExpositionError(lineno, f"duplicate HELP for {name}")
+            entry["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2:
+                raise ExpositionError(lineno, "malformed TYPE line")
+            name, kind = parts
+            if not _NAME_RE.match(name):
+                raise ExpositionError(lineno, f"bad TYPE name {name!r}")
+            if kind not in _TYPES:
+                raise ExpositionError(lineno, f"unknown type {kind!r}")
+            entry = families.setdefault(
+                name, {"type": None, "help": None, "samples": []}
+            )
+            if entry["type"] is not None:
+                raise ExpositionError(lineno, f"duplicate TYPE for {name}")
+            if entry["samples"]:
+                raise ExpositionError(
+                    lineno, f"TYPE for {name} after its samples"
+                )
+            entry["type"] = kind
+            continue
+        if line.startswith("#"):
+            # Free-form comments are legal; anything '#'-prefixed that
+            # is not HELP/TYPE must not *look* like a directive.
+            if line.startswith(("# HELP", "# TYPE")):
+                raise ExpositionError(lineno, "malformed directive")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ExpositionError(lineno, f"unparseable sample {line!r}")
+        series_name = match.group(1)
+        label_body = match.group(3)
+        labels = (
+            _parse_label_block(label_body, lineno) if label_body else {}
+        )
+        value = _parse_value(match.group(4), lineno)
+        histo = _family_of(series_name, families)
+        if histo is not None:
+            family, suffix = histo
+        else:
+            family, suffix = series_name, ""
+        entry = families.get(family)
+        if entry is None or entry["type"] is None:
+            raise ExpositionError(
+                lineno, f"sample {series_name!r} has no preceding TYPE"
+            )
+        if entry["type"] == "histogram" and not suffix:
+            raise ExpositionError(
+                lineno,
+                f"histogram {family} may only expose _bucket/_sum/_count",
+            )
+        series_key = (series_name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            raise ExpositionError(
+                lineno, f"duplicate series {series_name}{labels!r}"
+            )
+        seen_series.add(series_key)
+        entry["samples"].append((series_name, labels, value))
+    _check_histograms(families)
+    return families
+
+
+def _check_histograms(families: dict) -> None:
+    for name, entry in families.items():
+        if entry["type"] != "histogram":
+            continue
+        if not entry["samples"]:
+            continue
+        by_labelset: dict[tuple, dict] = {}
+        for series_name, labels, value in entry["samples"]:
+            base = {k: v for k, v in labels.items() if k != "le"}
+            key = tuple(sorted(base.items()))
+            slot = by_labelset.setdefault(
+                key, {"buckets": [], "sum": None, "count": None}
+            )
+            if series_name.endswith("_bucket"):
+                if "le" not in labels:
+                    raise ExpositionError(
+                        None, f"{name}_bucket missing le label"
+                    )
+                slot["buckets"].append((labels["le"], value))
+            elif series_name.endswith("_sum"):
+                slot["sum"] = value
+            elif series_name.endswith("_count"):
+                slot["count"] = value
+        for key, slot in by_labelset.items():
+            if slot["count"] is None or slot["sum"] is None:
+                raise ExpositionError(
+                    None, f"{name}{dict(key)!r} missing _sum/_count"
+                )
+            bounds = [
+                (math.inf if le == "+Inf" else float(le), cum)
+                for le, cum in slot["buckets"]
+            ]
+            if not bounds or bounds[-1][0] != math.inf:
+                raise ExpositionError(
+                    None, f"{name}{dict(key)!r} buckets not closed by +Inf"
+                )
+            if bounds != sorted(bounds, key=lambda b: b[0]):
+                raise ExpositionError(
+                    None, f"{name}{dict(key)!r} buckets out of order"
+                )
+            cums = [cum for _b, cum in bounds]
+            if cums != sorted(cums):
+                raise ExpositionError(
+                    None, f"{name}{dict(key)!r} buckets not cumulative"
+                )
+            if cums[-1] != slot["count"]:
+                raise ExpositionError(
+                    None,
+                    f"{name}{dict(key)!r} le=+Inf ({cums[-1]}) != _count "
+                    f"({slot['count']})",
+                )
+
+
+def sample_value(
+    families: dict, name: str, labels: "dict | None" = None
+) -> "float | None":
+    """Look one series up in :func:`parse_exposition` output."""
+    wanted = labels or {}
+    for family in families.values():
+        for series_name, series_labels, value in family["samples"]:
+            if series_name == name and series_labels == wanted:
+                return value
+    return None

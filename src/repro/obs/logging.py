@@ -1,0 +1,118 @@
+"""JSON-lines structured logging and the slow-query log.
+
+:class:`JsonLogger` writes one compact JSON object per line — lifecycle
+events (``--log-json``) and slow-query records share it. Loggers are
+cheap to :meth:`~JsonLogger.bind`: the prefork dispatcher binds nothing,
+each worker binds ``worker``/``pid``, and every child shares the
+parent's stream and lock so interleaved lines stay whole.
+
+:class:`SlowQueryLog` is the policy layer behind
+``repro serve --slow-query-ms``: given a finished trace it decides
+whether the request was slow and, only then, emits the record — the
+fast path pays one float comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+
+class JsonLogger:
+    """Thread-safe JSON-lines event logger.
+
+    Every line carries ``ts`` (ISO-8601 UTC) and ``event``; bound fields
+    come next, call-site fields last (later keys win on collision).
+    """
+
+    def __init__(self, stream=None, *, _bound: "dict | None" = None,
+                 _lock: "threading.Lock | None" = None):
+        self._stream = stream if stream is not None else sys.stderr
+        self._bound = dict(_bound or {})
+        self._lock = _lock or threading.Lock()
+
+    def bind(self, **fields) -> "JsonLogger":
+        """A child logger with ``fields`` stamped onto every line."""
+        return JsonLogger(
+            self._stream,
+            _bound={**self._bound, **fields},
+            _lock=self._lock,
+        )
+
+    def log(self, event: str, **fields) -> None:
+        record = {
+            "ts": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+            + f".{int(time.time() * 1000) % 1000:03d}Z",
+            "event": event,
+            **self._bound,
+            **fields,
+        }
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+
+
+class SlowQueryLog:
+    """Emit a structured record for every request slower than a threshold.
+
+    The record carries the trace id, the stage breakdown in
+    milliseconds, and whatever the serving layer annotated onto the
+    trace (query signature, backend, plan shape, status) — enough to
+    find the query and see where its time went without re-running it.
+    """
+
+    def __init__(self, threshold_seconds: float, logger: "JsonLogger | None" = None):
+        if threshold_seconds <= 0:
+            raise ValueError(
+                f"threshold must be positive, got {threshold_seconds!r}"
+            )
+        self.threshold_seconds = threshold_seconds
+        self.logger = logger or JsonLogger()
+        self.logged = 0
+
+    def is_slow(self, trace) -> bool:
+        """Whether ``trace`` (finished) crossed the threshold."""
+        return (
+            trace.duration is not None
+            and trace.duration >= self.threshold_seconds
+        )
+
+    def observe(self, trace) -> bool:
+        """Log ``trace`` if it was slow; returns whether it was."""
+        if not self.is_slow(trace):
+            return False
+        public = {}
+        route = getattr(trace, "route", None)
+        if route is not None:
+            public["route"] = route
+        status = getattr(trace, "status", None)
+        if status is not None:
+            public["status"] = status
+        public.update(
+            (key, value)
+            for key, value in (getattr(trace, "_ann", None) or {}).items()
+            if not key.startswith("_")
+        )
+        # The plan shape is derived here, from the result-stats
+        # reference the server parked on the trace, so the per-request
+        # hot path never pays for building it.
+        stats = getattr(trace, "_stats", None)
+        if stats is not None and "plan_shape" not in public:
+            public["plan_shape"] = {
+                "ag_plan": stats.get("ag_plan", ()),
+                "embedding_plan": stats.get("embedding_plan", ()),
+                "chords": stats.get("chords"),
+            }
+        self.logger.log(
+            "slow_query",
+            trace_id=trace.trace_id,
+            total_ms=round(trace.duration * 1000.0, 3),
+            threshold_ms=round(self.threshold_seconds * 1000.0, 3),
+            stages_ms=trace.stage_millis(),
+            **public,
+        )
+        self.logged += 1
+        return True

@@ -39,11 +39,20 @@ close. Requests never block on a swap and none are dropped.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import sys
 import threading
+import time
 
 from repro.errors import ReproError
+from repro.obs.exposition import CONTENT_TYPE, render_registries
+from repro.obs.logging import JsonLogger, SlowQueryLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    Trace,
+    TraceBuffer,
+)
 from repro.service.query_service import QueryService
 from repro.server.http import (
     HttpError,
@@ -72,15 +81,29 @@ DEFAULT_MAX_BODY_BYTES = 1 << 20
 
 
 class _Response:
-    """One rendered application response (status + JSON body + headers)."""
+    """One rendered application response (status + body + headers).
 
-    __slots__ = ("status", "body", "extra_headers")
+    Most endpoints pass a JSON ``payload``; ``/metrics`` passes raw
+    ``body`` bytes with its own ``content_type``.
+    """
 
-    def __init__(self, status: int, payload: dict,
-                 extra_headers: dict | None = None):
+    __slots__ = ("status", "body", "extra_headers", "content_type",
+                 "trace_id")
+
+    def __init__(self, status: int, payload: dict | None = None,
+                 extra_headers: dict | None = None, *,
+                 body: bytes | None = None,
+                 content_type: str = "application/json"):
         self.status = status
-        self.body = json.dumps(payload).encode("utf-8")
+        self.body = (
+            json.dumps(payload).encode("utf-8") if body is None else body
+        )
         self.extra_headers = extra_headers
+        self.content_type = content_type
+        # Echoed as X-Repro-Trace-Id by render_response. A dedicated
+        # slot instead of an extra_headers dict: the dispatcher stamps
+        # it on every traced request, so it must cost one store.
+        self.trace_id: "str | None" = None
 
 
 class HTTPQueryServer:
@@ -112,6 +135,22 @@ class HTTPQueryServer:
         Optional zero-argument callable returning a dict merged into
         the ``/v1/stats`` payload (the prefork worker adds its
         ``worker`` gauges — id, generation, rss — through this).
+    observability:
+        Per-request instrumentation: when true (the default) every
+        ``/v1/query``/``/v1/batch`` request gets a trace (minted, or
+        adopted from ``X-Repro-Trace-Id``), its id is echoed in the
+        response header, and request counters/latency histograms are
+        recorded. ``GET /metrics`` serves either way.
+    trace_buffer:
+        How many finished traces the in-memory ring buffer retains.
+    slow_query_seconds:
+        When set, requests slower than this emit a structured
+        slow-query record (trace id, query signature, backend, plan
+        shape, stage breakdown) through ``logger``.
+    logger:
+        A :class:`repro.obs.logging.JsonLogger` for lifecycle events
+        (drain, service swap) and slow-query records; ``None`` disables
+        lifecycle logging (slow queries then log to stderr).
     """
 
     def __init__(
@@ -126,6 +165,10 @@ class HTTPQueryServer:
         default_row_limit: int | None = DEFAULT_ROW_LIMIT,
         retry_after_seconds: int = 1,
         extra_stats=None,
+        observability: bool = True,
+        trace_buffer: int = 256,
+        slow_query_seconds: float | None = None,
+        logger=None,
     ):
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending!r}")
@@ -138,6 +181,23 @@ class HTTPQueryServer:
         self.default_row_limit = default_row_limit
         self.retry_after_seconds = retry_after_seconds
         self.extra_stats = extra_stats
+        self.observability = observability
+        self.logger = logger
+        self.traces = TraceBuffer(trace_buffer)
+        # The trace _dispatch hands to the handler it is about to run;
+        # see _dispatch for why a shared attribute is race-free here.
+        self._active_trace: Trace | None = None
+        self.slow_queries = None
+        if slow_query_seconds is not None:
+            # The backend never changes for a running server, so it is
+            # bound onto the slow log's logger once instead of being
+            # annotated onto every trace.
+            self.slow_queries = SlowQueryLog(
+                slow_query_seconds,
+                (logger or JsonLogger()).bind(
+                    backend=service.store.backend_name
+                ),
+            )
         self._server: asyncio.AbstractServer | None = None
         self._in_flight = 0
         self._shed = 0
@@ -151,6 +211,65 @@ class HTTPQueryServer:
         self._leases: dict[int, int] = {}
         self._drain_events: dict[int, asyncio.Event] = {}
         self._swaps = 0
+        self.metrics = MetricsRegistry()
+        # The request counter is a plain dict bumped on the event-loop
+        # thread (no other thread writes it) and exposed through a
+        # scrape-time callback: one dict store per request instead of a
+        # locked counter update. Keys carry the raw int status; it is
+        # stringified here, at scrape time, never on the request path.
+        self._request_counts: dict[tuple[str, int], int] = {}
+        self.metrics.callback(
+            "repro_http_requests_total",
+            "HTTP requests served, by route and status.",
+            lambda: {
+                (route, str(status)): n
+                for (route, status), n in self._request_counts.items()
+            },
+            kind="counter",
+            labelnames=("route", "status"),
+        )
+        self._request_seconds = self.metrics.histogram(
+            "repro_http_request_seconds",
+            "End-to-end HTTP request latency (admission to rendered "
+            "response), by route.",
+            labelnames=("route",),
+            # Observed only from the event loop, which also serves
+            # /metrics scrapes — no lock needed.
+            locked=False,
+        )
+        # Bound histogram children, resolved once per route.
+        self._request_seconds_by_route = {
+            route: self._request_seconds.labels(route)
+            for route in (*self._ROUTES, "other")
+        }
+        self.metrics.callback(
+            "repro_http_in_flight",
+            "Queries currently admitted HTTP-side.",
+            lambda: self._in_flight,
+        )
+        self.metrics.callback(
+            "repro_http_shed_total",
+            "Submissions shed with 503 by the admission bound.",
+            lambda: self._shed,
+            kind="counter",
+        )
+        self.metrics.callback(
+            "repro_http_draining",
+            "Whether this server is draining (1) or accepting (0).",
+            lambda: int(self._draining),
+            aggregation="max",
+        )
+        self.metrics.callback(
+            "repro_http_service_swaps_total",
+            "Live service handoffs (snapshot swaps) performed.",
+            lambda: self._swaps,
+            kind="counter",
+        )
+        self.metrics.callback(
+            "repro_http_traces_buffered",
+            "Finished traces retained in the ring buffer.",
+            lambda: len(self.traces),
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -181,6 +300,14 @@ class HTTPQueryServer:
             self._server = await asyncio.start_server(
                 self._on_connection, self.host, self.port
             )
+        if self.logger is not None:
+            host, port = self.address
+            self.logger.log(
+                "server_start",
+                host=host,
+                port=port,
+                backend=self.service.store.backend_name,
+            )
         return self.address
 
     async def serve_forever(self) -> None:
@@ -197,11 +324,15 @@ class HTTPQueryServer:
         completion and get their full responses.
         """
         self._draining = True
+        if self.logger is not None:
+            self.logger.log("server_drain", in_flight=self._in_flight)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         await self._idle.wait()
         self._stopped.set()
+        if self.logger is not None:
+            self.logger.log("server_stop", requests=self._requests)
 
     # ------------------------------------------------------------------
     # Admission control
@@ -260,6 +391,15 @@ class HTTPQueryServer:
         """
         old, self.service = self.service, service
         self._swaps += 1
+        if self.logger is not None:
+            self.logger.log(
+                "service_swap",
+                swaps=self._swaps,
+                epoch=service.epoch,
+                generation=service.snapshot().get("snapshot", {}).get(
+                    "generation"
+                ),
+            )
         return old
 
     async def drain_service(self, service: QueryService) -> None:
@@ -284,6 +424,8 @@ class HTTPQueryServer:
             "draining": self._draining,
             "service_swaps": self._swaps,
             "services_draining": len(self._drain_events),
+            "traces_buffered": len(self.traces),
+            "recent_trace_ids": self.traces.recent_ids(8),
         }
 
     # ------------------------------------------------------------------
@@ -318,8 +460,10 @@ class HTTPQueryServer:
                     render_response(
                         response.status,
                         response.body,
+                        content_type=response.content_type,
                         keep_alive=keep_alive,
                         extra_headers=response.extra_headers,
+                        trace_id=response.trace_id,
                     )
                 )
                 await writer.drain()
@@ -336,7 +480,88 @@ class HTTPQueryServer:
                 # cancels lingering tasks); the socket is gone either way.
                 pass
 
+    #: Routes that get their own metric label; everything else folds
+    #: into "other" so scrape cardinality stays bounded.
+    _ROUTES = ("/v1/query", "/v1/batch", "/v1/health", "/v1/stats", "/metrics")
+
     async def _dispatch(self, request: Request) -> _Response:
+        """Instrument one request around :meth:`_route`.
+
+        With observability on, every ``/v1/query``/``/v1/batch`` request
+        carries a :class:`Trace` — minted here at admission, or adopted
+        from a well-formed ``X-Repro-Trace-Id`` header — handed to the
+        handler through ``self._active_trace`` (the handler passes it
+        on to ``QueryService.submit`` explicitly, and the service
+        re-activates it on its worker thread for the engine's
+        contextvar hooks). The trace id is echoed back in the
+        response's ``X-Repro-Trace-Id`` on every outcome, including
+        errors and shed requests.
+        """
+        if not self.observability:
+            return await self._route(request)
+        if request.method == "POST" and request.path in ("/v1/query", "/v1/batch"):
+            trace = Trace(request.headers.get("x-repro-trace-id"))
+            trace.route = request.path
+            # The trace's own birth timestamp doubles as the request
+            # start: one clock read instead of two.
+            started = trace._t0
+        else:
+            trace = None
+            started = time.perf_counter()
+        # Hand the trace to the handler via a plain attribute rather
+        # than the contextvar (~5x cheaper per request). Safe despite
+        # being shared across connections: _route and each handler's
+        # trace read run synchronously in this task step — no await
+        # sits between this store and the read — so another request
+        # cannot interleave. The None store keeps a stale trace from
+        # leaking into non-traced requests.
+        self._active_trace = trace
+        response = await self._route(request)
+        ended = time.perf_counter()
+        label = request.path if request.path in self._ROUTES else "other"
+        counts = self._request_counts
+        key = (label, response.status)
+        counts[key] = counts.get(key, 0) + 1
+        self._request_seconds_by_route[label].observe(ended - started)
+        if trace is not None:
+            # Seal the trace inline: stamp the duration, buffer it,
+            # echo its id, and only then consider the slow-query log.
+            mark = trace._mark
+            if mark is not None:
+                trace.spans.append(("serialize", mark - started,
+                                    ended - mark, False))
+            if trace.duration is None:
+                trace.duration = ended - started
+            trace.status = response.status
+            self.traces.record(trace)
+            response.trace_id = trace.trace_id
+            slow = self.slow_queries
+            if slow is not None and trace.duration >= slow.threshold_seconds:
+                self._slow_log(trace)
+        return response
+
+    def _slow_log(self, trace: Trace) -> None:
+        """Enrich and emit one slow trace (off the per-request hot path).
+
+        The query name and signature digest are derived here, for the
+        rare slow request only — the handler parks the parsed query on
+        the trace as a private annotation and pays nothing else.
+        """
+        query = getattr(trace, "_query", None)
+        if query is not None:
+            if query.name:
+                trace.annotations.setdefault("query", query.name)
+            try:
+                from repro.service.signature import query_signature
+
+                trace.annotations["query_signature"] = hashlib.sha1(
+                    repr(query_signature(query)).encode()
+                ).hexdigest()[:16]
+            except Exception:  # noqa: BLE001 — logging must not fail
+                pass
+        self.slow_queries.observe(trace)
+
+    async def _route(self, request: Request) -> _Response:
         """Route one request; every failure becomes the JSON envelope."""
         try:
             route = (request.method, request.path)
@@ -348,7 +573,10 @@ class HTTPQueryServer:
                 return self._handle_health()
             if route == ("GET", "/v1/stats"):
                 return self._handle_stats()
-            if request.path in ("/v1/query", "/v1/batch", "/v1/health", "/v1/stats"):
+            if route == ("GET", "/metrics"):
+                return self._handle_metrics()
+            if request.path in ("/v1/query", "/v1/batch", "/v1/health",
+                                "/v1/stats", "/metrics"):
                 return _Response(
                     405,
                     error_payload(
@@ -362,7 +590,8 @@ class HTTPQueryServer:
                     "not_found",
                     f"no such endpoint: {request.path} (this build serves "
                     f"/{API_VERSION}/query, /{API_VERSION}/batch, "
-                    f"/{API_VERSION}/health, /{API_VERSION}/stats)",
+                    f"/{API_VERSION}/health, /{API_VERSION}/stats, "
+                    f"/metrics)",
                 ),
             )
         except Exception as exc:  # noqa: BLE001 — single wire mapping
@@ -391,14 +620,36 @@ class HTTPQueryServer:
         return None if budget is None else Deadline(budget)
 
     async def _handle_query(self, request: Request) -> _Response:
+        # Must be the first statement: _dispatch's attribute store is
+        # only safe to read before this coroutine first suspends.
+        trace = self._active_trace
         header_timeout = parse_header_timeout(
             request.headers.get("x-repro-timeout")
         )
-        parsed = parse_query_request(
-            parse_json_body(request.body),
-            header_timeout=header_timeout,
-            default_limit=self.default_row_limit,
-        )
+        if trace is not None:
+            # Spans on this path are timed inline rather than through
+            # the span() context manager: this runs on every traced
+            # request, and the with-block costs about a microsecond
+            # more. The parse span starts at the trace's own birth
+            # (offset 0.0), so it also covers admission and routing and
+            # the stage sum stays tight against end-to-end latency.
+            try:
+                parsed = parse_query_request(
+                    parse_json_body(request.body),
+                    header_timeout=header_timeout,
+                    default_limit=self.default_row_limit,
+                )
+            finally:
+                trace.spans.append(
+                    ("parse", 0.0, time.perf_counter() - trace._t0, False)
+                )
+            trace._query = parsed.query
+        else:
+            parsed = parse_query_request(
+                parse_json_body(request.body),
+                header_timeout=header_timeout,
+                default_limit=self.default_row_limit,
+            )
         self._admit(1)
         # Capture the service once: a swap between the await and the
         # serialization below must not mix generations, and the lease
@@ -407,31 +658,65 @@ class HTTPQueryServer:
         try:
             deadline = self._deadline_for(parsed.timeout_seconds)
             future = service.submit(
-                parsed.query, deadline, parsed.materialize
+                parsed.query, deadline, parsed.materialize, trace=trace
             )
             result = await asyncio.wrap_future(future)
-            payload = {
-                "api_version": API_VERSION,
-                "query": parsed.query.name,
-                "columns": [v.name for v in parsed.query.projection],
-                "result": result.to_dict(
-                    service.store.dictionary, limit=parsed.limit
-                ),
-            }
-            return _Response(200, payload)
+            if trace is not None:
+                # A reference, not a copy: the slow-query log derives
+                # the plan shape from this lazily, for the rare slow
+                # request only. The mark becomes the "serialize" span
+                # when the dispatcher seals the trace.
+                trace._stats = result.stats
+                trace._mark = time.perf_counter()
+                return self._query_response(service, parsed, result, trace)
+            return self._query_response(service, parsed, result, None)
         finally:
             self._unlease(service)
             self._release(1)
 
+    def _query_response(self, service, parsed, result, trace) -> _Response:
+        payload = {
+            "api_version": API_VERSION,
+            "query": parsed.query.name,
+            "columns": [v.name for v in parsed.query.projection],
+            "result": result.to_dict(
+                service.store.dictionary, limit=parsed.limit
+            ),
+        }
+        if parsed.include_trace:
+            # Echo whatever is recorded so far; the trace is sealed
+            # (duration stamped, ring-buffered) after serialization.
+            payload["trace"] = trace.to_dict() if trace is not None else None
+        return _Response(200, payload)
+
     async def _handle_batch(self, request: Request) -> _Response:
+        # One trace covers the whole batch: per-query engine spans land
+        # on it from concurrent workers (appends are atomic), so stage
+        # spans may overlap — the span-sum invariant holds only for
+        # single-query requests. Read before the first suspension, like
+        # _handle_query.
+        trace = self._active_trace
         header_timeout = parse_header_timeout(
             request.headers.get("x-repro-timeout")
         )
-        parsed = parse_batch_request(
-            parse_json_body(request.body),
-            header_timeout=header_timeout,
-            default_limit=self.default_row_limit,
-        )
+        if trace is not None:
+            try:
+                parsed = parse_batch_request(
+                    parse_json_body(request.body),
+                    header_timeout=header_timeout,
+                    default_limit=self.default_row_limit,
+                )
+            finally:
+                trace.spans.append(
+                    ("parse", 0.0, time.perf_counter() - trace._t0, False)
+                )
+            trace.annotations["queries"] = len(parsed)
+        else:
+            parsed = parse_batch_request(
+                parse_json_body(request.body),
+                header_timeout=header_timeout,
+                default_limit=self.default_row_limit,
+            )
         self._admit(len(parsed))
         service = self._lease(self.service)
         try:
@@ -440,6 +725,7 @@ class HTTPQueryServer:
                     req.query,
                     self._deadline_for(req.timeout_seconds),
                     req.materialize,
+                    trace=trace,
                 )
                 for req in parsed
             ]
@@ -459,9 +745,12 @@ class HTTPQueryServer:
                     entry["columns"] = [v.name for v in req.query.projection]
                     entry["result"] = result.to_dict(dictionary, limit=req.limit)
                 results.append(entry)
-            return _Response(
-                200, {"api_version": API_VERSION, "results": results}
-            )
+            payload = {"api_version": API_VERSION, "results": results}
+            if parsed and parsed[0].include_trace:
+                payload["trace"] = (
+                    trace.to_dict() if trace is not None else None
+                )
+            return _Response(200, payload)
         finally:
             self._unlease(service)
             self._release(len(parsed))
@@ -490,6 +779,19 @@ class HTTPQueryServer:
         if self.extra_stats is not None:
             payload.update(self.extra_stats())
         return _Response(200, payload)
+
+    def _handle_metrics(self) -> _Response:
+        """Prometheus text exposition over both registries.
+
+        The server's own registry (``repro_http_*``) and the current
+        service's (``repro_service_*``, ``repro_cache_*``,
+        ``repro_wal_*``, ...) render as one document; their name spaces
+        are disjoint by construction.
+        """
+        text = render_registries(self.metrics, self.service.metrics)
+        return _Response(
+            200, body=text.encode("utf-8"), content_type=CONTENT_TYPE
+        )
 
 
 # ----------------------------------------------------------------------

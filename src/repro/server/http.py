@@ -161,8 +161,15 @@ def render_response(
     content_type: str = "application/json",
     keep_alive: bool = True,
     extra_headers: dict[str, str] | None = None,
+    trace_id: str | None = None,
 ) -> bytes:
-    """Serialize one HTTP/1.1 response (head + body) to bytes."""
+    """Serialize one HTTP/1.1 response (head + body) to bytes.
+
+    ``trace_id`` becomes an ``X-Repro-Trace-Id`` header; it is its own
+    parameter (rather than an ``extra_headers`` entry) because every
+    traced request carries one and a single-entry dict per response is
+    measurable on the warm path.
+    """
     reason = _REASONS.get(status, "Unknown")
     lines = [
         f"HTTP/1.1 {status} {reason}",
@@ -170,6 +177,8 @@ def render_response(
         f"Content-Length: {len(body)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
+    if trace_id is not None:
+        lines.append("X-Repro-Trace-Id: " + trace_id)
     for name, value in (extra_headers or {}).items():
         lines.append(f"{name}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

@@ -61,6 +61,9 @@ import tempfile
 import threading
 import time
 
+from repro.obs.exposition import CONTENT_TYPE, render_dump
+from repro.obs.logging import JsonLogger
+from repro.obs.metrics import MetricsRegistry, aggregate_dumps
 from repro.server.app import HTTPQueryServer
 from repro.service.query_service import QueryService
 from repro.storage.generations import SnapshotWatcher, generation_token
@@ -197,13 +200,24 @@ async def _worker_serve(
 ) -> None:
     """The worker's asyncio main: HTTP serving + the control loop."""
     config = runtime.config
+    logger = None
+    if config.get("log_json"):
+        logger = JsonLogger().bind(
+            worker=runtime.worker_id, pid=os.getpid()
+        )
     server = HTTPQueryServer(
         runtime.service,
         extra_stats=lambda: {"worker": runtime.worker_gauges()},
+        logger=logger,
         **(config.get("server_options") or {}),
     )
     runtime.server = server
     await server.start(sock=listen_sock)
+    if logger is not None:
+        logger.log(
+            "worker_ready",
+            generation=runtime.worker_gauges()["generation"],
+        )
     conn.setblocking(False)
     reader, writer = await asyncio.open_unix_connection(sock=conn)
 
@@ -228,9 +242,18 @@ async def _worker_serve(
             message = json.loads(line)
             kind = message.get("type")
             if kind == "shutdown":
+                if logger is not None:
+                    logger.log("worker_shutdown")
                 return
             if kind == "reload":
-                reply(await _worker_reload(runtime))
+                outcome = await _worker_reload(runtime)
+                if logger is not None:
+                    logger.log(
+                        "worker_reloaded",
+                        generation=outcome.get("generation"),
+                        reloads=runtime.reloads,
+                    )
+                reply(outcome)
             elif kind == "stats":
                 reply(
                     {
@@ -239,6 +262,13 @@ async def _worker_serve(
                         "data": {
                             "worker": runtime.worker_gauges(),
                             "http": server.http_stats(),
+                            # JSON-able registry dumps: the dispatcher
+                            # aggregates these across workers for its
+                            # own /metrics listener.
+                            "metrics": (
+                                server.metrics.dump()
+                                + server.service.metrics.dump()
+                            ),
                         },
                     }
                 )
@@ -353,6 +383,19 @@ class PreforkServer:
         Restart-storm control: the k-th consecutive respawn of a slot
         waits ``min(cap, base * 2**(k-1))`` seconds; the count resets
         after a worker stays up ``healthy_seconds``.
+    metrics_port:
+        When set, the dispatcher serves ``GET /metrics`` on
+        ``(host, metrics_port)`` — pool-level gauges plus every
+        worker's registries, aggregated over the control-channel
+        ``stats`` RPC. (The dispatcher never answers on the shared
+        serving port itself, so aggregation needs its own listener;
+        each worker still serves its own per-process ``/metrics``.)
+    log_json / logger:
+        JSON-lines lifecycle logging: pool start/stop, worker
+        spawn/respawn, handoffs. ``log_json=True`` builds a stderr
+        :class:`~repro.obs.logging.JsonLogger` (workers are told to do
+        the same); pass ``logger`` to supply your own for the
+        dispatcher side.
     """
 
     def __init__(
@@ -372,6 +415,9 @@ class PreforkServer:
         backoff_base: float = 0.1,
         backoff_cap: float = 5.0,
         healthy_seconds: float = 5.0,
+        metrics_port: "int | None" = None,
+        log_json: bool = False,
+        logger=None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
@@ -400,6 +446,36 @@ class PreforkServer:
         self._started = False
         self._restarts = 0
         self._handoffs = 0
+        self.metrics_port = metrics_port
+        self.log_json = log_json
+        self.logger = logger if logger is not None else (
+            JsonLogger().bind(role="dispatcher") if log_json else None
+        )
+        self._metrics_server = None
+        self._metrics_thread: "threading.Thread | None" = None
+        self.metrics = MetricsRegistry()
+        self.metrics.callback(
+            "repro_pool_workers",
+            "Configured worker-process count.",
+            lambda: self.workers,
+        )
+        self.metrics.callback(
+            "repro_pool_workers_alive",
+            "Worker processes currently alive.",
+            lambda: sum(1 for s in self._slots if s.alive),
+        )
+        self.metrics.callback(
+            "repro_pool_restarts_total",
+            "Crashed workers respawned by the supervisor.",
+            lambda: self._restarts,
+            kind="counter",
+        )
+        self.metrics.callback(
+            "repro_pool_handoffs_total",
+            "Rolling snapshot handoffs performed across the pool.",
+            lambda: self._handoffs,
+            kind="counter",
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -451,6 +527,22 @@ class PreforkServer:
             target=self._supervise, name="repro-prefork-supervisor", daemon=True
         )
         self._supervisor.start()
+        if self.metrics_port is not None:
+            self._start_metrics_listener()
+        if self.logger is not None:
+            host, port = self.address
+            self.logger.log(
+                "pool_start",
+                host=host,
+                port=port,
+                workers=self.workers,
+                snapshot=self.snapshot,
+                metrics_port=(
+                    self.metrics_address[1]
+                    if self._metrics_server is not None
+                    else None
+                ),
+            )
         return self.address
 
     def stop(self, drain_timeout: float = 30.0) -> None:
@@ -461,6 +553,13 @@ class PreforkServer:
         is killed. Idempotent.
         """
         self._stop.set()
+        if self._metrics_server is not None:
+            self._metrics_server.shutdown()
+            self._metrics_server.server_close()
+            self._metrics_server = None
+            if self._metrics_thread is not None:
+                self._metrics_thread.join(timeout=CONTROL_TIMEOUT)
+                self._metrics_thread = None
         if self._supervisor is not None:
             self._supervisor.join(timeout=CONTROL_TIMEOUT)
             self._supervisor = None
@@ -494,6 +593,8 @@ class PreforkServer:
         if self._control_dir is not None:
             shutil.rmtree(self._control_dir, ignore_errors=True)
             self._control_dir = None
+        if self._started and self.logger is not None:
+            self.logger.log("pool_stop", restarts=self._restarts)
         self._started = False
 
     def __enter__(self) -> "PreforkServer":
@@ -517,6 +618,7 @@ class PreforkServer:
             "verify": self.verify,
             "server_options": self.server_options,
             "service_options": self.service_options,
+            "log_json": self.log_json,
         }
 
     def _spawn(self, slot: _WorkerSlot) -> None:
@@ -567,6 +669,13 @@ class PreforkServer:
         slot.file = file
         slot.started_at = time.time()
         slot.generation = ready.get("generation")
+        if self.logger is not None:
+            self.logger.log(
+                "worker_spawn",
+                worker=slot.index,
+                pid=slot.proc.pid,
+                generation=slot.generation,
+            )
 
     def _supervise(self) -> None:
         """Respawn crashed workers; watch the snapshot for handoffs."""
@@ -587,6 +696,14 @@ class PreforkServer:
 
     def _respawn(self, slot: _WorkerSlot) -> None:
         """Replace one dead worker, with restart-storm backoff."""
+        if self.logger is not None:
+            self.logger.log(
+                "worker_exit",
+                worker=slot.index,
+                returncode=(
+                    slot.proc.returncode if slot.proc is not None else None
+                ),
+            )
         if time.time() - slot.started_at > self.healthy_seconds:
             slot.failures = 0
         delay = min(
@@ -656,6 +773,12 @@ class PreforkServer:
                 else:
                     outcome[slot.index] = None
             self._handoffs += 1
+        if self.logger is not None:
+            self.logger.log(
+                "handoff",
+                handoffs=self._handoffs,
+                generations={str(k): v for k, v in outcome.items()},
+            )
         return outcome
 
     def pool_stats(self) -> dict:
@@ -700,6 +823,78 @@ class PreforkServer:
             },
             "workers": workers,
         }
+
+    # ------------------------------------------------------------------
+    # Aggregated /metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics_address(self) -> "tuple[str, int] | None":
+        """Bound ``(host, port)`` of the dispatcher's metrics listener."""
+        if self._metrics_server is None:
+            return None
+        host, port = self._metrics_server.server_address[:2]
+        return (host, port)
+
+    def metrics_text(self) -> str:
+        """One exposition document for the whole pool.
+
+        Pool-level gauges (``repro_pool_*``) plus every reachable
+        worker's registries, fetched over the control-channel ``stats``
+        RPC and folded together: counters and histogram buckets sum,
+        gauges fold by their aggregation hint (queue depths sum, the
+        snapshot generation takes the max). Unreachable workers are
+        skipped — a scrape never blocks on a corpse.
+        """
+        worker_dumps = []
+        for slot in self._slots:
+            reply = self._rpc(slot, {"type": "stats"})
+            if reply is not None and reply.get("type") == "stats":
+                dump = reply["data"].get("metrics")
+                if dump:
+                    worker_dumps.append(dump)
+        aggregated = aggregate_dumps(worker_dumps) if worker_dumps else []
+        return render_dump(self.metrics.dump() + aggregated)
+
+    def _start_metrics_listener(self) -> None:
+        """Serve ``GET /metrics`` from the dispatcher on its own port.
+
+        The shared serving port belongs to the workers (the dispatcher
+        never accepts on it), so aggregation gets a small stdlib
+        threading HTTP server instead.
+        """
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        pool = self
+
+        class _MetricsHandler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 — stdlib handler API
+                if self.path != "/metrics":
+                    self.send_error(404, "only /metrics is served here")
+                    return
+                try:
+                    body = pool.metrics_text().encode("utf-8")
+                except Exception as exc:  # noqa: BLE001 — report, not die
+                    self.send_error(500, str(exc))
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # silence per-request stderr
+                pass
+
+        self._metrics_server = ThreadingHTTPServer(
+            (self.host, self.metrics_port), _MetricsHandler
+        )
+        self._metrics_thread = threading.Thread(
+            target=self._metrics_server.serve_forever,
+            name="repro-prefork-metrics",
+            daemon=True,
+        )
+        self._metrics_thread.start()
 
 
 # ----------------------------------------------------------------------

@@ -62,6 +62,7 @@ class QueryRequest:
     timeout_seconds: float | None
     materialize: bool
     limit: int | None
+    include_trace: bool = False
 
 
 def parse_json_body(body: bytes) -> object:
@@ -143,6 +144,16 @@ def _parse_materialize(doc: dict) -> bool:
     return materialize
 
 
+def _parse_include_trace(doc: dict) -> bool:
+    include_trace = doc.get("include_trace", False)
+    if not isinstance(include_trace, bool):
+        raise WireError(
+            "invalid_field",
+            f"'include_trace' must be a boolean, got {include_trace!r}",
+        )
+    return include_trace
+
+
 def _parse_query_value(doc: dict, what: str) -> ConjunctiveQuery:
     """The query itself, from the ``query``/``sparql`` pair of fields."""
     has_query = "query" in doc
@@ -167,7 +178,8 @@ def _parse_query_value(doc: dict, what: str) -> ConjunctiveQuery:
 
 
 _QUERY_FIELDS = frozenset(
-    {"query", "sparql", "timeout_seconds", "materialize", "limit"}
+    {"query", "sparql", "timeout_seconds", "materialize", "limit",
+     "include_trace"}
 )
 
 
@@ -188,11 +200,12 @@ def parse_query_request(
         timeout_seconds=_parse_timeout(doc, header_timeout),
         materialize=_parse_materialize(doc),
         limit=_parse_limit(doc, default_limit),
+        include_trace=_parse_include_trace(doc),
     )
 
 
 _BATCH_FIELDS = frozenset(
-    {"queries", "timeout_seconds", "materialize", "limit"}
+    {"queries", "timeout_seconds", "materialize", "limit", "include_trace"}
 )
 
 
@@ -230,6 +243,7 @@ def parse_batch_request(
     timeout = _parse_timeout(doc, header_timeout)
     materialize = _parse_materialize(doc)
     limit = _parse_limit(doc, default_limit)
+    include_trace = _parse_include_trace(doc)
     requests = []
     for i, entry in enumerate(queries_doc):
         if isinstance(entry, str):
@@ -249,6 +263,7 @@ def parse_batch_request(
                 timeout_seconds=timeout,
                 materialize=materialize,
                 limit=limit,
+                include_trace=include_trace,
             )
         )
     return requests

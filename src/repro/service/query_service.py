@@ -35,6 +35,8 @@ from repro.core.engine import WireframeEngine
 from repro.engine_api import EngineResult
 from repro.errors import EvaluationTimeout, ReproError
 from repro.graph.store import TripleStore
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import activate_trace, current_trace, deactivate_trace
 from repro.query.model import ConjunctiveQuery
 from repro.service.caches import PlanCache, ResultCache
 from repro.service.signature import plan_signature, query_signature
@@ -148,7 +150,11 @@ class QueryService:
         self._engine_options = dict(engine_options or {})
         self.plan_cache = PlanCache(plan_cache_size)
         self.result_cache = ResultCache(result_cache_size)
-        self.stats = ServiceStats(window=latency_window)
+        # The per-service metrics registry: stage-latency histograms are
+        # fed by ServiceStats, everything else reads live state through
+        # scrape-time callbacks (zero hot-path cost).
+        self.metrics = MetricsRegistry()
+        self.stats = ServiceStats(window=latency_window, registry=self.metrics)
         self.coalesce = coalesce
         # key -> (leader future, leader budget in seconds at submit).
         self._inflight: dict[tuple, "tuple[Future[EngineResult], float]"] = {}
@@ -173,6 +179,143 @@ class QueryService:
         self._last_compaction_generation: "int | None" = None
         self._compactor_thread: "threading.Thread | None" = None
         self._compactor_stop = threading.Event()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Register scrape-time callbacks over the service's live state.
+
+        Nothing here touches the query hot path: every value is read
+        when ``/metrics`` is scraped. WAL/snapshot callbacks return
+        ``None`` (sample omitted) when the underlying facility is not
+        attached to this service.
+        """
+        reg = self.metrics
+        stats = self.stats
+        reg.callback(
+            "repro_service_queue_depth",
+            "Queries submitted but not yet picked up by a worker.",
+            lambda: stats.queued,
+        )
+        reg.callback(
+            "repro_service_in_flight",
+            "Queries currently evaluating.",
+            lambda: stats.running,
+        )
+        reg.callback(
+            "repro_service_queries_total",
+            "Completed queries by outcome.",
+            lambda: {
+                ("ok",): stats.completed,
+                ("timeout",): stats.timeouts,
+                ("error",): stats.failures,
+            },
+            kind="counter",
+            labelnames=("outcome",),
+        )
+        reg.callback(
+            "repro_service_coalesced_total",
+            "Duplicate in-flight queries attached to a leader's future.",
+            lambda: stats.coalesced,
+            kind="counter",
+        )
+        reg.callback(
+            "repro_service_result_cache_short_circuits_total",
+            "Queries answered from the result cache without entering "
+            "the pool.",
+            lambda: stats.result_cache_short_circuits,
+            kind="counter",
+        )
+        for metric, field in (
+            ("repro_cache_lookups_total", "lookups"),
+            ("repro_cache_hits_total", "hits"),
+            ("repro_cache_evictions_total", "evictions"),
+        ):
+            reg.callback(
+                metric,
+                f"Cache {field} by cache name.",
+                lambda f=field: {
+                    ("plan",): getattr(self.plan_cache.stats(), f),
+                    ("result",): getattr(self.result_cache.stats(), f),
+                },
+                kind="counter",
+                labelnames=("cache",),
+            )
+        reg.callback(
+            "repro_cache_size",
+            "Entries currently cached, by cache name.",
+            lambda: {
+                ("plan",): self.plan_cache.stats().size,
+                ("result",): self.result_cache.stats().size,
+            },
+            labelnames=("cache",),
+        )
+        reg.callback(
+            "repro_store_triples",
+            "Triples in the served store.",
+            lambda: self.store.num_triples,
+            aggregation="max",
+        )
+        reg.callback(
+            "repro_store_epoch",
+            "Store epoch this service last synchronized with.",
+            lambda: self._epoch,
+            aggregation="max",
+        )
+        reg.callback(
+            "repro_snapshot_generation",
+            "Durable snapshot generation currently being served.",
+            lambda: self._source_generation,
+            aggregation="max",
+        )
+        reg.callback(
+            "repro_service_compactions_total",
+            "WAL compactions folded into new snapshot generations.",
+            lambda: self._compactions,
+            kind="counter",
+        )
+
+        def wal_stat(field):
+            hook = self.store.write_log
+            if hook is None:
+                return None
+            return hook.wal.stats().get(field)
+
+        reg.callback(
+            "repro_wal_records",
+            "Records in the live write-ahead log.",
+            lambda: wal_stat("records"),
+        )
+        reg.callback(
+            "repro_wal_size_bytes",
+            "Write-ahead log size on disk.",
+            lambda: wal_stat("size_bytes"),
+        )
+        reg.callback(
+            "repro_wal_durable_seq",
+            "Highest fsync-durable WAL sequence number.",
+            lambda: wal_stat("durable_seq"),
+            aggregation="max",
+        )
+        for metric, field, help_text in (
+            ("repro_wal_appends_total", "appended", "Records appended."),
+            ("repro_wal_fsyncs_total", "fsyncs", "fsync() calls issued."),
+            (
+                "repro_wal_group_commits_total",
+                "group_commits",
+                "Group commits (one fsync covering >= 1 append).",
+            ),
+            (
+                "repro_wal_absorbed_total",
+                "absorbed",
+                "Appends whose fsync was absorbed by a group commit.",
+            ),
+        ):
+            reg.callback(
+                metric,
+                f"Write-ahead log: {help_text}",
+                lambda f=field: wal_stat(f),
+                kind="counter",
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -446,6 +589,7 @@ class QueryService:
         query: ConjunctiveQuery,
         deadline: Deadline | float | None = None,
         materialize: bool = True,
+        trace=None,
     ) -> "Future[EngineResult]":
         """Enqueue one query; returns a future of its ``EngineResult``.
 
@@ -454,10 +598,23 @@ class QueryService:
         float budget in seconds (the clock starts when a worker picks
         the query up). Timeouts surface as
         :class:`~repro.errors.EvaluationTimeout` from ``result()``.
+
+        ``trace`` (a :class:`repro.obs.trace.Trace`) rides along into
+        the worker thread, where it is re-activated so engine-side
+        spans land on it — contextvars do not flow into pool threads by
+        themselves. When omitted, the trace active in the *calling*
+        context (if any) is captured, so ``evaluate``/``evaluate_many``
+        inherit the caller's trace transparently.
         """
         if self._closed:
             raise RuntimeError("QueryService is closed")
+        if trace is None:
+            trace = current_trace()
         self._refresh_if_stale()
+        # Queue wait is measured from here: everything below (signature
+        # hashing, cache lookup, pool handoff) is time the caller spends
+        # waiting for evaluation to start.
+        submitted_at = time.perf_counter()
         epoch = self._epoch
         # Results are keyed on the exact (alpha-invariant) query;
         # plans on the broader structural key that also canonicalizes
@@ -489,7 +646,6 @@ class QueryService:
                     leader = entry[0]
             if leader is None:
                 self.stats.enqueued()
-                submitted_at = time.perf_counter()
                 future = self._pool.submit(
                     self._run,
                     query,
@@ -499,6 +655,7 @@ class QueryService:
                     deadline,
                     materialize,
                     submitted_at,
+                    trace,
                 )
                 if self.coalesce and result_key not in self._inflight:
                     self._inflight[result_key] = (future, budget)
@@ -615,10 +772,18 @@ class QueryService:
         deadline: Deadline | float | None,
         materialize: bool,
         submitted_at: float,
+        trace=None,
     ) -> EngineResult:
         self.stats.started()
-        queue_seconds = time.perf_counter() - submitted_at
+        picked_up = time.perf_counter()
+        queue_seconds = picked_up - submitted_at
         outcome = "error"
+        token = None
+        if trace is not None:
+            trace.add_timed("queue_wait", submitted_at, picked_up)
+            # Re-activate on this worker thread so engine-side
+            # trace_span() hooks find the trace through the contextvar.
+            token = activate_trace(trace)
         try:
             if isinstance(deadline, Deadline):
                 effective = deadline
@@ -650,6 +815,9 @@ class QueryService:
             if cached_plan is None:
                 self.plan_cache.put_plan(plan_key, prepared[1], prepared[2])
             t1 = time.perf_counter()
+            if trace is not None:
+                trace.add_timed("plan", t0, t1)
+                trace.annotations.setdefault("plan_cache", plan_outcome)
 
             detail = engine.evaluate_detailed(
                 query, effective, materialize, prepared=prepared
@@ -688,6 +856,8 @@ class QueryService:
                 outcome = "timeout"
             raise
         finally:
+            if token is not None:
+                deactivate_trace(token)
             self.stats.finished(outcome)
 
     @staticmethod

@@ -19,21 +19,31 @@ from typing import Mapping
 
 
 class LatencyDigest:
-    """Percentiles over the most recent ``window`` observations."""
+    """Percentiles over the most recent ``window`` observations.
 
-    def __init__(self, window: int = 2048):
+    When given a ``histogram`` (a bound :class:`repro.obs.metrics.Histogram`
+    child), every recorded latency is also observed there, so the same
+    stream backs both the windowed ``/v1/stats`` percentiles and the
+    unbounded bucketed series ``/metrics`` exposes.
+    """
+
+    def __init__(self, window: int = 2048, histogram=None):
         if window <= 0:
             raise ValueError(f"window must be positive, got {window!r}")
+        self.window = window
         self._samples: deque[float] = deque(maxlen=window)
         self._count = 0
         self._total = 0.0
         self._lock = threading.Lock()
+        self._histogram = histogram
 
     def record(self, seconds: float) -> None:
         with self._lock:
             self._samples.append(seconds)
             self._count += 1
             self._total += seconds
+        if self._histogram is not None:
+            self._histogram.observe(seconds)
 
     @property
     def count(self) -> int:
@@ -61,12 +71,19 @@ class LatencyDigest:
         return ordered[rank]
 
     def summary(self) -> dict[str, float]:
+        with self._lock:
+            samples = len(self._samples)
         return {
             "count": float(self.count),
             "mean": self.mean,
             "p50": self.percentile(0.50),
             "p90": self.percentile(0.90),
             "p99": self.percentile(0.99),
+            # Percentiles come from a bounded ring: ``samples`` of the
+            # last ``window_size`` observations back them, so dashboards
+            # can judge how much confidence the numbers deserve.
+            "window_size": float(self.window),
+            "samples": float(samples),
         }
 
 
@@ -82,7 +99,7 @@ class ServiceStats:
 
     _PHASES = ("queue", "plan", "exec", "total")
 
-    def __init__(self, window: int = 2048):
+    def __init__(self, window: int = 2048, registry=None):
         self._lock = threading.Lock()
         self.queued = 0
         self.running = 0
@@ -91,7 +108,21 @@ class ServiceStats:
         self.failures = 0
         self.result_cache_short_circuits = 0
         self.coalesced = 0
-        self.latency = {phase: LatencyDigest(window) for phase in self._PHASES}
+        histogram = None
+        if registry is not None:
+            histogram = registry.histogram(
+                "repro_service_stage_seconds",
+                "Per-phase service latency (queue wait, planning, "
+                "execution, and their total).",
+                labelnames=("stage",),
+            )
+        self.latency = {
+            phase: LatencyDigest(
+                window,
+                histogram.labels(phase) if histogram is not None else None,
+            )
+            for phase in self._PHASES
+        }
 
     # -- gauges --------------------------------------------------------
 

@@ -259,11 +259,18 @@ def compact(
     return manifest
 
 
-def wal_inspect(path: "str | os.PathLike") -> dict:
+def wal_inspect(
+    path: "str | os.PathLike", *, include_records: bool = False
+) -> dict:
     """Human-oriented summary of a log file (the ``wal-inspect`` verb).
 
     Never raises for damage: a :class:`WalError` is folded into the
     summary (``error`` key) alongside where replay would stop.
+
+    ``include_records`` (the ``--json`` machine-readable form) adds the
+    decoded file ``header`` and a ``record_summaries`` list — one entry
+    per intact record with its sequence, sizes, and byte extent — so
+    log-shipping agents can ingest the document whole.
     """
     target = os.fspath(path)
     if not os.path.isfile(target):
@@ -297,4 +304,19 @@ def wal_inspect(path: "str | os.PathLike") -> dict:
     if scan.torn:
         summary["torn_reason"] = scan.reason
         summary["torn_bytes"] = scan.size_bytes - scan.stop_offset
+    if include_records:
+        from repro.storage.wal import read_header
+
+        summary["header"] = read_header(target)
+        summary["record_summaries"] = [
+            {
+                "seq": record.seq,
+                "terms": len(record.terms),
+                "adds": len(record.adds),
+                "removes": len(record.removes),
+                "offset": record.offset,
+                "bytes": record.end - record.offset,
+            }
+            for record in scan.records
+        ]
     return summary

@@ -325,6 +325,33 @@ def scan_wal(path: "str | os.PathLike") -> WalScan:
     return _scan_buffer(data, len(data), target)
 
 
+def read_header(path: "str | os.PathLike") -> dict:
+    """Decode just a log file's 16-byte header (``wal-inspect --json``).
+
+    Returns ``{"present": False, "bytes": n}`` for a missing or
+    too-short file; otherwise the decoded fields plus ``magic_ok`` so
+    callers can report a foreign file without raising.
+    """
+    target = os.fspath(path)
+    try:
+        with open(target, "rb") as handle:
+            raw = handle.read(HEADER_BYTES)
+    except FileNotFoundError:
+        return {"present": False, "bytes": 0}
+    if len(raw) < HEADER_BYTES:
+        return {"present": False, "bytes": len(raw)}
+    magic, version, flags = _FILE_HEADER.unpack(raw)
+    return {
+        "present": True,
+        "magic_ok": magic == FILE_MAGIC,
+        "version": version,
+        "flags": flags,
+        "byteorder": (
+            "little" if flags & _FLAG_LITTLE_ENDIAN else "big"
+        ),
+    }
+
+
 def _fsync_dir(path: str) -> None:
     fd = os.open(path or ".", os.O_RDONLY)
     try:
@@ -373,6 +400,9 @@ class WriteAheadLog:
         self.group_commits = 0
         #: Appends made durable by *another* appender's fsync.
         self.absorbed = 0
+        #: Every fsync this handle issued against the log file (group
+        #: commits, explicit seals, truncations, close).
+        self.fsyncs = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -435,6 +465,7 @@ class WriteAheadLog:
             try:
                 self._handle.flush()
                 os.fsync(self._handle.fileno())
+                self.fsyncs += 1
             finally:
                 self._handle.close()
         with self._sync_cond:
@@ -485,6 +516,7 @@ class WriteAheadLog:
                 "size_bytes": self._end,
                 "fsync": self.fsync_policy,
                 "appended": self.appended,
+                "fsyncs": self.fsyncs,
                 "group_commits": self.group_commits,
                 "absorbed": self.absorbed,
                 "durable_seq": self._durable_seq,
@@ -563,6 +595,7 @@ class WriteAheadLog:
                 # while the disk works; ``_sync_lock`` keeps the fd
                 # alive against truncate_through's handle swap.
                 os.fsync(fd)
+                self.fsyncs += 1
         except BaseException:
             with self._sync_cond:
                 self._syncing = False
@@ -621,6 +654,7 @@ class WriteAheadLog:
                     out.write(self._handle.read(end - offset))
                 out.flush()
                 os.fsync(out.fileno())
+                self.fsyncs += 1
             os.replace(tmp, self.path)
             _fsync_dir(os.path.dirname(os.path.abspath(self.path)))
             self._handle.close()

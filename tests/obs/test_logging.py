@@ -1,0 +1,108 @@
+"""Unit tests for JSON-lines logging and the slow-query policy."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.logging import JsonLogger, SlowQueryLog
+from repro.obs.trace import Trace
+
+
+def _lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+def test_log_lines_are_one_json_object_each():
+    stream = io.StringIO()
+    logger = JsonLogger(stream)
+    logger.log("server_start", port=8080)
+    logger.log("server_stop", requests=3)
+    first, second = _lines(stream)
+    assert first["event"] == "server_start" and first["port"] == 8080
+    assert second["event"] == "server_stop" and second["requests"] == 3
+    assert first["ts"].endswith("Z") and "T" in first["ts"]
+
+
+def test_bound_fields_stamp_every_line_and_call_site_wins():
+    stream = io.StringIO()
+    worker = JsonLogger(stream).bind(worker=2, pid=123)
+    worker.log("worker_ready", port=9)
+    worker.log("worker_ready", worker=5)
+    first, second = _lines(stream)
+    assert first["worker"] == 2 and first["pid"] == 123 and first["port"] == 9
+    assert second["worker"] == 5  # call-site overrides the binding
+
+
+def test_children_share_stream_and_lock():
+    stream = io.StringIO()
+    root = JsonLogger(stream)
+    child = root.bind(role="w")
+    assert child._stream is root._stream
+    assert child._lock is root._lock
+
+
+def test_unserializable_fields_fall_back_to_str():
+    stream = io.StringIO()
+    JsonLogger(stream).log("x", obj=object())
+    (line,) = _lines(stream)
+    assert "object object" in line["obj"]
+
+
+def test_concurrent_logging_keeps_lines_whole():
+    stream = io.StringIO()
+    logger = JsonLogger(stream)
+
+    def spam(i):
+        for _ in range(50):
+            logger.log("tick", origin=i, payload="x" * 64)
+
+    threads = [threading.Thread(target=spam, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    lines = _lines(stream)  # every line must parse
+    assert len(lines) == 200
+
+
+def test_slow_query_log_threshold_must_be_positive():
+    with pytest.raises(ValueError):
+        SlowQueryLog(0)
+
+
+def test_slow_query_log_only_emits_past_threshold():
+    stream = io.StringIO()
+    slow = SlowQueryLog(0.050, logger=JsonLogger(stream))
+
+    fast = Trace("fast-1")
+    fast.duration = 0.010
+    assert slow.observe(fast) is False
+    assert slow.logged == 0
+    assert stream.getvalue() == ""
+
+    trace = Trace("slow-1")
+    trace.add_timed("plan", 0.0, 0.01)
+    trace.add_timed("generation", 0.01, 0.06)
+    trace.annotations["query"] = "q7"
+    trace.annotations["_query"] = object()  # private carrier, never logged
+    trace.duration = 0.060
+    assert slow.observe(trace) is True
+    assert slow.logged == 1
+    (line,) = _lines(stream)
+    assert line["event"] == "slow_query"
+    assert line["trace_id"] == "slow-1"
+    assert line["total_ms"] == 60.0
+    assert line["threshold_ms"] == 50.0
+    assert line["query"] == "q7"
+    assert "_query" not in line
+    assert line["stages_ms"]["plan"] == 10.0
+    assert line["stages_ms"]["generation"] == 50.0
+
+
+def test_unfinished_trace_is_never_slow():
+    slow = SlowQueryLog(0.001, logger=JsonLogger(io.StringIO()))
+    assert slow.observe(Trace()) is False

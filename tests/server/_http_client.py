@@ -26,6 +26,21 @@ class Client:
     def get(self, path):
         return self.request("GET", path)
 
+    def get_text(self, path):
+        """Issue one GET without JSON-decoding the body.
+
+        Returns ``(status, body-str, headers)`` — for non-JSON routes
+        like the Prometheus ``/metrics`` exposition.
+        """
+        self.conn.request("GET", path)
+        response = self.conn.getresponse()
+        raw = response.read()
+        return (
+            response.status,
+            raw.decode("utf-8"),
+            dict(response.getheaders()),
+        )
+
     def post(self, path, body, headers=None):
         return self.request("POST", path, body=body, headers=headers)
 

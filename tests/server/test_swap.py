@@ -80,7 +80,7 @@ class ManualService:
         self.futures: list[Future] = []
         self.submitted = threading.Event()
 
-    def submit(self, query, deadline, materialize) -> Future:
+    def submit(self, query, deadline, materialize, trace=None) -> Future:
         future: Future = Future()
         self.futures.append(future)
         self.submitted.set()
