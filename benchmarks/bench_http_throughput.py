@@ -44,6 +44,15 @@ server RSS samples, so drift (leaks, cache bloat, latency creep)
 shows up as a trend across windows rather than a single average. Soak
 exits non-zero only on request errors — RSS growth and latency are
 reported, not gated.
+
+``--chaos [--chaos-seed N] [--chaos-artifacts DIR]`` switches to the
+**chaos mode** (the CI ``chaos`` job): the seeded fault scenarios from
+``tests/server/chaos.py`` — worker SIGKILL, worker SIGSTOP, a corrupt
+snapshot install, and a full WAL disk — each under closed-loop load
+from the retrying :class:`repro.client.ReproClient`. The gate: zero
+wrong answers, end-to-end error rate < 2%, and recovery within ten
+seconds of the last fault. Artifacts (per-scenario event journals and
+final ``/metrics`` snapshots) land in ``--chaos-artifacts``.
 """
 
 from __future__ import annotations
@@ -661,6 +670,75 @@ def _regression(results: dict, baseline_path: Path) -> list[str]:
     return []
 
 
+def run_chaos_mode(args) -> int:
+    """Fault storms with exactness gates — the CI ``chaos`` job body.
+
+    Reuses the test suite's harness (``tests/server/chaos.py``) so the
+    benchmark and the tests exercise byte-identical scenarios.
+    """
+    import tempfile
+
+    tests_root = Path(__file__).resolve().parent.parent / "tests"
+    for subdir in ("server", "storage"):
+        sys.path.insert(0, str(tests_root / subdir))
+    from chaos import run_enospc_chaos, run_pool_chaos
+
+    artifact_dir = (
+        str(args.chaos_artifacts) if args.chaos_artifacts else None
+    )
+    failures: list[str] = []
+    results: dict = {
+        "benchmark": "bench_http_throughput",
+        "schema": 1,
+        "mode": "chaos",
+        "python": sys.version.split()[0],
+        "seed": args.chaos_seed,
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        scenarios = {
+            "pool": lambda: run_pool_chaos(
+                os.path.join(tmp, "pool-snap"),
+                seed=args.chaos_seed,
+                workers=2,
+                clients=4,
+                artifact_dir=artifact_dir,
+            ),
+            "enospc": lambda: run_enospc_chaos(
+                os.path.join(tmp, "enospc-snap"),
+                seed=args.chaos_seed,
+                clients=2,
+                artifact_dir=artifact_dir,
+            ),
+        }
+        for name, run in scenarios.items():
+            summary = run()
+            results[name] = summary
+            print(
+                f"chaos[{name}]: {summary['requests']} requests, "
+                f"{summary['wrong']} wrong, {summary['errors']} errored "
+                f"({summary['error_rate']:.2%}), "
+                f"{summary['client_retries']} client retries, "
+                f"recovered={summary['recovered']}"
+            )
+            if summary["wrong"]:
+                failures.append(f"{name}: {summary['wrong']} wrong answers")
+            if summary["error_rate"] >= 0.02:
+                failures.append(
+                    f"{name}: error rate {summary['error_rate']:.2%} >= 2%"
+                )
+            if not summary["recovered"]:
+                failures.append(f"{name}: did not recover within 10s")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if args.output is not None:
+        args.output.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if artifact_dir:
+        print(f"chaos artifacts in {artifact_dir}")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -676,7 +754,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--metrics-output", type=Path, default=None,
                         help="with --soak: write the final /metrics "
                         "exposition snapshot here (the nightly artifact)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="seeded fault-injection mode (CI chaos job)")
+    parser.add_argument("--chaos-seed", type=int,
+                        default=int(os.environ.get("CHAOS_SEED", "7")),
+                        help="fault schedule seed (default $CHAOS_SEED or 7)")
+    parser.add_argument("--chaos-artifacts", type=Path,
+                        default=os.environ.get("CHAOS_ARTIFACT_DIR") or None,
+                        help="directory for chaos event journals and "
+                        "/metrics snapshots (default $CHAOS_ARTIFACT_DIR)")
     args = parser.parse_args(argv)
+
+    if args.chaos:
+        return run_chaos_mode(args)
 
     if args.smoke:
         os.environ.setdefault("REPRO_BENCH_SCALE", "0.25")

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""A retrying client: surviving restarts, overload, and dead servers.
+
+Run:  python examples/resilient_client.py
+
+`repro.client.ReproClient` wraps the /v1 wire API with the retry
+policy the serving stack is designed for: every /v1 route is a read
+over an immutable snapshot generation, so transport errors (a worker
+being respawned, a connection reset mid-handoff) and 503s (admission
+shedding, degraded mode) are safe to retry — with the server's own
+`Retry-After` hint honored when present. A 504 is never retried: the
+deadline the server spent belonged to the request, and a retry would
+spend it twice. Retries stop when a wall-clock budget runs out, so a
+stuck stack fails fast instead of hanging callers.
+
+The chaos harness (`tests/server/chaos.py`) drives thousands of these
+clients through fault storms; this example shows the same behavior at
+human scale.
+"""
+
+import threading
+import time
+
+from repro import QueryService, generate_yago_like, serve_in_background
+from repro.client import ClientError, ReproClient
+
+SPARQL = "select ?actor, ?movie where { ?actor actedIn ?movie }"
+
+store = generate_yago_like(scale=0.3, seed=7)
+store.freeze()
+
+# ----------------------------------------------------------------------
+# 1. The happy path: one attempt, no retries.
+# ----------------------------------------------------------------------
+with QueryService(store) as service:
+    with serve_in_background(service) as handle:
+        host, port = handle.address
+        client = ReproClient(host, port, retries=4, seed=42)
+        answer = client.query(SPARQL, limit=3)
+        print(f"healthy server: {answer['result']['count']} embeddings "
+              f"in {client.requests_sent} request(s), "
+              f"{client.retries_performed} retries")
+        print(f"health: {client.health().json()['status']}")
+
+    # ------------------------------------------------------------------
+    # 2. The server vanishes mid-conversation — and comes back. The
+    #    client's capped-backoff retries bridge the outage invisibly.
+    #    (This is exactly a prefork worker being killed and respawned,
+    #    or a rolling restart, as seen from the caller.)
+    # ------------------------------------------------------------------
+    def restart_later():
+        time.sleep(0.8)
+        restarted = serve_in_background(service, host=host, port=port)
+        restarts.append(restarted)
+
+    restarts: list = []
+    events: list = []
+    thread = threading.Thread(target=restart_later, daemon=True)
+    thread.start()
+
+    patient = ReproClient(
+        host, port,
+        retries=8,
+        retry_budget_seconds=10.0,
+        backoff_base=0.2,
+        seed=42,
+        on_retry=lambda attempt, why, sleep: events.append(
+            f"  attempt {attempt} failed ({why}); retrying in {sleep:.2f}s"
+        ),
+    )
+    answer = patient.query(SPARQL, limit=1)
+    thread.join()
+    print("\nserver restarted mid-query; the client bridged the gap:")
+    for line in events:
+        print(line)
+    print(f"succeeded on attempt {len(events) + 1}: "
+          f"{answer['result']['count']} embeddings")
+    restarts[0].shutdown()
+
+# ----------------------------------------------------------------------
+# 3. A server that never comes back: the retry budget bounds the pain.
+# ----------------------------------------------------------------------
+hurried = ReproClient(
+    host, port, retries=50, retry_budget_seconds=1.0,
+    backoff_base=0.05, seed=42,
+)
+start = time.monotonic()
+try:
+    hurried.query(SPARQL)
+except ClientError as exc:
+    elapsed = time.monotonic() - start
+    print(f"\ndead server: gave up after {exc.attempts} attempts "
+          f"in {elapsed:.1f}s (budget 1.0s) — not 50 attempts")

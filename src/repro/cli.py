@@ -226,6 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
                          "aggregated GET /metrics on this extra port "
                          "(single-process servers expose /metrics on "
                          "the main port already)")
+    p_serve.add_argument("--watchdog-interval", type=float, default=10.0,
+                         help="with --workers >= 2: seconds between "
+                         "liveness pings to each worker's event loop; "
+                         "0 disables the watchdog (default 10)")
+    p_serve.add_argument("--watchdog-timeout", type=float, default=5.0,
+                         help="with --workers >= 2: seconds a worker may "
+                         "take to answer a ping before it is killed and "
+                         "respawned (default 5)")
 
     p_mine = sub.add_parser("mine", help="mine non-empty template queries")
     _add_dataset_args(p_mine)
@@ -617,6 +625,10 @@ def _serve_prefork(args) -> int:
         threads=args.threads,
         on_ready=on_ready,
         metrics_port=args.metrics_port,
+        watchdog_interval=(
+            args.watchdog_interval if args.watchdog_interval > 0 else None
+        ),
+        watchdog_timeout=args.watchdog_timeout,
         log_json=args.log_json,
         server_options={
             "max_pending": args.max_pending,

@@ -1,0 +1,307 @@
+"""A retrying HTTP client for the ``/v1`` serving API.
+
+:class:`ReproClient` is the client half of the serving stack's
+resilience story: the server signals *transient* trouble precisely
+(503 ``overloaded``/``draining``/``degraded`` with a computed
+``Retry-After``; connection resets during a worker respawn), and this
+client turns those signals into bounded, jittered retries so callers
+see one slow answer instead of one error per blip.
+
+Retry policy — deliberately narrow:
+
+* **Transport errors** (connection refused/reset, truncated response)
+  are retried: every ``/v1`` route is a read over an immutable
+  snapshot generation, so re-sending a request that may or may not
+  have executed is safe.
+* **503** is retried, honoring the server's ``Retry-After`` header
+  (clamped to the remaining retry budget) when present, capped
+  exponential backoff with jitter otherwise.
+* **504** (``timeout``) is **never** retried: the deadline was
+  genuinely consumed evaluating the query — re-sending the same query
+  with the same budget just burns another deadline.
+* All other statuses (4xx client mistakes, 500 engine errors) are
+  returned/raised immediately — they are deterministic, not transient.
+
+Every retry sleeps and every sleep counts against one wall-clock
+**retry budget** per call, so a dead server costs a bounded wait, not
+an unbounded loop. Jitter comes from a seedable PRNG: chaos tests pin
+``seed=`` for reproducible schedules.
+
+The implementation is pure stdlib (:mod:`http.client`), so scripts and
+examples can depend on it without pulling in an HTTP library.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = ["ClientError", "ClientResponse", "ReproClient"]
+
+#: Statuses that signal a transient condition worth retrying.
+_RETRYABLE_STATUSES = frozenset({503})
+
+#: Statuses that consume a server-side deadline: retrying re-pays the
+#: full cost for the same outcome, so the client never does.
+_DEADLINE_STATUSES = frozenset({504})
+
+
+class ClientError(ReproError):
+    """A request that failed for good, after exhausting its retries.
+
+    ``last_status`` carries the final HTTP status when the server was
+    reachable (``None`` when every attempt died in transport), and
+    ``attempts`` how many tries were made.
+    """
+
+    def __init__(self, message: str, *, last_status: "int | None" = None,
+                 attempts: int = 1):
+        super().__init__(message)
+        self.last_status = last_status
+        self.attempts = attempts
+
+
+@dataclass
+class ClientResponse:
+    """One HTTP response: status, headers, body, and lazy JSON."""
+
+    status: int
+    headers: dict
+    body: bytes
+    attempts: int = 1
+
+    def json(self) -> object:
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class ReproClient:
+    """A retrying client bound to one serving address.
+
+    Parameters
+    ----------
+    host / port:
+        The serving address (the shared prefork port, or a
+        single-process :func:`repro.server.app.serve` address).
+    retries:
+        Maximum retry *attempts* after the first try (so a call makes
+        at most ``retries + 1`` requests).
+    retry_budget_seconds:
+        Wall-clock cap across all of one call's backoff sleeps. When
+        the next computed sleep does not fit in what is left of the
+        budget, the client gives up instead of sleeping.
+    backoff_base / backoff_cap:
+        The k-th retry sleeps ``min(cap, base * 2**k)`` seconds,
+        multiplied by a jitter factor in ``[0.5, 1.5)``. A 503 with a
+        ``Retry-After`` header uses the header value (clamped to the
+        remaining budget) instead of the exponential schedule.
+    timeout:
+        Per-request socket timeout in seconds.
+    seed:
+        Seeds the jitter PRNG — pin it for reproducible retry
+        schedules in tests and chaos runs.
+    on_retry:
+        Optional callback ``(attempt, reason, sleep_seconds)`` invoked
+        before each backoff sleep; chaos harnesses use it to journal
+        the retry schedule.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        retries: int = 4,
+        retry_budget_seconds: float = 15.0,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
+        timeout: float = 10.0,
+        seed: "int | None" = None,
+        on_retry=None,
+    ):
+        self.host = host
+        self.port = port
+        self.retries = retries
+        self.retry_budget_seconds = retry_budget_seconds
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.timeout = timeout
+        self.on_retry = on_retry
+        self._rng = random.Random(seed)
+        self.requests_sent = 0
+        self.retries_performed = 0
+        self.giveups = 0
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _attempt(self, method: str, path: str,
+                 body: "bytes | None") -> ClientResponse:
+        """One request on a fresh connection (no retries here)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+            return ClientResponse(
+                status=response.status,
+                headers={k.lower(): v for k, v in response.getheaders()},
+                body=payload,
+            )
+        finally:
+            conn.close()
+
+    def _sleep_for(self, attempt: int, response: "ClientResponse | None",
+                   budget_left: float) -> "float | None":
+        """The next backoff sleep, or ``None`` to give up.
+
+        A server-provided ``Retry-After`` wins over the exponential
+        schedule; either is clamped to the remaining budget — and when
+        even the clamped sleep would not leave time for another
+        attempt, giving up beats sleeping pointlessly.
+        """
+        if budget_left <= 0:
+            return None
+        retry_after = None
+        if response is not None:
+            header = response.headers.get("retry-after")
+            if header is not None:
+                try:
+                    retry_after = max(0.0, float(header))
+                except ValueError:
+                    retry_after = None
+        if retry_after is not None:
+            sleep = retry_after
+        else:
+            sleep = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+            sleep *= 0.5 + self._rng.random()
+        if sleep > budget_left:
+            return None
+        return sleep
+
+    def request(self, method: str, path: str,
+                body: "bytes | None" = None) -> ClientResponse:
+        """Send one request, retrying transient failures.
+
+        Returns the final :class:`ClientResponse` (which may still be
+        an HTTP error — deterministic failures are the caller's to
+        inspect). Raises :class:`ClientError` only when every attempt
+        failed in transport and the budget ran out.
+        """
+        deadline = time.monotonic() + self.retry_budget_seconds
+        last_exc: "Exception | None" = None
+        response: "ClientResponse | None" = None
+        attempts = 0
+        for attempt in range(self.retries + 1):
+            attempts = attempt + 1
+            self.requests_sent += 1
+            try:
+                response = self._attempt(method, path, body)
+                last_exc = None
+            except (OSError, http.client.HTTPException) as exc:
+                response = None
+                last_exc = exc
+            if response is not None:
+                if response.status in _DEADLINE_STATUSES:
+                    # The server spent a full deadline on this query;
+                    # a retry would spend another for the same answer.
+                    break
+                if response.status not in _RETRYABLE_STATUSES:
+                    break
+            if attempt >= self.retries:
+                break
+            sleep = self._sleep_for(
+                attempt, response, deadline - time.monotonic()
+            )
+            if sleep is None:
+                break
+            reason = (
+                f"status {response.status}" if response is not None
+                else f"{type(last_exc).__name__}: {last_exc}"
+            )
+            if self.on_retry is not None:
+                self.on_retry(attempts, reason, sleep)
+            self.retries_performed += 1
+            time.sleep(sleep)
+        if response is None:
+            self.giveups += 1
+            raise ClientError(
+                f"{method} {path} failed after {attempts} attempt(s): "
+                f"{type(last_exc).__name__}: {last_exc}",
+                attempts=attempts,
+            )
+        response.attempts = attempts
+        return response
+
+    # ------------------------------------------------------------------
+    # /v1 conveniences
+    # ------------------------------------------------------------------
+
+    def get(self, path: str) -> ClientResponse:
+        return self.request("GET", path)
+
+    def post_json(self, path: str, doc: dict) -> ClientResponse:
+        return self.request(
+            "POST", path, json.dumps(doc).encode("utf-8")
+        )
+
+    def health(self) -> ClientResponse:
+        """``GET /v1/health`` — note 503s are retried like any other."""
+        return self.get("/v1/health")
+
+    def stats(self) -> dict:
+        response = self.get("/v1/stats")
+        if not response.ok:
+            raise ClientError(
+                f"GET /v1/stats answered {response.status}",
+                last_status=response.status,
+                attempts=response.attempts,
+            )
+        return response.json()
+
+    def query(self, sparql: "str | None" = None, *,
+              query: "dict | None" = None,
+              timeout_seconds: "float | None" = None,
+              limit: "int | None" = None,
+              materialize: bool = True) -> dict:
+        """``POST /v1/query``; raises :class:`ClientError` on failure."""
+        if (sparql is None) == (query is None):
+            raise ValueError(
+                "pass exactly one of sparql= or query="
+            )
+        doc: dict = {"materialize": materialize}
+        if sparql is not None:
+            doc["sparql"] = sparql
+        else:
+            doc["query"] = query
+        if timeout_seconds is not None:
+            doc["timeout_seconds"] = timeout_seconds
+        if limit is not None:
+            doc["limit"] = limit
+        response = self.post_json("/v1/query", doc)
+        if not response.ok:
+            try:
+                detail = response.json()["error"]
+                message = f"{detail['code']}: {detail['message']}"
+            except Exception:  # noqa: BLE001 — malformed error body
+                message = response.body.decode("utf-8", "replace")[:200]
+            raise ClientError(
+                f"POST /v1/query answered {response.status} ({message})",
+                last_status=response.status,
+                attempts=response.attempts,
+            )
+        return response.json()

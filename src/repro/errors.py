@@ -91,6 +91,23 @@ class SnapshotMutatedError(SnapshotError):
         self.epoch_now = epoch_now
 
 
+class WalAppendError(SnapshotError):
+    """A write-ahead-log append could not be made durable.
+
+    Raised when the record write, flush, or group-commit ``fsync``
+    fails at the OS level (``ENOSPC``, ``EIO``, ...). Unlike
+    :class:`WalError` this does **not** mean acknowledged data was
+    lost: the failed record's bytes are rolled back under the log lock,
+    so the on-disk log still ends at the last *durable* record and
+    remains fully replayable. The batch that raised was never
+    acknowledged and was not applied.
+
+    The serving layer maps this to HTTP 503 ``degraded``: the service
+    flips into read-only degraded mode and probes its way back to
+    healthy once appends succeed again.
+    """
+
+
 class WalError(SnapshotError):
     """The write-ahead log is damaged *before* its committed horizon.
 

@@ -6,8 +6,11 @@
 * ``POST /v1/query``  — evaluate one conjunctive query;
 * ``POST /v1/batch``  — evaluate many, order-preserving, per-query
   error isolation;
-* ``GET  /v1/health`` — liveness (503 while draining, so load
-  balancers rotate the instance out);
+* ``GET  /v1/health`` — a *deep* probe (one dictionary decode + one
+  point lookup through the live service, so a worker serving a broken
+  mmap fails it); 503 while draining or unhealthy, 200 with
+  ``status: "degraded"`` while the WAL is read-only degraded — reads
+  still serve, so the instance stays in rotation;
 * ``GET  /v1/stats``  — the service snapshot (cache hit rates, latency
   percentiles, queue depth, in-flight count) plus HTTP-level gauges.
 
@@ -41,9 +44,11 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import math
 import sys
 import threading
 import time
+from collections import deque
 
 from repro.errors import ReproError
 from repro.obs.exposition import CONTENT_TYPE, render_registries
@@ -130,7 +135,11 @@ class HTTPQueryServer:
     default_row_limit:
         Decoded-row cap applied when a request does not set ``limit``.
     retry_after_seconds:
-        The ``Retry-After`` hint attached to shed responses.
+        The ``Retry-After`` hint attached to shed responses when no
+        drain-rate estimate is available yet. Once requests have been
+        completing, the hint is computed from the recent admission-
+        queue drain rate instead (time for the current in-flight load
+        to drain), clamped to [1, 30] seconds.
     extra_stats:
         Optional zero-argument callable returning a dict merged into
         the ``/v1/stats`` payload (the prefork worker adds its
@@ -202,6 +211,10 @@ class HTTPQueryServer:
         self._in_flight = 0
         self._shed = 0
         self._requests = 0
+        # Recent (monotonic time, slots released) completions — the
+        # drain-rate sample the computed Retry-After hint reads.
+        # Event-loop thread only, like the admission counters.
+        self._recent_releases: deque = deque(maxlen=512)
         self._draining = False
         self._idle = asyncio.Event()
         self._idle.set()
@@ -357,8 +370,42 @@ class HTTPQueryServer:
 
     def _release(self, n: int) -> None:
         self._in_flight -= n
+        self._recent_releases.append((time.monotonic(), n))
         if self._in_flight == 0:
             self._idle.set()
+
+    #: How far back the drain-rate estimate looks (seconds).
+    _DRAIN_WINDOW_SECONDS = 10.0
+
+    def retry_after(self) -> int:
+        """Seconds a shed client should wait, from the live drain rate.
+
+        Estimates how long the *current* in-flight load needs to drain:
+        slots released over the last :attr:`_DRAIN_WINDOW_SECONDS` give
+        a completion rate, and ``in_flight / rate`` is the expected
+        wait for a slot. Falls back to ``retry_after_seconds`` when
+        nothing has completed recently (cold start, or a fully stalled
+        service — where a conservative fixed hint beats dividing by
+        zero). Clamped to [1, 30] so a burst of slow queries can never
+        tell clients to go away for minutes.
+        """
+        now = time.monotonic()
+        horizon = now - self._DRAIN_WINDOW_SECONDS
+        oldest = None
+        total = 0
+        for stamp, n in self._recent_releases:
+            if stamp < horizon:
+                continue
+            if oldest is None:
+                oldest = stamp
+            total += n
+        estimate = float(self.retry_after_seconds)
+        if total > 0 and oldest is not None:
+            elapsed = max(now - oldest, 0.05)
+            rate = total / elapsed
+            if rate > 0:
+                estimate = self._in_flight / rate
+        return max(1, min(30, math.ceil(estimate)))
 
     # ------------------------------------------------------------------
     # Live service handoff (snapshot swap)
@@ -600,7 +647,7 @@ class HTTPQueryServer:
                 print(f"repro.server: {message}", file=sys.stderr)
             extra = None
             if status == 503:
-                extra = {"Retry-After": str(self.retry_after_seconds)}
+                extra = {"Retry-After": str(self.retry_after())}
             return _Response(status, error_payload(code, message), extra)
 
     # ------------------------------------------------------------------
@@ -755,18 +802,71 @@ class HTTPQueryServer:
             self._unlease(service)
             self._release(len(parsed))
 
+    @staticmethod
+    def _deep_probe(service: QueryService) -> dict:
+        """One dictionary decode plus one point lookup, end to end.
+
+        The difference between "the process answers" and "the data is
+        readable": a worker serving a broken mmap (payload deleted and
+        recreated corrupt, bad page, truncated segment) passes a
+        drain-state check but fails here, so load balancers rotate it
+        out. Deliberately tiny — one term decoded out of the (possibly
+        mapped) dictionary and one index lookup touching segment
+        memory — so health stays cheap to poll.
+        """
+        try:
+            store = service.store
+            dictionary = store.dictionary
+            n = len(dictionary)
+            if n:
+                term = dictionary.decode(0)
+                if not isinstance(term, str):
+                    raise TypeError(
+                        f"dictionary decode returned {type(term).__name__}"
+                    )
+            predicates = store.predicates()
+            if predicates:
+                p = predicates[0]
+                edge = next(store.edges(p), None)
+                if edge is not None:
+                    # The point lookup: resolve one (p, s) through the
+                    # live permutation index.
+                    store.successors(p, edge[0])
+        except Exception as exc:  # noqa: BLE001 — any failure is unhealthy
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        return {"ok": True}
+
     def _handle_health(self) -> _Response:
         # One capture: health must describe a single service, not mix
         # fields across a concurrent swap.
         service = self.service
         store = service.store
-        status = 503 if self._draining else 200
+        probe = self._deep_probe(service)
+        # Health polling doubles as the degraded-mode recovery
+        # heartbeat: while the WAL cannot append, each (rate-limited)
+        # poll re-probes for space. Cheap no-op on healthy services.
+        maybe_probe = getattr(service, "maybe_probe", None)
+        if maybe_probe is not None:
+            maybe_probe()
+        degraded = getattr(service, "degraded", False)
+        if self._draining:
+            status, state = 503, "draining"
+        elif not probe["ok"]:
+            status, state = 503, "unhealthy"
+        elif degraded:
+            # Reads keep serving (200 — stay in rotation); writes are
+            # refused with 503 "degraded" per request.
+            status, state = 200, "degraded"
+        else:
+            status, state = 200, "ok"
         payload = {
             "api_version": API_VERSION,
-            "status": "draining" if self._draining else "ok",
+            "status": state,
             "backend": store.backend_name,
             "triples": store.num_triples,
             "epoch": service.epoch,
+            "degraded": bool(degraded),
+            "probe": probe,
         }
         return _Response(status, payload)
 

@@ -20,6 +20,9 @@ Control plane — one Unix socket per worker, JSON lines::
     worker → parent   {"type": "ready", "generation": ...}
     parent → worker   {"type": "reload"}          # new generation
     worker → parent   {"type": "reloaded", ...}   # after swap + drain
+    worker → parent   {"type": "reload_failed", "error": ..., "token": ...}
+    parent → worker   {"type": "ping"}            # watchdog liveness probe
+    worker → parent   {"type": "pong", ...}       # proves the event loop runs
     parent → worker   {"type": "stats"}
     worker → parent   {"type": "stats", "data": ...}
     parent → worker   {"type": "shutdown"}        # graceful drain + exit
@@ -41,6 +44,20 @@ in-flight queries still leased to the old mmap, and closes the old
 generation only after its last ``EngineResult`` was serialized. The
 rest of the pool keeps serving throughout, so compaction never drops
 or blocks traffic.
+
+**Defense in depth** (the resilience layer): a worker that cannot
+*open* a newly installed generation (checksum mismatch, mmap failure)
+keeps serving its old service and answers ``reload_failed``; the
+dispatcher **quarantines** that generation on disk
+(:func:`repro.storage.generations.quarantine` — the watcher stops
+re-offering it, the compactor stops truncating the WAL), rolls the
+symlink back to the last pool-adopted payload when it still exists,
+and aborts the rolling reload — a corrupt install can never crash-loop
+the pool. A **watchdog** periodically pings each worker over the
+control channel; because the reply is written by the worker's event
+loop, a worker that is alive-but-hung (stuck loop, ``SIGSTOP``, dead
+thread pool) misses the deadline, is SIGKILLed, and respawns under the
+normal backoff.
 
 Workers are spawned as ``python -m repro.server._prefork_worker``
 subprocesses (never forked from a threaded parent), which keeps the
@@ -66,7 +83,14 @@ from repro.obs.logging import JsonLogger
 from repro.obs.metrics import MetricsRegistry, aggregate_dumps
 from repro.server.app import HTTPQueryServer
 from repro.service.query_service import QueryService
-from repro.storage.generations import SnapshotWatcher, generation_token
+from repro.storage.generations import (
+    SnapshotWatcher,
+    clear_quarantine,
+    generation_token,
+    is_quarantined,
+    quarantine,
+    quarantined,
+)
 
 __all__ = ["PreforkServer", "serve_prefork", "worker_main"]
 
@@ -239,20 +263,67 @@ async def _worker_serve(
             if not line:
                 # Parent died (EOF): exit rather than serve orphaned.
                 return
-            message = json.loads(line)
+            try:
+                message = json.loads(line)
+            except ValueError:
+                message = None
+            if not isinstance(message, dict):
+                # A truncated or garbled control frame must not take a
+                # healthy worker down: report it and keep serving.
+                reply({"type": "error",
+                       "message": f"undecodable control frame: {line!r}"})
+                await writer.drain()
+                continue
             kind = message.get("type")
             if kind == "shutdown":
                 if logger is not None:
                     logger.log("worker_shutdown")
                 return
-            if kind == "reload":
-                outcome = await _worker_reload(runtime)
-                if logger is not None:
-                    logger.log(
-                        "worker_reloaded",
-                        generation=outcome.get("generation"),
-                        reloads=runtime.reloads,
-                    )
+            if kind == "ping":
+                # The watchdog's liveness probe. Answering *here* is the
+                # point: this coroutine runs on the worker's event loop,
+                # so a pong proves the loop still schedules work.
+                reply(
+                    {
+                        "type": "pong",
+                        "worker": runtime.worker_id,
+                        "pid": os.getpid(),
+                    }
+                )
+            elif kind == "reload":
+                try:
+                    outcome = await _worker_reload(runtime)
+                except Exception as exc:  # noqa: BLE001 — keep serving old gen
+                    # The new generation would not open (corrupt install,
+                    # checksum mismatch, mmap failure). The old service
+                    # was never swapped out, so this worker still
+                    # answers queries — tell the dispatcher which token
+                    # failed so it can quarantine it.
+                    token = None
+                    try:
+                        token = generation_token(config["snapshot"])
+                    except OSError:
+                        pass
+                    outcome = {
+                        "type": "reload_failed",
+                        "worker": runtime.worker_id,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "token": token,
+                        "generation": runtime.worker_gauges()["generation"],
+                    }
+                    if logger is not None:
+                        logger.log(
+                            "worker_reload_failed",
+                            error=outcome["error"],
+                            token=token,
+                        )
+                else:
+                    if logger is not None:
+                        logger.log(
+                            "worker_reloaded",
+                            generation=outcome.get("generation"),
+                            reloads=runtime.reloads,
+                        )
                 reply(outcome)
             elif kind == "stats":
                 reply(
@@ -337,6 +408,10 @@ class _WorkerSlot:
         self.started_at = 0.0
         self.failures = 0
         self.generation = None
+        #: Set by ``_rpc_locked`` whenever its error path SIGKILLed the
+        #: process — lets the watchdog distinguish "I killed a hung
+        #: worker" from "it was already a corpse".
+        self.last_rpc_killed = False
 
     @property
     def alive(self) -> bool:
@@ -383,6 +458,17 @@ class PreforkServer:
         Restart-storm control: the k-th consecutive respawn of a slot
         waits ``min(cap, base * 2**(k-1))`` seconds; the count resets
         after a worker stays up ``healthy_seconds``.
+    watchdog_interval / watchdog_timeout:
+        Stuck-worker detection: every ``watchdog_interval`` seconds the
+        supervisor pings each idle worker over its control channel and
+        SIGKILLs any that does not pong within ``watchdog_timeout``
+        (the reply is written by the worker's event loop, so a hung
+        loop — ``SIGSTOP``, a wedged thread — misses the deadline even
+        though the process is alive). The kill feeds the normal respawn
+        backoff. ``watchdog_interval=None`` disables the probe.
+    reload_timeout:
+        End-to-end budget for one worker's reload RPC (load + swap +
+        drain).
     metrics_port:
         When set, the dispatcher serves ``GET /metrics`` on
         ``(host, metrics_port)`` — pool-level gauges plus every
@@ -415,6 +501,9 @@ class PreforkServer:
         backoff_base: float = 0.1,
         backoff_cap: float = 5.0,
         healthy_seconds: float = 5.0,
+        watchdog_interval: "float | None" = 10.0,
+        watchdog_timeout: float = 5.0,
+        reload_timeout: float = RELOAD_TIMEOUT,
         metrics_port: "int | None" = None,
         log_json: bool = False,
         logger=None,
@@ -435,6 +524,9 @@ class PreforkServer:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.healthy_seconds = healthy_seconds
+        self.watchdog_interval = watchdog_interval
+        self.watchdog_timeout = watchdog_timeout
+        self.reload_timeout = reload_timeout
         self._slots = [_WorkerSlot(i) for i in range(workers)]
         self._listen_sock: "socket.socket | None" = None
         self._control_dir: "str | None" = None
@@ -446,6 +538,15 @@ class PreforkServer:
         self._started = False
         self._restarts = 0
         self._handoffs = 0
+        self._watchdog_kills = 0
+        self._quarantines = 0
+        self._rollbacks = 0
+        self._reload_failures = 0
+        self._last_watchdog = 0.0
+        #: The last generation token the *whole pool* successfully
+        #: adopted — the rollback target when a later install turns out
+        #: to be unopenable.
+        self._adopted_token: "str | None" = None
         self.metrics_port = metrics_port
         self.log_json = log_json
         self.logger = logger if logger is not None else (
@@ -475,6 +576,29 @@ class PreforkServer:
             "Rolling snapshot handoffs performed across the pool.",
             lambda: self._handoffs,
             kind="counter",
+        )
+        self.metrics.callback(
+            "repro_pool_watchdog_kills_total",
+            "Alive-but-hung workers SIGKILLed by the watchdog.",
+            lambda: self._watchdog_kills,
+            kind="counter",
+        )
+        self.metrics.callback(
+            "repro_pool_reload_failures_total",
+            "Worker reloads that failed to open a new generation.",
+            lambda: self._reload_failures,
+            kind="counter",
+        )
+        self.metrics.callback(
+            "repro_pool_rollbacks_total",
+            "Generation rollbacks after a quarantined install.",
+            lambda: self._rollbacks,
+            kind="counter",
+        )
+        self.metrics.callback(
+            "repro_pool_quarantined_generations",
+            "Snapshot generations currently quarantined on disk.",
+            lambda: len(quarantined(self.snapshot)),
         )
 
     # ------------------------------------------------------------------
@@ -521,7 +645,14 @@ class PreforkServer:
         except BaseException:
             self.stop(drain_timeout=1.0)
             raise
-        self._watcher = SnapshotWatcher(self.snapshot)
+        self._watcher = SnapshotWatcher(self.snapshot, skip_quarantined=True)
+        token = generation_token(self.snapshot)
+        if token is not None and not is_quarantined(self.snapshot, token):
+            # The generation every worker just opened successfully is,
+            # by definition, pool-adopted: it becomes the rollback
+            # target if a later install cannot be opened.
+            self._adopted_token = token
+        self._last_watchdog = time.monotonic()
         self._started = True
         self._supervisor = threading.Thread(
             target=self._supervise, name="repro-prefork-supervisor", daemon=True
@@ -693,6 +824,13 @@ class PreforkServer:
                         f"repro.prefork: handoff failed: {exc}",
                         file=sys.stderr,
                     )
+            if (
+                self.watchdog_interval is not None
+                and time.monotonic() - self._last_watchdog
+                >= self.watchdog_interval
+            ):
+                self._last_watchdog = time.monotonic()
+                self._watchdog_probe()
 
     def _respawn(self, slot: _WorkerSlot) -> None:
         """Replace one dead worker, with restart-storm backoff."""
@@ -736,22 +874,64 @@ class PreforkServer:
         the corpse; callers just skip it.
         """
         with slot.lock:
-            if slot.file is None or not slot.alive:
-                return None
+            return self._rpc_locked(slot, message, timeout)
+
+    def _rpc_locked(self, slot: _WorkerSlot, message: dict,
+                    timeout: float) -> "dict | None":
+        """The body of :meth:`_rpc`; caller must hold ``slot.lock``."""
+        slot.last_rpc_killed = False
+        if slot.file is None or not slot.alive:
+            return None
+        try:
+            slot.conn.settimeout(timeout)
+            _send_line(slot.file, message)
+            line = slot.file.readline()
+            if not line:
+                raise ConnectionError("control EOF")
+            return json.loads(line)
+        except (OSError, ValueError, ConnectionError):
+            # A worker that cannot answer its control channel is
+            # sick: kill it so supervision respawns a fresh one.
+            slot.close_channel()
+            if slot.proc is not None and slot.proc.poll() is None:
+                slot.proc.kill()
+                slot.last_rpc_killed = True
+            return None
+
+    def _watchdog_probe(self) -> None:
+        """Ping every idle worker; SIGKILL any that is alive but hung.
+
+        A ``pong`` is written by the worker's event loop, so it proves
+        the loop still schedules work — a process that exists but never
+        answers (``SIGSTOP``'d, stuck in a wedged loop) times out, gets
+        killed here, and is respawned by the next supervision tick
+        under the normal backoff. Slots whose control lock is busy are
+        skipped: they are mid-reload-RPC, which carries its own
+        timeout.
+        """
+        for slot in self._slots:
+            if self._stop.is_set():
+                return
+            if not slot.alive or slot.file is None:
+                continue
+            if not slot.lock.acquire(blocking=False):
+                continue
             try:
-                slot.conn.settimeout(timeout)
-                _send_line(slot.file, message)
-                line = slot.file.readline()
-                if not line:
-                    raise ConnectionError("control EOF")
-                return json.loads(line)
-            except (OSError, ValueError, ConnectionError):
-                # A worker that cannot answer its control channel is
-                # sick: kill it so supervision respawns a fresh one.
-                slot.close_channel()
-                if slot.proc is not None and slot.proc.poll() is None:
-                    slot.proc.kill()
-                return None
+                reply = self._rpc_locked(
+                    slot, {"type": "ping"}, self.watchdog_timeout
+                )
+                killed = reply is None and slot.last_rpc_killed
+            finally:
+                slot.lock.release()
+            if killed:
+                self._watchdog_kills += 1
+                if self.logger is not None:
+                    self.logger.log(
+                        "watchdog_kill",
+                        worker=slot.index,
+                        timeout_seconds=self.watchdog_timeout,
+                        kills=self._watchdog_kills,
+                    )
 
     def reload(self) -> dict:
         """Hand every worker off to the latest snapshot generation.
@@ -763,15 +943,59 @@ class PreforkServer:
         """
         outcome: dict = {}
         with self._reload_lock:
+            offered = generation_token(self.snapshot)
+            if offered is not None and is_quarantined(self.snapshot, offered):
+                # Never re-offer a generation already known to be bad —
+                # this is what breaks the crash/retry loop a corrupt
+                # install would otherwise cause.
+                if self.logger is not None:
+                    self.logger.log(
+                        "reload_skipped_quarantined", token=offered
+                    )
+                return {slot.index: None for slot in self._slots}
+            adopted_all = True
+            aborted = False
             for slot in self._slots:
+                if aborted:
+                    # A quarantined install must not be offered to the
+                    # remaining workers.
+                    outcome[slot.index] = None
+                    continue
                 reply = self._rpc(
-                    slot, {"type": "reload"}, timeout=RELOAD_TIMEOUT
+                    slot, {"type": "reload"}, timeout=self.reload_timeout
                 )
                 if reply is not None and reply.get("type") == "reloaded":
                     slot.generation = reply.get("generation")
                     outcome[slot.index] = slot.generation
-                else:
+                elif reply is not None and reply.get("type") == "reload_failed":
                     outcome[slot.index] = None
+                    adopted_all = False
+                    aborted = True
+                    self._reload_failures += 1
+                    bad = reply.get("token") or offered
+                    if bad is not None:
+                        self._quarantine_and_rollback(
+                            bad, reply.get("error", "")
+                        )
+                else:
+                    # Unreachable worker (dead or hung): the supervisor
+                    # respawns it against the current generation.
+                    outcome[slot.index] = None
+                    adopted_all = False
+            if adopted_all and offered is not None:
+                previous = self._adopted_token
+                self._adopted_token = offered
+                if previous != offered:
+                    # The pool moved on to a good generation: any
+                    # quarantine markers left behind by earlier bad
+                    # installs are obsolete.
+                    cleared = clear_quarantine(self.snapshot)
+                    if cleared and self.logger is not None:
+                        self.logger.log(
+                            "quarantine_cleared",
+                            token=offered,
+                            markers=cleared,
+                        )
             self._handoffs += 1
         if self.logger is not None:
             self.logger.log(
@@ -780,6 +1004,78 @@ class PreforkServer:
                 generations={str(k): v for k, v in outcome.items()},
             )
         return outcome
+
+    def _quarantine_and_rollback(self, token: str, reason: str) -> None:
+        """Mark a generation bad on disk, then roll the symlink back.
+
+        The marker is what every other component keys off: the watcher
+        stops offering the token, :func:`repro.storage.recovery.compact`
+        refuses to truncate the WAL while it exists, and a restarted
+        dispatcher sees it immediately. The rollback is best-effort —
+        possible only when the previously adopted payload directory
+        still exists next to the symlink.
+        """
+        try:
+            quarantine(self.snapshot, token, reason=reason)
+            self._quarantines += 1
+            if self.logger is not None:
+                self.logger.log(
+                    "generation_quarantined", token=token, reason=reason
+                )
+        except OSError as exc:  # disk trouble: degrade, don't die
+            print(
+                f"repro.prefork: could not quarantine {token!r}: {exc}",
+                file=sys.stderr,
+            )
+        self._rollback_generation(token)
+        if self._watcher is not None:
+            # Adopt whatever the link points at now without firing a
+            # change event — otherwise the rollback itself would
+            # trigger another (pointless) rolling reload.
+            self._watcher.sync()
+
+    def _rollback_generation(self, bad_token: str) -> bool:
+        """Point the snapshot symlink back at the last adopted payload.
+
+        Only possible when (a) the link still points at the bad
+        generation (nothing newer raced in), (b) the last adopted token
+        was a symlink install, and (c) its payload directory survived
+        (the regular installer deletes the old payload after a flip, so
+        rollback mostly applies to externally / partially performed
+        installs — exactly the corrupt-install case). Returns whether
+        the link was flipped.
+        """
+        good = self._adopted_token
+        if good is None or good == bad_token:
+            return False
+        if not good.startswith("link:"):
+            return False
+        if generation_token(self.snapshot) != bad_token:
+            return False
+        payload = good[len("link:"):]
+        parent = os.path.dirname(os.path.abspath(self.snapshot)) or "."
+        if not os.path.isdir(os.path.join(parent, payload)):
+            return False
+        link = f"{self.snapshot}.rollback-{os.getpid()}"
+        try:
+            os.symlink(payload, link)
+            os.replace(link, self.snapshot)
+        except OSError as exc:
+            try:
+                os.unlink(link)
+            except OSError:
+                pass
+            print(
+                f"repro.prefork: rollback to {good!r} failed: {exc}",
+                file=sys.stderr,
+            )
+            return False
+        self._rollbacks += 1
+        if self.logger is not None:
+            self.logger.log(
+                "generation_rollback", to=good, quarantined=bad_token
+            )
+        return True
 
     def pool_stats(self) -> dict:
         """Aggregate per-worker gauges into the pool-level view.
@@ -813,9 +1109,16 @@ class PreforkServer:
                 "alive": sum(1 for s in self._slots if s.alive),
                 "restarts": self._restarts,
                 "handoffs": self._handoffs,
+                "watchdog_kills": self._watchdog_kills,
+                "reload_failures": self._reload_failures,
+                "rollbacks": self._rollbacks,
                 "in_flight": in_flight,
                 "requests": requests,
                 "generations": sorted(generations),
+                "adopted_token": self._adopted_token,
+                "quarantined": [
+                    entry.get("token") for entry in quarantined(self.snapshot)
+                ],
                 "snapshot": {
                     "path": self.snapshot,
                     "token": generation_token(self.snapshot),

@@ -30,6 +30,7 @@ from repro.errors import (
     ParseError,
     QueryError,
     ReproError,
+    WalAppendError,
 )
 from repro.query.model import ConjunctiveQuery
 from repro.query.parser import parse_query
@@ -298,6 +299,11 @@ def map_exception(exc: Exception) -> tuple[int, str, str]:
         return 400, "parse_error", str(exc)
     if isinstance(exc, QueryError):
         return 400, "invalid_query", str(exc)
+    if isinstance(exc, WalAppendError):
+        # The write-ahead log cannot make appends durable (disk full,
+        # I/O error): the service is read-only degraded, not broken —
+        # retryable, so 503 rather than 500.
+        return 503, "degraded", str(exc)
     if isinstance(exc, ReproError):
         return 500, "engine_error", str(exc)
     return 500, "internal_error", f"{type(exc).__name__}: {exc}"

@@ -100,6 +100,10 @@ class QueryService:
         budget, followers are transparently resubmitted under theirs.
     freeze:
         Freeze the store (and its dictionary) at construction.
+    probe_interval:
+        Minimum seconds between degraded-mode recovery probes (see
+        :meth:`maybe_probe`). Only meaningful with a write-ahead log
+        attached.
     read_only:
         Declare this service a pure reader (the prefork *worker* mode):
         :meth:`persist`, :meth:`compact`, and :meth:`start_compactor`
@@ -136,6 +140,7 @@ class QueryService:
         coalesce: bool = True,
         freeze: bool = False,
         read_only: bool = False,
+        probe_interval: float = 5.0,
         engine_options: dict | None = None,
     ):
         if freeze and not store.frozen:
@@ -179,6 +184,13 @@ class QueryService:
         self._last_compaction_generation: "int | None" = None
         self._compactor_thread: "threading.Thread | None" = None
         self._compactor_stop = threading.Event()
+        # Degraded-mode recovery probing (see maybe_probe): rate-limit
+        # state plus gauges. The *flag* itself lives on the WAL.
+        self.probe_interval = probe_interval
+        self._probe_lock = threading.Lock()
+        self._last_probe = 0.0
+        self._probes = 0
+        self._probe_failures = 0
         self._register_metrics()
 
     def _register_metrics(self) -> None:
@@ -296,9 +308,36 @@ class QueryService:
             lambda: wal_stat("durable_seq"),
             aggregation="max",
         )
+        reg.callback(
+            "repro_service_degraded",
+            "Whether the service is in read-only degraded mode (1) "
+            "after a WAL append failure, or healthy (0).",
+            lambda: int(self.degraded),
+            aggregation="max",
+        )
+        reg.callback(
+            "repro_service_degraded_probes_total",
+            "Degraded-mode recovery probes attempted, by outcome.",
+            lambda: {
+                ("ok",): self._probes - self._probe_failures,
+                ("failed",): self._probe_failures,
+            },
+            kind="counter",
+            labelnames=("outcome",),
+        )
         for metric, field, help_text in (
             ("repro_wal_appends_total", "appended", "Records appended."),
             ("repro_wal_fsyncs_total", "fsyncs", "fsync() calls issued."),
+            (
+                "repro_wal_append_failures_total",
+                "append_failures",
+                "Appends that failed at the OS level and rolled back.",
+            ),
+            (
+                "repro_wal_rollbacks_total",
+                "rollbacks",
+                "Unsynced-record rollbacks after a failed fsync.",
+            ),
             (
                 "repro_wal_group_commits_total",
                 "group_commits",
@@ -498,6 +537,10 @@ class QueryService:
                 hook = self.store.write_log
                 if hook is None:
                     break
+                # The compactor tick doubles as the degraded-mode
+                # heartbeat: probe for recovery even when nothing is
+                # worth compacting.
+                self.maybe_probe()
                 if hook.wal.size_bytes - HEADER_BYTES < min_bytes:
                     continue
                 try:
@@ -512,6 +555,59 @@ class QueryService:
             target=loop, name="repro-wal-compactor", daemon=True
         )
         self._compactor_thread.start()
+
+    # ------------------------------------------------------------------
+    # Degraded mode (read-only after a WAL append failure)
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True while the attached WAL cannot make appends durable.
+
+        Flipped by the first :class:`~repro.errors.WalAppendError`
+        (disk full, I/O error) and cleared automatically by a
+        successful recovery probe (:meth:`maybe_probe`) or any later
+        successful append. Reads keep serving throughout — degraded
+        mode only refuses writes. Always ``False`` without a WAL.
+        """
+        hook = self.store.write_log
+        if hook is None:
+            return False
+        wal = hook.wal
+        return not wal.closed and wal.degraded
+
+    def maybe_probe(self, force: bool = False) -> "bool | None":
+        """Attempt one degraded-mode recovery probe, rate-limited.
+
+        While degraded, appends a no-op WAL record through the normal
+        durable path at most once per ``probe_interval`` seconds;
+        success clears the degraded flag (space came back). Returns
+        ``True``/``False`` for a probe's outcome, ``None`` when no
+        probe ran (healthy, no WAL, or rate-limited). Called from the
+        health endpoint and the background compactor tick, so recovery
+        is automatic under load-balancer polling even with zero
+        traffic.
+        """
+        hook = self.store.write_log
+        if hook is None or hook.wal.closed or not hook.wal.degraded:
+            return None
+        now = time.monotonic()
+        with self._probe_lock:
+            if not force and now - self._last_probe < self.probe_interval:
+                return None
+            self._last_probe = now
+            self._probes += 1
+        from repro.errors import WalError
+
+        try:
+            ok = hook.wal.probe()
+        except WalError:
+            # Closed under our feet (service shutting down): no outcome.
+            return None
+        if not ok:
+            with self._probe_lock:
+                self._probe_failures += 1
+        return ok
 
     def _require_writable(self, operation: str) -> None:
         """Refuse owner-only operations on a ``read_only`` service.
@@ -893,6 +989,7 @@ class QueryService:
         snap["max_workers"] = self.max_workers
         snap["store_triples"] = self.store.num_triples
         snap["read_only"] = self.read_only
+        snap["degraded"] = self.degraded
         # Which durable generation is answering (the handoff gauge):
         # None/None for a service built over an in-memory store.
         snap["snapshot"] = {

@@ -34,8 +34,17 @@ binary segment encoding), and :mod:`repro.storage.wal` (the log record
 framing and torn-tail semantics).
 """
 
-from repro.errors import SnapshotError, WalError
-from repro.storage.generations import SnapshotWatcher, generation_token
+from repro.errors import SnapshotError, WalAppendError, WalError
+from repro.storage.generations import (
+    SnapshotWatcher,
+    clear_quarantine,
+    generation_token,
+    has_quarantine,
+    is_quarantined,
+    quarantine,
+    quarantine_path,
+    quarantined,
+)
 from repro.storage.recovery import (
     close_store,
     compact,
@@ -81,6 +90,7 @@ from repro.storage.termdict import (
 
 __all__ = [
     "SnapshotError",
+    "WalAppendError",
     "WalError",
     "WalRecord",
     "WalScan",
@@ -94,6 +104,12 @@ __all__ = [
     "snapshot_generation",
     "generation_token",
     "SnapshotWatcher",
+    "quarantine_path",
+    "quarantine",
+    "is_quarantined",
+    "quarantined",
+    "clear_quarantine",
+    "has_quarantine",
     "store_fingerprint",
     "wal_inspect",
     "wal_path_for",

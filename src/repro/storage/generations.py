@@ -15,15 +15,39 @@ unlinked-but-still-mapped payload directory remains fully readable
 (the PR-5 mmap-lifetime guarantee), a watcher firing *after* the old
 payload was replaced is safe — readers on the old generation keep
 working until they are drained and closed.
+
+Quarantine (the defense-in-depth half): a generation that *installed*
+fine but cannot be **opened** — checksum mismatch, mmap failure, torn
+payload — must not be re-offered to workers on every poll, and the
+compactor must not truncate the WAL past a horizon no worker durably
+adopted. :func:`quarantine` drops a marker file in a ``.quarantine``
+sibling directory keyed by the bad generation's token;
+:func:`is_quarantined` / :func:`has_quarantine` are the single checks
+the watcher (``skip_quarantined=True``) and the compactor's truncation
+gate read. Markers are plain JSON files on disk, so they survive a
+dispatcher restart and are visible across processes;
+:func:`clear_quarantine` removes them once the pool has adopted a
+newer, valid generation.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 
 from repro.storage.snapshot import is_snapshot, read_manifest
 
-__all__ = ["generation_token", "SnapshotWatcher"]
+__all__ = [
+    "generation_token",
+    "SnapshotWatcher",
+    "quarantine_path",
+    "quarantine",
+    "is_quarantined",
+    "quarantined",
+    "clear_quarantine",
+    "has_quarantine",
+]
 
 
 def generation_token(path: "str | os.PathLike") -> "str | None":
@@ -45,16 +69,145 @@ def generation_token(path: "str | os.PathLike") -> "str | None":
     return None
 
 
+# ----------------------------------------------------------------------
+# Generation quarantine
+# ----------------------------------------------------------------------
+
+
+def quarantine_path(path: "str | os.PathLike") -> str:
+    """The marker directory paired with a snapshot path.
+
+    A ``.quarantine`` sibling (like the ``.wal`` sibling): the snapshot
+    directory itself is replaced wholesale by every atomic install, and
+    the markers must survive exactly those installs.
+    """
+    return os.fspath(path) + ".quarantine"
+
+
+def _marker_name(token: str) -> str:
+    """A filesystem-safe marker filename for one generation token."""
+    safe = "".join(
+        c if c.isalnum() or c in "._-" else "_" for c in token
+    )
+    return safe[:200] + ".json"
+
+
+def quarantine(
+    path: "str | os.PathLike", token: str, reason: str = ""
+) -> str:
+    """Mark the generation ``token`` of snapshot ``path`` as unopenable.
+
+    Drops a JSON marker file (idempotent — re-quarantining refreshes
+    it) and returns its path. The marker records the raw token, the
+    reason, and a wall-clock timestamp for the operator.
+    """
+    directory = quarantine_path(path)
+    os.makedirs(directory, exist_ok=True)
+    marker = os.path.join(directory, _marker_name(token))
+    payload = {"token": token, "reason": reason, "time": time.time()}
+    tmp = marker + f".tmp-{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, marker)
+    return marker
+
+
+def is_quarantined(path: "str | os.PathLike", token: "str | None") -> bool:
+    """True iff ``token`` carries a live quarantine marker."""
+    if token is None:
+        return False
+    return os.path.exists(
+        os.path.join(quarantine_path(path), _marker_name(token))
+    )
+
+
+def quarantined(path: "str | os.PathLike") -> "list[dict]":
+    """Every live marker for ``path`` (token, reason, time), sorted."""
+    directory = quarantine_path(path)
+    entries = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return entries
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(
+                os.path.join(directory, name), "r", encoding="utf-8"
+            ) as handle:
+                entries.append(json.load(handle))
+        except (OSError, ValueError):
+            # A half-written or vanished marker is treated as absent.
+            continue
+    return entries
+
+
+def has_quarantine(path: "str | os.PathLike") -> bool:
+    """True iff *any* generation of ``path`` is quarantined.
+
+    The compactor's truncation gate: while a marker is live, some
+    installed generation was never adopted by the pool, so the WAL must
+    keep every record the last *adopted* generation does not contain.
+    """
+    directory = quarantine_path(path)
+    try:
+        return any(
+            name.endswith(".json") for name in os.listdir(directory)
+        )
+    except OSError:
+        return False
+
+
+def clear_quarantine(
+    path: "str | os.PathLike", token: "str | None" = None
+) -> int:
+    """Remove one marker (``token``) or all of them; returns how many."""
+    directory = quarantine_path(path)
+    if token is not None:
+        names = [_marker_name(token)]
+    else:
+        try:
+            names = [
+                n for n in os.listdir(directory) if n.endswith(".json")
+            ]
+        except OSError:
+            return 0
+    removed = 0
+    for name in names:
+        try:
+            os.unlink(os.path.join(directory, name))
+            removed += 1
+        except OSError:
+            continue
+    if removed:
+        try:
+            os.rmdir(directory)  # succeeds only once empty
+        except OSError:
+            pass
+    return removed
+
+
 class SnapshotWatcher:
     """Polls a snapshot path for newly installed generations.
 
     Stateful: remembers the token seen at construction (or last
     ``poll``) and reports only *changes*. A path with no snapshot yet
     arms the watcher — the first install fires it.
+
+    With ``skip_quarantined=True`` (the prefork dispatcher's mode) a
+    newly installed generation that carries a quarantine marker is
+    *consumed without firing*: the watcher remembers its token — so the
+    same bad generation is never re-offered on every poll — but
+    reports no change; the next install of a non-quarantined
+    generation fires normally.
     """
 
-    def __init__(self, path: "str | os.PathLike"):
+    def __init__(
+        self, path: "str | os.PathLike", *, skip_quarantined: bool = False
+    ):
         self.path = os.fspath(path)
+        self.skip_quarantined = skip_quarantined
         self._token = generation_token(self.path)
 
     @property
@@ -72,4 +225,17 @@ class SnapshotWatcher:
         if current is None or current == self._token:
             return False
         self._token = current
+        if self.skip_quarantined and is_quarantined(self.path, current):
+            return False
         return True
+
+    def sync(self) -> "str | None":
+        """Adopt the current token without firing; returns it.
+
+        Used after a generation *rollback*: the dispatcher re-points
+        the symlink at the last known-good payload, which changes the
+        token — without a resync the next poll would fire and re-offer
+        the generation every worker is already serving.
+        """
+        self._token = generation_token(self.path)
+        return self._token

@@ -210,6 +210,16 @@ def compact(
     truncation — dropping exactly the records the installed snapshot is
     known to contain — runs under the write lock so no batch can
     journal between reading the horizon and cutting the log.
+
+    While any generation of ``path`` is **quarantined** (see
+    :func:`repro.storage.generations.quarantine` — a serving pool
+    found an installed generation unopenable), the truncation step is
+    skipped: the pool is still answering from an *older* generation,
+    so cutting the log to the new snapshot's horizon could drop
+    records the only adoptable state still needs. The snapshot itself
+    is still written (it may be the valid install that lifts the
+    quarantine); the returned manifest carries ``wal_truncated`` so
+    callers can see which path was taken.
     """
     hook = store.write_log
     if hook is None:
@@ -254,8 +264,14 @@ def compact(
         finally:
             if last:
                 store.write_lock.release()
+    from repro.storage.generations import has_quarantine
+
+    if has_quarantine(target):
+        manifest["wal_truncated"] = False
+        return manifest
     with store.write_lock:
         wal.truncate_through(horizon)
+    manifest["wal_truncated"] = True
     return manifest
 
 

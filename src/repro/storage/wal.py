@@ -63,7 +63,7 @@ import zlib
 from array import array
 from typing import TYPE_CHECKING, Iterable, NamedTuple, Sequence
 
-from repro.errors import WalError
+from repro.errors import WalAppendError, WalError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.dictionary import DictionaryView
@@ -403,6 +403,19 @@ class WriteAheadLog:
         #: Every fsync this handle issued against the log file (group
         #: commits, explicit seals, truncations, close).
         self.fsyncs = 0
+        #: Appends that failed at the OS level (ENOSPC, EIO, ...) and
+        #: were rolled back; each raised :class:`WalAppendError`.
+        self.append_failures = 0
+        #: Rollbacks of flushed-but-unsynced records after a failed
+        #: group-commit fsync (each may abort several appends at once).
+        self.rollbacks = 0
+        #: Degraded flag: set when an append or fsync fails, cleared by
+        #: the next fully durable append (see :meth:`probe`).
+        self._degraded = False
+        #: Sequences issued but rolled back after an fsync failure;
+        #: parked group-commit waiters at or below this raise instead
+        #: of reporting durability (guarded by ``_sync_cond``).
+        self._aborted_below = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -497,6 +510,12 @@ class WriteAheadLog:
             return self._last_seq
 
     @property
+    def degraded(self) -> bool:
+        """True after a failed append/fsync until one succeeds again."""
+        with self._lock:
+            return self._degraded
+
+    @property
     def record_count(self) -> int:
         with self._lock:
             return len(self._index)
@@ -520,6 +539,9 @@ class WriteAheadLog:
                 "group_commits": self.group_commits,
                 "absorbed": self.absorbed,
                 "durable_seq": self._durable_seq,
+                "append_failures": self.append_failures,
+                "rollbacks": self.rollbacks,
+                "degraded": self._degraded,
             }
 
     # ------------------------------------------------------------------
@@ -541,15 +563,41 @@ class WriteAheadLog:
         will survive any crash after this point. Concurrent appenders
         share fsyncs (group commit): the write happens under the log
         lock, the durability wait happens outside it.
+
+        A write that fails at the OS level (disk full, I/O error) is
+        rolled back: the file is truncated to the failing record's
+        start offset — records already flushed by other appenders are
+        untouched — the log flips :attr:`degraded`, and
+        :class:`~repro.errors.WalAppendError` is raised. The log stays
+        open and consistent; the next successful append (see
+        :meth:`probe`) clears the flag.
         """
         with self._lock:
             if self._closed:
                 raise WalError(f"write-ahead log {self.path!r} is closed")
             seq = self._last_seq + 1
             blob = encode_record(seq, term_base, terms, adds, removes)
-            self._handle.seek(self._end)
-            self._handle.write(blob)
-            self._handle.flush()
+            try:
+                self._handle.seek(self._end)
+                self._handle.write(blob)
+                self._handle.flush()
+            except OSError as exc:
+                # Roll back to this record's start: nothing of it was
+                # acknowledged, and everything before self._end was
+                # flushed by completed appends. A failing truncate is
+                # tolerable — the partial bytes are a torn tail the
+                # next open cuts away.
+                self.append_failures += 1
+                self._degraded = True
+                try:
+                    self._handle.truncate(self._end)
+                    self._handle.seek(self._end)
+                except OSError:
+                    pass
+                raise WalAppendError(
+                    f"write-ahead log {self.path!r}: append of seq {seq} "
+                    f"failed and was rolled back: {exc}"
+                ) from exc
             offset = self._end
             self._end = offset + len(blob)
             self._index.append((seq, offset, self._end))
@@ -557,6 +605,9 @@ class WriteAheadLog:
             self.appended += 1
         if self.fsync_policy == "batch":
             self._sync_through(seq)
+        with self._lock:
+            if self._degraded:
+                self._degraded = False
         return seq
 
     def _sync_through(self, seq: int) -> None:
@@ -572,6 +623,15 @@ class WriteAheadLog:
         with self._sync_cond:
             led = False
             while self._durable_seq < seq:
+                if seq <= self._aborted_below:
+                    # This record was rolled back by a failed fsync
+                    # (possibly another appender's): it will never
+                    # become durable, so the append must not report
+                    # success.
+                    raise WalAppendError(
+                        f"write-ahead log {self.path!r}: seq {seq} was "
+                        f"rolled back after a failed fsync"
+                    )
                 if not self._syncing:
                     self._syncing = True
                     led = True
@@ -594,7 +654,14 @@ class WriteAheadLog:
                 # writing (and queueing onto this commit's successor)
                 # while the disk works; ``_sync_lock`` keeps the fd
                 # alive against truncate_through's handle swap.
-                os.fsync(fd)
+                try:
+                    os.fsync(fd)
+                except OSError as exc:
+                    # Still holding _sync_lock: roll every flushed-but-
+                    # unsynced record back to the durable horizon and
+                    # raise WalAppendError (for this appender; parked
+                    # waiters raise through the watermark above).
+                    self._rollback_unsynced(exc)
                 self.fsyncs += 1
         except BaseException:
             with self._sync_cond:
@@ -607,6 +674,64 @@ class WriteAheadLog:
                 self._durable_seq = target
             self.group_commits += 1
             self._sync_cond.notify_all()
+
+    def _rollback_unsynced(self, cause: OSError) -> None:
+        """Roll flushed-but-unsynced records back after a failed fsync.
+
+        Called by the group-commit leader with ``_sync_lock`` held.
+        Every record past the durable horizon was flushed to the OS but
+        never reached stable storage — none of them were acknowledged
+        (their appenders are parked in :meth:`_sync_through`), so the
+        file is truncated back to the horizon, the aborted sequences
+        are published through ``_aborted_below`` (waiters raise instead
+        of reporting durability), and :class:`WalAppendError` is raised
+        for the leader's own append. ``_last_seq`` is *not* rewound:
+        the scanner only needs strictly increasing sequences, and never
+        reusing an aborted one keeps replay unambiguous.
+        """
+        with self._sync_cond:
+            durable = self._durable_seq
+        with self._lock:
+            keep = [entry for entry in self._index if entry[0] <= durable]
+            dropped = len(self._index) - len(keep)
+            aborted_through = self._last_seq
+            boundary = keep[-1][2] if keep else HEADER_BYTES
+            self._index = keep
+            self._end = boundary
+            try:
+                self._handle.truncate(boundary)
+                self._handle.seek(boundary)
+            except OSError:
+                # The unsynced tail stays as torn bytes; the next open
+                # truncates it (nothing intact follows the horizon).
+                pass
+            self.rollbacks += 1
+            self._degraded = True
+        with self._sync_cond:
+            if aborted_through > self._aborted_below:
+                self._aborted_below = aborted_through
+        raise WalAppendError(
+            f"write-ahead log {self.path!r}: fsync failed ({cause}); "
+            f"rolled back {dropped} unsynced record(s) to durable seq "
+            f"{durable}"
+        ) from cause
+
+    def probe(self) -> bool:
+        """Test whether appends can be made durable again.
+
+        Appends one empty record through the normal (group-committed)
+        path — replay treats it as a no-op, and compaction folds it
+        away like any other record. Returns ``True`` and clears
+        :attr:`degraded` on success; ``False`` if the append still
+        fails. The recovery half of degraded mode: a service flips
+        read-only on :class:`~repro.errors.WalAppendError` and probes
+        its way back once space returns.
+        """
+        try:
+            self.append()
+        except WalAppendError:
+            return False
+        return True
 
     def sync(self) -> None:
         """Force everything appended so far onto stable storage.

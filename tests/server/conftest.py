@@ -10,7 +10,16 @@ would send.
 
 from __future__ import annotations
 
+import os
+import sys
+
 import pytest
+
+# The storage suite's fault-injection helpers (ENOSPC handles, byte
+# flips) drive the serving-resilience and chaos tests too.
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "storage")
+)
 
 from repro.server import serve_in_background
 from repro.service import QueryService

@@ -1,0 +1,103 @@
+"""The chaos gate: seeded fault storms with exactness assertions.
+
+These are the harness's own acceptance tests — the same scenarios the
+CI ``chaos`` job and ``bench_http_throughput.py --chaos`` run. The
+bar, from the issue: **zero wrong answers**, an end-to-end error rate
+under 2% (the retrying client absorbs transients), and full recovery
+within ten seconds of the last fault.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from chaos import (
+    build_chain_snapshot,
+    install_corrupt_generation,
+    oracle_rows,
+    run_enospc_chaos,
+    run_pool_chaos,
+)
+
+SEED = int(os.environ.get("CHAOS_SEED", "7"))
+
+
+def test_pool_chaos_storm(tmp_path):
+    """SIGKILL + SIGSTOP + corrupt install against a live pool."""
+    snap = tmp_path / "snap"
+    artifacts = tmp_path / "artifacts"
+    summary = run_pool_chaos(
+        snap, seed=SEED, workers=2, clients=3, artifact_dir=str(artifacts)
+    )
+
+    # The non-negotiables.
+    assert summary["wrong"] == 0
+    assert summary["error_rate"] < 0.02
+    assert summary["recovered"] is True
+
+    # The load was real and every fault actually landed.
+    assert summary["requests"] > 50
+    assert summary["ok"] > 50
+    assert set(summary["schedule"]) == {"kill", "stop", "corrupt"}
+    assert summary["restarts"] >= 1          # SIGKILL (and the watchdog's
+    assert summary["watchdog_kills"] >= 1    # SIGSTOP victim) respawned
+    assert summary["reload_failures"] >= 1   # the corrupt install was seen
+    assert summary["rollbacks"] >= 1         # ...and rolled back
+    assert len(summary["quarantined"]) == 1  # ...and remembered
+    assert summary["alive"] == summary["workers"]
+
+    # Artifacts for the CI job: the event journal and a final scrape.
+    events = json.loads(
+        (artifacts / "chaos_pool_events.json").read_text()
+    )
+    kinds = {e["event"] for e in events}
+    assert {"start", "inject_kill", "inject_stop",
+            "inject_corrupt_install", "recovered", "end"} <= kinds
+    assert "wrong_answer" not in kinds
+    metrics = (artifacts / "chaos_pool_metrics.prom").read_text()
+    assert "repro_pool_watchdog_kills_total" in metrics
+    assert "repro_pool_quarantined_generations 1" in metrics
+    assert "repro_pool_rollbacks_total 1" in metrics
+
+
+def test_enospc_chaos(tmp_path):
+    """Disk-full under read load: loud writes, exact reads, recovery."""
+    snap = tmp_path / "snap"
+    artifacts = tmp_path / "artifacts"
+    summary = run_enospc_chaos(
+        snap, seed=SEED, clients=2, artifact_dir=str(artifacts)
+    )
+
+    assert summary["wrong"] == 0
+    assert summary["error_rate"] < 0.02
+    assert summary["recovered"] is True
+
+    assert summary["requests"] > 20
+    assert summary["writes_refused"] >= 1
+    assert summary["degraded_seen"] is True
+    assert summary["write_after_recovery"] is True
+
+    events = json.loads(
+        (artifacts / "chaos_enospc_events.json").read_text()
+    )
+    kinds = {e["event"] for e in events}
+    assert {"inject_enospc", "clear_enospc", "recovered"} <= kinds
+    metrics = (artifacts / "chaos_enospc_metrics.prom").read_text()
+    assert "repro_service_degraded" in metrics
+    assert "repro_wal_append_failures_total" in metrics
+
+
+def test_harness_building_blocks(tmp_path):
+    """The pieces the benchmark's --chaos mode composes directly."""
+    snap = tmp_path / "snap"
+    build_chain_snapshot(snap, n_edges=4)
+    expected = oracle_rows(snap)
+    assert len(expected) == 4
+
+    bad = install_corrupt_generation(snap, "unit")
+    assert bad.startswith("link:")
+    # The flip is atomic and the previous payload survives (that is
+    # what makes dispatcher rollback possible).
+    assert os.readlink(snap) == bad[len("link:"):]
+    assert len(os.listdir(tmp_path)) >= 3  # snap link + two payloads

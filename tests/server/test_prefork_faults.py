@@ -1,0 +1,264 @@
+"""Prefork defense in depth: control-plane faults, the stuck-worker
+watchdog, and generation quarantine & rollback.
+
+Each test injects a fault a production pool will eventually meet —
+garbage on a control channel, a worker that is alive but hung, an
+installed snapshot generation that cannot be opened, a dispatcher
+restart with a quarantine marker still on disk — and asserts the
+invariant the resilience layer exists for: the pool keeps answering
+correct responses, and a bad generation can never crash-loop it.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import time
+
+
+from repro.graph.builder import GraphBuilder
+from repro.server.prefork import PreforkServer
+from repro.storage import (
+    clear_quarantine,
+    generation_token,
+    quarantine,
+    quarantined,
+    save_snapshot,
+)
+
+from _http_client import Client
+from faults import bit_flip
+
+SPARQL = "select ?a, ?b where { ?a knows ?b }"
+
+
+def _chain_store(n_edges: int):
+    builder = GraphBuilder()
+    for i in range(n_edges):
+        builder.edge(f"p{i}", "knows", f"p{i + 1}")
+    return builder.build(freeze=True)
+
+
+def _wait_for(predicate, timeout=30.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached in time")
+        time.sleep(interval)
+
+
+def _count(pool) -> int:
+    client = Client(pool.address)
+    try:
+        status, payload, _ = client.post(
+            "/v1/query", {"sparql": SPARQL, "limit": None}
+        )
+        assert status == 200
+        return payload["result"]["count"]
+    finally:
+        client.close()
+
+
+def _install_corrupt_generation(snap) -> str:
+    """Copy the live payload, corrupt a segment, flip the symlink.
+
+    Mimics an install that succeeded *as an install* (atomic link flip)
+    but whose payload bytes are bad — without deleting the previous
+    payload, exactly the state an external/partial installer can leave
+    behind. Returns the new (bad) generation token.
+    """
+    snap = os.fspath(snap)
+    parent = os.path.dirname(snap)
+    good_payload = os.path.basename(os.readlink(snap))
+    bad_payload = os.path.basename(snap) + ".data-chaos-1"
+    shutil.copytree(
+        os.path.join(parent, good_payload), os.path.join(parent, bad_payload)
+    )
+    segments_dir = os.path.join(parent, bad_payload, "segments")
+    segment = os.path.join(segments_dir, sorted(os.listdir(segments_dir))[0])
+    bit_flip(segment, -1)
+    tmp = snap + ".chaos-link"
+    os.symlink(bad_payload, tmp)
+    os.replace(tmp, snap)
+    return "link:" + bad_payload
+
+
+# ----------------------------------------------------------------------
+# Control-channel partial failures
+# ----------------------------------------------------------------------
+
+
+def test_garbage_control_frames_do_not_kill_the_worker(tmp_path):
+    snap = tmp_path / "snap"
+    save_snapshot(_chain_store(5), snap, generation=1)
+    with PreforkServer(snap, workers=1, watch_interval=0.1) as pool:
+        slot = pool._slots[0]
+        pid = slot.proc.pid
+        # Truncated JSON, non-JSON bytes, and a JSON non-object: each
+        # must draw an error *reply*, not an exit.
+        for frame in (b'{"type": "relo', b"not json at all", b"123"):
+            with slot.lock:
+                slot.conn.settimeout(10)
+                slot.file.write(frame + b"\n")
+                slot.file.flush()
+                import json
+
+                reply = json.loads(slot.file.readline())
+            assert reply["type"] == "error"
+        assert slot.proc.pid == pid and slot.alive
+        assert _count(pool) == 5
+        # And the channel still speaks the real protocol afterwards.
+        assert pool.pool_stats()["pool"]["alive"] == 1
+
+
+def test_unknown_control_message_still_draws_a_reply(tmp_path):
+    snap = tmp_path / "snap"
+    save_snapshot(_chain_store(3), snap, generation=1)
+    with PreforkServer(snap, workers=1) as pool:
+        reply = pool._rpc(pool._slots[0], {"type": "no-such-rpc"})
+        assert reply["type"] == "error"
+
+
+# ----------------------------------------------------------------------
+# Stuck-worker watchdog
+# ----------------------------------------------------------------------
+
+
+def test_watchdog_kills_and_respawns_a_hung_worker(tmp_path):
+    snap = tmp_path / "snap"
+    save_snapshot(_chain_store(7), snap, generation=1)
+    with PreforkServer(
+        snap,
+        workers=2,
+        watch_interval=0.1,
+        watchdog_interval=0.3,
+        watchdog_timeout=1.0,
+    ) as pool:
+        victim = pool._slots[0].proc.pid
+        # Alive but hung: the process exists, signals are delivered,
+        # but its event loop schedules nothing — the exact state a
+        # crash-respawn supervisor cannot see.
+        os.kill(victim, signal.SIGSTOP)
+
+        _wait_for(lambda: pool._watchdog_kills >= 1, timeout=30)
+
+        def recovered():
+            stats = pool.pool_stats()
+            pids = {w.get("pid") for w in stats["workers"] if w["alive"]}
+            return stats["pool"]["alive"] == 2 and victim not in pids
+
+        _wait_for(recovered)
+        stats = pool.pool_stats()
+        assert stats["pool"]["watchdog_kills"] >= 1
+        assert _count(pool) == 7
+
+
+def test_watchdog_leaves_healthy_workers_alone(tmp_path):
+    snap = tmp_path / "snap"
+    save_snapshot(_chain_store(4), snap, generation=1)
+    with PreforkServer(
+        snap,
+        workers=1,
+        watch_interval=0.05,
+        watchdog_interval=0.1,
+        watchdog_timeout=5.0,
+    ) as pool:
+        pid = pool._slots[0].proc.pid
+        time.sleep(1.0)  # many watchdog rounds
+        assert pool._watchdog_kills == 0
+        assert pool._slots[0].proc.pid == pid
+        assert _count(pool) == 4
+
+
+# ----------------------------------------------------------------------
+# Generation quarantine & rollback
+# ----------------------------------------------------------------------
+
+
+def test_corrupt_install_is_quarantined_rolled_back_and_never_loops(
+    tmp_path,
+):
+    snap = tmp_path / "snap"
+    save_snapshot(_chain_store(6), snap, generation=1)
+    with PreforkServer(snap, workers=2, watch_interval=0.1) as pool:
+        good_token = generation_token(snap)
+        assert _count(pool) == 6
+
+        bad_token = _install_corrupt_generation(snap)
+
+        # The dispatcher offers it once, a worker fails to open it,
+        # and the generation lands in quarantine.
+        _wait_for(lambda: [e["token"] for e in quarantined(snap)] == [bad_token])
+
+        # Rollback: the symlink points at the adopted payload again.
+        _wait_for(lambda: generation_token(snap) == good_token)
+
+        # The pool kept serving the old generation the whole time —
+        # and, critically, nobody crash-looped: no respawns, and the
+        # reload was *aborted* (offered to at most one worker).
+        assert _count(pool) == 6
+        stats = pool.pool_stats()
+        assert stats["pool"]["alive"] == 2
+        assert stats["pool"]["restarts"] == 0
+        assert stats["pool"]["reload_failures"] == 1
+        assert stats["pool"]["rollbacks"] == 1
+        assert stats["pool"]["quarantined"] == [bad_token]
+        assert stats["pool"]["adopted_token"] == good_token
+
+        # Give the watcher time to prove it never re-offers the marked
+        # token (a re-offer would bump reload_failures again).
+        time.sleep(1.0)
+        assert pool._reload_failures == 1
+
+        # A valid next generation lifts the quarantine: the pool
+        # adopts it and the markers are cleared.
+        save_snapshot(_chain_store(9), snap, overwrite=True, generation=2)
+        _wait_for(
+            lambda: pool.pool_stats()["pool"]["generations"] == [2],
+            timeout=60,
+        )
+        _wait_for(lambda: quarantined(snap) == [])
+        assert _count(pool) == 9
+        assert pool.pool_stats()["pool"]["adopted_token"] == generation_token(
+            snap
+        )
+
+
+def test_dispatcher_restart_with_live_quarantine_marker(tmp_path):
+    snap = tmp_path / "snap"
+    save_snapshot(_chain_store(5), snap, generation=1)
+    quarantine(snap, "link:snap.data-departed-99", reason="from a past life")
+
+    # A fresh dispatcher over a path with a live marker must serve the
+    # current (good) generation and report the marker.
+    with PreforkServer(snap, workers=1, watch_interval=0.1) as pool:
+        assert _count(pool) == 5
+        stats = pool.pool_stats()
+        assert stats["pool"]["quarantined"] == ["link:snap.data-departed-99"]
+        assert stats["pool"]["adopted_token"] == generation_token(snap)
+
+        # Adopting the next valid generation clears the stale marker.
+        save_snapshot(_chain_store(8), snap, overwrite=True, generation=2)
+        _wait_for(
+            lambda: pool.pool_stats()["pool"]["generations"] == [2],
+            timeout=60,
+        )
+        _wait_for(lambda: quarantined(snap) == [])
+        assert _count(pool) == 8
+
+
+def test_reload_skips_a_quarantined_current_generation(tmp_path):
+    snap = tmp_path / "snap"
+    save_snapshot(_chain_store(4), snap, generation=1)
+    token = generation_token(snap)
+    with PreforkServer(
+        snap, workers=1, auto_reload=False
+    ) as pool:
+        quarantine(snap, token, reason="operator says no")
+        try:
+            assert pool.reload() == {0: None}
+            assert pool._reload_failures == 0  # never even offered
+            assert _count(pool) == 4
+        finally:
+            clear_quarantine(snap)

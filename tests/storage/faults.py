@@ -10,8 +10,10 @@ injected faults are identical across suites.
 
 from __future__ import annotations
 
+import errno
 import os
 import shutil
+import threading
 
 
 def truncate_at(path, offset: int) -> None:
@@ -78,3 +80,52 @@ def overwrite_range(path, offset: int, data: bytes) -> bytes:
         handle.seek(offset)
         handle.write(data)
     return original
+
+
+class ENOSPCHandle:
+    """A file-handle proxy that injects ``ENOSPC`` on demand.
+
+    Wraps a WAL's real binary handle and, while :meth:`arm`'ed, makes
+    every ``write``/``flush`` raise ``OSError(ENOSPC)`` — the
+    observable behavior of a full disk — while all other operations
+    (``seek``, ``truncate``, ``fileno``...) pass through untouched, so
+    the log's rollback path still works against the real file.
+    Thread-safe: the degraded-mode tests arm and disarm it while a
+    server's writer threads are mid-append.
+    """
+
+    def __init__(self, handle, *, fail_flush: bool = True,
+                 fail_write: bool = True):
+        self._handle = handle
+        self._armed = threading.Event()
+        self.fail_flush = fail_flush
+        self.fail_write = fail_write
+        self.failures = 0
+
+    def arm(self) -> None:
+        """Start failing writes/flushes (the disk 'fills up')."""
+        self._armed.set()
+
+    def disarm(self) -> None:
+        """Stop failing (the operator 'freed space')."""
+        self._armed.clear()
+
+    @property
+    def armed(self) -> bool:
+        return self._armed.is_set()
+
+    def _maybe_fail(self, enabled: bool) -> None:
+        if enabled and self._armed.is_set():
+            self.failures += 1
+            raise OSError(errno.ENOSPC, "injected: no space left on device")
+
+    def write(self, data):
+        self._maybe_fail(self.fail_write)
+        return self._handle.write(data)
+
+    def flush(self):
+        self._maybe_fail(self.fail_flush)
+        return self._handle.flush()
+
+    def __getattr__(self, name):
+        return getattr(self._handle, name)

@@ -1,0 +1,168 @@
+"""Generation quarantine: markers, the watcher, and the compaction gate.
+
+Quarantine is how the serving stack remembers — across processes and
+restarts — that an *installed* snapshot generation turned out to be
+unopenable. These tests pin the disk format's observable behavior: the
+markers survive anything short of :func:`clear_quarantine`, the
+dispatcher's watcher never re-offers a marked token,
+and :func:`repro.storage.recovery.compact` refuses to truncate the WAL
+while any marker is live (the only adoptable state may still need
+those records).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.graph.builder import GraphBuilder
+from repro.storage import (
+    SnapshotWatcher,
+    clear_quarantine,
+    generation_token,
+    has_quarantine,
+    is_quarantined,
+    open_store,
+    quarantine,
+    quarantine_path,
+    quarantined,
+    save_snapshot,
+    scan_wal,
+)
+from repro.storage.recovery import close_store, compact, wal_path_for
+
+
+def _store(n=3):
+    builder = GraphBuilder()
+    for i in range(n):
+        builder.edge(f"a{i}", "p", f"b{i}")
+    return builder.build(freeze=True)
+
+
+# ----------------------------------------------------------------------
+# Marker mechanics
+# ----------------------------------------------------------------------
+
+
+def test_quarantine_marker_roundtrip(tmp_path):
+    snap = tmp_path / "snap"
+    save_snapshot(_store(), snap, generation=1)
+    token = generation_token(snap)
+
+    assert not is_quarantined(snap, token)
+    assert not has_quarantine(snap)
+
+    marker = quarantine(snap, token, reason="checksum mismatch")
+    assert os.path.exists(marker)
+    assert is_quarantined(snap, token)
+    assert has_quarantine(snap)
+    entries = quarantined(snap)
+    assert [e["token"] for e in entries] == [token]
+    assert entries[0]["reason"] == "checksum mismatch"
+
+    # Idempotent: re-marking refreshes, never duplicates.
+    quarantine(snap, token, reason="still bad")
+    assert len(quarantined(snap)) == 1
+
+    assert clear_quarantine(snap, token) == 1
+    assert not has_quarantine(snap)
+    # The (now empty) marker directory is removed with the last marker.
+    assert not os.path.exists(quarantine_path(snap))
+
+
+def test_quarantine_survives_a_new_install(tmp_path):
+    """Markers live beside the snapshot, not inside it — an atomic
+    install replacing the snapshot wholesale must not launder a bad
+    generation's record."""
+    snap = tmp_path / "snap"
+    save_snapshot(_store(3), snap, generation=1)
+    bad = generation_token(snap)
+    quarantine(snap, bad, reason="unopenable")
+    save_snapshot(_store(5), snap, overwrite=True, generation=2)
+    assert is_quarantined(snap, bad)
+    assert not is_quarantined(snap, generation_token(snap))
+
+
+def test_marker_names_are_filesystem_safe(tmp_path):
+    snap = tmp_path / "snap"
+    hostile = "link:../../etc/passwd\n" + "x" * 500
+    quarantine(snap, hostile)
+    assert is_quarantined(snap, hostile)
+    # Everything stayed inside the marker directory.
+    (name,) = os.listdir(quarantine_path(snap))
+    assert "/" not in name and len(name) <= 205
+    assert clear_quarantine(snap) == 1
+
+
+def test_clear_all_markers(tmp_path):
+    snap = tmp_path / "snap"
+    quarantine(snap, "link:a")
+    quarantine(snap, "link:b")
+    assert len(quarantined(snap)) == 2
+    assert clear_quarantine(snap) == 2
+    assert quarantined(snap) == []
+    assert clear_quarantine(snap) == 0  # idempotent on nothing
+
+
+# ----------------------------------------------------------------------
+# Watcher integration
+# ----------------------------------------------------------------------
+
+
+def test_watcher_skips_quarantined_generation_without_refiring(tmp_path):
+    snap = tmp_path / "snap"
+    save_snapshot(_store(3), snap, generation=1)
+    watcher = SnapshotWatcher(snap, skip_quarantined=True)
+
+    # Generation 2 installs but is immediately found bad.
+    save_snapshot(_store(4), snap, overwrite=True, generation=2)
+    bad = generation_token(snap)
+    quarantine(snap, bad, reason="mmap failure")
+
+    # The watcher consumes the token silently — and *stays* silent on
+    # every subsequent poll (no re-offer loop).
+    assert watcher.poll() is False
+    assert watcher.poll() is False
+    assert watcher.token == bad
+
+    # A valid generation 3 fires normally.
+    save_snapshot(_store(5), snap, overwrite=True, generation=3)
+    assert watcher.poll() is True
+    assert watcher.poll() is False
+
+
+def test_watcher_sync_adopts_without_firing(tmp_path):
+    snap = tmp_path / "snap"
+    save_snapshot(_store(3), snap, generation=1)
+    watcher = SnapshotWatcher(snap)
+    save_snapshot(_store(4), snap, overwrite=True, generation=2)
+    assert watcher.sync() == generation_token(snap)
+    assert watcher.poll() is False  # the change was adopted, not fired
+
+
+# ----------------------------------------------------------------------
+# Compaction gate
+# ----------------------------------------------------------------------
+
+
+def test_compact_refuses_wal_truncation_under_quarantine(tmp_path):
+    snap = tmp_path / "snap"
+    store = open_store(snap)
+    store.add_term_triples([("a", "p", "b"), ("b", "p", "c")])
+    assert scan_wal(wal_path_for(snap)).records
+
+    quarantine(snap, "link:somewhere-bad", reason="pool rejected it")
+    try:
+        manifest = compact(store)
+        # The snapshot is still written (it may be the fix)...
+        assert manifest["generation"] == 1
+        assert manifest["wal_truncated"] is False
+        # ...but every WAL record survives: the only generation the
+        # pool durably adopted may still need them.
+        assert len(scan_wal(wal_path_for(snap)).records) == 1
+
+        clear_quarantine(snap)
+        manifest = compact(store)
+        assert manifest["wal_truncated"] is True
+        assert scan_wal(wal_path_for(snap)).records == []
+    finally:
+        close_store(store)

@@ -1,0 +1,188 @@
+"""Disk-full-safe WAL: append failures, fsync failures, degraded mode.
+
+The guarantee under test: an ``ENOSPC``/``EIO`` mid-append never
+corrupts the log or loses an *acknowledged* record. A failed write is
+rolled back to the failing record's start (records flushed by other
+appenders survive), a failed group-commit fsync rolls every
+flushed-but-unsynced record back to the durable horizon and makes
+every affected appender raise — and in both cases the log stays open,
+flips :attr:`~repro.storage.wal.WriteAheadLog.degraded`, and recovers
+through :meth:`~repro.storage.wal.WriteAheadLog.probe` once the fault
+clears. The file on disk is replayable to the last durable boundary at
+every step.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.errors import WalAppendError
+from repro.storage import WriteAheadLog, scan_wal
+
+from faults import ENOSPCHandle
+
+
+@pytest.fixture
+def wal(tmp_path):
+    log = WriteAheadLog.open(tmp_path / "log.wal")
+    yield log
+    if not log.closed:
+        log.close()
+
+
+def _wrap(log: WriteAheadLog, **kwargs) -> ENOSPCHandle:
+    handle = ENOSPCHandle(log._handle, **kwargs)
+    log._handle = handle
+    return handle
+
+
+# ----------------------------------------------------------------------
+# Write-path (ENOSPC during the buffered write/flush)
+# ----------------------------------------------------------------------
+
+
+def test_append_failure_rolls_back_and_raises(wal, tmp_path):
+    wal.append(terms=("a",), adds=[(0, 0, 0)])
+    disk = _wrap(wal)
+
+    disk.arm()
+    with pytest.raises(WalAppendError):
+        wal.append(terms=("b",), adds=[(1, 1, 1)])
+
+    assert wal.degraded is True
+    stats = wal.stats()
+    assert stats["append_failures"] == 1
+    assert stats["last_seq"] == 1  # the failed seq was never committed
+
+    # The file is replayable right now: exactly the acknowledged record.
+    scan = scan_wal(tmp_path / "log.wal")
+    assert [r.seq for r in scan.records] == [1]
+
+    # Space returns: the next append succeeds and clears degraded.
+    disk.disarm()
+    assert wal.append(terms=("b",), adds=[(1, 1, 1)]) == 2
+    assert wal.degraded is False
+    scan = scan_wal(tmp_path / "log.wal")
+    assert [r.seq for r in scan.records] == [1, 2]
+
+
+def test_repeated_append_failures_keep_the_log_consistent(wal, tmp_path):
+    wal.append(terms=("a",), adds=[(0, 0, 0)])
+    disk = _wrap(wal)
+    disk.arm()
+    for _ in range(5):
+        with pytest.raises(WalAppendError):
+            wal.append(adds=[(9, 9, 9)])
+    disk.disarm()
+    wal.append(adds=[(1, 1, 1)])
+    wal.close()
+
+    scan = scan_wal(tmp_path / "log.wal")
+    assert not scan.torn
+    assert [r.seq for r in scan.records] == [1, 2]
+    assert scan.records[-1].adds == [(1, 1, 1)]
+
+
+# ----------------------------------------------------------------------
+# Sync-path (ENOSPC during the group-commit fsync)
+# ----------------------------------------------------------------------
+
+
+class _FsyncFault:
+    """Monkeypatched ``os.fsync`` that fails for one fd while armed."""
+
+    def __init__(self, fd: int, real):
+        self.fd = fd
+        self.real = real
+        self.armed = False
+        self.failures = 0
+
+    def __call__(self, fd):
+        if self.armed and fd == self.fd:
+            self.failures += 1
+            raise OSError(28, "injected: no space left on device")
+        return self.real(fd)
+
+
+@pytest.fixture
+def fsync_fault(wal, monkeypatch):
+    fault = _FsyncFault(wal._handle.fileno(), os.fsync)
+    monkeypatch.setattr(os, "fsync", fault)
+    return fault
+
+
+def test_fsync_failure_rolls_back_to_durable_horizon(
+    wal, tmp_path, fsync_fault
+):
+    wal.append(terms=("a",), adds=[(0, 0, 0)])  # durable seq 1
+
+    fsync_fault.armed = True
+    with pytest.raises(WalAppendError):
+        wal.append(adds=[(1, 1, 1)])
+
+    assert wal.degraded is True
+    stats = wal.stats()
+    assert stats["rollbacks"] == 1
+    assert stats["durable_seq"] == 1
+    # The unsynced record was physically truncated away.
+    scan = scan_wal(tmp_path / "log.wal")
+    assert [r.seq for r in scan.records] == [1]
+
+    # probe() is the recovery path: fails closed, then reopens.
+    assert wal.probe() is False
+    fsync_fault.armed = False
+    assert wal.probe() is True
+    assert wal.degraded is False
+
+    # Sequences never rewind: replay stays unambiguous.
+    scan = scan_wal(tmp_path / "log.wal")
+    assert [r.seq for r in scan.records] == [1, scan.records[-1].seq]
+    assert scan.records[-1].seq > 2
+
+
+def test_concurrent_appenders_all_observe_the_fsync_failure(
+    wal, tmp_path, fsync_fault
+):
+    """No appender may report success for a record that never synced."""
+    wal.append(terms=("a",), adds=[(0, 0, 0)])
+    fsync_fault.armed = True
+
+    outcomes: list = []
+
+    def append(i):
+        try:
+            outcomes.append(("ok", wal.append(adds=[(i, i, i)])))
+        except WalAppendError:
+            outcomes.append(("aborted", None))
+
+    threads = [
+        threading.Thread(target=append, args=(i,)) for i in range(3)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+
+    assert len(outcomes) == 3
+    assert all(kind == "aborted" for kind, _ in outcomes)
+    assert wal.stats()["durable_seq"] == 1
+
+    fsync_fault.armed = False
+    wal.append(adds=[(7, 7, 7)])
+    wal.close()
+    scan = scan_wal(tmp_path / "log.wal")
+    assert not scan.torn
+    assert [r.adds for r in scan.records] == [[(0, 0, 0)], [(7, 7, 7)]]
+
+
+def test_probe_record_is_a_replay_noop(wal, tmp_path):
+    wal.append(terms=("a", "b"), adds=[(0, 1, 1)])
+    assert wal.probe() is True  # appends one empty record
+    wal.close()
+    scan = scan_wal(tmp_path / "log.wal")
+    assert len(scan.records) == 2
+    probe = scan.records[-1]
+    assert probe.terms == () and probe.adds == [] and probe.removes == []
